@@ -1,0 +1,146 @@
+(* Benchmark harness: regenerates every figure of the paper's evaluation
+   (Figs 2-17; Table 1's behaviours are exercised by the test suite) and
+   runs Bechamel micro-benchmarks of the hot controller paths.
+
+   Usage:
+     bench/main.exe                 run all figures (quick scale) + micro-benchmarks
+     bench/main.exe fig6 fig17      run selected figures
+     bench/main.exe --full          full-scale figures (several minutes)
+     bench/main.exe --micro         micro-benchmarks only
+     bench/main.exe --list          list figure ids *)
+
+module Figures = Dream_sim.Figures
+
+let list_figures () =
+  print_endline "figure ids:";
+  List.iter (fun (id, descr) -> Printf.printf "  %-6s %s\n" id descr) Figures.all
+
+(* ---- Bechamel micro-benchmarks (Fig 17b's allocation-delay source) ---- *)
+
+let micro_tests () =
+  let open Bechamel in
+  let module Rng = Dream_util.Rng in
+  let module Prefix = Dream_prefix.Prefix in
+  let module Switch_id = Dream_traffic.Switch_id in
+  let module Topology = Dream_traffic.Topology in
+  let module Generator = Dream_traffic.Generator in
+  let module Profile = Dream_traffic.Profile in
+  let module Aggregate = Dream_traffic.Aggregate in
+  let module Epoch_data = Dream_traffic.Epoch_data in
+  let module Task_spec = Dream_tasks.Task_spec in
+  let module Task = Dream_tasks.Task in
+  let module Dream_allocator = Dream_alloc.Dream_allocator in
+  let module Task_view = Dream_alloc.Task_view in
+  (* Shared fixture: a drilled-down HH task over 8 switches. *)
+  let rng = Rng.create 99 in
+  let filter = Prefix.of_string "10.16.0.0/12" in
+  let topology = Topology.create rng ~filter ~num_switches:8 ~switches_per_task:8 in
+  let spec =
+    Task_spec.make ~kind:Task_spec.Heavy_hitter ~filter ~leaf_length:24 ~threshold:8.0 ()
+  in
+  let generator =
+    Generator.create (Rng.split rng) ~topology ~profile:(Profile.default ~threshold:8.0)
+  in
+  let task = Task.create ~id:0 ~spec ~topology () in
+  let allocations =
+    Switch_id.Set.fold
+      (fun sw acc -> Switch_id.Map.add sw 64 acc)
+      (Task.switches task) Switch_id.Map.empty
+  in
+  let data = ref (Generator.next generator) in
+  let feed () =
+    data := Generator.next generator;
+    let readings =
+      Switch_id.Set.fold
+        (fun sw acc ->
+          let aggregate = Epoch_data.switch_view !data sw in
+          let pairs =
+            List.map (fun p -> (p, Aggregate.volume aggregate p)) (Task.desired_rules task sw)
+          in
+          (sw, pairs) :: acc)
+        (Task.switches task) []
+    in
+    Task.ingest_counters task readings
+  in
+  for _ = 1 to 30 do
+    feed ();
+    ignore (Task.estimate_accuracy task);
+    Task.configure task ~allocations
+  done;
+  (* Allocator fixture: one switch, 64 tasks with random accuracies. *)
+  let cfg = Dream_allocator.default_config in
+  let allocator = Dream_allocator.create cfg ~capacities:[ (0, 4096) ] in
+  let acc_rng = Rng.create 5 in
+  let views =
+    List.init 64 (fun i ->
+        let accuracy = Rng.float acc_rng 1.0 in
+        {
+          Task_view.id = i;
+          switches = Switch_id.Set.singleton 0;
+          bound = 0.8;
+          drop_priority = i;
+          overall = (fun _ -> accuracy);
+          used = (fun _ -> 64);
+        })
+  in
+  List.iter (fun v -> ignore (Dream_allocator.try_admit allocator v)) views;
+  let agg = Epoch_data.switch_view !data 0 in
+  [
+    Test.make ~name:"allocator.reallocate (64 tasks, 1 switch)"
+      (Staged.stage (fun () -> Dream_allocator.reallocate allocator views));
+    Test.make ~name:"task.configure (divide-and-merge)"
+      (Staged.stage (fun () -> Task.configure task ~allocations));
+    Test.make ~name:"task.report+estimate (HH)"
+      (Staged.stage (fun () ->
+           ignore (Task.make_report task ~epoch:0);
+           ignore (Task.estimate_accuracy task)));
+    Test.make ~name:"aggregate.volume (prefix counter read)"
+      (Staged.stage (fun () -> ignore (Aggregate.volume agg filter)));
+    Test.make ~name:"generator.next (one traffic epoch)"
+      (Staged.stage (fun () -> ignore (Generator.next generator)));
+  ]
+
+let run_micro () =
+  let open Bechamel in
+  print_newline ();
+  print_endline "Micro-benchmarks (Bechamel, monotonic clock)";
+  print_endline "============================================";
+  let instance = Toolkit.Instance.monotonic_clock in
+  let cfg = Benchmark.cfg ~limit:1000 ~quota:(Time.second 0.5) ~stabilize:true () in
+  let ols = Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |] in
+  List.iter
+    (fun test ->
+      let results = Benchmark.all cfg [ instance ] test in
+      let analyzed = Analyze.all ols instance results in
+      Hashtbl.iter
+        (fun name ols_result ->
+          match Analyze.OLS.estimates ols_result with
+          | Some [ est ] -> Printf.printf "  %-45s %12.0f ns/run\n%!" name est
+          | Some _ | None -> Printf.printf "  %-45s (no estimate)\n%!" name)
+        analyzed)
+    (micro_tests ())
+
+let () =
+  let args = Array.to_list Sys.argv |> List.tl in
+  let full = List.mem "--full" args in
+  let micro_only = List.mem "--micro" args in
+  let listing = List.mem "--list" args in
+  let ids = List.filter (fun a -> not (String.length a > 1 && a.[0] = '-')) args in
+  if listing then list_figures ()
+  else if micro_only then run_micro ()
+  else begin
+    let quick = not full in
+    (match ids with
+    | [] -> Figures.run_all ~quick
+    | _ :: _ ->
+      List.iter
+        (fun id ->
+          match Figures.run ~quick id with
+          | Ok () -> ()
+          | Error msg ->
+            prerr_endline msg;
+            list_figures ();
+            exit 1)
+        ids);
+    if ids = [] then run_micro ()
+  end

@@ -1,0 +1,46 @@
+(* dream-figures: regenerate the paper's evaluation figures.
+
+     dune exec bin/dream_figures.exe -- --list
+     dune exec bin/dream_figures.exe -- fig6
+     dune exec bin/dream_figures.exe -- --all --full *)
+
+module Figures = Dream_sim.Figures
+
+let run ids all full listing =
+  let quick = not full in
+  if listing then begin
+    print_endline "figure ids:";
+    List.iter (fun (id, descr) -> Printf.printf "  %-6s %s\n" id descr) Figures.all
+  end
+  else if all then Figures.run_all ~quick
+  else begin
+    match ids with
+    | [] ->
+      prerr_endline "no figure ids given (use --list to see them, or --all)";
+      exit 1
+    | _ :: _ ->
+      List.iter
+        (fun id ->
+          match Figures.run ~quick id with
+          | Ok () -> ()
+          | Error msg ->
+            prerr_endline msg;
+            exit 1)
+        ids
+  end
+
+open Cmdliner
+
+let ids = Arg.(value & pos_all string [] & info [] ~docv:"FIGURE" ~doc:"Figure ids (e.g. fig6).")
+let all = Arg.(value & flag & info [ "all"; "a" ] ~doc:"Run every figure.")
+
+let full =
+  Arg.(value & flag & info [ "full" ] ~doc:"Full-scale experiments (several minutes) instead of quick.")
+
+let listing = Arg.(value & flag & info [ "list"; "l" ] ~doc:"List available figure ids.")
+
+let cmd =
+  let doc = "regenerate the DREAM paper's evaluation figures" in
+  Cmd.v (Cmd.info "dream-figures" ~doc) Term.(const run $ ids $ all $ full $ listing)
+
+let () = exit (Cmd.eval cmd)

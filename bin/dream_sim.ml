@@ -1,0 +1,106 @@
+(* dream-sim: run one DREAM experiment scenario from the command line.
+
+     dune exec bin/dream_sim.exe -- --capacity 1024 --strategy dream
+     dune exec bin/dream_sim.exe -- --kind HH --tasks 32 --strategy equal *)
+
+module Scenario = Dream_workload.Scenario
+module Experiment = Dream_sim.Experiment
+module Metrics = Dream_core.Metrics
+module Task_spec = Dream_tasks.Task_spec
+module Allocator = Dream_alloc.Allocator
+module Stats = Dream_util.Stats
+
+let run capacity num_switches switches_per_task tasks window duration epochs threshold bound kind
+    strategy fixed_k seed verbose =
+  let scenario =
+    {
+      Scenario.default with
+      Scenario.capacity;
+      num_switches;
+      switches_per_task;
+      num_tasks = tasks;
+      arrival_window = window;
+      mean_duration = duration;
+      total_epochs = epochs;
+      threshold;
+      accuracy_bound = bound;
+      seed;
+    }
+  in
+  let scenario =
+    match String.lowercase_ascii kind with
+    | "hh" -> Scenario.with_kind scenario Task_spec.Heavy_hitter
+    | "hhh" -> Scenario.with_kind scenario Task_spec.Hierarchical_heavy_hitter
+    | "cd" -> Scenario.with_kind scenario Task_spec.Change_detection
+    | "combined" | "all" -> scenario
+    | other -> failwith (Printf.sprintf "unknown kind %S (HH | HHH | CD | combined)" other)
+  in
+  let strategy =
+    match String.lowercase_ascii strategy with
+    | "dream" -> Experiment.dream_strategy
+    | "equal" -> Allocator.Equal
+    | "fixed" -> Allocator.Fixed fixed_k
+    | other -> failwith (Printf.sprintf "unknown strategy %S (dream | equal | fixed)" other)
+  in
+  Format.printf "scenario: %a@." Scenario.pp scenario;
+  Format.printf "expected concurrency: %.1f tasks@." (Scenario.concurrency scenario);
+  let result = Experiment.run scenario strategy in
+  let s = result.Experiment.summary in
+  Format.printf "@.%s results:@." result.Experiment.strategy;
+  Format.printf "  satisfaction  mean %.1f%%  5th-pct %.1f%%@." s.Metrics.mean_satisfaction
+    s.Metrics.p5_satisfaction;
+  Format.printf "  tasks         submitted %d  admitted %d  completed %d@." s.Metrics.submitted
+    s.Metrics.admitted s.Metrics.completed;
+  Format.printf "  rejection     %.1f%%   drop %.1f%%@." s.Metrics.rejection_pct s.Metrics.drop_pct;
+  Format.printf "  switch rules  installed %d  fetched %d@." result.Experiment.rules_installed
+    result.Experiment.rules_fetched;
+  if verbose then begin
+    Format.printf "@.per-task records:@.";
+    List.iter
+      (fun (r : Metrics.record) ->
+        Format.printf "  task %3d %-4s %-9s arrived %4d  active %4d  satisfaction %5.1f%%@."
+          r.Metrics.task_id
+          (Task_spec.kind_to_string r.Metrics.kind)
+          (match r.Metrics.outcome with
+          | Metrics.Completed -> "completed"
+          | Metrics.Dropped -> "dropped"
+          | Metrics.Rejected -> "rejected")
+          r.Metrics.arrived_at r.Metrics.active_epochs
+          (r.Metrics.satisfaction *. 100.0))
+      result.Experiment.records
+  end
+
+open Cmdliner
+
+let capacity = Arg.(value & opt int 1024 & info [ "capacity"; "c" ] ~doc:"TCAM entries per switch.")
+let num_switches = Arg.(value & opt int 8 & info [ "switches" ] ~doc:"Number of switches.")
+
+let switches_per_task =
+  Arg.(value & opt int 8 & info [ "switches-per-task" ] ~doc:"Switches seeing each task (power of two).")
+
+let tasks = Arg.(value & opt int 88 & info [ "tasks"; "n" ] ~doc:"Number of submitted tasks.")
+let window = Arg.(value & opt int 280 & info [ "window" ] ~doc:"Arrival window in epochs.")
+let duration = Arg.(value & opt int 140 & info [ "duration" ] ~doc:"Mean task duration in epochs.")
+let epochs = Arg.(value & opt int 560 & info [ "epochs" ] ~doc:"Total simulated epochs.")
+let threshold = Arg.(value & opt float 8.0 & info [ "threshold" ] ~doc:"Task threshold in Mb.")
+let bound = Arg.(value & opt float 0.8 & info [ "bound" ] ~doc:"Accuracy bound in [0,1].")
+
+let kind =
+  Arg.(value & opt string "combined" & info [ "kind"; "k" ] ~doc:"Task kind: HH, HHH, CD or combined.")
+
+let strategy =
+  Arg.(value & opt string "dream" & info [ "strategy"; "s" ] ~doc:"Allocator: dream, equal or fixed.")
+
+let fixed_k = Arg.(value & opt int 32 & info [ "fixed-k" ] ~doc:"The k of Fixed_k (capacity/k per task).")
+let seed = Arg.(value & opt int 7 & info [ "seed" ] ~doc:"Random seed.")
+let verbose = Arg.(value & flag & info [ "verbose"; "v" ] ~doc:"Print per-task records.")
+
+let cmd =
+  let doc = "run a DREAM software-defined measurement experiment" in
+  Cmd.v
+    (Cmd.info "dream-sim" ~doc)
+    Term.(
+      const run $ capacity $ num_switches $ switches_per_task $ tasks $ window $ duration $ epochs
+      $ threshold $ bound $ kind $ strategy $ fixed_k $ seed $ verbose)
+
+let () = exit (Cmd.eval cmd)

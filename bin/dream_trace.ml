@@ -1,0 +1,128 @@
+(* dream-trace: generate, inspect and replay traffic trace files.
+
+     dune exec bin/dream_trace.exe -- gen --out trace.txt --epochs 100
+     dune exec bin/dream_trace.exe -- info trace.txt
+     dune exec bin/dream_trace.exe -- replay trace.txt --kind HH *)
+
+module Rng = Dream_util.Rng
+module Prefix = Dream_prefix.Prefix
+module Topology = Dream_traffic.Topology
+module Generator = Dream_traffic.Generator
+module Profile = Dream_traffic.Profile
+module Trace_io = Dream_traffic.Trace_io
+module Source = Dream_traffic.Source
+module Aggregate = Dream_traffic.Aggregate
+module Epoch_data = Dream_traffic.Epoch_data
+module Task_spec = Dream_tasks.Task_spec
+module Controller = Dream_core.Controller
+module Allocator = Dream_alloc.Allocator
+module Metrics = Dream_core.Metrics
+
+let parse_filter s =
+  try Prefix.of_string s with Invalid_argument msg -> failwith msg
+
+let gen out epochs seed filter_s switches threshold =
+  let filter = parse_filter filter_s in
+  let rng = Rng.create seed in
+  let topology = Topology.create rng ~filter ~num_switches:switches ~switches_per_task:switches in
+  let generator = Generator.create (Rng.split rng) ~topology ~profile:(Profile.default ~threshold) in
+  let trace = Trace_io.record generator ~epochs in
+  Trace_io.save_file out trace;
+  Printf.printf "wrote %d epochs of synthetic traffic under %s to %s\n" epochs
+    (Prefix.to_string filter) out
+
+let trace_info path =
+  match Trace_io.load_file path with
+  | Error msg ->
+    prerr_endline msg;
+    exit 1
+  | Ok epochs ->
+    let total =
+      List.fold_left (fun acc (e : Epoch_data.t) -> acc +. Aggregate.total e.Epoch_data.combined) 0.0 epochs
+    in
+    let switches =
+      List.fold_left
+        (fun acc (e : Epoch_data.t) ->
+          Dream_traffic.Switch_id.Set.union acc (Epoch_data.active_switches e))
+        Dream_traffic.Switch_id.Set.empty epochs
+    in
+    Printf.printf "%s: %d epochs, %d switches, %.1f Mb total\n" path (List.length epochs)
+      (Dream_traffic.Switch_id.Set.cardinal switches)
+      total;
+    List.iteri
+      (fun i (e : Epoch_data.t) ->
+        if i < 5 then
+          Printf.printf "  epoch %d: %d flows, %.1f Mb\n" e.Epoch_data.epoch
+            (Aggregate.num_addresses e.Epoch_data.combined)
+            (Aggregate.total e.Epoch_data.combined))
+      epochs
+
+let replay path kind_s filter_s threshold bound switches seed =
+  match Trace_io.load_file path with
+  | Error msg ->
+    prerr_endline msg;
+    exit 1
+  | Ok epochs ->
+    let filter = parse_filter filter_s in
+    let kind =
+      match String.uppercase_ascii kind_s with
+      | "HH" -> Task_spec.Heavy_hitter
+      | "HHH" -> Task_spec.Hierarchical_heavy_hitter
+      | "CD" -> Task_spec.Change_detection
+      | other -> failwith ("unknown kind " ^ other)
+    in
+    (* The prefix-to-switch mapping must match the one the trace was
+       produced with, so replay shares gen's seed. *)
+    let rng = Rng.create seed in
+    let topology = Topology.create rng ~filter ~num_switches:switches ~switches_per_task:switches in
+    let spec = Task_spec.make ~kind ~filter ~leaf_length:24 ~threshold ~accuracy_bound:bound () in
+    let controller =
+      Controller.create ~config:Dream_core.Config.default
+        ~strategy:(Allocator.Dream Dream_alloc.Dream_allocator.default_config)
+        ~num_switches:switches ~capacity:1024
+    in
+    let duration = List.length epochs in
+    (match
+       Controller.submit controller ~spec ~topology
+         ~source:(Source.replay ~cycle:false (Array.of_list epochs))
+         ~duration
+     with
+    | `Admitted id ->
+      Controller.run controller ~epochs:duration;
+      (match Controller.last_report controller ~task_id:id with
+      | Some report -> Format.printf "%a@." Dream_tasks.Report.pp report
+      | None -> ());
+      Controller.finalize controller;
+      Format.printf "%a@." Metrics.pp_summary (Controller.summary controller)
+    | `Rejected -> prerr_endline "task rejected")
+
+open Cmdliner
+
+let out = Arg.(value & opt string "trace.txt" & info [ "out"; "o" ] ~doc:"Output file.")
+let epochs = Arg.(value & opt int 100 & info [ "epochs" ] ~doc:"Epochs to generate.")
+let seed = Arg.(value & opt int 7 & info [ "seed" ] ~doc:"Random seed.")
+let filter = Arg.(value & opt string "10.16.0.0/12" & info [ "filter" ] ~doc:"Flow filter prefix.")
+let switches = Arg.(value & opt int 4 & info [ "switches" ] ~doc:"Number of switches.")
+let threshold = Arg.(value & opt float 8.0 & info [ "threshold" ] ~doc:"Task threshold (Mb).")
+let bound = Arg.(value & opt float 0.8 & info [ "bound" ] ~doc:"Accuracy bound.")
+let kind = Arg.(value & opt string "HH" & info [ "kind"; "k" ] ~doc:"Task kind for replay.")
+let path = Arg.(required & pos 0 (some string) None & info [] ~docv:"TRACE" ~doc:"Trace file.")
+
+let gen_cmd =
+  Cmd.v
+    (Cmd.info "gen" ~doc:"generate a synthetic trace file")
+    Term.(const gen $ out $ epochs $ seed $ filter $ switches $ threshold)
+
+let info_cmd =
+  Cmd.v (Cmd.info "info" ~doc:"summarise a trace file") Term.(const trace_info $ path)
+
+let replay_cmd =
+  Cmd.v
+    (Cmd.info "replay" ~doc:"run a measurement task over a recorded trace")
+    Term.(const replay $ path $ kind $ filter $ threshold $ bound $ switches $ seed)
+
+let cmd =
+  Cmd.group (Cmd.info "dream-trace" ~doc:"traffic trace tooling for DREAM")
+    [ gen_cmd; info_cmd; replay_cmd ]
+
+let () = exit (Cmd.eval cmd)

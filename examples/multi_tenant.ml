@@ -1,0 +1,39 @@
+(* Multi-tenant cloud: each tenant owns a /12 and instantiates its own
+   measurement task (HH, HHH or CD) with Poisson arrivals, as in the
+   paper's motivating scenario.  The same workload runs under DREAM and
+   under the Equal baseline, showing DREAM's admission control and
+   temporal/spatial multiplexing keeping admitted tenants satisfied where
+   Equal starves the tail.
+
+   Run with:  dune exec examples/multi_tenant.exe *)
+
+module Scenario = Dream_workload.Scenario
+module Experiment = Dream_sim.Experiment
+module Metrics = Dream_core.Metrics
+module Allocator = Dream_alloc.Allocator
+
+let () =
+  let scenario =
+    {
+      Scenario.default with
+      Scenario.num_tasks = 32;
+      capacity = 512;
+      arrival_window = 120;
+      mean_duration = 80;
+      total_epochs = 260;
+    }
+  in
+  Format.printf "workload: %a@." Scenario.pp scenario;
+  Format.printf "expected concurrent tenants: %.0f@.@." (Scenario.concurrency scenario);
+  List.iter
+    (fun strategy ->
+      let r = Experiment.run scenario strategy in
+      let s = r.Experiment.summary in
+      Format.printf "%-8s mean satisfaction %5.1f%%  5th-pct %5.1f%%  rejected %4.1f%%  dropped %4.1f%%@."
+        r.Experiment.strategy s.Metrics.mean_satisfaction s.Metrics.p5_satisfaction
+        s.Metrics.rejection_pct s.Metrics.drop_pct)
+    [ Experiment.dream_strategy; Allocator.Equal; Allocator.Fixed 32 ];
+  print_newline ();
+  print_endline "DREAM keeps admitted tenants' accuracy above their bound by statistically";
+  print_endline "multiplexing TCAM counters and rejecting what cannot be satisfied;";
+  print_endline "Equal admits everything and starves the tail; Fixed_32 wastes reservations."

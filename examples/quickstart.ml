@@ -1,0 +1,77 @@
+(* Quickstart: submit one heavy-hitter task to a DREAM controller over a
+   small switch network, tick the control loop, and read the reports.
+
+   Run with:  dune exec examples/quickstart.exe *)
+
+module Rng = Dream_util.Rng
+module Prefix = Dream_prefix.Prefix
+module Topology = Dream_traffic.Topology
+module Generator = Dream_traffic.Generator
+module Profile = Dream_traffic.Profile
+module Task_spec = Dream_tasks.Task_spec
+module Report = Dream_tasks.Report
+module Controller = Dream_core.Controller
+module Allocator = Dream_alloc.Allocator
+
+let () =
+  (* A network of 4 switches with 512 TCAM entries each, managed by the
+     DREAM allocator. *)
+  let controller =
+    Controller.create ~config:Dream_core.Config.default
+      ~strategy:(Allocator.Dream Dream_alloc.Dream_allocator.default_config) ~num_switches:4
+      ~capacity:512
+  in
+
+  (* The user's measurement task: heavy hitters (source IPs sending more
+     than 8 Mb per epoch) inside 10.16.0.0/12, with an 80% accuracy bound. *)
+  let spec =
+    Dream_tasks.Query.(
+      heavy_hitters ~over:"10.16.0.0/12"
+      |> exceeding_mb 8.0
+      |> with_accuracy 0.8
+      |> drill_to 24
+      |> to_spec_exn)
+  in
+  let filter = spec.Task_spec.filter in
+
+  (* Where that traffic enters the network, and a synthetic trace of it
+     (stands in for a packet trace; fully determined by the seed). *)
+  let rng = Rng.create 2024 in
+  let topology = Topology.create rng ~filter ~num_switches:4 ~switches_per_task:4 in
+  let generator =
+    Generator.create (Rng.split rng) ~topology ~profile:(Profile.default ~threshold:8.0)
+  in
+
+  let task_id =
+    match
+      Controller.submit controller ~spec ~topology
+        ~source:(Dream_traffic.Source.of_generator generator)
+        ~duration:120
+    with
+    | `Admitted id ->
+      Printf.printf "task admitted with id %d\n" id;
+      id
+    | `Rejected -> failwith "the controller rejected the task (insufficient headroom)"
+  in
+
+  (* Drive the control loop; print the report every 30 epochs. *)
+  for epoch = 1 to 120 do
+    Controller.tick controller;
+    if epoch mod 30 = 0 then begin
+      match Controller.last_report controller ~task_id with
+      | Some report ->
+        Printf.printf "\n=== epoch %d: %d heavy hitters detected ===\n" epoch (Report.size report);
+        List.iter
+          (fun (item : Report.item) ->
+            Printf.printf "  %-20s %6.1f Mb\n"
+              (Prefix.to_string item.Report.prefix)
+              item.Report.magnitude)
+          report.Report.items;
+        (match Controller.smoothed_accuracy controller ~task_id with
+        | Some acc -> Printf.printf "  estimated recall: %.0f%%\n" (acc *. 100.0)
+        | None -> ())
+      | None -> ()
+    end
+  done;
+  Controller.finalize controller;
+  Format.printf "@.final: %a@." Dream_core.Metrics.pp_summary (Controller.summary controller)

@@ -1,0 +1,115 @@
+(* Dynamic task instantiation in an SDN WAN: a standing coarse HHH task
+   watches a /8; whenever it reports a suspicious aggregate, the operator
+   (here, a little bot) instantiates a *focused* heavy-hitter task on that
+   prefix to identify the sources — the paper's "drill down into anomalous
+   traffic aggregates" workflow, exercising admission control and
+   multiplexing along the way.
+
+   Run with:  dune exec examples/wan_drilldown.exe *)
+
+module Rng = Dream_util.Rng
+module Prefix = Dream_prefix.Prefix
+module Topology = Dream_traffic.Topology
+module Generator = Dream_traffic.Generator
+module Profile = Dream_traffic.Profile
+module Task_spec = Dream_tasks.Task_spec
+module Report = Dream_tasks.Report
+module Controller = Dream_core.Controller
+module Allocator = Dream_alloc.Allocator
+
+let num_switches = 4
+
+let rng = Rng.create 1234
+
+let new_generator filter ~heavy_count =
+  let topology = Topology.create rng ~filter ~num_switches ~switches_per_task:4 in
+  let profile =
+    { (Profile.default ~threshold:8.0) with Profile.heavy_count; phases = [] }
+  in
+  (topology, Generator.create (Rng.split rng) ~topology ~profile)
+
+let () =
+  let controller =
+    Controller.create ~config:Dream_core.Config.default
+      ~strategy:(Allocator.Dream Dream_alloc.Dream_allocator.default_config) ~num_switches
+      ~capacity:1024
+  in
+  (* The standing task: HHHs across a /12 with a high threshold — cheap,
+     always on. *)
+  let watch_filter = Prefix.of_string "10.32.0.0/12" in
+  let watch_topology, watch_generator = new_generator watch_filter ~heavy_count:20 in
+  let watch_spec =
+    Task_spec.make ~kind:Task_spec.Hierarchical_heavy_hitter ~filter:watch_filter
+      ~leaf_length:24 ~threshold:24.0 ()
+  in
+  let watch_id =
+    match
+      Controller.submit controller ~spec:watch_spec ~topology:watch_topology
+        ~source:(Dream_traffic.Source.of_generator watch_generator)
+        ~duration:200
+    with
+    | `Admitted id -> id
+    | `Rejected -> failwith "standing task rejected"
+  in
+  Printf.printf "standing HHH watch task %d on %s (threshold 24 Mb)\n\n" watch_id
+    (Prefix.to_string watch_filter);
+  (* The drill-down bot: on a suspicious /16-or-shorter HHH, spawn a
+     focused HH task on it (once per prefix). *)
+  let investigated = Hashtbl.create 8 in
+  let spawn_drilldown prefix epoch =
+    if not (Hashtbl.mem investigated prefix) then begin
+      Hashtbl.replace investigated prefix ();
+      let spec =
+        Task_spec.make ~kind:Task_spec.Heavy_hitter ~filter:prefix ~leaf_length:24
+          ~threshold:8.0 ()
+      in
+      (* The focused task watches the same underlying traffic: a generator
+         restricted to the suspicious prefix. *)
+      let topology = Topology.create rng ~filter:prefix ~num_switches ~switches_per_task:2 in
+      let profile =
+        { (Profile.default ~threshold:8.0) with Profile.heavy_count = 12; phases = [] }
+      in
+      let generator = Generator.create (Rng.split rng) ~topology ~profile in
+      match
+        Controller.submit controller ~spec ~topology
+          ~source:(Dream_traffic.Source.of_generator generator)
+          ~duration:60
+      with
+      | `Admitted id ->
+        Printf.printf "  epoch %3d: drill-down task %d spawned on %s\n" epoch id
+          (Prefix.to_string prefix)
+      | `Rejected ->
+        Printf.printf "  epoch %3d: drill-down on %s REJECTED (no headroom)\n" epoch
+          (Prefix.to_string prefix)
+    end
+  in
+  for epoch = 1 to 120 do
+    Controller.tick controller;
+    (* Give the watch task a few epochs to converge, then treat persistent
+       /14../16 HHH aggregates as suspicious. *)
+    (if epoch > 10 then
+       match Controller.last_report controller ~task_id:watch_id with
+       | Some report ->
+         List.iter
+           (fun (item : Report.item) ->
+             let len = Prefix.length item.Report.prefix in
+             if len >= 14 && len <= 16 && item.Report.magnitude > 30.0 then
+               spawn_drilldown item.Report.prefix epoch)
+           report.Report.items
+       | None -> ());
+    (* Print what the drill-down tasks found, as they finish. *)
+    if epoch mod 40 = 0 then begin
+      Printf.printf "\n-- epoch %d: %d active tasks --\n" epoch (Controller.active_tasks controller);
+      List.iter
+        (fun id ->
+          if id <> watch_id then begin
+            match Controller.last_report controller ~task_id:id with
+            | Some report ->
+              Printf.printf "  task %d: %d heavy sources identified\n" id (Report.size report)
+            | None -> ()
+          end)
+        (Controller.active_task_ids controller)
+    end
+  done;
+  Controller.finalize controller;
+  Format.printf "@.%a@." Dream_core.Metrics.pp_summary (Controller.summary controller)

@@ -1,0 +1,37 @@
+(** Uniform front-end over the three allocation strategies the paper
+    evaluates (DREAM, Equal, Fixed_k), so the controller and the
+    experiment harness can swap them with a single parameter. *)
+
+type strategy =
+  | Dream of Dream_allocator.config
+  | Equal
+  | Fixed of int  (** the k of Fixed_k: each task reserves capacity / k *)
+
+val strategy_name : strategy -> string
+
+type t
+
+val create : strategy -> capacities:(Dream_traffic.Switch_id.t * int) list -> t
+
+val strategy : t -> strategy
+
+val try_admit : t -> Task_view.t -> bool
+(** DREAM: headroom-based admission control.  Equal: always admits.
+    Fixed: admits while the reservation fits everywhere. *)
+
+val release : t -> task_id:int -> unit
+
+val reallocate : t -> Task_view.t list -> unit
+(** Run one allocation round (a no-op for Equal and Fixed, whose
+    allocations are purely membership-derived). *)
+
+val allocation_of : t -> task_id:int -> int Dream_traffic.Switch_id.Map.t
+
+val congested : t -> Dream_traffic.Switch_id.t -> bool
+(** Only DREAM reports congestion; the baselines never drop. *)
+
+val supports_drop : t -> bool
+
+val dream : t -> Dream_allocator.t option
+(** Access to DREAM-specific observability (phantom, headroom) in tests
+    and benchmarks. *)

@@ -1,0 +1,356 @@
+module Switch_id = Dream_traffic.Switch_id
+
+type config = {
+  headroom_fraction : float;
+  hysteresis : float;
+  policy : Step_policy.t;
+  params : Step_policy.params;
+  initial_step : int;
+  min_allocation : int;
+}
+
+let default_config =
+  {
+    headroom_fraction = 0.05;
+    hysteresis = 0.1;
+    policy = Step_policy.MM;
+    params = { Step_policy.default_params with Step_policy.max_step = 128 };
+    initial_step = 4;
+    min_allocation = 1;
+  }
+
+
+type status = Rich | Poor | Neutral
+
+type slot = {
+  task_id : int;
+  mutable alloc : int;
+  mutable step : int;
+  mutable last_status : status option;
+  mutable changed : bool; (* resources moved in the previous round *)
+  mutable just_flipped : bool; (* status flipped last round: pause growth once *)
+}
+
+(* Accuracy reacts to a resource change only after the task re-drills its
+   prefixes (several epochs).  Unbounded multiplicative steps compound
+   against that feedback lag into violent oscillation, so per-round change
+   is additionally enveloped relative to the current allocation: grow at
+   most 2x (+8), shrink at most 1/8 (+4) per round. *)
+let max_grow slot = max 8 slot.alloc
+
+let max_shrink slot = max 4 (slot.alloc / 8)
+
+type sw_state = {
+  switch : Switch_id.t;
+  capacity : int;
+  target : int; (* headroom target *)
+  mutable phantom : int;
+  slots : (int, slot) Hashtbl.t; (* task id -> slot *)
+  mutable congested : bool;
+  mutable last_sp : int;
+  mutable last_sr : int;
+}
+
+type t = { config : config; states : sw_state Switch_id.Map.t }
+
+let create config ~capacities =
+  let states =
+    List.fold_left
+      (fun acc (sw, capacity) ->
+        if capacity <= 0 then invalid_arg "Dream_allocator.create: capacity must be positive";
+        let target =
+          int_of_float (Float.round (config.headroom_fraction *. float_of_int capacity))
+        in
+        Switch_id.Map.add sw
+          {
+            switch = sw;
+            capacity;
+            target;
+            phantom = capacity;
+            slots = Hashtbl.create 64;
+            congested = false;
+            last_sp = 0;
+            last_sr = 0;
+          }
+          acc)
+      Switch_id.Map.empty capacities
+  in
+  { config; states }
+
+let state t sw =
+  match Switch_id.Map.find_opt sw t.states with
+  | Some s -> s
+  | None -> invalid_arg (Printf.sprintf "Dream_allocator: unknown switch %d" sw)
+
+let capacity t sw = (state t sw).capacity
+
+let phantom t sw = (state t sw).phantom
+
+let effective_headroom t sw =
+  let s = state t sw in
+  s.phantom + s.last_sr - s.last_sp
+
+let congested t sw = (state t sw).congested
+
+let try_admit t (view : Task_view.t) =
+  let ok =
+    Switch_id.Set.for_all
+      (fun sw ->
+        let s = state t sw in
+        effective_headroom t sw >= s.target && s.phantom >= t.config.min_allocation)
+      view.Task_view.switches
+  in
+  if ok then begin
+    Switch_id.Set.iter
+      (fun sw ->
+        let s = state t sw in
+        s.phantom <- s.phantom - t.config.min_allocation;
+        Hashtbl.replace s.slots view.Task_view.id
+          {
+            task_id = view.Task_view.id;
+            alloc = t.config.min_allocation;
+            step = t.config.initial_step;
+            last_status = None;
+            changed = false;
+            just_flipped = false;
+          })
+      view.Task_view.switches
+  end;
+  ok
+
+let release t ~task_id =
+  Switch_id.Map.iter
+    (fun _ s ->
+      match Hashtbl.find_opt s.slots task_id with
+      | Some slot ->
+        s.phantom <- s.phantom + slot.alloc;
+        Hashtbl.remove s.slots task_id
+      | None -> ())
+    t.states
+
+let allocation_of t ~task_id =
+  Switch_id.Map.fold
+    (fun sw s acc ->
+      match Hashtbl.find_opt s.slots task_id with
+      | Some slot -> Switch_id.Map.add sw slot.alloc acc
+      | None -> acc)
+    t.states Switch_id.Map.empty
+
+(* Largest-remainder proportional split of [total] across positive
+   [weights]; returns the integer shares (summing to [total]). *)
+let distribute total weights =
+  let sum = List.fold_left ( + ) 0 weights in
+  if sum = 0 || total = 0 then List.map (fun _ -> 0) weights
+  else begin
+    let exact = List.map (fun w -> float_of_int (total * w) /. float_of_int sum) weights in
+    let floors = List.map (fun x -> int_of_float (Float.floor x)) exact in
+    let given = List.fold_left ( + ) 0 floors in
+    let remainders =
+      List.mapi (fun i x -> (i, x -. Float.floor x)) exact
+      |> List.sort (fun (_, a) (_, b) -> Float.compare b a)
+    in
+    let extra = total - given in
+    let bumped = Array.of_list floors in
+    List.iteri (fun rank (i, _) -> if rank < extra then bumped.(i) <- bumped.(i) + 1) remainders;
+    Array.to_list bumped
+  end
+
+let classify config (view : Task_view.t) overall =
+  if overall > view.Task_view.bound +. config.hysteresis then Rich
+  else if overall < view.Task_view.bound then Poor
+  else Neutral
+
+let adapt_step config slot status =
+  if slot.changed then begin
+    match slot.last_status with
+    | Some previous when previous = status ->
+      (* Growth pauses for one round right after a flip; this damps the
+         oscillation around the (hidden) resource target. *)
+      if slot.just_flipped then slot.just_flipped <- false
+      else slot.step <- Step_policy.grow config.policy config.params slot.step
+    | Some _ ->
+      slot.step <- Step_policy.shrink config.policy config.params slot.step;
+      slot.just_flipped <- true
+    | None -> ()
+  end;
+  slot.last_status <- Some status;
+  slot.changed <- false
+
+let reallocate_switch t s views =
+  let config = t.config in
+  (* Pair every slot with its task view; classify and adapt steps. *)
+  let classified =
+    List.filter_map
+      (fun (view : Task_view.t) ->
+        match Hashtbl.find_opt s.slots view.Task_view.id with
+        | Some slot ->
+          let status = classify config view (view.Task_view.overall s.switch) in
+          adapt_step config slot status;
+          Some (slot, view, status)
+        | None -> None)
+      views
+  in
+  (* Reclaim allocation a task is not even installing rules against (plus
+     a 25% expansion margin): it cannot be converted into accuracy there,
+     and holding it starves headroom and other tasks. *)
+  List.iter
+    (fun (slot, (view : Task_view.t), _) ->
+      let used = view.Task_view.used s.switch in
+      let keep = max config.min_allocation (used + max 4 (used / 4)) in
+      let surplus = slot.alloc - keep in
+      if surplus > 0 then begin
+        let reclaim = min surplus (max_shrink slot) in
+        slot.alloc <- slot.alloc - reclaim;
+        s.phantom <- s.phantom + reclaim
+      end)
+    classified;
+  (* A poor task only demands counters on switches where it has used its
+     whole allocation; elsewhere more counters cannot raise its accuracy. *)
+  let demanding (slot, (view : Task_view.t), _) =
+    view.Task_view.used s.switch + 1 >= slot.alloc
+  in
+  let poor = List.filter (fun ((_, _, st) as e) -> st = Poor && demanding e) classified in
+  let rich = List.filter (fun (_, _, st) -> st = Rich) classified in
+  let sp = List.fold_left (fun acc (slot, _, _) -> acc + slot.step) 0 poor in
+  let sr = List.fold_left (fun acc (slot, _, _) -> acc + slot.step) 0 rich in
+  s.last_sp <- sp;
+  s.last_sr <- sr;
+  (* Poor demand is served from idle capacity (phantom above its target)
+     first: when the switch has spare entries there is no reason to disturb
+     rich tasks' configurations. *)
+  let pool = ref 0 in
+  let phantom_surplus = max 0 (s.phantom - s.target) in
+  let from_surplus = min phantom_surplus sp in
+  if from_surplus > 0 then begin
+    s.phantom <- s.phantom - from_surplus;
+    pool := from_surplus
+  end;
+  (* Rich tasks then cede resources to cover the remaining demand plus the
+     phantom's deficit, never more than their step and never below the
+     floor.  The phantom thus refills continuously from rich tasks even
+     under contention, which is what keeps admission control alive. *)
+  let phantom_deficit = max 0 (s.target - s.phantom) in
+  let demand = (sp - !pool) + phantom_deficit in
+  if demand > 0 && sr > 0 then begin
+    let givable (slot, _, _) =
+      min (min slot.step (max_shrink slot)) (max 0 (slot.alloc - config.min_allocation))
+    in
+    let caps = List.map givable rich in
+    let collectable = min demand (List.fold_left ( + ) 0 caps) in
+    let shares = distribute collectable caps in
+    List.iter2
+      (fun ((slot, _, _) as entry) share ->
+        let share = min share (givable entry) in
+        if share > 0 then begin
+          slot.alloc <- slot.alloc - share;
+          slot.changed <- true;
+          pool := !pool + share
+        end)
+      rich shares
+  end;
+  if sp = 0 then begin
+    s.congested <- false;
+    (* Everything collected goes to headroom. *)
+    s.phantom <- s.phantom + !pool
+  end
+  else begin
+    (* Poor tasks may drain the phantom below its target (they steal from
+       the lowest-drop-priority task); the phantom keeps only what rich
+       supply already replaced. *)
+    if !pool < sp then begin
+      let borrow = min s.phantom (sp - !pool) in
+      s.phantom <- s.phantom - borrow;
+      pool := !pool + borrow
+    end;
+    s.congested <- !pool < sp;
+    if !pool >= sp then begin
+      (* Serve every poor task its full (enveloped) step; the surplus
+         refills the phantom. *)
+      List.iter
+        (fun (slot, _, _) ->
+          let grant = min slot.step (max_grow slot) in
+          slot.alloc <- slot.alloc + grant;
+          slot.changed <- grant > 0;
+          pool := !pool - grant)
+        poor;
+      s.phantom <- s.phantom + !pool
+    end
+    else begin
+      (* Shortage: serve poor tasks in drop-priority order (lowest value =
+         dropped last = served first), full steps while the pool lasts. *)
+      let by_priority =
+        List.sort
+          (fun (_, (a : Task_view.t), _) (_, (b : Task_view.t), _) ->
+            let c = Int.compare a.Task_view.drop_priority b.Task_view.drop_priority in
+            if c <> 0 then c else Int.compare a.Task_view.id b.Task_view.id)
+          poor
+      in
+      List.iter
+        (fun (slot, _, _) ->
+          let grant = min (min slot.step (max_grow slot)) !pool in
+          if grant > 0 then begin
+            slot.alloc <- slot.alloc + grant;
+            slot.changed <- true;
+            pool := !pool - grant
+          end)
+        by_priority;
+      (* Whatever the growth envelopes kept the poor tasks from absorbing
+         goes back to headroom. *)
+      s.phantom <- s.phantom + !pool
+    end
+  end
+
+(* "DREAM does not literally maintain a pool of unused TCAM counters as
+   headroom.  Rather, it always allocates enough TCAM counters to all tasks
+   to maximize accuracy" (Section 4): whatever the phantom holds beyond its
+   target flows to tasks that are actually using their whole allocation —
+   rich ones included — so accuracy rides well above the bound whenever the
+   switch has idle capacity. *)
+let distribute_surplus s views =
+  let surplus = s.phantom - s.target in
+  if surplus > 0 then begin
+    let takers =
+      List.filter_map
+        (fun (view : Task_view.t) ->
+          match Hashtbl.find_opt s.slots view.Task_view.id with
+          | Some slot when view.Task_view.used s.switch + 1 >= slot.alloc -> Some slot
+          | Some _ | None -> None)
+        views
+    in
+    if takers <> [] then begin
+      let caps = List.map max_grow takers in
+      let total = min surplus (List.fold_left ( + ) 0 caps) in
+      let shares = distribute total caps in
+      List.iter2
+        (fun slot share ->
+          if share > 0 then begin
+            slot.alloc <- slot.alloc + share;
+            s.phantom <- s.phantom - share
+          end)
+        takers shares
+    end
+  end
+
+let reallocate t views =
+  Switch_id.Map.iter
+    (fun _ s ->
+      reallocate_switch t s views;
+      distribute_surplus s views)
+    t.states
+
+let check_invariants t =
+  Switch_id.Map.fold
+    (fun sw s acc ->
+      match acc with
+      | Error _ -> acc
+      | Ok () ->
+        let total = Hashtbl.fold (fun _ slot sum -> sum + slot.alloc) s.slots 0 in
+        if Hashtbl.fold (fun _ slot bad -> bad || slot.alloc < 0) s.slots false then
+          Error (Printf.sprintf "switch %d: negative allocation" sw)
+        else if s.phantom < 0 then Error (Printf.sprintf "switch %d: negative phantom" sw)
+        else if total + s.phantom <> s.capacity then
+          Error
+            (Printf.sprintf "switch %d: allocations (%d) + phantom (%d) <> capacity (%d)" sw total
+               s.phantom s.capacity)
+        else Ok ())
+    t.states (Ok ())

@@ -1,0 +1,65 @@
+(** The DREAM per-switch resource allocator (Section 4).
+
+    Each switch keeps, per admitted task, an allocation and an adaptive
+    step size.  Every allocation epoch, tasks are classified rich (overall
+    accuracy above bound + hysteresis), poor (below bound) or neutral;
+    rich tasks surrender their step, poor tasks receive the pooled
+    resources in proportion to their steps (full steps first for tasks
+    with the lowest drop priority when the pool falls short).  Step sizes
+    grow when a change leaves the status unchanged and shrink when the
+    status flips (Figure 4; MM by default).
+
+    Headroom is a phantom task per switch holding all unallocated entries:
+    admission requires its effective headroom (phantom + rich steps - poor
+    steps) to reach the headroom target on every switch the task touches;
+    poor tasks may drain the phantom below target, and rich tasks refill
+    it when no task is poor. *)
+
+type config = {
+  headroom_fraction : float;  (** headroom target as a fraction of capacity (paper: 0.05) *)
+  hysteresis : float;  (** the rich-classification margin delta *)
+  policy : Step_policy.t;
+  params : Step_policy.params;
+  initial_step : int;  (** step size granted at admission *)
+  min_allocation : int;  (** floor per (task, switch); >= 1 so tasks never go blind *)
+}
+
+val default_config : config
+(** 5% headroom, delta 0.05, MM with default params, initial step 2,
+    floor 1. *)
+
+type t
+
+val create : config -> capacities:(Dream_traffic.Switch_id.t * int) list -> t
+
+val capacity : t -> Dream_traffic.Switch_id.t -> int
+
+val try_admit : t -> Task_view.t -> bool
+(** Admit if effective headroom meets the target on every switch the task
+    touches; on success the task gets [min_allocation] entries per switch,
+    taken from the phantom. *)
+
+val release : t -> task_id:int -> unit
+(** Return all of a task's entries to the phantom (task finished or
+    dropped). *)
+
+val reallocate : t -> Task_view.t list -> unit
+(** One allocation round over every switch.  The list must contain exactly
+    the currently admitted tasks. *)
+
+val allocation_of : t -> task_id:int -> int Dream_traffic.Switch_id.Map.t
+
+val phantom : t -> Dream_traffic.Switch_id.t -> int
+(** Current phantom (unallocated) entries on a switch. *)
+
+val effective_headroom : t -> Dream_traffic.Switch_id.t -> int
+(** phantom + sum of rich steps - sum of poor steps, from the last round. *)
+
+val congested : t -> Dream_traffic.Switch_id.t -> bool
+(** Whether the last round's poor demand outstripped rich supply plus
+    phantom on this switch — the signal the controller combines with poor
+    streaks to pick drop victims. *)
+
+val check_invariants : t -> (unit, string) result
+(** Test hook: allocations positive, and allocations + phantom = capacity
+    on every switch. *)

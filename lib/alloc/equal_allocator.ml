@@ -1,0 +1,59 @@
+module Switch_id = Dream_traffic.Switch_id
+
+module Int_set = Set.Make (Int)
+
+type sw_state = { capacity : int; mutable tasks : Int_set.t }
+
+type t = { states : sw_state Switch_id.Map.t }
+
+let create ~capacities =
+  let states =
+    List.fold_left
+      (fun acc (sw, capacity) ->
+        if capacity <= 0 then invalid_arg "Equal_allocator.create: capacity must be positive";
+        Switch_id.Map.add sw { capacity; tasks = Int_set.empty } acc)
+      Switch_id.Map.empty capacities
+  in
+  { states }
+
+let state t sw =
+  match Switch_id.Map.find_opt sw t.states with
+  | Some s -> s
+  | None -> invalid_arg (Printf.sprintf "Equal_allocator: unknown switch %d" sw)
+
+let admit t (view : Task_view.t) =
+  Switch_id.Set.iter
+    (fun sw ->
+      let s = state t sw in
+      s.tasks <- Int_set.add view.Task_view.id s.tasks)
+    view.Task_view.switches
+
+let release t ~task_id =
+  Switch_id.Map.iter (fun _ s -> s.tasks <- Int_set.remove task_id s.tasks) t.states
+
+let share s task_id =
+  let n = Int_set.cardinal s.tasks in
+  if n = 0 || not (Int_set.mem task_id s.tasks) then 0
+  else begin
+    let base = s.capacity / n in
+    let remainder = s.capacity mod n in
+    (* Index of the task in id order decides who receives the remainder. *)
+    let index =
+      let i = ref 0 and found = ref 0 in
+      Int_set.iter
+        (fun id ->
+          if id = task_id then found := !i;
+          incr i)
+        s.tasks;
+      !found
+    in
+    base + (if index < remainder then 1 else 0)
+  end
+
+let allocation_of t ~task_id =
+  Switch_id.Map.fold
+    (fun sw s acc ->
+      if Int_set.mem task_id s.tasks then Switch_id.Map.add sw (share s task_id) acc else acc)
+    t.states Switch_id.Map.empty
+
+let tasks_on t sw = Int_set.cardinal (state t sw).tasks

@@ -1,0 +1,18 @@
+(** The Equal baseline (Section 6.1): every task on a switch gets an equal
+    share of its capacity, recomputed as tasks join and leave.  Equal never
+    rejects and never drops; under overload shares shrink until tasks
+    starve — the pathology DREAM's admission control avoids. *)
+
+type t
+
+val create : capacities:(Dream_traffic.Switch_id.t * int) list -> t
+
+val admit : t -> Task_view.t -> unit
+
+val release : t -> task_id:int -> unit
+
+val allocation_of : t -> task_id:int -> int Dream_traffic.Switch_id.Map.t
+(** capacity / n per switch (remainders to the lowest task ids; when there
+    are more tasks than entries, the excess tasks get zero). *)
+
+val tasks_on : t -> Dream_traffic.Switch_id.t -> int

@@ -1,0 +1,55 @@
+module Switch_id = Dream_traffic.Switch_id
+
+module Int_set = Set.Make (Int)
+
+type sw_state = { capacity : int; share : int; mutable tasks : Int_set.t }
+
+type t = { states : sw_state Switch_id.Map.t }
+
+let create ~fraction_denominator ~capacities =
+  if fraction_denominator <= 0 then
+    invalid_arg "Fixed_allocator.create: fraction denominator must be positive";
+  let states =
+    List.fold_left
+      (fun acc (sw, capacity) ->
+        if capacity <= 0 then invalid_arg "Fixed_allocator.create: capacity must be positive";
+        let share = max 1 (capacity / fraction_denominator) in
+        Switch_id.Map.add sw { capacity; share; tasks = Int_set.empty } acc)
+      Switch_id.Map.empty capacities
+  in
+  { states }
+
+let state t sw =
+  match Switch_id.Map.find_opt sw t.states with
+  | Some s -> s
+  | None -> invalid_arg (Printf.sprintf "Fixed_allocator: unknown switch %d" sw)
+
+let share t sw = (state t sw).share
+
+let reserved t sw =
+  let s = state t sw in
+  Int_set.cardinal s.tasks * s.share
+
+let try_admit t (view : Task_view.t) =
+  let fits sw =
+    let s = state t sw in
+    reserved t sw + s.share <= s.capacity
+  in
+  if Switch_id.Set.for_all fits view.Task_view.switches then begin
+    Switch_id.Set.iter
+      (fun sw ->
+        let s = state t sw in
+        s.tasks <- Int_set.add view.Task_view.id s.tasks)
+      view.Task_view.switches;
+    true
+  end
+  else false
+
+let release t ~task_id =
+  Switch_id.Map.iter (fun _ s -> s.tasks <- Int_set.remove task_id s.tasks) t.states
+
+let allocation_of t ~task_id =
+  Switch_id.Map.fold
+    (fun sw s acc ->
+      if Int_set.mem task_id s.tasks then Switch_id.Map.add sw s.share acc else acc)
+    t.states Switch_id.Map.empty

@@ -1,0 +1,22 @@
+(** The Fixed_k baseline (Section 6.1, Figure 16): every task reserves
+    capacity/k entries on each switch it has traffic on, and is rejected
+    when any of those switches cannot supply the reservation.  Larger
+    reservations satisfy fewer tasks and reject more; Fixed never drops. *)
+
+type t
+
+val create : fraction_denominator:int -> capacities:(Dream_traffic.Switch_id.t * int) list -> t
+(** [fraction_denominator] is k: each task reserves capacity / k.
+    @raise Invalid_argument if [k <= 0]. *)
+
+val share : t -> Dream_traffic.Switch_id.t -> int
+(** The per-task reservation on a switch (at least 1). *)
+
+val try_admit : t -> Task_view.t -> bool
+
+val release : t -> task_id:int -> unit
+
+val allocation_of : t -> task_id:int -> int Dream_traffic.Switch_id.Map.t
+
+val reserved : t -> Dream_traffic.Switch_id.t -> int
+(** Entries currently reserved on a switch. *)

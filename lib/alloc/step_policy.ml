@@ -1,0 +1,37 @@
+type t = MM | AM | AA | MA
+
+let to_string = function MM -> "MM" | AM -> "AM" | AA -> "AA" | MA -> "MA"
+
+let of_string = function
+  | "MM" | "mm" -> Some MM
+  | "AM" | "am" -> Some AM
+  | "AA" | "aa" -> Some AA
+  | "MA" | "ma" -> Some MA
+  | _ -> None
+
+let all = [ MM; AM; AA; MA ]
+
+type params = { factor : float; addend : int; min_step : int; max_step : int }
+
+let default_params = { factor = 2.0; addend = 4; min_step = 1; max_step = 1024 }
+
+let clamp params step = max params.min_step (min params.max_step step)
+
+let multiplicative_grow params step = clamp params (int_of_float (float_of_int step *. params.factor))
+
+let multiplicative_shrink params step =
+  clamp params (int_of_float (Float.round (float_of_int step /. params.factor)))
+
+let additive_grow params step = clamp params (step + params.addend)
+
+let additive_shrink params step = clamp params (step - params.addend)
+
+let grow policy params step =
+  match policy with
+  | MM | MA -> multiplicative_grow params step
+  | AM | AA -> additive_grow params step
+
+let shrink policy params step =
+  match policy with
+  | MM | AM -> multiplicative_shrink params step
+  | AA | MA -> additive_shrink params step

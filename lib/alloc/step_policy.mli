@@ -1,0 +1,29 @@
+(** Step-size update policies (Section 4, Figure 4).
+
+    The per-switch allocator moves a task's allocation by its current step.
+    When a resource change leaves the task's rich/poor status unchanged the
+    step grows (the task is far from its resource target); when the status
+    flips the step shrinks (the target was just crossed).  The paper
+    compares multiplicative (factor 2) and additive (4 counters) updates in
+    both directions and adopts MM. *)
+
+type t = MM | AM | AA | MA
+(** First letter: growth policy; second: shrink policy.
+    M = multiplicative, A = additive. *)
+
+val to_string : t -> string
+
+val of_string : string -> t option
+
+val all : t list
+
+type params = { factor : float; addend : int; min_step : int; max_step : int }
+
+val default_params : params
+(** factor 2.0, addend 4, steps clamped to \[1, 1024\]. *)
+
+val grow : t -> params -> int -> int
+(** Step update after a change that kept the status. *)
+
+val shrink : t -> params -> int -> int
+(** Step update after a change that flipped the status. *)

@@ -1,0 +1,14 @@
+module Switch_id = Dream_traffic.Switch_id
+
+type t = {
+  id : int;
+  switches : Switch_id.Set.t;
+  bound : float;
+  drop_priority : int;
+  overall : Switch_id.t -> float;
+  used : Switch_id.t -> int;
+}
+
+let pp ppf t =
+  Format.fprintf ppf "task%d bound=%.2f prio=%d on %a" t.id t.bound t.drop_priority
+    Switch_id.pp_set t.switches

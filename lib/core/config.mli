@@ -1,0 +1,41 @@
+(** System-wide DREAM parameters (Section 6.1 defaults).
+
+    Time is virtual: a measurement epoch is one controller tick (the paper
+    uses 1 s), and allocation runs every [allocation_interval] ticks (the
+    paper uses 2 s). *)
+
+type t = {
+  allocation_interval : int;  (** measurement epochs per allocation epoch *)
+  drop_threshold : int;  (** consecutive poor allocation rounds before a drop *)
+  accuracy_history : float;  (** EWMA history weight for accuracy smoothing *)
+  epoch_ms : float;  (** wall-clock length one epoch models, for the delay model *)
+  control_delay : Dream_switch.Delay_model.costs option;
+      (** when set, freshly installed rules miss the fraction of the epoch
+          the rule update takes — the prototype behaviour of Figs 8/9 *)
+  score_satisfaction_with : [ `Real_accuracy | `Estimated_accuracy ];
+      (** simulation scores with ground truth; the prototype could only
+          use its own estimates (Section 6.1) *)
+  accuracy_mode : Dream_tasks.Task.accuracy_mode;
+      (** what drives per-switch allocation: the paper's max(global,
+          local), or global alone (an ablation) *)
+  install_budget : int option;
+      (** rule updates (installs + deletes) a switch can apply per epoch.
+          [None] models a software switch (the paper's evaluation
+          platform); a few hundred models the hardware switch whose slow
+          rule installation made the paper abandon it (Section 6.1: the
+          Pica8 3290 took 1 s for 256 rules) *)
+}
+
+val default : t
+(** interval 2, drop threshold 6, history 0.4, 1000 ms epochs, no control
+    delay, real-accuracy scoring. *)
+
+val hardware : installs_per_epoch:int -> t
+(** The prototype configuration further constrained by a hardware
+    switch's rule-update rate; deferred updates degrade accuracy, which is
+    why the paper's control loop needs fast rule installation. *)
+
+val prototype : t
+(** Like {!default} but with the control-delay model enabled and
+    estimated-accuracy scoring — the configuration that mimics the paper's
+    prototype for the Figs 8/9 validation. *)

@@ -1,0 +1,446 @@
+module Prefix = Dream_prefix.Prefix
+module Switch_id = Dream_traffic.Switch_id
+module Epoch_data = Dream_traffic.Epoch_data
+module Source = Dream_traffic.Source
+module Topology = Dream_traffic.Topology
+module Switch = Dream_switch.Switch
+module Tcam = Dream_switch.Tcam
+module Delay_model = Dream_switch.Delay_model
+module Task = Dream_tasks.Task
+module Task_spec = Dream_tasks.Task_spec
+module Report = Dream_tasks.Report
+module Ground_truth = Dream_tasks.Ground_truth
+module Allocator = Dream_alloc.Allocator
+module Task_view = Dream_alloc.Task_view
+
+let log_src = Logs.Src.create "dream.controller" ~doc:"DREAM controller events"
+
+module Log = (val Logs.src_log log_src : Logs.LOG)
+
+type runtime = {
+  task : Task.t;
+  source : Source.t;
+  ground_truth : Ground_truth.t;
+  duration : int;
+  arrived_at : int;
+  drop_priority : int;
+  mutable active_epochs : int;
+  mutable satisfied_epochs : int;
+  mutable accuracy_sum : float;
+  mutable poor_streak : int;
+  mutable last_alloc_total : int;
+  mutable last_report : Report.t option;
+  mutable fresh_rules : Prefix.Set.t Switch_id.Map.t; (* installed by the last sync *)
+  mutable last_install_counts : int Switch_id.Map.t;
+}
+
+type delay_sample = {
+  epoch : int;
+  fetch_ms : float;
+  save_ms : float;
+  report_ms : float;
+  allocate_ms : float;
+  configure_ms : float;
+}
+
+type t = {
+  config : Config.t;
+  allocator : Allocator.t;
+  switches : Switch.t array;
+  active : (int, runtime) Hashtbl.t;
+  mutable epoch : int;
+  mutable next_id : int;
+  mutable records : Metrics.record list;
+  mutable delays : delay_sample list; (* newest first *)
+  mutable rules_installed : int;
+  mutable rules_fetched : int;
+}
+
+let create ~config ~strategy ~num_switches ~capacity =
+  let switches = Switch.network ~num_switches ~capacity in
+  let capacities = Array.to_list (Array.map (fun sw -> (Switch.id sw, capacity)) switches) in
+  {
+    config;
+    allocator = Allocator.create strategy ~capacities;
+    switches;
+    active = Hashtbl.create 64;
+    epoch = 0;
+    next_id = 0;
+    records = [];
+    delays = [];
+    rules_installed = 0;
+    rules_fetched = 0;
+  }
+
+let epoch t = t.epoch
+
+let num_switches t = Array.length t.switches
+
+let switches t = t.switches
+
+let allocator t = t.allocator
+
+let active_tasks t = Hashtbl.length t.active
+
+let active_task_ids t = List.sort compare (Hashtbl.fold (fun id _ acc -> id :: acc) t.active [])
+
+let last_report t ~task_id =
+  match Hashtbl.find_opt t.active task_id with Some r -> r.last_report | None -> None
+
+let smoothed_accuracy t ~task_id =
+  match Hashtbl.find_opt t.active task_id with
+  | Some r -> Some (Task.smoothed_global r.task)
+  | None -> None
+
+let view_of_runtime r =
+  {
+    Task_view.id = Task.id r.task;
+    switches = Task.switches r.task;
+    bound = (Task.spec r.task).Task_spec.accuracy_bound;
+    drop_priority = r.drop_priority;
+    overall = (fun sw -> Task.overall_accuracy r.task sw);
+    used = (fun sw -> Task.counters_used r.task sw);
+  }
+
+let submit t ~spec ~topology ~source ~duration =
+  let id = t.next_id in
+  t.next_id <- id + 1;
+  let task =
+    Task.create ~id ~spec ~topology ~accuracy_history:t.config.Config.accuracy_history
+      ~accuracy_mode:t.config.Config.accuracy_mode ()
+  in
+  (* Default drop priority: most recently arrived tasks drop first; an
+     explicit spec priority takes precedence. *)
+  let drop_priority =
+    if spec.Task_spec.drop_priority <> 0 then spec.Task_spec.drop_priority else id
+  in
+  let runtime =
+    {
+      task;
+      source;
+      ground_truth = Ground_truth.create spec;
+      duration;
+      arrived_at = t.epoch;
+      drop_priority;
+      active_epochs = 0;
+      satisfied_epochs = 0;
+      accuracy_sum = 0.0;
+      poor_streak = 0;
+      last_alloc_total = 0;
+      last_report = None;
+      fresh_rules = Switch_id.Map.empty;
+      last_install_counts = Switch_id.Map.empty;
+    }
+  in
+  let view = view_of_runtime runtime in
+  if Allocator.try_admit t.allocator view then begin
+    Hashtbl.replace t.active id runtime;
+    Log.info (fun m ->
+        m "epoch %d: admitted task %d (%a, %d epochs)" t.epoch id Task_spec.pp spec duration);
+    `Admitted id
+  end
+  else begin
+    t.records <-
+      {
+        Metrics.task_id = id;
+        kind = spec.Task_spec.kind;
+        outcome = Metrics.Rejected;
+        arrived_at = t.epoch;
+        ended_at = t.epoch;
+        active_epochs = 0;
+        satisfaction = 0.0;
+        mean_accuracy = 0.0;
+      }
+      :: t.records;
+    Log.info (fun m -> m "epoch %d: rejected task %d (%a)" t.epoch id Task_spec.pp spec);
+    `Rejected
+  end
+
+let finish_record r ~outcome ~ended_at =
+  let spec = Task.spec r.task in
+  let active = r.active_epochs in
+  {
+    Metrics.task_id = Task.id r.task;
+    kind = spec.Task_spec.kind;
+    outcome;
+    arrived_at = r.arrived_at;
+    ended_at;
+    active_epochs = active;
+    satisfaction =
+      (if active = 0 then 0.0 else float_of_int r.satisfied_epochs /. float_of_int active);
+    mean_accuracy = (if active = 0 then 0.0 else r.accuracy_sum /. float_of_int active);
+  }
+
+let remove_task t r ~outcome =
+  let id = Task.id r.task in
+  Log.info (fun m ->
+      m "epoch %d: task %d %s after %d active epochs" t.epoch id
+        (match outcome with
+        | Metrics.Completed -> "completed"
+        | Metrics.Dropped -> "DROPPED"
+        | Metrics.Rejected -> "rejected")
+        r.active_epochs);
+  Allocator.release t.allocator ~task_id:id;
+  Array.iter (fun sw -> ignore (Tcam.remove_owner (Switch.tcam sw) ~owner:id)) t.switches;
+  Hashtbl.remove t.active id;
+  t.records <- finish_record r ~outcome ~ended_at:t.epoch :: t.records
+
+(* Counter fetch with optional control-loop degradation: rules installed by
+   the previous sync miss the head of the epoch while the update is in
+   flight (Figs 8/9's prototype-vs-simulator gap). *)
+let read_counters t r =
+  let id = Task.id r.task in
+  let data = Source.next r.source in
+  let miss_for sw_id =
+    match t.config.Config.control_delay with
+    | None -> 0.0
+    | Some costs ->
+      let installs =
+        match Switch_id.Map.find_opt sw_id r.last_install_counts with Some n -> n | None -> 0
+      in
+      Delay_model.install_miss_fraction costs ~epoch_ms:t.config.Config.epoch_ms ~installs
+        ~switches:1
+  in
+  let readings =
+    Array.to_list t.switches
+    |> List.filter_map (fun sw ->
+           let sw_id = Switch.id sw in
+           let rules = Tcam.rules_of (Switch.tcam sw) ~owner:id in
+           if rules = [] then None
+           else begin
+             let aggregate = Epoch_data.switch_view data sw_id in
+             let pairs = Tcam.read (Switch.tcam sw) ~owner:id aggregate in
+             let miss = miss_for sw_id in
+             let fresh =
+               match Switch_id.Map.find_opt sw_id r.fresh_rules with
+               | Some set -> set
+               | None -> Prefix.Set.empty
+             in
+             let degraded =
+               List.map
+                 (fun (p, v) ->
+                   if miss > 0.0 && Prefix.Set.mem p fresh then (p, v *. (1.0 -. miss)) else (p, v))
+                 pairs
+             in
+             Some (sw_id, degraded)
+           end)
+  in
+  (data, readings)
+
+let ms_of_cpu seconds = seconds *. 1000.0
+
+let tick t =
+  let config = t.config in
+  let runtimes =
+    List.sort
+      (fun a b -> Int.compare (Task.id a.task) (Task.id b.task))
+      (Hashtbl.fold (fun _ r acc -> r :: acc) t.active [])
+  in
+  (* Reset per-epoch switch stats so the delay model prices this epoch. *)
+  Array.iter (fun sw -> Tcam.reset_stats (Switch.tcam sw)) t.switches;
+  (* Fetch + report + estimate, per task. *)
+  let report_clock = ref 0.0 in
+  List.iter
+    (fun r ->
+      let data, readings = read_counters t r in
+      Task.ingest_counters r.task readings;
+      let t0 = Sys.time () in
+      let report = Task.make_report r.task ~epoch:t.epoch in
+      r.last_report <- Some report;
+      let estimate = Task.estimate_accuracy r.task in
+      report_clock := !report_clock +. (Sys.time () -. t0);
+      let truth = Ground_truth.evaluate r.ground_truth data report in
+      let spec = Task.spec r.task in
+      let scored =
+        match config.Config.score_satisfaction_with with
+        | `Real_accuracy -> truth.Ground_truth.real_accuracy
+        | `Estimated_accuracy -> estimate.Dream_tasks.Accuracy.global
+      in
+      r.active_epochs <- r.active_epochs + 1;
+      r.accuracy_sum <- r.accuracy_sum +. scored;
+      if scored >= spec.Task_spec.accuracy_bound then
+        r.satisfied_epochs <- r.satisfied_epochs + 1)
+    runtimes;
+  (* Allocation epoch: redistribute and decide drops. *)
+  let allocate_clock = ref 0.0 in
+  if t.epoch mod config.Config.allocation_interval = 0 then begin
+    let t0 = Sys.time () in
+    let views = List.map view_of_runtime runtimes in
+    Allocator.reallocate t.allocator views;
+    allocate_clock := Sys.time () -. t0;
+    if Allocator.supports_drop t.allocator then begin
+      (* Track poor streaks and pick at most one drop victim per round:
+         the poorest-priority task that stayed poor through the drop
+         threshold while one of its switches was congested. *)
+      let candidates =
+        List.filter_map
+          (fun r ->
+            let spec = Task.spec r.task in
+            let poor = Task.smoothed_global r.task < spec.Task_spec.accuracy_bound in
+            let alloc_total =
+              Switch_id.Map.fold
+                (fun _ v acc -> acc + v)
+                (Allocator.allocation_of t.allocator ~task_id:(Task.id r.task))
+                0
+            in
+            (* A task still gaining resources is converging, not starved:
+               only a poor task whose allocation has stopped growing
+               accumulates a streak (paper: dropped tasks are those that
+               "get fewer and fewer resources ... and remain poor"). *)
+            let growing = alloc_total > r.last_alloc_total in
+            r.last_alloc_total <- alloc_total;
+            if poor && not growing then r.poor_streak <- r.poor_streak + 1
+            else r.poor_streak <- 0;
+            let congested_somewhere =
+              Switch_id.Set.exists
+                (fun sw -> Allocator.congested t.allocator sw)
+                (Task.switches r.task)
+            in
+            if r.poor_streak >= config.Config.drop_threshold && congested_somewhere then Some r
+            else None)
+          runtimes
+      in
+      let victim =
+        List.fold_left
+          (fun acc r ->
+            match acc with
+            | None -> Some r
+            | Some best -> if r.drop_priority > best.drop_priority then Some r else acc)
+          None candidates
+      in
+      match victim with
+      | Some r -> remove_task t r ~outcome:Metrics.Dropped
+      | None -> ()
+    end
+  end;
+  (* Reconfigure counters, then sync rules incrementally in two passes:
+     all removals across tasks first, then installs — so one task's growth
+     never transiently collides with space another task is vacating. *)
+  let configure_clock = ref 0.0 in
+  let survivors = List.filter (fun r -> Hashtbl.mem t.active (Task.id r.task)) runtimes in
+  let desired_of =
+    List.map
+      (fun r ->
+        let id = Task.id r.task in
+        let allocations = Allocator.allocation_of t.allocator ~task_id:id in
+        let t0 = Sys.time () in
+        Task.configure r.task ~allocations;
+        configure_clock := !configure_clock +. (Sys.time () -. t0);
+        let per_switch =
+          Array.map
+            (fun sw -> Prefix.Set.of_list (Task.desired_rules r.task (Switch.id sw)))
+            t.switches
+        in
+        (r, per_switch))
+      survivors
+  in
+  (* Per-switch rule-update budgets: a software switch applies everything,
+     a hardware switch only [install_budget] updates per epoch (deferred
+     ones are retried next epoch and the affected counters read nothing
+     meanwhile — the cost that made the paper abandon hardware switches). *)
+  let budgets =
+    Array.map
+      (fun _ ->
+        ref (match config.Config.install_budget with Some b -> b | None -> max_int))
+      t.switches
+  in
+  (* Pass 1: removals. *)
+  List.iter
+    (fun (r, per_switch) ->
+      let id = Task.id r.task in
+      Array.iteri
+        (fun i sw ->
+          let tcam = Switch.tcam sw in
+          let budget = budgets.(i) in
+          List.iter
+            (fun p ->
+              if (not (Prefix.Set.mem p per_switch.(i))) && !budget > 0 then begin
+                ignore (Tcam.remove tcam ~owner:id p);
+                decr budget
+              end)
+            (Tcam.rules_of tcam ~owner:id))
+        t.switches)
+    desired_of;
+  (* Pass 2: installs, newest rules skipped once a switch's budget runs
+     out or its table is full. *)
+  List.iter
+    (fun (r, per_switch) ->
+      let id = Task.id r.task in
+      let fresh = ref Switch_id.Map.empty in
+      let installs = ref Switch_id.Map.empty in
+      Array.iteri
+        (fun i sw ->
+          let sw_id = Switch.id sw in
+          let tcam = Switch.tcam sw in
+          let budget = budgets.(i) in
+          let installed = Prefix.Set.of_list (Tcam.rules_of tcam ~owner:id) in
+          let added = ref Prefix.Set.empty in
+          Prefix.Set.iter
+            (fun p ->
+              if (not (Prefix.Set.mem p installed)) && !budget > 0 then begin
+                match Tcam.install tcam ~owner:id p with
+                | Ok () ->
+                  decr budget;
+                  added := Prefix.Set.add p !added
+                | Error (`Capacity | `Duplicate) -> ()
+              end)
+            per_switch.(i);
+          if not (Prefix.Set.is_empty !added) then begin
+            fresh := Switch_id.Map.add sw_id !added !fresh;
+            installs := Switch_id.Map.add sw_id (Prefix.Set.cardinal !added) !installs
+          end)
+        t.switches;
+      r.fresh_rules <- !fresh;
+      r.last_install_counts <- !installs)
+    desired_of;
+  (* Price the epoch's switch interactions for Fig 17. *)
+  let fetch_total, install_total, remove_total, touched =
+    Array.fold_left
+      (fun (f, i, rm, sw_count) sw ->
+        let stats = Tcam.stats (Switch.tcam sw) in
+        let touched = if stats.Tcam.fetches > 0 || stats.Tcam.installs > 0 then 1 else 0 in
+        (f + stats.Tcam.fetches, i + stats.Tcam.installs, rm + stats.Tcam.removals, sw_count + touched))
+      (0, 0, 0, 0) t.switches
+  in
+  let costs =
+    match config.Config.control_delay with Some c -> c | None -> Delay_model.default
+  in
+  let sample =
+    {
+      epoch = t.epoch;
+      fetch_ms = Delay_model.fetch_ms costs ~rules:fetch_total ~switches:touched;
+      save_ms = Delay_model.save_ms costs ~installs:install_total ~removals:remove_total ~switches:touched;
+      report_ms = ms_of_cpu !report_clock;
+      allocate_ms = ms_of_cpu !allocate_clock;
+      configure_ms = ms_of_cpu !configure_clock;
+    }
+  in
+  t.delays <- sample :: t.delays;
+  t.rules_installed <- t.rules_installed + install_total;
+  t.rules_fetched <- t.rules_fetched + fetch_total;
+  (* Retire tasks that reached their duration. *)
+  List.iter
+    (fun r ->
+      if Hashtbl.mem t.active (Task.id r.task) && r.active_epochs >= r.duration then
+        remove_task t r ~outcome:Metrics.Completed)
+    survivors;
+  t.epoch <- t.epoch + 1
+
+let run t ~epochs =
+  for _ = 1 to epochs do
+    tick t
+  done
+
+let finalize t =
+  let runtimes = Hashtbl.fold (fun _ r acc -> r :: acc) t.active [] in
+  List.iter (fun r -> remove_task t r ~outcome:Metrics.Completed) runtimes
+
+let records t = List.rev t.records
+
+let summary t = Metrics.summarize (records t)
+
+let delay_samples t = List.rev t.delays
+
+let total_rules_installed t = t.rules_installed
+
+let total_rules_fetched t = t.rules_fetched

@@ -1,0 +1,82 @@
+(** The DREAM controller (Figure 3, Algorithm 1).
+
+    Owns the switch network, the allocator and the admitted task objects,
+    and advances virtual time one measurement epoch per {!tick}: per task,
+    it pulls the epoch's traffic from the task's trace generator, reads the
+    task's TCAM counters on every switch, lets the task object report and
+    estimate accuracy, runs an allocation round on allocation epochs
+    (including drop decisions), reconfigures counters, and incrementally
+    syncs rules to switches.
+
+    Real accuracy against ground truth is computed per epoch for
+    evaluation; DREAM's own decisions only ever use estimated accuracy. *)
+
+type t
+
+val create :
+  config:Config.t ->
+  strategy:Dream_alloc.Allocator.strategy ->
+  num_switches:int ->
+  capacity:int ->
+  t
+
+val epoch : t -> int
+(** Next epoch to be simulated (0 before the first {!tick}). *)
+
+val num_switches : t -> int
+
+val switches : t -> Dream_switch.Switch.t array
+
+val allocator : t -> Dream_alloc.Allocator.t
+
+val submit :
+  t ->
+  spec:Dream_tasks.Task_spec.t ->
+  topology:Dream_traffic.Topology.t ->
+  source:Dream_traffic.Source.t ->
+  duration:int ->
+  [ `Admitted of int | `Rejected ]
+(** Offer a task: admission control decides (step 2 of the workflow).
+    [source] supplies the task's traffic (synthetic or a replayed trace);
+    [duration] is the task's lifetime in epochs. *)
+
+val tick : t -> unit
+(** Simulate one measurement epoch for all active tasks. *)
+
+val run : t -> epochs:int -> unit
+(** [tick] repeatedly. *)
+
+val active_tasks : t -> int
+
+val active_task_ids : t -> int list
+
+val last_report : t -> task_id:int -> Dream_tasks.Report.t option
+(** Most recent report of an active task (step 5 of the workflow). *)
+
+val smoothed_accuracy : t -> task_id:int -> float option
+(** Current smoothed estimated global accuracy of an active task. *)
+
+val finalize : t -> unit
+(** Close out still-active tasks (end of experiment), recording their
+    partial lifetimes; the controller must not be ticked afterwards. *)
+
+val records : t -> Metrics.record list
+(** All finished (or finalized) and rejected task records. *)
+
+val summary : t -> Metrics.summary
+
+type delay_sample = {
+  epoch : int;
+  fetch_ms : float;  (** modelled counter-fetch time *)
+  save_ms : float;  (** modelled incremental rule-update time *)
+  report_ms : float;  (** measured controller time: reports + estimators *)
+  allocate_ms : float;  (** measured controller time: allocation round *)
+  configure_ms : float;  (** measured controller time: divide-and-merge *)
+}
+
+val delay_samples : t -> delay_sample list
+(** One sample per simulated epoch, oldest first (Fig 17). *)
+
+val total_rules_installed : t -> int
+val total_rules_fetched : t -> int
+(** Cumulative switch-side rule churn, for the incremental-update stats. *)

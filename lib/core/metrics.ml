@@ -1,0 +1,56 @@
+module Stats = Dream_util.Stats
+
+type outcome = Completed | Dropped | Rejected
+
+type record = {
+  task_id : int;
+  kind : Dream_tasks.Task_spec.kind;
+  outcome : outcome;
+  arrived_at : int;
+  ended_at : int;
+  active_epochs : int;
+  satisfaction : float;
+  mean_accuracy : float;
+}
+
+type summary = {
+  submitted : int;
+  admitted : int;
+  rejected : int;
+  dropped : int;
+  completed : int;
+  mean_satisfaction : float;
+  p5_satisfaction : float;
+  rejection_pct : float;
+  drop_pct : float;
+}
+
+let satisfaction_values records =
+  List.filter_map
+    (fun r -> match r.outcome with Rejected -> None | Completed | Dropped -> Some (r.satisfaction *. 100.0))
+    records
+
+let summarize records =
+  let submitted = List.length records in
+  let count p = List.length (List.filter p records) in
+  let rejected = count (fun r -> r.outcome = Rejected) in
+  let dropped = count (fun r -> r.outcome = Dropped) in
+  let completed = count (fun r -> r.outcome = Completed) in
+  let sats = satisfaction_values records in
+  let pct n = if submitted = 0 then 0.0 else 100.0 *. float_of_int n /. float_of_int submitted in
+  {
+    submitted;
+    admitted = submitted - rejected;
+    rejected;
+    dropped;
+    completed;
+    mean_satisfaction = Stats.mean sats;
+    p5_satisfaction = (match sats with [] -> 0.0 | _ :: _ -> Stats.percentile 5.0 sats);
+    rejection_pct = pct rejected;
+    drop_pct = pct dropped;
+  }
+
+let pp_summary ppf s =
+  Format.fprintf ppf
+    "submitted=%d admitted=%d satisfaction(mean=%.1f%% p5=%.1f%%) reject=%.1f%% drop=%.1f%%"
+    s.submitted s.admitted s.mean_satisfaction s.p5_satisfaction s.rejection_pct s.drop_pct

@@ -1,0 +1,36 @@
+(** Evaluation metrics (Section 6.1): per-task satisfaction — the fraction
+    of its active lifetime a task's accuracy met its bound — summarised by
+    mean and 5th percentile, plus rejection and drop ratios over all
+    submitted tasks. *)
+
+type outcome = Completed | Dropped | Rejected
+
+type record = {
+  task_id : int;
+  kind : Dream_tasks.Task_spec.kind;
+  outcome : outcome;
+  arrived_at : int;
+  ended_at : int;  (** epoch the task finished, was dropped, or was rejected *)
+  active_epochs : int;
+  satisfaction : float;  (** satisfied epochs / active epochs; 0 if never active *)
+  mean_accuracy : float;  (** average scored accuracy while active *)
+}
+
+type summary = {
+  submitted : int;
+  admitted : int;
+  rejected : int;
+  dropped : int;
+  completed : int;
+  mean_satisfaction : float;  (** over admitted tasks, in \[0, 100\] *)
+  p5_satisfaction : float;
+  rejection_pct : float;  (** rejected / submitted * 100 *)
+  drop_pct : float;  (** dropped / submitted * 100 *)
+}
+
+val summarize : record list -> summary
+
+val pp_summary : Format.formatter -> summary -> unit
+
+val satisfaction_values : record list -> float list
+(** Satisfaction (as a percentage) of every admitted task. *)

@@ -1,0 +1,100 @@
+(** IPv4 prefixes.
+
+    A prefix is the set of 32-bit addresses sharing its first [length] bits.
+    Prefixes are the unit of TCAM measurement in DREAM: a task monitors a
+    set of prefixes and drills down or merges within the prefix trie rooted
+    at its flow filter.  Addresses are plain [int]s in \[0, 2^32). *)
+
+type t
+(** A prefix; immutable.  The underlying bits below [length] are always
+    zero, so structural equality coincides with semantic equality. *)
+
+type address = int
+(** A 32-bit IPv4 address stored in an OCaml int. *)
+
+val address_bits : int
+(** Width of the address space: 32. *)
+
+val make : bits:int -> length:int -> t
+(** [make ~bits ~length] is the prefix whose first [length] bits are the
+    high-order bits of [bits]; low-order bits are masked off.
+    @raise Invalid_argument if [length] is outside \[0, 32\] or [bits] is
+    outside \[0, 2^32). *)
+
+val root : t
+(** The zero-length prefix covering the whole address space. *)
+
+val of_address : address -> t
+(** The /32 prefix containing exactly [address]. *)
+
+val bits : t -> int
+(** High-order bits, right-padded with zeros to 32 bits. *)
+
+val length : t -> int
+(** Prefix length in \[0, 32\]. *)
+
+val wildcard_bits : t -> int
+(** [32 - length t]: the number of free bits, i.e. [log2] of the number of
+    addresses covered. *)
+
+val size : t -> int
+(** Number of addresses covered: [2 ^ wildcard_bits]. *)
+
+val is_exact : t -> bool
+(** True for /32 prefixes (a single address). *)
+
+val first_address : t -> address
+val last_address : t -> address
+(** Inclusive address range covered by the prefix. *)
+
+val contains : t -> address -> bool
+
+val is_ancestor_of : t -> t -> bool
+(** [is_ancestor_of a b] is true when [a] strictly contains [b]. *)
+
+val covers : t -> t -> bool
+(** [covers a b] is true when [a = b] or [a] is an ancestor of [b]. *)
+
+val parent : t -> t option
+(** [None] for the root prefix. *)
+
+val left_child : t -> t option
+val right_child : t -> t option
+(** Children one bit longer; [None] for /32 prefixes. *)
+
+val children : t -> (t * t) option
+(** Both children at once; [None] for /32 prefixes. *)
+
+val sibling : t -> t option
+(** The other child of the parent; [None] for the root. *)
+
+val ancestor_at : t -> int -> t
+(** [ancestor_at p len] is the length-[len] prefix containing [p].
+    @raise Invalid_argument if [len > length p]. *)
+
+val common_ancestor : t -> t -> t
+(** Longest prefix covering both arguments. *)
+
+val nth_descendant : t -> length:int -> int -> t
+(** [nth_descendant p ~length i] is the [i]-th (in address order) descendant
+    of [p] with the given length.  @raise Invalid_argument if [length <
+    length p] or [i] is out of range. *)
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+(** Total order: by first address, then by length (shorter first), so a
+    sorted list groups ancestors immediately before their descendants. *)
+
+val hash : t -> int
+
+val to_string : t -> string
+(** Dotted-quad with length, e.g. ["10.32.0.0/12"]. *)
+
+val of_string : string -> t
+(** Inverse of [to_string].  @raise Invalid_argument on malformed input. *)
+
+val pp : Format.formatter -> t -> unit
+
+module Map : Map.S with type key = t
+module Set : Set.S with type elt = t
+module Table : Hashtbl.S with type key = t

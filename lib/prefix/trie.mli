@@ -1,0 +1,60 @@
+(** Immutable binary trie keyed by {!Prefix.t}.
+
+    Nodes exist for every prefix on the path from the trie's root prefix to
+    a bound prefix; values hang off arbitrary nodes (internal or leaf).
+    Monitor configurations use it to compute, bottom-up, the per-ancestor
+    switch sets (S_j, T_j) of Section 5.2, and ground truth uses it for
+    hierarchical heavy hitters. *)
+
+type 'a t
+
+val empty : Prefix.t -> 'a t
+(** [empty root] is a trie that can hold values on [root] and its
+    descendants. *)
+
+val root_prefix : 'a t -> Prefix.t
+
+val is_empty : 'a t -> bool
+(** True when no prefix is bound. *)
+
+val cardinal : 'a t -> int
+(** Number of bound prefixes. *)
+
+val add : 'a t -> Prefix.t -> 'a -> 'a t
+(** [add t p v] binds [p] to [v], replacing any existing binding.
+    @raise Invalid_argument if [p] is not covered by the root prefix. *)
+
+val remove : 'a t -> Prefix.t -> 'a t
+(** Remove the binding at [p] (if any), pruning now-empty branches. *)
+
+val find : 'a t -> Prefix.t -> 'a option
+
+val mem : 'a t -> Prefix.t -> bool
+
+val update : 'a t -> Prefix.t -> ('a option -> 'a option) -> 'a t
+(** Functional update of the binding at [p]. *)
+
+val longest_match : 'a t -> Prefix.address -> (Prefix.t * 'a) option
+(** Longest bound prefix containing the address — TCAM matching
+    semantics. *)
+
+val bindings : 'a t -> (Prefix.t * 'a) list
+(** All bindings in {!Prefix.compare} order. *)
+
+val fold : 'a t -> init:'b -> f:('b -> Prefix.t -> 'a -> 'b) -> 'b
+(** Fold over bindings in prefix order. *)
+
+val iter : 'a t -> f:(Prefix.t -> 'a -> unit) -> unit
+
+val descendants : 'a t -> Prefix.t -> (Prefix.t * 'a) list
+(** Bindings covered by the given prefix (including itself). *)
+
+val remove_subtree : 'a t -> Prefix.t -> 'a t
+(** Drop every binding covered by the given prefix. *)
+
+val fold_bottom_up :
+  'a t -> f:(Prefix.t -> 'a option -> 'b list -> 'b) -> 'b option
+(** [fold_bottom_up t ~f] visits every trie node (bound or structural) in
+    post-order; [f prefix value child_results] receives the results of the
+    node's existing children (0, 1 or 2 of them).  Returns [None] on an
+    empty trie.  This is the bottom-up pass used to compute S_j / T_j. *)

@@ -1,0 +1,12 @@
+(** Ablations of DREAM's design choices (beyond the paper's figures).
+
+    - accuracy signal: the paper argues (Section 4) for allocating on
+      [max (global, local)] per switch rather than global accuracy alone;
+      the ablation runs both.
+    - step policy inside the full system: Fig 4 compares policies on a
+      synthetic target; here MM/AM/AA/MA drive the real allocator.
+    - TCAM vs sketch: accuracy-versus-resource curves of the two
+      measurement primitives for the same HH workload (Section 3's
+      generality argument made concrete). *)
+
+val run : quick:bool -> unit

@@ -1,0 +1,51 @@
+module Scenario = Dream_workload.Scenario
+module Arrival = Dream_workload.Arrival
+module Controller = Dream_core.Controller
+module Config = Dream_core.Config
+module Metrics = Dream_core.Metrics
+module Allocator = Dream_alloc.Allocator
+
+type result = {
+  strategy : string;
+  scenario : Scenario.t;
+  summary : Metrics.summary;
+  records : Metrics.record list;
+  delay_samples : Controller.delay_sample list;
+  rules_installed : int;
+  rules_fetched : int;
+}
+
+let dream_strategy = Allocator.Dream Dream_alloc.Dream_allocator.default_config
+
+let standard_strategies = [ dream_strategy; Allocator.Equal; Allocator.Fixed 32 ]
+
+let run ?(config = Config.default) (scenario : Scenario.t) strategy =
+  let controller =
+    Controller.create ~config ~strategy ~num_switches:scenario.Scenario.num_switches
+      ~capacity:scenario.Scenario.capacity
+  in
+  let pending = ref (Arrival.schedule scenario) in
+  for epoch = 0 to scenario.Scenario.total_epochs - 1 do
+    let due, rest =
+      List.partition (fun (s : Arrival.submission) -> s.Arrival.arrival <= epoch) !pending
+    in
+    pending := rest;
+    List.iter
+      (fun (s : Arrival.submission) ->
+        ignore
+          (Controller.submit controller ~spec:s.Arrival.spec ~topology:s.Arrival.topology
+             ~source:(Dream_traffic.Source.of_generator s.Arrival.generator)
+             ~duration:s.Arrival.duration))
+      due;
+    Controller.tick controller
+  done;
+  Controller.finalize controller;
+  {
+    strategy = Allocator.strategy_name strategy;
+    scenario;
+    summary = Controller.summary controller;
+    records = Controller.records controller;
+    delay_samples = Controller.delay_samples controller;
+    rules_installed = Controller.total_rules_installed controller;
+    rules_fetched = Controller.total_rules_fetched controller;
+  }

@@ -1,0 +1,25 @@
+(** Run one scenario under one allocation strategy and collect the paper's
+    metrics.  All randomness comes from the scenario seed, so a (scenario,
+    strategy, config) triple is fully reproducible. *)
+
+type result = {
+  strategy : string;
+  scenario : Dream_workload.Scenario.t;
+  summary : Dream_core.Metrics.summary;
+  records : Dream_core.Metrics.record list;
+  delay_samples : Dream_core.Controller.delay_sample list;
+  rules_installed : int;
+  rules_fetched : int;
+}
+
+val run :
+  ?config:Dream_core.Config.t ->
+  Dream_workload.Scenario.t ->
+  Dream_alloc.Allocator.strategy ->
+  result
+
+val dream_strategy : Dream_alloc.Allocator.strategy
+(** DREAM with its default configuration. *)
+
+val standard_strategies : Dream_alloc.Allocator.strategy list
+(** The paper's comparison set: DREAM, Equal, Fixed_32. *)

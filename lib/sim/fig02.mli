@@ -1,0 +1,26 @@
+(** Figure 2: accuracy of HH detection.
+
+    (a) Recall of one heavy-hitter task over time under fixed counter
+    budgets (256..2048 entries): more counters mean higher recall, and
+    recall sags when the trace's heavy-hitter population grows.
+
+    (b) With the same budget, two switches seeing skewed shares of the
+    traffic reach different per-switch recall — the spatial-diversity
+    leverage DREAM exploits. *)
+
+type point = { epoch : int; recall : float }
+
+val recall_series :
+  seed:int ->
+  resources:int ->
+  epochs:int ->
+  bin:int ->
+  point list
+(** Binned global recall of a single HH task driven with a fixed total
+    counter budget split over two switches. *)
+
+val per_switch_series :
+  seed:int -> resources:int -> epochs:int -> bin:int -> (point list * point list)
+(** Binned per-switch recall of the same setup (switch 0, switch 1). *)
+
+val run : quick:bool -> unit

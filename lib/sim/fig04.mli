@@ -1,0 +1,19 @@
+(** Figure 4: comparing step-update policies (MM/AM/AA/MA).
+
+    An isolated allocation loop tracks a time-varying resource target: the
+    task is "rich" when its allocation exceeds the (hidden) target and
+    "poor" otherwise; allocations move by the current step, and the step
+    adapts per policy.  MM converges quickly after target jumps and settles
+    tight; additive-increase policies lag, and MA overshoots for long. *)
+
+type trace = { policy : Dream_alloc.Step_policy.t; allocations : int array }
+
+val goal : int -> int
+(** The paper-style moving target: jumps between plateaus. *)
+
+val simulate : Dream_alloc.Step_policy.t -> epochs:int -> trace
+
+val mean_absolute_error : trace -> float
+(** Mean |allocation - goal| over the run — the convergence score. *)
+
+val run : quick:bool -> unit

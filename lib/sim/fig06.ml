@@ -1,0 +1,117 @@
+module Scenario = Dream_workload.Scenario
+module Metrics = Dream_core.Metrics
+module Task_spec = Dream_tasks.Task_spec
+
+type cell = { workload : string; capacity : int; strategy : string; summary : Metrics.summary }
+
+(* Quick mode shrinks the population and moderately shortens durations,
+   keeping the expected concurrency (and thus the contention regime) of the
+   full-scale scenario while cutting simulated task-epochs to ~30%. *)
+let quick_scale (s : Scenario.t) =
+  let num_tasks = max 8 (s.Scenario.num_tasks * 2 / 5) in
+  let window = max 40 (s.Scenario.arrival_window * 3 / 7) in
+  let duration = max 40 (s.Scenario.mean_duration * 5 / 7) in
+  {
+    s with
+    num_tasks;
+    arrival_window = window;
+    mean_duration = duration;
+    min_duration = max 30 (s.Scenario.min_duration * 5 / 7);
+    total_epochs = window + (2 * duration);
+  }
+
+let workloads_of (base : Scenario.t) =
+  [
+    ("HH", Scenario.with_kind base Task_spec.Heavy_hitter);
+    ("HHH", Scenario.with_kind base Task_spec.Hierarchical_heavy_hitter);
+    ("CD", Scenario.with_kind base Task_spec.Change_detection);
+    ("Combined", base);
+  ]
+
+let sweep ?config ~base:_ ~capacities ~strategies ~workloads () =
+  List.concat_map
+    (fun (name, scenario) ->
+      List.concat_map
+        (fun capacity ->
+          List.map
+            (fun strategy ->
+              let scenario = { scenario with Scenario.capacity } in
+              let result = Experiment.run ?config scenario strategy in
+              {
+                workload = name;
+                capacity;
+                strategy = result.Experiment.strategy;
+                summary = result.Experiment.summary;
+              })
+            strategies)
+        capacities)
+    workloads
+
+let print_satisfaction ~title cells =
+  Table.heading title;
+  let workloads = List.sort_uniq compare (List.map (fun c -> c.workload) cells) in
+  List.iter
+    (fun w ->
+      Table.subheading (Printf.sprintf "%s workload: satisfaction (mean / 5th pct)" w);
+      Table.row [ "capacity"; "strategy"; "mean"; "p5" ];
+      List.iter
+        (fun c ->
+          if c.workload = w then
+            Table.row
+              [
+                string_of_int c.capacity;
+                c.strategy;
+                Table.pct c.summary.Metrics.mean_satisfaction;
+                Table.pct c.summary.Metrics.p5_satisfaction;
+              ])
+        cells)
+    workloads
+
+let print_rejection_drop ~title cells =
+  Table.heading title;
+  let workloads = List.sort_uniq compare (List.map (fun c -> c.workload) cells) in
+  List.iter
+    (fun w ->
+      Table.subheading (Printf.sprintf "%s workload: rejection and drop ratios" w);
+      Table.row [ "capacity"; "strategy"; "reject%"; "drop%" ];
+      List.iter
+        (fun c ->
+          if c.workload = w then
+            Table.row
+              [
+                string_of_int c.capacity;
+                c.strategy;
+                Table.pct c.summary.Metrics.rejection_pct;
+                Table.pct c.summary.Metrics.drop_pct;
+              ])
+        cells)
+    workloads
+
+let capacities = [ 256; 512; 1024; 2048 ]
+
+let run ~quick =
+  let base = if quick then quick_scale Scenario.default else Scenario.default in
+  let cells =
+    sweep ~base ~capacities ~strategies:Experiment.standard_strategies
+      ~workloads:(workloads_of base) ()
+  in
+  print_satisfaction ~title:"Figure 6: satisfaction vs switch capacity (prototype scale)" cells;
+  print_rejection_drop ~title:"Figure 7: rejection and drop vs switch capacity" cells
+
+let large_base =
+  {
+    Scenario.default with
+    Scenario.num_switches = 16;
+    num_tasks = 128;
+    switches_per_task = 8;
+    seed = 11;
+  }
+
+let run_large ~quick =
+  let base = if quick then quick_scale large_base else large_base in
+  let workloads = if quick then [ ("Combined", base) ] else workloads_of base in
+  let cells =
+    sweep ~base ~capacities ~strategies:Experiment.standard_strategies ~workloads ()
+  in
+  print_satisfaction ~title:"Figure 10: satisfaction, large-scale simulation" cells;
+  print_rejection_drop ~title:"Figure 11: rejection and drop, large-scale simulation" cells

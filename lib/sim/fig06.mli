@@ -1,0 +1,38 @@
+(** Figures 6 and 7 (and their large-scale siblings 10 and 11): per-task
+    satisfaction (mean and 5th percentile) and rejection/drop ratios versus
+    switch capacity, for each workload (HH, HHH, CD, combined) under DREAM,
+    Equal and Fixed_32.  Both figures come from the same runs, so one call
+    prints both. *)
+
+type cell = {
+  workload : string;
+  capacity : int;
+  strategy : string;
+  summary : Dream_core.Metrics.summary;
+}
+
+val sweep :
+  ?config:Dream_core.Config.t ->
+  base:Dream_workload.Scenario.t ->
+  capacities:int list ->
+  strategies:Dream_alloc.Allocator.strategy list ->
+  workloads:(string * Dream_workload.Scenario.t) list ->
+  unit ->
+  cell list
+
+val print_satisfaction : title:string -> cell list -> unit
+
+val print_rejection_drop : title:string -> cell list -> unit
+
+val run : quick:bool -> unit
+(** Prototype-scale sweep (Figs 6/7). *)
+
+val run_large : quick:bool -> unit
+(** Large-scale sweep (Figs 10/11): more switches and tasks. *)
+
+val workloads_of : Dream_workload.Scenario.t -> (string * Dream_workload.Scenario.t) list
+(** The four workloads: HH, HHH, CD, Combined. *)
+
+val quick_scale : Dream_workload.Scenario.t -> Dream_workload.Scenario.t
+(** Time-compress a scenario (half window, durations and length) keeping
+    the same expected concurrency. *)

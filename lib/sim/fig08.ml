@@ -1,0 +1,37 @@
+module Scenario = Dream_workload.Scenario
+module Config = Dream_core.Config
+module Metrics = Dream_core.Metrics
+
+let capacities = [ 256; 512; 1024; 2048 ]
+
+let run ~quick =
+  let base = if quick then Fig06.quick_scale Scenario.default else Scenario.default in
+  (* Quick mode validates on the combined workload only; full mode covers
+     all four workloads like the paper. *)
+  let workloads =
+    if quick then [ ("Combined", base) ] else Fig06.workloads_of base
+  in
+  let cells config suffix =
+    List.map
+      (fun c -> { c with Fig06.strategy = c.Fig06.strategy ^ suffix })
+      (Fig06.sweep ~config ~base ~capacities ~strategies:Experiment.standard_strategies
+         ~workloads ())
+  in
+  let prototype = cells Config.prototype "_p" in
+  let simulator = cells Config.default "" in
+  let interleaved =
+    List.sort
+      (fun a b ->
+        let c = compare a.Fig06.workload b.Fig06.workload in
+        if c <> 0 then c
+        else begin
+          let c = compare a.Fig06.capacity b.Fig06.capacity in
+          if c <> 0 then c else compare a.Fig06.strategy b.Fig06.strategy
+        end)
+      (prototype @ simulator)
+  in
+  Fig06.print_satisfaction
+    ~title:"Figure 8: satisfaction, prototype (_p: delay model + estimated accuracy) vs simulator"
+    interleaved;
+  Fig06.print_rejection_drop ~title:"Figure 9: rejection and drop, prototype vs simulator"
+    interleaved

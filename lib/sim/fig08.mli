@@ -1,0 +1,13 @@
+(** Figures 8 and 9: simulator validation against the prototype.
+
+    The paper runs the same workload through its prototype (real switches,
+    control-loop delay, satisfaction scored with estimated accuracy) and
+    its simulator (no delay, real accuracy) and shows the curves agree,
+    with the prototype's tail slightly lower (missed traffic during rule
+    updates) and its rejection slightly lower.
+
+    We reproduce both sides: the "_p" rows use the prototype configuration
+    ({!Dream_core.Config.prototype}); plain rows use the simulator
+    configuration. *)
+
+val run : quick:bool -> unit

@@ -1,0 +1,6 @@
+(** Figures 12 and 13: parameter sensitivity of HHH tasks at a constrained
+    capacity — satisfaction (12) and rejection/drop (13) as one parameter
+    varies at a time: accuracy bound, task threshold, switches per task,
+    and task duration. *)
+
+val run : quick:bool -> unit

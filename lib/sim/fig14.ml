@@ -1,0 +1,27 @@
+module Scenario = Dream_workload.Scenario
+module Metrics = Dream_core.Metrics
+
+let run ~quick =
+  let base = if quick then Fig06.quick_scale Scenario.default else Scenario.default in
+  let base = { base with Scenario.capacity = 1024 } in
+  let arrivals = [ 16; 32; 64; 128 ] in
+  Table.heading "Figure 14: arrival-rate sensitivity (capacity 1024, combined workload)";
+  Table.row [ "arrivals"; "strategy"; "mean"; "p5"; "reject%"; "drop%" ];
+  List.iter
+    (fun n ->
+      List.iter
+        (fun strategy ->
+          let scenario = { base with Scenario.num_tasks = n } in
+          let r = Experiment.run scenario strategy in
+          let s = r.Experiment.summary in
+          Table.row
+            [
+              string_of_int n;
+              r.Experiment.strategy;
+              Table.pct s.Metrics.mean_satisfaction;
+              Table.pct s.Metrics.p5_satisfaction;
+              Table.pct s.Metrics.rejection_pct;
+              Table.pct s.Metrics.drop_pct;
+            ])
+        Experiment.standard_strategies)
+    arrivals

@@ -1,0 +1,4 @@
+(** Figure 14: arrival-rate sensitivity — satisfaction and rejection/drop
+    as the number of tasks arriving in the fixed window grows. *)
+
+val run : quick:bool -> unit

@@ -1,0 +1,8 @@
+(** Figure 15: headroom and allocation-epoch sensitivity.
+
+    (a) Larger allocation intervals adapt too slowly and lower
+    satisfaction. (b) Without headroom, DREAM admits tasks it must then
+    drop; 5-10% headroom makes drops negligible at a small rejection
+    cost. *)
+
+val run : quick:bool -> unit

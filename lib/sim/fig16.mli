@@ -1,0 +1,6 @@
+(** Figure 16: Fixed-allocation configurations.  Fixed_8 satisfies nearly
+    every admitted task but rejects most submissions; Fixed_64 admits
+    nearly all and starves them.  No fixed fraction matches DREAM on both
+    axes at once. *)
+
+val run : quick:bool -> unit

@@ -1,0 +1,47 @@
+module Scenario = Dream_workload.Scenario
+module Controller = Dream_core.Controller
+module Stats = Dream_util.Stats
+
+let mean_of f samples = Stats.mean (List.map f samples)
+
+let run ~quick =
+  let base = if quick then Fig06.quick_scale Scenario.default else Scenario.default in
+  Table.heading "Figure 17a: control loop delay breakdown per epoch (ms)";
+  Table.row [ "capacity"; "fetch"; "save"; "report"; "allocate"; "configure" ];
+  List.iter
+    (fun capacity ->
+      let scenario = { base with Scenario.capacity } in
+      let r = Experiment.run scenario Experiment.dream_strategy in
+      let samples = r.Experiment.delay_samples in
+      Table.row
+        [
+          string_of_int capacity;
+          Table.f2 (mean_of (fun s -> s.Controller.fetch_ms) samples);
+          Table.f2 (mean_of (fun s -> s.Controller.save_ms) samples);
+          Table.f2 (mean_of (fun s -> s.Controller.report_ms) samples);
+          Table.f2 (mean_of (fun s -> s.Controller.allocate_ms) samples);
+          Table.f2 (mean_of (fun s -> s.Controller.configure_ms) samples);
+        ])
+    [ 256; 512; 1024; 2048 ];
+  Table.heading "Figure 17b: allocation delay vs switches per task (ms)";
+  Table.row [ "sw/task"; "mean"; "p95" ];
+  List.iter
+    (fun k ->
+      let scenario = { base with Scenario.switches_per_task = k; Scenario.capacity = 1024 } in
+      let r = Experiment.run scenario Experiment.dream_strategy in
+      let allocs =
+        List.filter_map
+          (fun s ->
+            if s.Controller.allocate_ms > 0.0 then Some s.Controller.allocate_ms else None)
+          r.Experiment.delay_samples
+      in
+      match allocs with
+      | [] -> Table.row [ string_of_int k; "-"; "-" ]
+      | _ :: _ ->
+        Table.row
+          [
+            string_of_int k;
+            Table.f2 (Stats.mean allocs);
+            Table.f2 (Stats.percentile 95.0 allocs);
+          ])
+    [ 2; 4; 8 ]

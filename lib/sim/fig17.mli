@@ -1,0 +1,11 @@
+(** Figure 17: control-loop delay.
+
+    (a) Breakdown of the per-epoch control loop: modelled fetch and
+    incremental save/delete times dominate the measured controller
+    computation (allocation is negligible), and fetch outweighs save
+    because every counter is fetched while updates are incremental.
+
+    (b) Mean and 95th-percentile allocation delay as tasks span more
+    switches (the per-switch allocator sees more tasks). *)
+
+val run : quick:bool -> unit

@@ -1,0 +1,25 @@
+let registry : (string * string * (quick:bool -> unit)) list =
+  [
+    ("fig2", "HH recall vs counters over time; per-switch recall", Fig02.run);
+    ("fig4", "step update policies (MM/AM/AA/MA) convergence", Fig04.run);
+    ("fig6", "satisfaction + rejection/drop vs capacity (Figs 6 & 7)", Fig06.run);
+    ("fig8", "prototype-vs-simulator validation (Figs 8 & 9)", Fig08.run);
+    ("fig10", "large-scale satisfaction + rejection/drop (Figs 10 & 11)", Fig06.run_large);
+    ("fig12", "parameter sensitivity (Figs 12 & 13)", Fig12.run);
+    ("fig14", "arrival-rate sensitivity", Fig14.run);
+    ("fig15", "headroom x allocation interval", Fig15.run);
+    ("fig16", "Fixed_k configurations", Fig16.run);
+    ("fig17", "control-loop delay breakdown and allocation delay", Fig17.run);
+    ("ablation", "design ablations: allocation signal, step policy, TCAM vs sketch", Ablation.run);
+  ]
+
+let all = List.map (fun (id, descr, _) -> (id, descr)) registry
+
+let run ~quick id =
+  match List.find_opt (fun (id', _, _) -> id' = id) registry with
+  | Some (_, _, f) ->
+    f ~quick;
+    Ok ()
+  | None -> Error (Printf.sprintf "unknown figure id %S" id)
+
+let run_all ~quick = List.iter (fun (_, _, f) -> f ~quick) registry

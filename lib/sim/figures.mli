@@ -1,0 +1,11 @@
+(** Registry of all figure harnesses keyed by the ids used in DESIGN.md's
+    per-experiment index.  Figures that share runs are grouped (fig6 also
+    prints Fig 7, etc.). *)
+
+val all : (string * string) list
+(** (id, description) in presentation order. *)
+
+val run : quick:bool -> string -> (unit, string) result
+(** Run one figure id; [Error] names the unknown id. *)
+
+val run_all : quick:bool -> unit

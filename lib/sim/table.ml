@@ -1,0 +1,16 @@
+let heading title =
+  Printf.printf "\n%s\n%s\n" title (String.make (String.length title) '=')
+
+let subheading title = Printf.printf "\n-- %s --\n" title
+
+let row cells =
+  let padded = List.map (fun c -> Printf.sprintf "%12s" c) cells in
+  print_endline (String.concat "  " padded)
+
+let series ~name points =
+  Printf.printf "%s:\n" name;
+  List.iter (fun (x, v) -> Printf.printf "  %10s  %8.2f\n" x v) points
+
+let pct v = Printf.sprintf "%.1f" v
+
+let f2 v = Printf.sprintf "%.2f" v

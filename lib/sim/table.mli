@@ -1,0 +1,19 @@
+(** Plain-text series/table output shared by all figure harnesses, so the
+    bench output is uniform and diffable. *)
+
+val heading : string -> unit
+(** Print a figure heading with an underline. *)
+
+val subheading : string -> unit
+
+val row : string list -> unit
+(** Print one row of fixed-width cells. *)
+
+val series : name:string -> (string * float) list -> unit
+(** Print a named series as "x  value" lines. *)
+
+val pct : float -> string
+(** Format a percentage with one decimal. *)
+
+val f2 : float -> string
+(** Two-decimal float. *)

@@ -1,0 +1,70 @@
+type t = {
+  width : int;
+  depth : int;
+  seed : int;
+  rows : float array array; (* depth x width *)
+  mutable total : float;
+}
+
+let create ~width ~depth ~seed =
+  if width <= 0 then invalid_arg "Count_min.create: width must be positive";
+  if depth <= 0 then invalid_arg "Count_min.create: depth must be positive";
+  { width; depth; seed; rows = Array.init depth (fun _ -> Array.make width 0.0); total = 0.0 }
+
+let width t = t.width
+
+let depth t = t.depth
+
+let cells t = t.width * t.depth
+
+(* splitmix64 finalizer over (key, row, seed): cheap, deterministic, and
+   well-mixed across rows. *)
+let bucket t ~key row =
+  let open Int64 in
+  let z = of_int (key lxor (row * 0x9E3779B9) lxor (t.seed * 0x85EBCA6B)) in
+  let z = add z 0x9E3779B97F4A7C15L in
+  let z = mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL in
+  let z = logxor z (shift_right_logical z 31) in
+  to_int (rem (logand z max_int) (of_int t.width))
+
+let update t ~key volume =
+  if volume < 0.0 then invalid_arg "Count_min.update: negative volume";
+  for row = 0 to t.depth - 1 do
+    let b = bucket t ~key row in
+    t.rows.(row).(b) <- t.rows.(row).(b) +. volume
+  done;
+  t.total <- t.total +. volume
+
+let estimate t ~key =
+  let best = ref infinity in
+  for row = 0 to t.depth - 1 do
+    let v = t.rows.(row).(bucket t ~key row) in
+    if v < !best then best := v
+  done;
+  if !best = infinity then 0.0 else !best
+
+let total t = t.total
+
+let epsilon t = Float.exp 1.0 /. float_of_int t.width
+
+let failure_probability t = Float.exp (-.float_of_int t.depth)
+
+let error_bound t = epsilon t *. t.total
+
+let merge a b =
+  if a.width <> b.width || a.depth <> b.depth then
+    invalid_arg "Count_min.merge: dimension mismatch";
+  if a.seed <> b.seed then invalid_arg "Count_min.merge: seed mismatch";
+  let merged = create ~width:a.width ~depth:a.depth ~seed:a.seed in
+  for row = 0 to a.depth - 1 do
+    for col = 0 to a.width - 1 do
+      merged.rows.(row).(col) <- a.rows.(row).(col) +. b.rows.(row).(col)
+    done
+  done;
+  merged.total <- a.total +. b.total;
+  merged
+
+let reset t =
+  Array.iter (fun row -> Array.fill row 0 (Array.length row) 0.0) t.rows;
+  t.total <- 0.0

@@ -1,0 +1,36 @@
+(** DREAM-style adaptive allocation over a shared sketch-memory pool.
+
+    This realises the paper's claimed generality (Section 3): the same
+    machinery that moves TCAM entries between tasks — accuracy-driven
+    rich/poor classification, adaptive step sizes, phantom headroom and
+    admission control — reallocates Count-Min cells between sketch tasks,
+    using each task's estimated precision in place of the TCAM estimators.
+    The pool is modelled as a single-switch {!Dream_alloc.Dream_allocator}. *)
+
+type t
+
+val create : ?config:Dream_alloc.Dream_allocator.config -> capacity:int -> unit -> t
+(** A pool of [capacity] sketch cells. *)
+
+val capacity : t -> int
+
+val try_admit : t -> id:int -> Sketch_hh.t -> bool
+(** Admission control: headroom-gated, as for TCAM tasks.  On success the
+    task is immediately resized to its initial allocation. *)
+
+val release : t -> id:int -> unit
+
+val active : t -> int
+
+val allocation : t -> id:int -> int
+(** Current cell allocation of a task (0 if not admitted). *)
+
+val observe_epoch : t -> Dream_traffic.Aggregate.t -> unit
+(** Feed one epoch's traffic to every admitted task, refresh their
+    smoothed precision estimates, run one allocation round, and resize the
+    sketches to their new allocations. *)
+
+val reports : t -> epoch:int -> (int * Dream_tasks.Report.t) list
+(** Per-task reports for the epoch just observed. *)
+
+val smoothed_precision : t -> id:int -> float option

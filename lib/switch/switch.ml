@@ -1,0 +1,12 @@
+type t = { id : Dream_traffic.Switch_id.t; tcam : Tcam.t }
+
+let create ~id ~capacity = { id; tcam = Tcam.create ~capacity }
+
+let id t = t.id
+
+let tcam t = t.tcam
+
+let capacity t = Tcam.capacity t.tcam
+
+let network ~num_switches ~capacity =
+  Array.init num_switches (fun id -> create ~id ~capacity)

@@ -1,0 +1,61 @@
+(** TCAM rule table of one switch.
+
+    Rules are (owner task, prefix) pairs with hardware counters; capacity is
+    the number of TCAM entries available to measurement (the dynamically
+    allocable pool of Section 4).  The table never exceeds capacity:
+    {!sync} installs a task's new prefix set only up to the per-call
+    budget, and {!install} fails when full.
+
+    Counter values come from {!read}: the simulator stands in for the data
+    plane by evaluating each rule's prefix against the epoch's traffic
+    aggregate.  Install/remove churn is tracked so the control-loop delay
+    model (Fig 17) can price incremental rule updates. *)
+
+type t
+
+type stats = {
+  installs : int;  (** rules written since last [reset_stats] *)
+  removals : int;  (** rules deleted since last [reset_stats] *)
+  fetches : int;  (** counters fetched since last [reset_stats] *)
+}
+
+val create : capacity:int -> t
+(** @raise Invalid_argument if [capacity <= 0]. *)
+
+val capacity : t -> int
+
+val used : t -> int
+(** Total installed rules across all owners. *)
+
+val free : t -> int
+
+val used_by : t -> owner:int -> int
+
+val owners : t -> int list
+
+val rules_of : t -> owner:int -> Dream_prefix.Prefix.t list
+(** Installed prefixes of one task, in prefix order. *)
+
+val install : t -> owner:int -> Dream_prefix.Prefix.t -> (unit, [ `Capacity | `Duplicate ]) result
+
+val remove : t -> owner:int -> Dream_prefix.Prefix.t -> bool
+(** [true] if the rule existed. *)
+
+val remove_owner : t -> owner:int -> int
+(** Delete all rules of a task (when it is dropped or ends); returns the
+    number removed. *)
+
+type delta = { added : int; removed : int }
+
+val sync : t -> owner:int -> prefixes:Dream_prefix.Prefix.t list -> delta
+(** Incremental update: make the task's installed set equal [prefixes]
+    (removals first, then installs; unchanged rules are untouched).
+    @raise Invalid_argument if the new set would exceed capacity. *)
+
+val read : t -> owner:int -> Dream_traffic.Aggregate.t -> (Dream_prefix.Prefix.t * float) list
+(** Per-rule counters of a task against this epoch's traffic at this
+    switch.  Counts one fetch per rule in the stats. *)
+
+val stats : t -> stats
+
+val reset_stats : t -> unit

@@ -1,0 +1,25 @@
+(** Estimated task accuracy: one global figure plus a local figure per
+    switch (Section 4, "Task Accuracy Computation").  All values live in
+    \[0, 1\].  For HH and CD tasks the figures are estimated recall; for
+    HHH they are estimated precision. *)
+
+type t = {
+  global : float;
+  locals : float Dream_traffic.Switch_id.Map.t;
+}
+
+val perfect : switches:Dream_traffic.Switch_id.Set.t -> t
+(** Accuracy 1 everywhere — what an idle task (no traffic) reports. *)
+
+val local : t -> Dream_traffic.Switch_id.t -> float
+(** Local accuracy on a switch, defaulting to the global value where no
+    local estimate exists. *)
+
+val overall : t -> Dream_traffic.Switch_id.t -> float
+(** [max global local] — the overall accuracy used for allocation
+    decisions. *)
+
+val clamp : float -> float
+(** Clamp into \[0, 1\]. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,44 @@
+module Prefix = Dream_prefix.Prefix
+module Switch_id = Dream_traffic.Switch_id
+module Ewma = Dream_util.Ewma
+
+type t = {
+  prefix : Prefix.t;
+  switches : Switch_id.Set.t;
+  mutable volumes : float Switch_id.Map.t;
+  mutable total : float;
+  mutable score : float;
+  mean : Ewma.t;
+  mutable fresh : bool;
+}
+
+let create ~prefix ~switches ~cd_history =
+  {
+    prefix;
+    switches;
+    volumes = Switch_id.Map.empty;
+    total = 0.0;
+    score = 0.0;
+    mean = Ewma.create ~history:cd_history;
+    fresh = true;
+  }
+
+let set_volumes t volumes =
+  t.volumes <- volumes;
+  t.total <- Switch_id.Map.fold (fun _ v acc -> acc +. v) volumes 0.0;
+  t.fresh <- false
+
+let volume_on t sw = match Switch_id.Map.find_opt sw t.volumes with Some v -> v | None -> 0.0
+
+let wildcards t ~leaf_length = leaf_length - Prefix.length t.prefix
+
+let is_exact t ~leaf_length = Prefix.length t.prefix >= leaf_length
+
+let cd_deviation t = Float.abs (t.total -. Ewma.value_or t.mean t.total)
+
+let update_mean t = ignore (Ewma.update t.mean t.total)
+
+let pp ppf t =
+  Format.fprintf ppf "%a vol=%.2f score=%.2f %a%s" Prefix.pp t.prefix t.total t.score
+    Switch_id.pp_set t.switches
+    (if t.fresh then " fresh" else "")

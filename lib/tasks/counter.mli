@@ -1,0 +1,42 @@
+(** One monitored TCAM counter of a task.
+
+    A counter monitors a prefix on every switch that can see its traffic
+    (its S set, from the topology), because the task must sum per-switch
+    volumes at the controller (Section 5.2).  Volumes are refreshed each
+    epoch by the fetch step; [fresh] marks counters installed by the last
+    reconfiguration whose volumes have not been measured yet. *)
+
+type t = {
+  prefix : Dream_prefix.Prefix.t;
+  switches : Dream_traffic.Switch_id.Set.t;  (** S: switches with traffic for this prefix *)
+  mutable volumes : float Dream_traffic.Switch_id.Map.t;  (** last fetched, per switch *)
+  mutable total : float;  (** sum of [volumes] *)
+  mutable score : float;  (** task-dependent "interestingness" *)
+  mean : Dream_util.Ewma.t;  (** CD volume history (unused by HH/HHH) *)
+  mutable fresh : bool;
+}
+
+val create :
+  prefix:Dream_prefix.Prefix.t ->
+  switches:Dream_traffic.Switch_id.Set.t ->
+  cd_history:float ->
+  t
+(** A fresh counter with zero volumes and score. *)
+
+val set_volumes : t -> float Dream_traffic.Switch_id.Map.t -> unit
+(** Record fetched volumes; updates [total] and clears [fresh]. *)
+
+val volume_on : t -> Dream_traffic.Switch_id.t -> float
+
+val wildcards : t -> leaf_length:int -> int
+(** Free bits down to the task's drill-down floor. *)
+
+val is_exact : t -> leaf_length:int -> bool
+
+val cd_deviation : t -> float
+(** [|total - mean|]; 0 before any history. *)
+
+val update_mean : t -> unit
+(** Fold the current total into the CD mean (call after reporting). *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,30 @@
+(** Ground truth and real accuracy, for evaluation only.
+
+    The paper's simulations score tasks with real accuracy computed
+    offline; DREAM itself never sees these values.  Ground truth for HH
+    and HHH is stateless per epoch; CD keeps per-leaf EWMA means across
+    the task's whole trace (history weight from the spec), so {!evaluate}
+    must be called once per epoch, in order. *)
+
+type t
+
+val create : Task_spec.t -> t
+
+type truth = {
+  true_items : Dream_prefix.Prefix.Set.t;  (** the items that really occurred *)
+  real_accuracy : float;  (** recall (HH, CD) or precision (HHH) of the report *)
+}
+
+val evaluate : t -> Dream_traffic.Epoch_data.t -> Report.t -> truth
+(** Score one epoch's report against the network-wide traffic.  Accuracy
+    is 1 when it is undefined (no true items for recall, empty report for
+    precision). *)
+
+val true_heavy_hitters :
+  Task_spec.t -> Dream_traffic.Aggregate.t -> Dream_prefix.Prefix.Set.t
+(** Leaf prefixes whose volume exceeds the threshold. *)
+
+val true_hierarchical_heavy_hitters :
+  Task_spec.t -> Dream_traffic.Aggregate.t -> Dream_prefix.Prefix.Set.t
+(** Exact HHH set (prefixes whose volume minus descendant-HHH volumes
+    exceeds the threshold), computed recursively under the filter. *)

@@ -1,0 +1,488 @@
+module Prefix = Dream_prefix.Prefix
+module Trie = Dream_prefix.Trie
+module Switch_id = Dream_traffic.Switch_id
+module Topology = Dream_traffic.Topology
+module Ewma = Dream_util.Ewma
+module Heap = Dream_util.Heap
+
+type t = {
+  spec : Task_spec.t;
+  topology : Topology.t;
+  table : Counter.t Prefix.Table.t;
+  mutable usage : int Switch_id.Map.t; (* entries per active switch, kept incrementally *)
+  mutable active : Switch_id.Set.t; (* switches with a non-zero allocation *)
+  mutable sorted_cache : Counter.t list option; (* counters in prefix order *)
+}
+
+(* The switches a counter actually occupies: its traffic switches that the
+   allocator has granted at least one entry on. *)
+let effective t (c : Counter.t) = Switch_id.Set.inter c.switches t.active
+
+let bump_usage t set delta =
+  t.usage <-
+    Switch_id.Set.fold
+      (fun sw acc ->
+        let v = (match Switch_id.Map.find_opt sw acc with Some v -> v | None -> 0) + delta in
+        if v = 0 then Switch_id.Map.remove sw acc else Switch_id.Map.add sw v acc)
+      set t.usage
+
+let add_counter t (c : Counter.t) =
+  assert (not (Prefix.Table.mem t.table c.prefix));
+  Prefix.Table.replace t.table c.prefix c;
+  t.sorted_cache <- None;
+  bump_usage t (effective t c) 1
+
+let remove_counter t (c : Counter.t) =
+  Prefix.Table.remove t.table c.prefix;
+  t.sorted_cache <- None;
+  bump_usage t (effective t c) (-1)
+
+let new_counter t prefix =
+  Counter.create ~prefix
+    ~switches:(Topology.switch_set t.topology prefix)
+    ~cd_history:t.spec.Task_spec.cd_history
+
+let create ~spec ~topology =
+  let t =
+    {
+      spec;
+      topology;
+      table = Prefix.Table.create 64;
+      usage = Switch_id.Map.empty;
+      active = Topology.switch_set topology spec.Task_spec.filter;
+      sorted_cache = None;
+    }
+  in
+  add_counter t (new_counter t spec.Task_spec.filter);
+  t
+
+let spec t = t.spec
+
+let topology t = t.topology
+
+let counters t =
+  match t.sorted_cache with
+  | Some cached -> cached
+  | None ->
+    let all = Prefix.Table.fold (fun _ c acc -> c :: acc) t.table [] in
+    let sorted =
+      List.sort (fun (a : Counter.t) (b : Counter.t) -> Prefix.compare a.prefix b.prefix) all
+    in
+    t.sorted_cache <- Some sorted;
+    sorted
+
+let num_counters t = Prefix.Table.length t.table
+
+let find t p = Prefix.Table.find_opt t.table p
+
+let switches t = Topology.switch_set t.topology t.spec.Task_spec.filter
+
+let usage t sw = match Switch_id.Map.find_opt sw t.usage with Some v -> v | None -> 0
+
+let active t = t.active
+
+let usage_map t = t.usage
+
+let rules_for t sw =
+  if not (Switch_id.Set.mem sw t.active) then []
+  else begin
+    List.filter_map
+      (fun (c : Counter.t) -> if Switch_id.Set.mem sw c.switches then Some c.prefix else None)
+      (counters t)
+  end
+
+let ingest t readings =
+  (* readings: per switch, (prefix, volume) pairs for this task's rules. *)
+  let staged : float Switch_id.Map.t Prefix.Table.t = Prefix.Table.create 64 in
+  List.iter
+    (fun (sw, pairs) ->
+      List.iter
+        (fun (p, v) ->
+          let m =
+            match Prefix.Table.find_opt staged p with
+            | Some m -> m
+            | None -> Switch_id.Map.empty
+          in
+          Prefix.Table.replace staged p (Switch_id.Map.add sw v m))
+        pairs)
+    readings;
+  Prefix.Table.iter
+    (fun p c ->
+      let volumes =
+        match Prefix.Table.find_opt staged p with Some m -> m | None -> Switch_id.Map.empty
+      in
+      Counter.set_volumes c volumes)
+    t.table
+
+let allocation allocations sw =
+  match Switch_id.Map.find_opt sw allocations with Some v -> v | None -> 0
+
+let overloaded t ~allocations =
+  Switch_id.Map.fold
+    (fun sw used acc ->
+      if used > allocation allocations sw then Switch_id.Set.add sw acc else acc)
+    t.usage Switch_id.Set.empty
+
+let bottlenecked t ~allocations =
+  Switch_id.Set.filter
+    (fun sw -> Switch_id.Set.mem sw t.active && usage t sw >= allocation allocations sw)
+    (switches t)
+
+(* ---- cover(): greedy weighted set cover over ancestor T sets ---- *)
+
+module Cover = struct
+  type solution = { ancestors : Prefix.t list; cost : float }
+
+  type node_info = {
+    s : Switch_id.Set.t; (* switches with traffic under this node *)
+    t_set : Switch_id.Set.t; (* switches freed by merging this node *)
+    cost : float; (* total score of descendant counters *)
+    count : int; (* descendant monitored counters *)
+  }
+
+  let build_candidates t =
+    let trie =
+      Prefix.Table.fold
+        (fun _ (c : Counter.t) acc -> Trie.add acc c.prefix c)
+        t.table
+        (Trie.empty t.spec.Task_spec.filter)
+    in
+    let candidates = ref [] in
+    let merge_info prefix (value : Counter.t option) (children : node_info list) =
+      match value with
+      | Some c ->
+        (* Partition invariant: monitored nodes have no monitored
+           descendants, so children must be empty. *)
+        { s = effective t c; t_set = Switch_id.Set.empty; cost = c.score; count = 1 }
+      | None ->
+        let info =
+          match children with
+          | [ only ] -> { only with t_set = only.t_set }
+          | [ l; r ] ->
+            {
+              s = Switch_id.Set.union l.s r.s;
+              t_set =
+                Switch_id.Set.union
+                  (Switch_id.Set.union l.t_set r.t_set)
+                  (Switch_id.Set.inter l.s r.s);
+              cost = l.cost +. r.cost;
+              count = l.count + r.count;
+            }
+          | _ -> { s = Switch_id.Set.empty; t_set = Switch_id.Set.empty; cost = 0.0; count = 0 }
+        in
+        if (not (Switch_id.Set.is_empty info.t_set)) && info.count >= 2 then
+          candidates := (prefix, info) :: !candidates;
+        info
+    in
+    ignore (Trie.fold_bottom_up trie ~f:merge_info);
+    !candidates
+
+  type candidates = {
+    cands : (Prefix.t * node_info) list;
+    cheapest_per_switch : float Switch_id.Map.t;
+        (* lower bound on the cost of any candidate freeing each switch;
+           stays a valid lower bound across repairs *)
+  }
+
+  let build t =
+    let cands = build_candidates t in
+    let cheapest_per_switch =
+      List.fold_left
+        (fun acc (_, info) ->
+          Switch_id.Set.fold
+            (fun sw acc ->
+              let current =
+                match Switch_id.Map.find_opt sw acc with Some v -> v | None -> Float.infinity
+              in
+              Switch_id.Map.add sw (Float.min current info.cost) acc)
+            info.t_set acc)
+        Switch_id.Map.empty cands
+    in
+    { cands; cheapest_per_switch }
+
+  (* A merge at [ancestor] turns that subtree into a single counter: every
+     candidate inside it disappears; all others remain exactly valid (the
+     merged counter's score is the sum of its victims').  The cheapest
+     bounds are left untouched — they only ever under-estimate. *)
+  let repair_after_merge candidates ancestor =
+    {
+      candidates with
+      cands = List.filter (fun (q, _) -> not (Prefix.covers ancestor q)) candidates.cands;
+    }
+
+  (* Lower bound on the cost of covering [f]: any solution must include,
+     for each switch, a candidate at least as expensive as that switch's
+     cheapest. *)
+  let min_cost_bound candidates f =
+    Switch_id.Set.fold
+      (fun sw acc ->
+        let c =
+          match Switch_id.Map.find_opt sw candidates.cheapest_per_switch with
+          | Some v -> v
+          | None -> Float.infinity
+        in
+        Float.max acc c)
+      f 0.0
+
+  let solve_with { cands; cheapest_per_switch = _ } ~exclude f =
+    if Switch_id.Set.is_empty f then Some { ancestors = []; cost = 0.0 }
+    else begin
+      let keep (prefix, _) =
+        match exclude with None -> true | Some p -> not (Prefix.covers prefix p)
+      in
+      let candidates = List.filter keep cands in
+      let rec greedy chosen cost uncovered candidates =
+        if Switch_id.Set.is_empty uncovered then Some { ancestors = chosen; cost }
+        else begin
+          let useful =
+            List.filter_map
+              (fun (prefix, info) ->
+                let gain = Switch_id.Set.cardinal (Switch_id.Set.inter info.t_set uncovered) in
+                if gain = 0 then None else Some (prefix, info, gain))
+              candidates
+          in
+          match useful with
+          | [] -> None
+          | _ :: _ ->
+            let best =
+              List.fold_left
+                (fun acc (prefix, info, gain) ->
+                  let ratio = info.cost /. float_of_int gain in
+                  match acc with
+                  | Some (_, _, _, best_ratio) when best_ratio <= ratio -> acc
+                  | _ -> Some (prefix, info, gain, ratio))
+                None useful
+            in
+            begin
+              match best with
+              | None -> None
+              | Some (prefix, info, _, _) ->
+                let remaining =
+                  List.filter
+                    (fun (q, _) -> not (Prefix.covers q prefix || Prefix.covers prefix q))
+                    candidates
+                in
+                greedy (prefix :: chosen) (cost +. info.cost)
+                  (Switch_id.Set.diff uncovered info.t_set)
+                  remaining
+            end
+        end
+      in
+      greedy [] 0.0 f candidates
+    end
+
+  let solve t ~exclude f = solve_with (build t) ~exclude f
+end
+
+(* ---- merge and divide ---- *)
+
+let descendant_counters t ancestor =
+  (* Unsorted on purpose: this runs inside the divide-and-merge loop and
+     must not pay for the sorted-counters cache rebuild. *)
+  Prefix.Table.fold
+    (fun _ (c : Counter.t) acc -> if Prefix.covers ancestor c.prefix then c :: acc else acc)
+    t.table []
+
+let merge t ancestor =
+  match descendant_counters t ancestor with
+  | [] -> ()
+  | [ c ] when Prefix.equal c.Counter.prefix ancestor ->
+    () (* already monitoring exactly this prefix *)
+  | victims ->
+    let merged = new_counter t ancestor in
+    let volumes =
+      List.fold_left
+        (fun acc (c : Counter.t) ->
+          Switch_id.Map.union (fun _ a b -> Some (a +. b)) acc c.volumes)
+        Switch_id.Map.empty victims
+    in
+    let score = List.fold_left (fun acc (c : Counter.t) -> acc +. c.score) 0.0 victims in
+    let mean_sum, has_mean =
+      List.fold_left
+        (fun (acc, has) (c : Counter.t) ->
+          match Ewma.value c.mean with Some v -> (acc +. v, true) | None -> (acc, has))
+        (0.0, false) victims
+    in
+    List.iter (remove_counter t) victims;
+    add_counter t merged;
+    Counter.set_volumes merged volumes;
+    merged.Counter.score <- score;
+    if has_mean then Ewma.seed merged.Counter.mean mean_sum
+
+let apply_merges t solution = List.iter (merge t) solution.Cover.ancestors
+
+let divide t (c : Counter.t) =
+  match Prefix.children c.prefix with
+  | None -> ()
+  | Some (l, r) ->
+    remove_counter t c;
+    let spawn p =
+      let child = new_counter t p in
+      child.Counter.score <- c.score /. 2.0;
+      begin
+        match Ewma.value c.mean with
+        | Some m -> Ewma.seed child.Counter.mean (m /. 2.0)
+        | None -> ()
+      end;
+      add_counter t child;
+      child
+    in
+    ignore (spawn l);
+    ignore (spawn r)
+
+(* ---- Algorithm 2 ---- *)
+
+let total_allocation allocations =
+  Switch_id.Map.fold (fun _ v acc -> acc + v) allocations 0
+
+let shrink_to_fit t ~allocations =
+  (* Merge minimum-cost covers until no switch exceeds its allocation.  If
+     a cover cannot be found (single counter left on an overloaded switch),
+     collapse to the root filter as a last resort. *)
+  let rec go guard =
+    let f = overloaded t ~allocations in
+    if (not (Switch_id.Set.is_empty f)) && guard > 0 then begin
+      match Cover.solve t ~exclude:None f with
+      | Some ({ Cover.ancestors = _ :: _; _ } as sol) ->
+        apply_merges t sol;
+        go (guard - 1)
+      | Some { Cover.ancestors = []; _ } | None ->
+        if num_counters t > 1 then begin
+          merge t t.spec.Task_spec.filter;
+          go (guard - 1)
+        end
+    end
+  in
+  go (num_counters t + 8)
+
+let divide_phase t ~allocations =
+  let leaf_length = t.spec.Task_spec.leaf_length in
+  let cmp (a : Counter.t) (b : Counter.t) = Float.compare a.score b.score in
+  let heap = Heap.create ~cmp in
+  List.iter
+    (fun (c : Counter.t) ->
+      if not (Counter.is_exact c ~leaf_length) then Heap.push heap c)
+    (counters t);
+  (* Cover candidates are expensive to build (a full pass over the counter
+     trie), so cache them across heap pops and invalidate only when a merge
+     or divide changes the configuration. *)
+  let cached = ref None in
+  let candidates () =
+    match !cached with
+    | Some c -> c
+    | None ->
+      let c = Cover.build t in
+      cached := Some c;
+      c
+  in
+  let push_children l r =
+    let push p =
+      match find t p with
+      | Some c when not (Counter.is_exact c ~leaf_length) -> Heap.push heap c
+      | Some _ | None -> ()
+    in
+    push l;
+    push r
+  in
+  let budget = (4 * total_allocation allocations) + 64 in
+  (* Paid divides (ones that must merge other counters to free entries)
+     must beat the merge cost by a margin, or the configuration churns
+     forever swapping near-equal marginal prefixes. *)
+  let improvement_floor = t.spec.Task_spec.threshold /. 16.0 in
+  let rec loop budget =
+    if budget <= 0 then ()
+    else begin
+      match Heap.pop heap with
+      | None -> ()
+      | Some c ->
+        (* Skip stale heap entries (counters merged away meanwhile). *)
+        let live =
+          match find t c.Counter.prefix with Some c' when c' == c -> true | Some _ | None -> false
+        in
+        if not live then loop budget
+        else if c.Counter.score <= 0.0 then () (* max score <= 0: nothing worth dividing *)
+        else begin
+          match Prefix.children c.Counter.prefix with
+          | None -> loop budget
+          | Some (l, r) ->
+            let s_l = Switch_id.Set.inter (Topology.switch_set t.topology l) t.active in
+            let s_r = Switch_id.Set.inter (Topology.switch_set t.topology r) t.active in
+            let extra = Switch_id.Set.inter s_l s_r in
+            let f =
+              Switch_id.Set.filter (fun sw -> usage t sw + 1 > allocation allocations sw) extra
+            in
+            if Switch_id.Set.is_empty f then begin
+              (* A divide keeps cached candidates conservatively valid:
+                 the divided counter's score equals its children's sum, S
+                 sets are unchanged, and T sets can only have grown. *)
+              divide t c;
+              push_children l r;
+              loop (budget - 1)
+            end
+            else begin
+              let cands = candidates () in
+              (* Any cover of f costs at least the per-switch cheapest
+                 bound, so skip the solve outright when it cannot pay. *)
+              if Cover.min_cost_bound cands f +. improvement_floor >= c.Counter.score then
+                loop budget
+              else begin
+                match Cover.solve_with cands ~exclude:(Some c.Counter.prefix) f with
+                | Some sol when sol.Cover.cost +. improvement_floor < c.Counter.score ->
+                  apply_merges t sol;
+                  cached :=
+                    Some
+                      (List.fold_left Cover.repair_after_merge cands sol.Cover.ancestors);
+                  (* Re-check: the merge must actually have freed room. *)
+                  let still_blocked =
+                    Switch_id.Set.exists
+                      (fun sw -> usage t sw + 1 > allocation allocations sw)
+                      extra
+                  in
+                  if not still_blocked then begin
+                    divide t c;
+                    push_children l r
+                  end;
+                  loop (budget - 1)
+                | Some _ | None -> loop (budget - 1)
+              end
+            end
+        end
+    end
+  in
+  loop budget
+
+let recompute_usage t =
+  t.usage <- Switch_id.Map.empty;
+  Prefix.Table.iter (fun _ c -> bump_usage t (effective t c) 1) t.table
+
+let set_active t active =
+  if not (Switch_id.Set.equal active t.active) then begin
+    t.active <- active;
+    recompute_usage t
+  end
+
+let configure t ~allocations =
+  let granted =
+    Switch_id.Set.filter (fun sw -> allocation allocations sw >= 1) (switches t)
+  in
+  set_active t granted;
+  shrink_to_fit t ~allocations;
+  divide_phase t ~allocations
+
+let is_partition t =
+  let filter = t.spec.Task_spec.filter in
+  let covered =
+    List.fold_left (fun acc (c : Counter.t) -> acc + Prefix.size c.prefix) 0 (counters t)
+  in
+  let disjoint =
+    let sorted = counters t in
+    let rec check = function
+      | [] | [ _ ] -> true
+      | (a : Counter.t) :: ((b : Counter.t) :: _ as rest) ->
+        Prefix.last_address a.prefix < Prefix.first_address b.prefix && check rest
+    in
+    check sorted
+  in
+  disjoint
+  && covered = Prefix.size filter
+  && List.for_all (fun (c : Counter.t) -> Prefix.covers filter c.prefix) (counters t)

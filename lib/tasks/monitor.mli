@@ -1,0 +1,81 @@
+(** Monitor configuration of one task: the set of prefixes it currently
+    counts, and the task-independent divide-and-merge algorithm
+    (Algorithm 2) that reshapes this set to fit per-switch allocations.
+
+    Invariant: the monitored prefixes always partition the task's flow
+    filter — divide replaces a prefix by both children, merge replaces all
+    descendants of an ancestor by that ancestor (the paper's footnote 6:
+    merging to the common ancestor avoids overlapping counters).  A counter
+    occupies one TCAM entry on every switch in its S set (the switches that
+    can see its traffic). *)
+
+type t
+
+val create : spec:Task_spec.t -> topology:Dream_traffic.Topology.t -> t
+(** Initial configuration: a single counter on the task's flow filter
+    (Section 5.1: each new task starts with one counter). *)
+
+val spec : t -> Task_spec.t
+
+val topology : t -> Dream_traffic.Topology.t
+
+val counters : t -> Counter.t list
+(** Current counters, in prefix order. *)
+
+val num_counters : t -> int
+
+val find : t -> Dream_prefix.Prefix.t -> Counter.t option
+
+val switches : t -> Dream_traffic.Switch_id.Set.t
+(** All switches that see the task's filter. *)
+
+val usage : t -> Dream_traffic.Switch_id.t -> int
+(** TCAM entries this task occupies on a switch. *)
+
+val active : t -> Dream_traffic.Switch_id.Set.t
+(** Switches the task currently installs rules on — those with a non-zero
+    allocation.  A baseline allocator (e.g. Equal under extreme overload)
+    can grant zero entries on a switch; the task then goes blind there
+    instead of violating switch capacity. *)
+
+val usage_map : t -> int Dream_traffic.Switch_id.Map.t
+
+val rules_for : t -> Dream_traffic.Switch_id.t -> Dream_prefix.Prefix.t list
+(** Prefixes to install on a switch (counters whose S contains it). *)
+
+val ingest :
+  t -> (Dream_traffic.Switch_id.t * (Dream_prefix.Prefix.t * float) list) list -> unit
+(** Deliver fetched per-switch counter readings (Algorithm 1 line 2). *)
+
+val bottlenecked :
+  t -> allocations:int Dream_traffic.Switch_id.Map.t -> Dream_traffic.Switch_id.Set.t
+(** Switches where the task has used its entire allocation — the switches
+    whose missed events the local estimators should attribute (Section
+    5.3). *)
+
+module Cover : sig
+  type solution = { ancestors : Dream_prefix.Prefix.t list; cost : float }
+  (** Disjoint ancestors to merge, and the total score of the counters the
+      merges destroy. *)
+
+  val solve :
+    t ->
+    exclude:Dream_prefix.Prefix.t option ->
+    Dream_traffic.Switch_id.Set.t ->
+    solution option
+  (** [solve t ~exclude f] finds a low-cost set of ancestors whose merging
+      frees at least one entry on every switch in [f] (the cover() function
+      of Section 5.2, greedy weighted set cover over the T_j sets).
+      Candidates covering [exclude] are ignored (so a merge never destroys
+      the counter about to be divided).  [None] if [f] cannot be covered. *)
+end
+
+val configure : t -> allocations:int Dream_traffic.Switch_id.Map.t -> unit
+(** Algorithm 2: first merge until no switch exceeds its allocation, then
+    repeatedly divide the highest-scoring counter, paying for each divide
+    with a cover-merge when it would overflow a switch, while the score
+    outweighs the merge cost.  Scores must have been set by the task-
+    dependent scorer beforehand. *)
+
+val is_partition : t -> bool
+(** Whether the counters exactly partition the filter (test hook). *)

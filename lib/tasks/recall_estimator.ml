@@ -1,0 +1,63 @@
+module Switch_id = Dream_traffic.Switch_id
+
+let missed_bound ~wildcards ~magnitude ~threshold =
+  if magnitude <= threshold then 0
+  else begin
+    let by_volume = int_of_float (Float.floor (magnitude /. threshold)) in
+    let by_leaves = if wildcards >= 62 then max_int else 1 lsl wildcards in
+    min by_volume by_leaves
+  end
+
+let estimate monitor ~allocations ~detected ~magnitude_total ~magnitude_on =
+  let spec = Monitor.spec monitor in
+  let leaf_length = spec.Task_spec.leaf_length in
+  let threshold = spec.Task_spec.threshold in
+  let counters = Monitor.counters monitor in
+  let exact, inexact = List.partition (fun c -> Counter.is_exact c ~leaf_length) counters in
+  let detected_counters = List.filter detected exact in
+  let num_detected = List.length detected_counters in
+  let missed_total =
+    List.fold_left
+      (fun acc c ->
+        acc
+        + missed_bound
+            ~wildcards:(Counter.wildcards c ~leaf_length)
+            ~magnitude:(magnitude_total c) ~threshold)
+      0 inexact
+  in
+  let global =
+    if num_detected + missed_total = 0 then 1.0
+    else float_of_int num_detected /. float_of_int (num_detected + missed_total)
+  in
+  let bottlenecks = Monitor.bottlenecked monitor ~allocations in
+  let attribute (c : Counter.t) sw =
+    Switch_id.Set.mem sw c.Counter.switches
+    && (Switch_id.Set.is_empty bottlenecks || Switch_id.Set.mem sw bottlenecks)
+  in
+  let locals =
+    Switch_id.Set.fold
+      (fun sw acc ->
+        let det =
+          List.length
+            (List.filter
+               (fun (c : Counter.t) -> Switch_id.Set.mem sw c.Counter.switches)
+               detected_counters)
+        in
+        let missed =
+          List.fold_left
+            (fun acc c ->
+              if attribute c sw then
+                acc
+                + missed_bound
+                    ~wildcards:(Counter.wildcards c ~leaf_length)
+                    ~magnitude:(magnitude_on c sw) ~threshold
+              else acc)
+            0 inexact
+        in
+        let recall =
+          if det + missed = 0 then 1.0 else float_of_int det /. float_of_int (det + missed)
+        in
+        Switch_id.Map.add sw recall acc)
+      (Monitor.switches monitor) Switch_id.Map.empty
+  in
+  { Accuracy.global = Accuracy.clamp global; locals }

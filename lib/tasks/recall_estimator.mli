@@ -1,0 +1,19 @@
+(** Shared recall estimation for HH and CD tasks (Section 5.3).
+
+    Both kinds detect "exact" counters whose magnitude (volume for HH,
+    deviation for CD) exceeds the threshold, and estimate recall as
+    detected / (detected + estimated missed).  Missed items under a
+    non-exact prefix with [b] wildcard bits and magnitude [v] are bounded
+    by [min 2^b (floor (v / threshold))].  Local recall attributes missed
+    items to bottlenecked switches only, when any switch is bottlenecked. *)
+
+val estimate :
+  Monitor.t ->
+  allocations:int Dream_traffic.Switch_id.Map.t ->
+  detected:(Counter.t -> bool) ->
+  magnitude_total:(Counter.t -> float) ->
+  magnitude_on:(Counter.t -> Dream_traffic.Switch_id.t -> float) ->
+  Accuracy.t
+
+val missed_bound : wildcards:int -> magnitude:float -> threshold:float -> int
+(** The min-of-two-bounds estimate of items missed under one prefix. *)

@@ -1,0 +1,16 @@
+module Prefix = Dream_prefix.Prefix
+
+type item = { prefix : Prefix.t; magnitude : float }
+
+type t = { kind : Task_spec.kind; epoch : int; items : item list }
+
+let prefixes t = Prefix.Set.of_list (List.map (fun i -> i.prefix) t.items)
+
+let size t = List.length t.items
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>%a report (epoch %d, %d items):@,%a@]" Task_spec.pp_kind t.kind t.epoch
+    (size t)
+    (Format.pp_print_list (fun ppf i ->
+         Format.fprintf ppf "  %a  %.2f" Prefix.pp i.prefix i.magnitude))
+    t.items

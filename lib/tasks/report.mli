@@ -1,0 +1,16 @@
+(** Measurement reports delivered to the task's user each epoch.
+
+    An item's [magnitude] is kind-specific: the volume of a heavy hitter,
+    the residual volume of a hierarchical heavy hitter (after excluding
+    descendant HHHs), or the absolute deviation from the historical mean
+    for change detection. *)
+
+type item = { prefix : Dream_prefix.Prefix.t; magnitude : float }
+
+type t = { kind : Task_spec.kind; epoch : int; items : item list }
+
+val prefixes : t -> Dream_prefix.Prefix.Set.t
+
+val size : t -> int
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,12 @@
+(** Task-dependent prefix scoring (Table 1).
+
+    The score estimates how "interesting" a monitored prefix is — how much
+    accuracy a drill-down under it is likely to buy.  HH and CD normalise
+    by the number of wildcard bits (+1) so that a coarse prefix with the
+    same volume as a fine one scores lower per potential leaf; HHH scores
+    raw volume because every level of the hierarchy matters. *)
+
+val of_counter : Task_spec.t -> Counter.t -> float
+
+val apply : Monitor.t -> unit
+(** Set every counter's [score] field from the monitor's spec. *)

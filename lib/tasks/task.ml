@@ -1,0 +1,94 @@
+module Switch_id = Dream_traffic.Switch_id
+module Topology = Dream_traffic.Topology
+module Ewma = Dream_util.Ewma
+
+type accuracy_mode = Overall | Global_only
+
+type t = {
+  id : int;
+  spec : Task_spec.t;
+  topology : Topology.t;
+  monitor : Monitor.t;
+  global_acc : Ewma.t;
+  overall_acc : (Switch_id.t, Ewma.t) Hashtbl.t;
+  accuracy_history : float;
+  accuracy_mode : accuracy_mode;
+  mutable allocations : int Switch_id.Map.t;
+}
+
+let create ~id ~spec ~topology ?(accuracy_history = 0.4) ?(accuracy_mode = Overall) () =
+  let monitor = Monitor.create ~spec ~topology in
+  let initial_allocations =
+    Switch_id.Set.fold
+      (fun sw acc -> Switch_id.Map.add sw 1 acc)
+      (Monitor.switches monitor) Switch_id.Map.empty
+  in
+  {
+    id;
+    spec;
+    topology;
+    monitor;
+    global_acc = Ewma.create ~history:accuracy_history;
+    overall_acc = Hashtbl.create 8;
+    accuracy_history;
+    accuracy_mode;
+    allocations = initial_allocations;
+  }
+
+let id t = t.id
+let spec t = t.spec
+let monitor t = t.monitor
+let topology t = t.topology
+let switches t = Monitor.switches t.monitor
+let allocations t = t.allocations
+
+let desired_rules t sw = Monitor.rules_for t.monitor sw
+
+let ingest_counters t readings = Monitor.ingest t.monitor readings
+
+let make_report t ~epoch =
+  match t.spec.Task_spec.kind with
+  | Task_spec.Heavy_hitter -> Hh.report t.monitor ~epoch
+  | Task_spec.Hierarchical_heavy_hitter -> Hhh.report t.monitor ~epoch
+  | Task_spec.Change_detection -> Cd.report t.monitor ~epoch
+
+let overall_filter t sw =
+  match Hashtbl.find_opt t.overall_acc sw with
+  | Some f -> f
+  | None ->
+    let f = Ewma.create ~history:t.accuracy_history in
+    Hashtbl.replace t.overall_acc sw f;
+    f
+
+let estimate_accuracy t =
+  let accuracy =
+    match t.spec.Task_spec.kind with
+    | Task_spec.Heavy_hitter -> Hh.estimate t.monitor ~allocations:t.allocations
+    | Task_spec.Hierarchical_heavy_hitter -> Hhh.estimate t.monitor ~allocations:t.allocations
+    | Task_spec.Change_detection ->
+      let acc = Cd.estimate t.monitor ~allocations:t.allocations in
+      Cd.finish_epoch t.monitor;
+      acc
+  in
+  ignore (Ewma.update t.global_acc accuracy.Accuracy.global);
+  Switch_id.Set.iter
+    (fun sw ->
+      let sample =
+        match t.accuracy_mode with
+        | Overall -> Accuracy.overall accuracy sw
+        | Global_only -> accuracy.Accuracy.global
+      in
+      ignore (Ewma.update (overall_filter t sw) sample))
+    (switches t);
+  accuracy
+
+let smoothed_global t = Ewma.value_or t.global_acc 1.0
+
+let overall_accuracy t sw = Ewma.value_or (overall_filter t sw) 1.0
+
+let configure t ~allocations =
+  t.allocations <- allocations;
+  Score.apply t.monitor;
+  Monitor.configure t.monitor ~allocations
+
+let counters_used t sw = Monitor.usage t.monitor sw

@@ -1,0 +1,63 @@
+(** A task object (Section 5.1, Algorithm 1).
+
+    The controller drives one of these per admitted task, each epoch:
+    {!ingest_counters} (fetch), {!make_report} (createReport),
+    {!estimate_accuracy} (estimateAccuracy, which also folds the raw
+    estimates into the EWMA-smoothed overall accuracies the allocator
+    reads), then — after the allocator has decided — {!configure}
+    (configureCounters) with the new per-switch allocations, and finally
+    {!desired_rules} to save counters to each switch. *)
+
+type t
+
+type accuracy_mode =
+  | Overall  (** allocate on [max (global, local)] per switch (the paper's choice) *)
+  | Global_only  (** ablation: allocate on global accuracy alone (Section 4
+          explains why this misidentifies which switch needs resources) *)
+
+val create :
+  id:int ->
+  spec:Task_spec.t ->
+  topology:Dream_traffic.Topology.t ->
+  ?accuracy_history:float ->
+  ?accuracy_mode:accuracy_mode ->
+  unit ->
+  t
+(** [accuracy_history] is the EWMA history weight for smoothing accuracies
+    (paper default 0.4); [accuracy_mode] defaults to [Overall]. *)
+
+val id : t -> int
+val spec : t -> Task_spec.t
+val monitor : t -> Monitor.t
+val topology : t -> Dream_traffic.Topology.t
+
+val switches : t -> Dream_traffic.Switch_id.Set.t
+(** Switches the task needs counters on. *)
+
+val allocations : t -> int Dream_traffic.Switch_id.Map.t
+(** Allocations applied by the last {!configure} (one counter per relevant
+    switch before the first allocation). *)
+
+val desired_rules : t -> Dream_traffic.Switch_id.t -> Dream_prefix.Prefix.t list
+
+val ingest_counters :
+  t -> (Dream_traffic.Switch_id.t * (Dream_prefix.Prefix.t * float) list) list -> unit
+
+val make_report : t -> epoch:int -> Report.t
+
+val estimate_accuracy : t -> Accuracy.t
+(** Raw estimate for the current epoch.  Also updates the smoothed
+    accuracies and, for CD tasks, folds this epoch's volumes into the
+    per-counter means. *)
+
+val smoothed_global : t -> float
+(** EWMA-smoothed estimated global accuracy (1 before any estimate). *)
+
+val overall_accuracy : t -> Dream_traffic.Switch_id.t -> float
+(** EWMA-smoothed [max (global, local)] on a switch — the allocator's
+    input (Section 4). *)
+
+val configure : t -> allocations:int Dream_traffic.Switch_id.Map.t -> unit
+(** Re-score counters and run divide-and-merge under the new allocations. *)
+
+val counters_used : t -> Dream_traffic.Switch_id.t -> int

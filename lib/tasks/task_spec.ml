@@ -1,0 +1,52 @@
+module Prefix = Dream_prefix.Prefix
+
+type kind = Heavy_hitter | Hierarchical_heavy_hitter | Change_detection
+
+let kind_to_string = function
+  | Heavy_hitter -> "HH"
+  | Hierarchical_heavy_hitter -> "HHH"
+  | Change_detection -> "CD"
+
+let pp_kind ppf k = Format.pp_print_string ppf (kind_to_string k)
+
+let all_kinds = [ Heavy_hitter; Hierarchical_heavy_hitter; Change_detection ]
+
+type t = {
+  kind : kind;
+  filter : Prefix.t;
+  leaf_length : int;
+  threshold : float;
+  accuracy_bound : float;
+  drop_priority : int;
+  cd_history : float;
+}
+
+let make ~kind ~filter ?(leaf_length = Prefix.address_bits) ~threshold ?(accuracy_bound = 0.8)
+    ?(drop_priority = 0) ?(cd_history = 0.8) () =
+  if threshold <= 0.0 then invalid_arg "Task_spec.make: threshold must be positive";
+  if accuracy_bound < 0.0 || accuracy_bound > 1.0 then
+    invalid_arg "Task_spec.make: accuracy_bound must be in [0, 1]";
+  if leaf_length <= Prefix.length filter || leaf_length > Prefix.address_bits then
+    invalid_arg "Task_spec.make: leaf_length must lie in (filter length, 32]";
+  if cd_history < 0.0 || cd_history >= 1.0 then
+    invalid_arg "Task_spec.make: cd_history must be in [0, 1)";
+  { kind; filter; leaf_length; threshold; accuracy_bound; drop_priority; cd_history }
+
+let accuracy_metric t =
+  match t.kind with
+  | Heavy_hitter | Change_detection -> `Recall
+  | Hierarchical_heavy_hitter -> `Precision
+
+type priority = Critical | High | Normal | Background
+
+let bound_of_priority = function
+  | Critical -> 0.95
+  | High -> 0.9
+  | Normal -> 0.8
+  | Background -> 0.6
+
+let drop_priority_of = function Critical -> 0 | High -> 10 | Normal -> 20 | Background -> 30
+
+let pp ppf t =
+  Format.fprintf ppf "%a(%a, theta=%.1fMb, bound=%.0f%%)" pp_kind t.kind Prefix.pp t.filter
+    t.threshold (t.accuracy_bound *. 100.0)

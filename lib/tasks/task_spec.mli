@@ -1,0 +1,54 @@
+(** Measurement task specification (Section 3).
+
+    A user instantiates a task of one of three kinds over a flow filter,
+    with a volume threshold and a target accuracy bound.  The packet header
+    field is always a source/destination IP-like hierarchical field — the
+    prefix trie under the filter — as in the paper. *)
+
+type kind = Heavy_hitter | Hierarchical_heavy_hitter | Change_detection
+
+val kind_to_string : kind -> string
+val pp_kind : Format.formatter -> kind -> unit
+
+val all_kinds : kind list
+
+type t = {
+  kind : kind;
+  filter : Dream_prefix.Prefix.t;  (** flow filter, e.g. a /12 *)
+  leaf_length : int;  (** drill-down floor; /32 = exact IPs *)
+  threshold : float;  (** Mb per epoch defining a HH / HHH / change *)
+  accuracy_bound : float;  (** target accuracy in \[0, 1\], e.g. 0.8 *)
+  drop_priority : int;  (** higher = dropped first *)
+  cd_history : float;  (** EWMA history weight of the CD volume mean *)
+}
+
+val make :
+  kind:kind ->
+  filter:Dream_prefix.Prefix.t ->
+  ?leaf_length:int ->
+  threshold:float ->
+  ?accuracy_bound:float ->
+  ?drop_priority:int ->
+  ?cd_history:float ->
+  unit ->
+  t
+(** Defaults: [leaf_length = 32], [accuracy_bound = 0.8],
+    [drop_priority = 0], [cd_history = 0.8] (the paper's defaults).
+    @raise Invalid_argument on a threshold or bound out of range, or a
+    [leaf_length] not exceeding the filter length. *)
+
+val accuracy_metric : t -> [ `Recall | `Precision ]
+(** Which accuracy measure drives allocation: recall for HH and CD,
+    precision for HHH (Table 1). *)
+
+type priority = Critical | High | Normal | Background
+
+val bound_of_priority : priority -> float
+(** The paper's footnote 2: operators may prefer priorities to accuracy
+    bounds; a deployed system translates them.  Critical 0.95, High 0.9,
+    Normal 0.8 (the diminishing-returns default), Background 0.6. *)
+
+val drop_priority_of : priority -> int
+(** A matching drop ordering: Background tasks are dropped first. *)
+
+val pp : Format.formatter -> t -> unit

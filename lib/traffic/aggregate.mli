@@ -1,0 +1,36 @@
+(** Per-epoch traffic index with O(log n) prefix-volume queries.
+
+    An aggregate freezes the flows a switch saw during one epoch into a
+    sorted address array with cumulative volume sums, so that reading a TCAM
+    counter for any prefix is a pair of binary searches.  This is the
+    simulator's stand-in for the switch data plane counting packets against
+    installed rules. *)
+
+type t
+
+val of_flows : Flow.t list -> t
+(** Build an index; duplicate addresses are combined. *)
+
+val empty : t
+
+val volume : t -> Dream_prefix.Prefix.t -> float
+(** Total volume of addresses covered by the prefix. *)
+
+val count_addresses : t -> Dream_prefix.Prefix.t -> int
+(** Number of distinct active addresses under the prefix. *)
+
+val total : t -> float
+(** Volume of all flows. *)
+
+val num_addresses : t -> int
+
+val flows_in : t -> Dream_prefix.Prefix.t -> Flow.t list
+(** Flows under a prefix, in address order. *)
+
+val fold : t -> init:'a -> f:('a -> Flow.t -> 'a) -> 'a
+
+val merge : t -> t -> t
+(** Point-wise sum of two aggregates (used to combine per-switch views into
+    the network-wide view). *)
+
+val merge_all : t list -> t

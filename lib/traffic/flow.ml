@@ -1,0 +1,20 @@
+module Prefix = Dream_prefix.Prefix
+
+type t = { addr : Prefix.address; volume : float }
+
+let make ~addr ~volume = { addr; volume }
+
+let pp ppf t = Format.fprintf ppf "%a:%.2fMb" Prefix.pp (Prefix.of_address t.addr) t.volume
+
+let total_volume flows = List.fold_left (fun acc f -> acc +. f.volume) 0.0 flows
+
+let combine flows =
+  let sorted = List.sort (fun a b -> Int.compare a.addr b.addr) flows in
+  let rec merge = function
+    | [] -> []
+    | [ f ] -> [ f ]
+    | a :: b :: rest ->
+      if a.addr = b.addr then merge ({ addr = a.addr; volume = a.volume +. b.volume } :: rest)
+      else a :: merge (b :: rest)
+  in
+  merge sorted

@@ -1,0 +1,14 @@
+(** A flow record: the traffic volume attributed to one source address in
+    one measurement epoch.  Volumes are in megabits per epoch, matching the
+    paper's 8 Mb default heavy-hitter threshold. *)
+
+type t = { addr : Dream_prefix.Prefix.address; volume : float }
+
+val make : addr:Dream_prefix.Prefix.address -> volume:float -> t
+
+val pp : Format.formatter -> t -> unit
+
+val total_volume : t list -> float
+
+val combine : t list -> t list
+(** Sum volumes of duplicate addresses; output sorted by address. *)

@@ -1,0 +1,29 @@
+type kind = Synthetic of Generator.t | Replay of { epochs : Epoch_data.t array; cycle : bool }
+
+type t = { kind : kind; mutable clock : int }
+
+let of_generator generator = { kind = Synthetic generator; clock = 0 }
+
+let replay ?(cycle = true) epochs =
+  if Array.length epochs = 0 then invalid_arg "Source.replay: empty trace";
+  { kind = Replay { epochs; cycle }; clock = 0 }
+
+let next t =
+  let data =
+    match t.kind with
+    | Synthetic generator -> Generator.next generator
+    | Replay { epochs; cycle } ->
+      let n = Array.length epochs in
+      let index = if cycle then t.clock mod n else t.clock in
+      if index < n then { epochs.(index) with Epoch_data.epoch = t.clock }
+      else
+        {
+          Epoch_data.epoch = t.clock;
+          per_switch = Switch_id.Map.empty;
+          combined = Aggregate.empty;
+        }
+  in
+  t.clock <- t.clock + 1;
+  { data with Epoch_data.epoch = t.clock - 1 }
+
+let current_epoch t = t.clock

@@ -1,0 +1,16 @@
+(** Switch identifiers.
+
+    Switches are numbered densely from 0; tasks and allocators refer to them
+    through the set and map instantiations below. *)
+
+type t = int
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val pp : Format.formatter -> t -> unit
+
+module Set : Set.S with type elt = t
+module Map : Map.S with type key = t
+
+val set_of_list : t list -> Set.t
+val pp_set : Format.formatter -> Set.t -> unit

@@ -1,0 +1,56 @@
+module Prefix = Dream_prefix.Prefix
+module Rng = Dream_util.Rng
+
+type t = {
+  filter : Prefix.t;
+  num_switches : int;
+  switches_per_task : int;
+  subfilters : (Prefix.t * Switch_id.t) array; (* in address order *)
+}
+
+let is_power_of_two n = n > 0 && n land (n - 1) = 0
+
+let log2 n =
+  let rec go acc n = if n <= 1 then acc else go (acc + 1) (n lsr 1) in
+  go 0 n
+
+let create rng ~filter ~num_switches ~switches_per_task =
+  if not (is_power_of_two switches_per_task) then
+    invalid_arg "Topology.create: switches_per_task must be a power of two";
+  if switches_per_task > num_switches then
+    invalid_arg "Topology.create: switches_per_task exceeds num_switches";
+  let split_bits = log2 switches_per_task in
+  if Prefix.wildcard_bits filter < split_bits then
+    invalid_arg "Topology.create: filter too long to split";
+  let all = Array.init num_switches Fun.id in
+  Rng.shuffle rng all;
+  let sub_len = Prefix.length filter + split_bits in
+  let subfilters =
+    Array.init switches_per_task (fun i ->
+        (Prefix.nth_descendant filter ~length:sub_len i, all.(i)))
+  in
+  { filter; num_switches; switches_per_task; subfilters }
+
+let filter t = t.filter
+
+let num_switches t = t.num_switches
+
+let switches_per_task t = t.switches_per_task
+
+let subfilters t = Array.to_list t.subfilters
+
+let switch_set t p =
+  Array.fold_left
+    (fun acc (sub, sw) ->
+      if Prefix.covers sub p || Prefix.covers p sub then Switch_id.Set.add sw acc else acc)
+    Switch_id.Set.empty t.subfilters
+
+let switch_of_address t addr =
+  if not (Prefix.contains t.filter addr) then None
+  else begin
+    let found = ref None in
+    Array.iter
+      (fun (sub, sw) -> if !found = None && Prefix.contains sub addr then found := Some sw)
+      t.subfilters;
+    !found
+  end

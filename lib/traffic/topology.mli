@@ -1,0 +1,37 @@
+(** Prefix-to-ingress-switch mapping for one task filter.
+
+    The paper's evaluation controls spatial multiplexing by assigning
+    sub-prefixes of each task's flow filter to ingress switches, so that a
+    task sees traffic from [switches_per_task] of the network's switches.
+    The controller is assumed to know this mapping (Section 5.2: "we know
+    the ingress switches for each prefix"); DREAM uses it to compute the
+    switch sets S_j needed by divide-and-merge. *)
+
+type t
+
+val create :
+  Dream_util.Rng.t ->
+  filter:Dream_prefix.Prefix.t ->
+  num_switches:int ->
+  switches_per_task:int ->
+  t
+(** Split [filter] into [switches_per_task] equal sub-prefixes and map each
+    to a distinct switch drawn from \[0, num_switches).
+    @raise Invalid_argument unless [switches_per_task] is a power of two,
+    at most [num_switches], and [filter] is long enough to split. *)
+
+val filter : t -> Dream_prefix.Prefix.t
+
+val num_switches : t -> int
+
+val switches_per_task : t -> int
+
+val subfilters : t -> (Dream_prefix.Prefix.t * Switch_id.t) list
+(** The sub-prefix → switch assignment, in address order. *)
+
+val switch_set : t -> Dream_prefix.Prefix.t -> Switch_id.Set.t
+(** Switches that can see traffic for the given prefix: those assigned a
+    sub-filter intersecting it.  Empty for prefixes outside the filter. *)
+
+val switch_of_address : t -> Dream_prefix.Prefix.address -> Switch_id.t option
+(** Ingress switch of an address, or [None] outside the filter. *)

@@ -1,0 +1,87 @@
+module Prefix = Dream_prefix.Prefix
+
+let write out epochs =
+  output_string out "# dream trace v1: epoch switch address volume\n";
+  List.iter
+    (fun (data : Epoch_data.t) ->
+      Switch_id.Map.iter
+        (fun sw aggregate ->
+          Aggregate.fold aggregate ~init:() ~f:(fun () (f : Flow.t) ->
+              Printf.fprintf out "%d %d %s %.6f\n" data.Epoch_data.epoch sw
+                (Prefix.to_string (Prefix.of_address f.Flow.addr) |> fun s ->
+                 (* strip the /32 suffix *)
+                 String.sub s 0 (String.length s - 3))
+                f.Flow.volume))
+        data.Epoch_data.per_switch)
+    epochs
+
+let parse_address s =
+  match String.split_on_char '.' s with
+  | [ a; b; c; d ] -> begin
+    match (int_of_string_opt a, int_of_string_opt b, int_of_string_opt c, int_of_string_opt d) with
+    | Some a, Some b, Some c, Some d
+      when a >= 0 && a < 256 && b >= 0 && b < 256 && c >= 0 && c < 256 && d >= 0 && d < 256 ->
+      Some ((a lsl 24) lor (b lsl 16) lor (c lsl 8) lor d)
+    | _, _, _, _ -> None
+  end
+  | _ -> None
+
+let read input =
+  let line_number = ref 0 in
+  let error reason = Error (Printf.sprintf "line %d: %s" !line_number reason) in
+  (* Accumulate flows per (epoch, switch), preserving epoch order. *)
+  let current_epoch = ref (-1) in
+  let finished = ref [] (* completed epochs, newest first *) in
+  let pending = ref [] (* (switch, flow) of the current epoch *) in
+  let flush_epoch () =
+    if !current_epoch >= 0 then begin
+      let grouped = List.map (fun (sw, f) -> (sw, [ f ])) !pending in
+      finished := Epoch_data.of_flows ~epoch:!current_epoch grouped :: !finished;
+      pending := []
+    end
+  in
+  let rec loop () =
+    match input_line input with
+    | exception End_of_file ->
+      flush_epoch ();
+      Ok (List.rev !finished)
+    | line ->
+      incr line_number;
+      let line = String.trim line in
+      if line = "" || line.[0] = '#' then loop ()
+      else begin
+        match String.split_on_char ' ' line |> List.filter (fun s -> s <> "") with
+        | [ epoch; sw; addr; volume ] -> begin
+          match
+            (int_of_string_opt epoch, int_of_string_opt sw, parse_address addr,
+             float_of_string_opt volume)
+          with
+          | Some epoch, Some sw, Some addr, Some volume ->
+            if volume < 0.0 then error "negative volume"
+            else if sw < 0 then error "negative switch id"
+            else if epoch < !current_epoch then error "epochs must be non-decreasing"
+            else begin
+              if epoch > !current_epoch then begin
+                flush_epoch ();
+                current_epoch := epoch
+              end;
+              pending := (sw, Flow.make ~addr ~volume) :: !pending;
+              loop ()
+            end
+          | _, _, _, _ -> error "expected: epoch switch address volume"
+        end
+        | _ -> error "expected four fields: epoch switch address volume"
+      end
+  in
+  loop ()
+
+let save_file path epochs =
+  let out = open_out path in
+  Fun.protect ~finally:(fun () -> close_out out) (fun () -> write out epochs)
+
+let load_file path =
+  match open_in path with
+  | exception Sys_error msg -> Error msg
+  | input -> Fun.protect ~finally:(fun () -> close_in input) (fun () -> read input)
+
+let record generator ~epochs = List.init epochs (fun _ -> Generator.next generator)

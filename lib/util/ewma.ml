@@ -1,0 +1,24 @@
+type t = { history : float; mutable avg : float option }
+
+let create ~history =
+  if history < 0.0 || history >= 1.0 then invalid_arg "Ewma.create: history must be in [0, 1)";
+  { history; avg = None }
+
+let update t x =
+  let v =
+    match t.avg with
+    | None -> x
+    | Some avg -> (t.history *. avg) +. ((1.0 -. t.history) *. x)
+  in
+  t.avg <- Some v;
+  v
+
+let value t = t.avg
+
+let value_or t default = match t.avg with None -> default | Some v -> v
+
+let reset t = t.avg <- None
+
+let scale t k = match t.avg with None -> () | Some v -> t.avg <- Some (v *. k)
+
+let seed t x = t.avg <- Some x

@@ -1,0 +1,27 @@
+(** Mutable binary max-heap.
+
+    Divide-and-merge repeatedly extracts the highest-scoring counter; this
+    heap keeps that selection O(log n) even with thousands of monitored
+    prefixes per task. *)
+
+type 'a t
+
+val create : cmp:('a -> 'a -> int) -> 'a t
+(** [create ~cmp] makes an empty heap; the maximum element under [cmp] is
+    served first. *)
+
+val length : 'a t -> int
+val is_empty : 'a t -> bool
+
+val push : 'a t -> 'a -> unit
+
+val peek : 'a t -> 'a option
+(** Maximum element without removing it. *)
+
+val pop : 'a t -> 'a option
+(** Remove and return the maximum element. *)
+
+val of_list : cmp:('a -> 'a -> int) -> 'a list -> 'a t
+
+val to_list : 'a t -> 'a list
+(** Elements in unspecified order. *)

@@ -1,0 +1,127 @@
+type t = { mutable s0 : int64; mutable s1 : int64; mutable s2 : int64; mutable s3 : int64 }
+
+(* splitmix64: used only to expand the seed into the xoshiro state, as
+   recommended by the xoshiro authors. *)
+let splitmix64_next state =
+  let open Int64 in
+  state := add !state 0x9E3779B97F4A7C15L;
+  let z = !state in
+  let z = mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL in
+  logxor z (shift_right_logical z 31)
+
+let create seed =
+  let state = ref (Int64.of_int seed) in
+  let s0 = splitmix64_next state in
+  let s1 = splitmix64_next state in
+  let s2 = splitmix64_next state in
+  let s3 = splitmix64_next state in
+  { s0; s1; s2; s3 }
+
+let rotl x k = Int64.logor (Int64.shift_left x k) (Int64.shift_right_logical x (64 - k))
+
+let bits64 t =
+  let open Int64 in
+  let result = mul (rotl (mul t.s1 5L) 7) 9L in
+  let tmp = shift_left t.s1 17 in
+  t.s2 <- logxor t.s2 t.s0;
+  t.s3 <- logxor t.s3 t.s1;
+  t.s1 <- logxor t.s1 t.s2;
+  t.s0 <- logxor t.s0 t.s3;
+  t.s2 <- logxor t.s2 tmp;
+  t.s3 <- rotl t.s3 45;
+  result
+
+let split t =
+  let seed = Int64.to_int (bits64 t) land max_int in
+  create seed
+
+let copy t = { s0 = t.s0; s1 = t.s1; s2 = t.s2; s3 = t.s3 }
+
+let int t bound =
+  if bound <= 0 then invalid_arg "Rng.int: bound must be positive";
+  (* Rejection-free for our purposes: modulo bias is negligible because
+     bounds are tiny relative to 2^62. *)
+  let v = Int64.to_int (Int64.shift_right_logical (bits64 t) 2) in
+  v mod bound
+
+let int_in t lo hi =
+  if hi < lo then invalid_arg "Rng.int_in: empty range";
+  lo + int t (hi - lo + 1)
+
+let float t bound =
+  (* 53 random bits mapped to [0, 1). *)
+  let v = Int64.to_float (Int64.shift_right_logical (bits64 t) 11) in
+  bound *. (v *. 0x1.0p-53)
+
+let bool t = Int64.logand (bits64 t) 1L = 1L
+
+let bernoulli t p = float t 1.0 < p
+
+let exponential t mean =
+  let u = 1.0 -. float t 1.0 in
+  -. mean *. log u
+
+let gaussian t =
+  let u1 = float t 1.0 +. 1e-12 and u2 = float t 1.0 in
+  sqrt (-2.0 *. log u1) *. cos (2.0 *. Float.pi *. u2)
+
+let lognormal t ~mu ~sigma = exp (mu +. (sigma *. gaussian t))
+
+let pareto t ~alpha ~xmin =
+  let u = 1.0 -. float t 1.0 in
+  xmin /. (u ** (1.0 /. alpha))
+
+let poisson t lambda =
+  if lambda <= 0.0 then 0
+  else if lambda < 64.0 then begin
+    (* Knuth's product-of-uniforms method. *)
+    let l = exp (-.lambda) in
+    let rec loop k p =
+      let p = p *. float t 1.0 in
+      if p <= l then k else loop (k + 1) p
+    in
+    loop 0 1.0
+  end
+  else begin
+    (* Normal approximation, adequate for workload arrival counts. *)
+    let u1 = float t 1.0 +. 1e-12 and u2 = float t 1.0 in
+    let z = sqrt (-2.0 *. log u1) *. cos (2.0 *. Float.pi *. u2) in
+    let v = lambda +. (sqrt lambda *. z) in
+    if v < 0.0 then 0 else int_of_float v
+  end
+
+let zipf t ~n ~s =
+  if n <= 0 then invalid_arg "Rng.zipf: n must be positive";
+  if n = 1 then 1
+  else begin
+    (* Rejection method of Devroye; works for s > 0, s <> 1 handled by the
+       generalised inverse. *)
+    let s = if Float.abs (s -. 1.0) < 1e-9 then 1.000001 else s in
+    let nf = Float.of_int n in
+    let h x = (x ** (1.0 -. s)) /. (1.0 -. s) in
+    let h_inv x = ((1.0 -. s) *. x) ** (1.0 /. (1.0 -. s)) in
+    let hx0 = h 0.5 -. 1.0 in
+    let hn = h (nf +. 0.5) in
+    let rec loop () =
+      let u = hx0 +. (float t 1.0 *. (hn -. hx0)) in
+      let x = h_inv u in
+      let k = Float.round x in
+      let k = if k < 1.0 then 1.0 else if k > nf then nf else k in
+      if k -. x <= 0.5 || u >= h (k +. 0.5) -. (k ** -.s) then int_of_float k
+      else loop ()
+    in
+    loop ()
+  end
+
+let shuffle t a =
+  for i = Array.length a - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done
+
+let pick t a =
+  if Array.length a = 0 then invalid_arg "Rng.pick: empty array";
+  a.(int t (Array.length a))

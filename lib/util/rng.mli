@@ -1,0 +1,68 @@
+(** Deterministic pseudo-random number generation.
+
+    The simulator must be reproducible across runs and OCaml releases, so we
+    ship our own generator (xoshiro256** seeded through splitmix64) instead
+    of relying on [Stdlib.Random], whose sequence is not stable between
+    compiler versions.  All experiment code takes an explicit [t] so that
+    independent subsystems (traffic, workload) can use independent streams. *)
+
+type t
+(** Mutable generator state. *)
+
+val create : int -> t
+(** [create seed] builds a generator from a 63-bit seed.  Equal seeds yield
+    equal streams. *)
+
+val split : t -> t
+(** [split t] derives a new, statistically independent generator from [t],
+    advancing [t].  Useful to give each task or switch its own stream. *)
+
+val copy : t -> t
+(** [copy t] duplicates the current state without advancing [t]. *)
+
+val bits64 : t -> int64
+(** Next raw 64-bit output. *)
+
+val int : t -> int -> int
+(** [int t bound] is uniform in \[0, bound).  @raise Invalid_argument if
+    [bound <= 0]. *)
+
+val int_in : t -> int -> int -> int
+(** [int_in t lo hi] is uniform in \[lo, hi\] inclusive. *)
+
+val float : t -> float -> float
+(** [float t bound] is uniform in \[0, bound). *)
+
+val bool : t -> bool
+(** Fair coin. *)
+
+val bernoulli : t -> float -> bool
+(** [bernoulli t p] is [true] with probability [p]. *)
+
+val exponential : t -> float -> float
+(** [exponential t mean] samples Exp with the given mean. *)
+
+val gaussian : t -> float
+(** Standard normal variate (Box-Muller). *)
+
+val lognormal : t -> mu:float -> sigma:float -> float
+(** [lognormal t ~mu ~sigma] is [exp (mu + sigma * gaussian t)]. *)
+
+val pareto : t -> alpha:float -> xmin:float -> float
+(** [pareto t ~alpha ~xmin] samples a Pareto(alpha) variate >= xmin. *)
+
+val poisson : t -> float -> int
+(** [poisson t lambda] samples a Poisson variate (Knuth for small lambda,
+    normal approximation above 64). *)
+
+val zipf : t -> n:int -> s:float -> int
+(** [zipf t ~n ~s] samples a rank in \[1, n\] under a Zipf(s) law by
+    inversion on the precomputed harmonic table is avoided: uses rejection
+    sampling suitable for repeated draws with varying [n]. *)
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher-Yates shuffle. *)
+
+val pick : t -> 'a array -> 'a
+(** Uniform element of a non-empty array.  @raise Invalid_argument on
+    empty input. *)

@@ -1,0 +1,40 @@
+(** Descriptive statistics for experiment reporting.
+
+    The evaluation reports mean and 5th-percentile satisfaction across
+    tasks, plus 95th-percentile delays; this module centralises those
+    computations so every figure uses the same definitions. *)
+
+val mean : float list -> float
+(** Arithmetic mean; 0 for the empty list. *)
+
+val mean_array : float array -> float
+
+val stddev : float list -> float
+(** Population standard deviation; 0 for fewer than two samples. *)
+
+val percentile : float -> float list -> float
+(** [percentile p xs] with [p] in \[0, 100\], by linear interpolation
+    between closest ranks (the same convention as numpy's default).
+    @raise Invalid_argument on the empty list or [p] outside \[0, 100\]. *)
+
+val median : float list -> float
+
+val minimum : float list -> float
+val maximum : float list -> float
+
+type summary = {
+  count : int;
+  mean : float;
+  stddev : float;
+  min : float;
+  p5 : float;
+  median : float;
+  p95 : float;
+  max : float;
+}
+(** One-shot description of a sample. *)
+
+val summarize : float list -> summary option
+(** [None] on the empty list. *)
+
+val pp_summary : Format.formatter -> summary -> unit

@@ -1,0 +1,19 @@
+(** Time-series helpers for experiment output: fixed-width binning of
+    (epoch, value) samples and compact ASCII sparklines, so figure
+    harnesses render comparable series without a plotting stack. *)
+
+type point = { epoch : int; value : float }
+
+val binned : (int * float) list -> bin:int -> point list
+(** Group samples into [bin]-wide epochs buckets (bucket label = lowest
+    epoch), averaging the values; sorted by epoch.
+    @raise Invalid_argument if [bin <= 0]. *)
+
+val sparkline : ?lo:float -> ?hi:float -> float list -> string
+(** Render values as a bar-glyph string, scaled into \[lo, hi\] (defaults:
+    the data's own range).  Empty input yields the empty string. *)
+
+val of_points : point list -> float list
+
+val pp_series : Format.formatter -> name:string -> point list -> unit
+(** One line: name, sparkline, min/mean/max. *)

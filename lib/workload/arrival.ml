@@ -1,0 +1,59 @@
+module Rng = Dream_util.Rng
+module Prefix = Dream_prefix.Prefix
+module Topology = Dream_traffic.Topology
+module Generator = Dream_traffic.Generator
+module Task_spec = Dream_tasks.Task_spec
+
+type submission = {
+  arrival : int;
+  spec : Task_spec.t;
+  topology : Topology.t;
+  generator : Generator.t;
+  duration : int;
+}
+
+let distinct_filters rng (s : Scenario.t) =
+  (* Draw distinct filter indices among the 2^filter_length possibilities. *)
+  let space = 1 lsl s.Scenario.filter_length in
+  if s.Scenario.num_tasks > space then
+    invalid_arg "Arrival.schedule: more tasks than available filters";
+  let seen = Hashtbl.create (2 * s.Scenario.num_tasks) in
+  let rec draw () =
+    let i = Rng.int rng space in
+    if Hashtbl.mem seen i then draw ()
+    else begin
+      Hashtbl.replace seen i ();
+      Prefix.nth_descendant Prefix.root ~length:s.Scenario.filter_length i
+    end
+  in
+  List.init s.Scenario.num_tasks (fun _ -> draw ())
+
+let schedule (s : Scenario.t) =
+  let rng = Rng.create s.Scenario.seed in
+  let filters = distinct_filters rng s in
+  let kinds = Array.of_list s.Scenario.kinds in
+  let submissions =
+    List.mapi
+      (fun i filter ->
+        let arrival = Rng.int rng (max 1 s.Scenario.arrival_window) in
+        let duration =
+          max s.Scenario.min_duration
+            (int_of_float (Rng.exponential rng (float_of_int s.Scenario.mean_duration)))
+        in
+        let kind = kinds.(i mod Array.length kinds) in
+        let spec =
+          Task_spec.make ~kind ~filter ~leaf_length:s.Scenario.leaf_length
+            ~threshold:s.Scenario.threshold ~accuracy_bound:s.Scenario.accuracy_bound ()
+        in
+        let topology =
+          Topology.create (Rng.split rng) ~filter ~num_switches:s.Scenario.num_switches
+            ~switches_per_task:s.Scenario.switches_per_task
+        in
+        let generator =
+          Generator.create (Rng.split rng) ~topology
+            ~profile:(s.Scenario.profile_of (Rng.split rng) s.Scenario.threshold)
+        in
+        { arrival; spec; topology; generator; duration })
+      filters
+  in
+  List.sort (fun a b -> Int.compare a.arrival b.arrival) submissions

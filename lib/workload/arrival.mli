@@ -1,0 +1,17 @@
+(** Task arrival schedule: materialises a scenario into concrete task
+    submissions (arrival epoch, spec, topology, trace generator,
+    duration), deterministically from the scenario seed. *)
+
+type submission = {
+  arrival : int;
+  spec : Dream_tasks.Task_spec.t;
+  topology : Dream_traffic.Topology.t;
+  generator : Dream_traffic.Generator.t;
+  duration : int;
+}
+
+val schedule : Scenario.t -> submission list
+(** Submissions sorted by arrival epoch.  Each task gets a distinct flow
+    filter, its own switch mapping and an independent traffic stream.
+    Kinds cycle through [scenario.kinds]; durations are exponential with
+    the scenario mean, floored at the minimum. *)

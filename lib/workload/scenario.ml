@@ -1,0 +1,69 @@
+module Task_spec = Dream_tasks.Task_spec
+module Profile = Dream_traffic.Profile
+
+module Rng = Dream_util.Rng
+
+type t = {
+  seed : int;
+  num_switches : int;
+  capacity : int;
+  switches_per_task : int;
+  num_tasks : int;
+  arrival_window : int;
+  mean_duration : int;
+  min_duration : int;
+  total_epochs : int;
+  kinds : Task_spec.kind list;
+  filter_length : int;
+  leaf_length : int;
+  threshold : float;
+  accuracy_bound : float;
+  profile_of : Rng.t -> float -> Profile.t;
+}
+
+(* Tasks see traffic aggregates of very different sizes (the paper samples
+   /4 chunks of a CAIDA trace): scale the source population per task. *)
+let heterogeneous_profile rng threshold =
+  let base = Profile.default ~threshold in
+  let factor = Rng.pick rng [| 0.5; 1.0; 1.0; 2.0; 3.0; 6.0 |] in
+  let scale n = max 1 (int_of_float (float_of_int n *. factor)) in
+  {
+    base with
+    Profile.heavy_count = scale base.Profile.heavy_count;
+    medium_count = scale base.Profile.medium_count;
+    small_count = scale base.Profile.small_count;
+  }
+
+let fixed_traffic_profile ~calibration rng _threshold = heterogeneous_profile rng calibration
+
+let default =
+  {
+    seed = 7;
+    num_switches = 8;
+    capacity = 1024;
+    switches_per_task = 8;
+    num_tasks = 88;
+    arrival_window = 280;
+    mean_duration = 140;
+    min_duration = 40;
+    total_epochs = 560;
+    kinds = Task_spec.all_kinds;
+    filter_length = 12;
+    leaf_length = 24;
+    threshold = 8.0;
+    accuracy_bound = 0.8;
+    profile_of = heterogeneous_profile;
+  }
+
+let with_kind t kind = { t with kinds = [ kind ] }
+
+let concurrency t =
+  float_of_int (t.num_tasks * t.mean_duration) /. float_of_int (max 1 t.arrival_window)
+
+let pp ppf t =
+  Format.fprintf ppf
+    "%d tasks (%s) on %d switches x %d entries, %d sw/task, window=%d dur=%d total=%d theta=%.1f bound=%.0f%%"
+    t.num_tasks
+    (String.concat "+" (List.map Task_spec.kind_to_string t.kinds))
+    t.num_switches t.capacity t.switches_per_task t.arrival_window t.mean_duration t.total_epochs
+    t.threshold (t.accuracy_bound *. 100.0)

@@ -1,0 +1,94 @@
+(* Shared test fixtures: the 4-bit worked example (a Figure-5-style trie
+   with hand-checked HH/HHH/CD ground truth) and a manual task-driving
+   harness used by the estimator and task tests. *)
+
+module Rng = Dream_util.Rng
+module Prefix = Dream_prefix.Prefix
+module Switch_id = Dream_traffic.Switch_id
+module Topology = Dream_traffic.Topology
+module Flow = Dream_traffic.Flow
+module Aggregate = Dream_traffic.Aggregate
+module Epoch_data = Dream_traffic.Epoch_data
+module Task_spec = Dream_tasks.Task_spec
+module Task = Dream_tasks.Task
+module Monitor = Dream_tasks.Monitor
+module Score = Dream_tasks.Score
+
+(* A 4-bit universe: filter 10.0.0.0/28, leaves at /32, threshold 10.
+   Two switches split it at /29 (0*** vs 1***, in some switch order). *)
+let filter = Prefix.of_string "10.0.0.0/28"
+
+let leaf bits = Prefix.make ~bits:(Prefix.bits filter lor bits) ~length:32
+
+let sub bits length = Prefix.make ~bits:(Prefix.bits filter lor (bits lsl (32 - length))) ~length
+
+let topology () = Topology.create (Rng.create 1) ~filter ~num_switches:2 ~switches_per_task:2
+
+let spec ?(kind = Task_spec.Heavy_hitter) ?(threshold = 10.0) () =
+  Task_spec.make ~kind ~filter ~leaf_length:32 ~threshold ()
+
+(* Example volumes:
+     0000:12  0001:2  0100:6  0101:7  0111:11  1010:3  1100:4  1111:1
+   True HHs (>10):   {0000, 0111}
+   True HHHs:        {0000, 010*, 0111}
+     - 010* because 6+7=13 > 10 with neither child over 10
+     - 011* residual 0, 00** residual 2, 01** residual 0, 0*** residual 2,
+       1*** residual 8, root residual 10 (not > 10). *)
+let example_volumes =
+  [
+    (0b0000, 12.0);
+    (0b0001, 2.0);
+    (0b0100, 6.0);
+    (0b0101, 7.0);
+    (0b0111, 11.0);
+    (0b1010, 3.0);
+    (0b1100, 4.0);
+    (0b1111, 1.0);
+  ]
+
+let true_hh_leaves = [ 0b0000; 0b0111 ]
+
+let true_hhh_prefixes () = [ leaf 0b0000; sub 0b010 31; leaf 0b0111 ]
+
+let flows_of volumes =
+  List.map (fun (bits, volume) -> Flow.make ~addr:(Prefix.bits (leaf bits)) ~volume) volumes
+
+let epoch_data ?(volumes = example_volumes) ~epoch () =
+  let topo = topology () in
+  Epoch_data.of_flows ~epoch
+    (List.filter_map
+       (fun (f : Flow.t) ->
+         match Topology.switch_of_address topo f.Flow.addr with
+         | Some sw -> Some (sw, [ f ])
+         | None -> None)
+       (flows_of volumes))
+
+let allocations_of switches n =
+  Switch_id.Set.fold (fun sw acc -> Switch_id.Map.add sw n acc) switches Switch_id.Map.empty
+
+(* Feed one epoch of data through a task object (fetch, report, estimate,
+   configure), returning the report and the raw estimate. *)
+let drive_task task ~data ~allocations ~epoch =
+  let readings =
+    Switch_id.Set.fold
+      (fun sw acc ->
+        let agg = Epoch_data.switch_view data sw in
+        (sw, List.map (fun q -> (q, Aggregate.volume agg q)) (Task.desired_rules task sw)) :: acc)
+      (Task.switches task) []
+  in
+  Task.ingest_counters task readings;
+  let report = Task.make_report task ~epoch in
+  let estimate = Task.estimate_accuracy task in
+  Task.configure task ~allocations;
+  (report, estimate)
+
+(* Run the example for [epochs] epochs with [per_switch] counters. *)
+let converged_task ?kind ?threshold ~per_switch ~epochs () =
+  let task = Task.create ~id:0 ~spec:(spec ?kind ?threshold ()) ~topology:(topology ()) () in
+  let allocations = allocations_of (Task.switches task) per_switch in
+  let last = ref None in
+  for epoch = 0 to epochs - 1 do
+    let data = epoch_data ~epoch () in
+    last := Some (drive_task task ~data ~allocations ~epoch)
+  done;
+  (task, !last)

@@ -1,0 +1,407 @@
+(* Tests for dream.alloc: step policies, the DREAM per-switch allocator
+   (admission, redistribution, phantom headroom, invariants), and the
+   Equal / Fixed baselines. *)
+
+module Switch_id = Dream_traffic.Switch_id
+module Step_policy = Dream_alloc.Step_policy
+module Task_view = Dream_alloc.Task_view
+module Dream_allocator = Dream_alloc.Dream_allocator
+module Equal_allocator = Dream_alloc.Equal_allocator
+module Fixed_allocator = Dream_alloc.Fixed_allocator
+module Allocator = Dream_alloc.Allocator
+
+let params = Step_policy.default_params
+
+(* ---- Step policies ---- *)
+
+let test_step_mm () =
+  Alcotest.(check int) "grow doubles" 8 (Step_policy.grow Step_policy.MM params 4);
+  Alcotest.(check int) "shrink halves" 4 (Step_policy.shrink Step_policy.MM params 8)
+
+let test_step_aa () =
+  Alcotest.(check int) "grow +4" 8 (Step_policy.grow Step_policy.AA params 4);
+  Alcotest.(check int) "shrink -4" 4 (Step_policy.shrink Step_policy.AA params 8)
+
+let test_step_mixed () =
+  Alcotest.(check int) "AM grows additively" 8 (Step_policy.grow Step_policy.AM params 4);
+  Alcotest.(check int) "AM shrinks multiplicatively" 4 (Step_policy.shrink Step_policy.AM params 8);
+  Alcotest.(check int) "MA grows multiplicatively" 8 (Step_policy.grow Step_policy.MA params 4);
+  Alcotest.(check int) "MA shrinks additively" 4 (Step_policy.shrink Step_policy.MA params 8)
+
+let test_step_clamped () =
+  Alcotest.(check int) "never below min" params.Step_policy.min_step
+    (Step_policy.shrink Step_policy.AA params 2);
+  Alcotest.(check int) "never above max" params.Step_policy.max_step
+    (Step_policy.grow Step_policy.MM params params.Step_policy.max_step)
+
+let test_step_string_roundtrip () =
+  List.iter
+    (fun p ->
+      Alcotest.(check bool) "roundtrip" true
+        (Step_policy.of_string (Step_policy.to_string p) = Some p))
+    Step_policy.all;
+  Alcotest.(check bool) "unknown" true (Step_policy.of_string "XY" = None)
+
+(* ---- DREAM allocator helpers ---- *)
+
+let switches01 = Switch_id.set_of_list [ 0; 1 ]
+
+(* A task view with a controllable accuracy cell. *)
+let view ?(switches = switches01) ?(bound = 0.8) ?(priority = 0) ~id ~accuracy ~used () =
+  {
+    Task_view.id;
+    switches;
+    bound;
+    drop_priority = priority;
+    overall = (fun _ -> !accuracy);
+    used = (fun _ -> !used);
+  }
+
+let mk_allocator ?(config = Dream_allocator.default_config) ?(capacity = 1000) () =
+  Dream_allocator.create config ~capacities:[ (0, capacity); (1, capacity) ]
+
+let total_alloc a ~task_id =
+  Switch_id.Map.fold (fun _ v acc -> acc + v) (Dream_allocator.allocation_of a ~task_id) 0
+
+let check_invariants a =
+  match Dream_allocator.check_invariants a with
+  | Ok () -> ()
+  | Error msg -> Alcotest.fail msg
+
+(* ---- DREAM allocator ---- *)
+
+let test_admit_takes_from_phantom () =
+  let a = mk_allocator () in
+  Alcotest.(check int) "phantom starts at capacity" 1000 (Dream_allocator.phantom a 0);
+  let acc = ref 0.0 and used = ref 1 in
+  Alcotest.(check bool) "admitted" true
+    (Dream_allocator.try_admit a (view ~id:0 ~accuracy:acc ~used ()));
+  Alcotest.(check int) "one counter per switch" 2 (total_alloc a ~task_id:0);
+  Alcotest.(check int) "phantom decremented" 999 (Dream_allocator.phantom a 0);
+  check_invariants a
+
+let test_admission_rejects_without_headroom () =
+  (* Tiny switch: capacity 20, headroom target 1 (5%).  Fill it with poor
+     demanding tasks until admission fails. *)
+  let a = mk_allocator ~capacity:20 () in
+  let mk i =
+    let acc = ref 0.0 in
+    (* always poor *)
+    let alloc = ref 1 in
+    (view ~id:i ~accuracy:acc ~used:alloc (), alloc)
+  in
+  let tasks = List.init 12 mk in
+  let admitted =
+    List.filter (fun (v, _) -> Dream_allocator.try_admit a v) tasks
+  in
+  (* Everyone is poor and demanding: after some rounds the phantom drains
+     and admission must refuse new tasks. *)
+  let views = List.map fst admitted in
+  for _ = 1 to 10 do
+    Dream_allocator.reallocate a views;
+    (* Track each task's usage = its allocation (always demanding). *)
+    List.iter
+      (fun (v, alloc) ->
+        if List.memq v views then
+          alloc := Dream_allocator.allocation_of a ~task_id:v.Task_view.id |> fun m ->
+                   (match Switch_id.Map.find_opt 0 m with Some x -> x | None -> 0))
+      admitted
+  done;
+  check_invariants a;
+  let acc = ref 0.0 and used = ref 1 in
+  Alcotest.(check bool) "late arrival rejected" false
+    (Dream_allocator.try_admit a (view ~id:99 ~accuracy:acc ~used ()))
+
+let test_redistribution_rich_to_poor () =
+  let a = mk_allocator ~capacity:200 () in
+  let rich_acc = ref 0.95 and poor_acc = ref 0.3 in
+  let rich_used = ref 0 and poor_used = ref 0 in
+  let rich = view ~id:0 ~accuracy:rich_acc ~used:rich_used () in
+  let poor = view ~id:1 ~accuracy:poor_acc ~used:poor_used () in
+  ignore (Dream_allocator.try_admit a rich);
+  ignore (Dream_allocator.try_admit a poor);
+  (* Let the rich task accumulate (it is "demanding" while using all). *)
+  let sync_used () =
+    rich_used :=
+      (match Switch_id.Map.find_opt 0 (Dream_allocator.allocation_of a ~task_id:0) with
+      | Some v -> v
+      | None -> 0);
+    poor_used :=
+      (match Switch_id.Map.find_opt 0 (Dream_allocator.allocation_of a ~task_id:1) with
+      | Some v -> v
+      | None -> 0)
+  in
+  for _ = 1 to 8 do
+    sync_used ();
+    Dream_allocator.reallocate a [ rich; poor ]
+  done;
+  check_invariants a;
+  let rich_total = total_alloc a ~task_id:0 and poor_total = total_alloc a ~task_id:1 in
+  Alcotest.(check bool)
+    (Printf.sprintf "poor grew past rich (%d vs %d)" poor_total rich_total)
+    true (poor_total > rich_total)
+
+let test_allocation_floor () =
+  let a = mk_allocator ~capacity:100 () in
+  let rich_acc = ref 1.0 and poor_acc = ref 0.0 in
+  let rich_used = ref 1 and poor_used = ref 100 in
+  let rich = view ~id:0 ~accuracy:rich_acc ~used:rich_used () in
+  let poor = view ~id:1 ~accuracy:poor_acc ~used:poor_used () in
+  ignore (Dream_allocator.try_admit a rich);
+  ignore (Dream_allocator.try_admit a poor);
+  for _ = 1 to 20 do
+    poor_used :=
+      (match Switch_id.Map.find_opt 0 (Dream_allocator.allocation_of a ~task_id:1) with
+      | Some v -> v
+      | None -> 0);
+    Dream_allocator.reallocate a [ rich; poor ]
+  done;
+  check_invariants a;
+  Switch_id.Map.iter
+    (fun _ v -> Alcotest.(check bool) "rich keeps at least the floor" true (v >= 1))
+    (Dream_allocator.allocation_of a ~task_id:0)
+
+let test_release_returns_to_phantom () =
+  let a = mk_allocator () in
+  let acc = ref 0.0 and used = ref 1 in
+  ignore (Dream_allocator.try_admit a (view ~id:0 ~accuracy:acc ~used ()));
+  Dream_allocator.release a ~task_id:0;
+  Alcotest.(check int) "phantom restored" 1000 (Dream_allocator.phantom a 0);
+  Alcotest.(check int) "no allocation left" 0 (total_alloc a ~task_id:0);
+  check_invariants a
+
+let test_surplus_flows_to_users () =
+  (* One task using everything it has, idle capacity around: its allocation
+     should keep growing from the surplus even while it is neutral. *)
+  let a = mk_allocator ~capacity:500 () in
+  let acc = ref 0.85 in
+  (* neutral: in (bound, bound + hysteresis) *)
+  let used = ref 1 in
+  let v = view ~id:0 ~accuracy:acc ~used () in
+  ignore (Dream_allocator.try_admit a v);
+  for _ = 1 to 6 do
+    used :=
+      (match Switch_id.Map.find_opt 0 (Dream_allocator.allocation_of a ~task_id:0) with
+      | Some x -> x
+      | None -> 0);
+    Dream_allocator.reallocate a [ v ]
+  done;
+  check_invariants a;
+  Alcotest.(check bool) "absorbed idle capacity" true (total_alloc a ~task_id:0 > 50);
+  Alcotest.(check bool) "phantom stays at target" true (Dream_allocator.phantom a 0 >= 25)
+
+let test_unused_allocation_reclaimed () =
+  let a = mk_allocator ~capacity:500 () in
+  let acc = ref 0.3 in
+  (* poor but unable to use more counters *)
+  let used = ref 1 in
+  let v = view ~id:0 ~accuracy:acc ~used () in
+  ignore (Dream_allocator.try_admit a v);
+  (* Give it a lot while demanding... *)
+  for _ = 1 to 6 do
+    used :=
+      (match Switch_id.Map.find_opt 0 (Dream_allocator.allocation_of a ~task_id:0) with
+      | Some x -> x
+      | None -> 0);
+    Dream_allocator.reallocate a [ v ]
+  done;
+  let peak = total_alloc a ~task_id:0 in
+  (* ...then freeze its usage low: the allocator must reclaim the excess. *)
+  used := 4;
+  for _ = 1 to 20 do
+    Dream_allocator.reallocate a [ v ]
+  done;
+  check_invariants a;
+  let final = total_alloc a ~task_id:0 in
+  Alcotest.(check bool)
+    (Printf.sprintf "reclaimed %d -> %d" peak final)
+    true
+    (final < peak / 2)
+
+let test_congestion_flag () =
+  let a = mk_allocator ~capacity:40 () in
+  (* Many always-poor, always-demanding tasks exhaust supply. *)
+  let mk i =
+    let acc = ref 0.0 in
+    let used = ref 1000 in
+    (* claims to use everything *)
+    view ~id:i ~accuracy:acc ~used ()
+  in
+  let views = List.map mk [ 0; 1; 2; 3 ] in
+  List.iter (fun v -> ignore (Dream_allocator.try_admit a v)) views;
+  for _ = 1 to 6 do
+    Dream_allocator.reallocate a views
+  done;
+  Alcotest.(check bool) "congested" true (Dream_allocator.congested a 0);
+  check_invariants a
+
+let test_drop_priority_order_under_shortage () =
+  let a = mk_allocator ~capacity:64 () in
+  let mk i priority =
+    let acc = ref 0.0 in
+    let used = ref 1000 in
+    view ~id:i ~priority ~accuracy:acc ~used ()
+  in
+  (* Low priority value = served first under shortage. *)
+  let precious = mk 0 0 and expendable = mk 1 100 in
+  ignore (Dream_allocator.try_admit a precious);
+  ignore (Dream_allocator.try_admit a expendable);
+  for _ = 1 to 8 do
+    Dream_allocator.reallocate a [ precious; expendable ]
+  done;
+  check_invariants a;
+  Alcotest.(check bool) "low drop priority got more" true
+    (total_alloc a ~task_id:0 >= total_alloc a ~task_id:1)
+
+let prop_invariants_random_rounds =
+  QCheck.Test.make ~name:"allocations + phantom = capacity under random rounds" ~count:60
+    QCheck.(list_of_size Gen.(int_range 1 20) (pair (int_bound 100) bool))
+    (fun script ->
+      let a = mk_allocator ~capacity:300 () in
+      let tasks = Hashtbl.create 8 in
+      let next_id = ref 0 in
+      List.iter
+        (fun (accuracy_pct, arrive) ->
+          if arrive || Hashtbl.length tasks = 0 then begin
+            let id = !next_id in
+            incr next_id;
+            let acc = ref (float_of_int accuracy_pct /. 100.0) in
+            let used = ref 10 in
+            let v = view ~id ~accuracy:acc ~used () in
+            if Dream_allocator.try_admit a v then Hashtbl.replace tasks id (v, acc, used)
+          end
+          else begin
+            (* Perturb accuracies and usage, then run a round. *)
+            Hashtbl.iter
+              (fun id (_, acc, used) ->
+                acc := float_of_int ((accuracy_pct + (id * 17)) mod 101) /. 100.0;
+                used :=
+                  (match
+                     Switch_id.Map.find_opt 0 (Dream_allocator.allocation_of a ~task_id:id)
+                   with
+                  | Some x -> x
+                  | None -> 0))
+              tasks;
+            let views = Hashtbl.fold (fun _ (v, _, _) l -> v :: l) tasks [] in
+            Dream_allocator.reallocate a views
+          end)
+        script;
+      Dream_allocator.check_invariants a = Ok ())
+
+(* ---- Equal ---- *)
+
+let test_equal_shares () =
+  let e = Equal_allocator.create ~capacities:[ (0, 100) ] in
+  let mk i = view ~switches:(Switch_id.Set.singleton 0) ~id:i ~accuracy:(ref 0.5) ~used:(ref 1) () in
+  Equal_allocator.admit e (mk 0);
+  Equal_allocator.admit e (mk 1);
+  Equal_allocator.admit e (mk 2);
+  Alcotest.(check int) "three tasks" 3 (Equal_allocator.tasks_on e 0);
+  let total =
+    List.fold_left
+      (fun acc id ->
+        acc
+        + (match Switch_id.Map.find_opt 0 (Equal_allocator.allocation_of e ~task_id:id) with
+          | Some v -> v
+          | None -> 0))
+      0 [ 0; 1; 2 ]
+  in
+  Alcotest.(check int) "shares fill capacity" 100 total;
+  Equal_allocator.release e ~task_id:1;
+  Alcotest.(check int) "share grows after release" 50
+    (match Switch_id.Map.find_opt 0 (Equal_allocator.allocation_of e ~task_id:0) with
+    | Some v -> v
+    | None -> 0)
+
+let test_equal_more_tasks_than_capacity () =
+  let e = Equal_allocator.create ~capacities:[ (0, 2) ] in
+  let mk i = view ~switches:(Switch_id.Set.singleton 0) ~id:i ~accuracy:(ref 0.5) ~used:(ref 1) () in
+  List.iter (fun i -> Equal_allocator.admit e (mk i)) [ 0; 1; 2; 3 ];
+  let allocs =
+    List.map
+      (fun id ->
+        match Switch_id.Map.find_opt 0 (Equal_allocator.allocation_of e ~task_id:id) with
+        | Some v -> v
+        | None -> 0)
+      [ 0; 1; 2; 3 ]
+  in
+  Alcotest.(check int) "sum within capacity" 2 (List.fold_left ( + ) 0 allocs)
+
+(* ---- Fixed ---- *)
+
+let test_fixed_admission () =
+  let f = Fixed_allocator.create ~fraction_denominator:4 ~capacities:[ (0, 100) ] in
+  Alcotest.(check int) "share" 25 (Fixed_allocator.share f 0);
+  let mk i = view ~switches:(Switch_id.Set.singleton 0) ~id:i ~accuracy:(ref 0.5) ~used:(ref 1) () in
+  Alcotest.(check bool) "1" true (Fixed_allocator.try_admit f (mk 0));
+  Alcotest.(check bool) "2" true (Fixed_allocator.try_admit f (mk 1));
+  Alcotest.(check bool) "3" true (Fixed_allocator.try_admit f (mk 2));
+  Alcotest.(check bool) "4" true (Fixed_allocator.try_admit f (mk 3));
+  Alcotest.(check bool) "5 rejected" false (Fixed_allocator.try_admit f (mk 4));
+  Fixed_allocator.release f ~task_id:0;
+  Alcotest.(check bool) "admits again after release" true (Fixed_allocator.try_admit f (mk 5))
+
+let test_fixed_invalid () =
+  Alcotest.check_raises "k = 0"
+    (Invalid_argument "Fixed_allocator.create: fraction denominator must be positive") (fun () ->
+      ignore (Fixed_allocator.create ~fraction_denominator:0 ~capacities:[ (0, 100) ]))
+
+(* ---- Facade ---- *)
+
+let test_facade_names () =
+  Alcotest.(check string) "dream" "DREAM"
+    (Allocator.strategy_name (Allocator.Dream Dream_allocator.default_config));
+  Alcotest.(check string) "equal" "Equal" (Allocator.strategy_name Allocator.Equal);
+  Alcotest.(check string) "fixed" "Fixed_32" (Allocator.strategy_name (Allocator.Fixed 32))
+
+let test_facade_drop_support () =
+  let caps = [ (0, 100) ] in
+  Alcotest.(check bool) "dream drops" true
+    (Allocator.supports_drop (Allocator.create (Allocator.Dream Dream_allocator.default_config) ~capacities:caps));
+  Alcotest.(check bool) "equal never drops" false
+    (Allocator.supports_drop (Allocator.create Allocator.Equal ~capacities:caps));
+  Alcotest.(check bool) "fixed never drops" false
+    (Allocator.supports_drop (Allocator.create (Allocator.Fixed 32) ~capacities:caps))
+
+let () =
+  Alcotest.run "dream.alloc"
+    [
+      ( "step-policy",
+        [
+          Alcotest.test_case "MM" `Quick test_step_mm;
+          Alcotest.test_case "AA" `Quick test_step_aa;
+          Alcotest.test_case "AM and MA" `Quick test_step_mixed;
+          Alcotest.test_case "clamped" `Quick test_step_clamped;
+          Alcotest.test_case "string roundtrip" `Quick test_step_string_roundtrip;
+        ] );
+      ( "dream",
+        [
+          Alcotest.test_case "admit takes from phantom" `Quick test_admit_takes_from_phantom;
+          Alcotest.test_case "admission rejects without headroom" `Quick
+            test_admission_rejects_without_headroom;
+          Alcotest.test_case "redistributes rich to poor" `Quick test_redistribution_rich_to_poor;
+          Alcotest.test_case "allocation floor" `Quick test_allocation_floor;
+          Alcotest.test_case "release returns to phantom" `Quick test_release_returns_to_phantom;
+          Alcotest.test_case "surplus flows to users" `Quick test_surplus_flows_to_users;
+          Alcotest.test_case "unused allocation reclaimed" `Quick test_unused_allocation_reclaimed;
+          Alcotest.test_case "congestion flag" `Quick test_congestion_flag;
+          Alcotest.test_case "priority under shortage" `Quick
+            test_drop_priority_order_under_shortage;
+          QCheck_alcotest.to_alcotest prop_invariants_random_rounds;
+        ] );
+      ( "equal",
+        [
+          Alcotest.test_case "shares" `Quick test_equal_shares;
+          Alcotest.test_case "more tasks than capacity" `Quick test_equal_more_tasks_than_capacity;
+        ] );
+      ( "fixed",
+        [
+          Alcotest.test_case "admission" `Quick test_fixed_admission;
+          Alcotest.test_case "invalid" `Quick test_fixed_invalid;
+        ] );
+      ( "facade",
+        [
+          Alcotest.test_case "names" `Quick test_facade_names;
+          Alcotest.test_case "drop support" `Quick test_facade_drop_support;
+        ] );
+    ]

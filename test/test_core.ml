@@ -1,0 +1,350 @@
+(* Tests for dream.core: metrics summaries and the controller end-to-end —
+   admission, epochs, capacity safety, completion, drops, determinism, and
+   the delay samples. *)
+
+module Rng = Dream_util.Rng
+module Prefix = Dream_prefix.Prefix
+module Switch_id = Dream_traffic.Switch_id
+module Topology = Dream_traffic.Topology
+module Generator = Dream_traffic.Generator
+module Profile = Dream_traffic.Profile
+module Switch = Dream_switch.Switch
+module Tcam = Dream_switch.Tcam
+module Task_spec = Dream_tasks.Task_spec
+module Allocator = Dream_alloc.Allocator
+module Dream_allocator = Dream_alloc.Dream_allocator
+module Config = Dream_core.Config
+module Metrics = Dream_core.Metrics
+module Controller = Dream_core.Controller
+
+(* ---- Metrics ---- *)
+
+let record ?(kind = Task_spec.Heavy_hitter) ~id ~outcome ~satisfaction () =
+  {
+    Metrics.task_id = id;
+    kind;
+    outcome;
+    arrived_at = 0;
+    ended_at = 100;
+    active_epochs = 100;
+    satisfaction;
+    mean_accuracy = satisfaction;
+  }
+
+let test_metrics_summary () =
+  let records =
+    [
+      record ~id:0 ~outcome:Metrics.Completed ~satisfaction:1.0 ();
+      record ~id:1 ~outcome:Metrics.Completed ~satisfaction:0.5 ();
+      record ~id:2 ~outcome:Metrics.Dropped ~satisfaction:0.0 ();
+      record ~id:3 ~outcome:Metrics.Rejected ~satisfaction:0.0 ();
+    ]
+  in
+  let s = Metrics.summarize records in
+  Alcotest.(check int) "submitted" 4 s.Metrics.submitted;
+  Alcotest.(check int) "admitted" 3 s.Metrics.admitted;
+  Alcotest.(check int) "rejected" 1 s.Metrics.rejected;
+  Alcotest.(check int) "dropped" 1 s.Metrics.dropped;
+  Alcotest.(check (float 1e-9)) "mean over admitted" 50.0 s.Metrics.mean_satisfaction;
+  Alcotest.(check (float 1e-9)) "rejection pct" 25.0 s.Metrics.rejection_pct;
+  Alcotest.(check (float 1e-9)) "drop pct" 25.0 s.Metrics.drop_pct
+
+let test_metrics_empty () =
+  let s = Metrics.summarize [] in
+  Alcotest.(check int) "submitted" 0 s.Metrics.submitted;
+  Alcotest.(check (float 1e-9)) "mean" 0.0 s.Metrics.mean_satisfaction
+
+(* ---- Controller harness ---- *)
+
+let mk_controller ?(config = Config.default) ?(capacity = 512) ?(num_switches = 4)
+    ?(strategy = Allocator.Dream Dream_allocator.default_config) () =
+  Controller.create ~config ~strategy ~num_switches ~capacity
+
+let submit_task controller rng ~filter_index ~duration =
+  let filter = Prefix.nth_descendant Prefix.root ~length:12 (filter_index * 53) in
+  let num_switches = Controller.num_switches controller in
+  let topology =
+    Topology.create rng ~filter ~num_switches ~switches_per_task:(min 4 num_switches)
+  in
+  let spec =
+    Task_spec.make ~kind:Task_spec.Heavy_hitter ~filter ~leaf_length:24 ~threshold:8.0 ()
+  in
+  let generator =
+    Generator.create (Rng.split rng) ~topology ~profile:(Profile.default ~threshold:8.0)
+  in
+  Controller.submit controller ~spec ~topology
+    ~source:(Dream_traffic.Source.of_generator generator)
+    ~duration
+
+let test_controller_admits_and_completes () =
+  let controller = mk_controller () in
+  let rng = Rng.create 3 in
+  (match submit_task controller rng ~filter_index:1 ~duration:30 with
+  | `Admitted id -> Alcotest.(check int) "first id" 0 id
+  | `Rejected -> Alcotest.fail "must admit into an empty network");
+  Alcotest.(check int) "one active" 1 (Controller.active_tasks controller);
+  Controller.run controller ~epochs:31;
+  Alcotest.(check int) "task completed" 0 (Controller.active_tasks controller);
+  match Controller.records controller with
+  | [ r ] ->
+    Alcotest.(check bool) "completed" true (r.Metrics.outcome = Metrics.Completed);
+    Alcotest.(check int) "lived its duration" 30 r.Metrics.active_epochs;
+    Alcotest.(check bool) "was satisfied most of the time" true (r.Metrics.satisfaction > 0.5)
+  | _ -> Alcotest.fail "expected exactly one record"
+
+let test_controller_capacity_never_violated () =
+  let controller = mk_controller ~capacity:64 () in
+  let rng = Rng.create 7 in
+  for i = 0 to 9 do
+    ignore (submit_task controller rng ~filter_index:i ~duration:40)
+  done;
+  for _ = 1 to 50 do
+    Controller.tick controller;
+    Array.iter
+      (fun sw ->
+        Alcotest.(check bool) "used <= capacity" true
+          (Tcam.used (Switch.tcam sw) <= Tcam.capacity (Switch.tcam sw)))
+      (Controller.switches controller)
+  done
+
+let test_controller_rejects_under_overload () =
+  let controller = mk_controller ~capacity:32 () in
+  let rng = Rng.create 11 in
+  let rejected = ref 0 in
+  for i = 0 to 19 do
+    (match submit_task controller rng ~filter_index:i ~duration:60 with
+    | `Rejected -> incr rejected
+    | `Admitted _ -> ());
+    Controller.tick controller;
+    Controller.tick controller
+  done;
+  Alcotest.(check bool)
+    (Printf.sprintf "some rejections on tiny switches (%d)" !rejected)
+    true (!rejected > 0)
+
+let test_controller_reports_available () =
+  let controller = mk_controller () in
+  let rng = Rng.create 5 in
+  (match submit_task controller rng ~filter_index:2 ~duration:30 with
+  | `Admitted _ -> ()
+  | `Rejected -> Alcotest.fail "must admit");
+  Controller.run controller ~epochs:10;
+  (match Controller.last_report controller ~task_id:0 with
+  | Some report -> Alcotest.(check bool) "found heavy hitters" true (Dream_tasks.Report.size report > 0)
+  | None -> Alcotest.fail "expected a report");
+  match Controller.smoothed_accuracy controller ~task_id:0 with
+  | Some a -> Alcotest.(check bool) "accuracy in range" true (a >= 0.0 && a <= 1.0)
+  | None -> Alcotest.fail "expected accuracy"
+
+let run_summary seed =
+  let controller = mk_controller ~capacity:128 () in
+  let rng = Rng.create seed in
+  for i = 0 to 7 do
+    ignore (submit_task controller rng ~filter_index:i ~duration:25)
+  done;
+  Controller.run controller ~epochs:40;
+  Controller.finalize controller;
+  Controller.summary controller
+
+let test_controller_deterministic () =
+  let a = run_summary 21 and b = run_summary 21 in
+  Alcotest.(check (float 1e-9)) "same mean satisfaction" a.Metrics.mean_satisfaction
+    b.Metrics.mean_satisfaction;
+  Alcotest.(check int) "same rejections" a.Metrics.rejected b.Metrics.rejected
+
+let test_controller_finalize_records_partial () =
+  let controller = mk_controller () in
+  let rng = Rng.create 9 in
+  ignore (submit_task controller rng ~filter_index:1 ~duration:1000);
+  Controller.run controller ~epochs:10;
+  Controller.finalize controller;
+  match Controller.records controller with
+  | [ r ] ->
+    Alcotest.(check int) "partial life recorded" 10 r.Metrics.active_epochs;
+    Alcotest.(check bool) "completed outcome" true (r.Metrics.outcome = Metrics.Completed)
+  | _ -> Alcotest.fail "expected one record"
+
+let test_controller_delay_samples () =
+  let controller = mk_controller () in
+  let rng = Rng.create 13 in
+  ignore (submit_task controller rng ~filter_index:1 ~duration:20);
+  Controller.run controller ~epochs:20;
+  let samples = Controller.delay_samples controller in
+  Alcotest.(check int) "one sample per epoch" 20 (List.length samples);
+  List.iter
+    (fun (s : Controller.delay_sample) ->
+      Alcotest.(check bool) "fetch cost non-negative" true (s.Controller.fetch_ms >= 0.0);
+      Alcotest.(check bool) "save cost non-negative" true (s.Controller.save_ms >= 0.0))
+    samples;
+  Alcotest.(check bool) "rules were installed" true (Controller.total_rules_installed controller > 0);
+  Alcotest.(check bool) "counters were fetched" true
+    (Controller.total_rules_fetched controller > Controller.total_rules_installed controller)
+
+let test_controller_prototype_config_degrades () =
+  (* The control-delay model must not crash and should produce plausible
+     (lower or equal) satisfaction vs the ideal simulator. *)
+  let run config =
+    let controller = mk_controller ~config ~capacity:256 () in
+    let rng = Rng.create 17 in
+    for i = 0 to 3 do
+      ignore (submit_task controller rng ~filter_index:i ~duration:30)
+    done;
+    Controller.run controller ~epochs:40;
+    Controller.finalize controller;
+    (Controller.summary controller).Metrics.mean_satisfaction
+  in
+  let ideal = run Config.default in
+  let prototype = run Config.prototype in
+  Alcotest.(check bool)
+    (Printf.sprintf "prototype (%f) close to ideal (%f)" prototype ideal)
+    true
+    (prototype <= ideal +. 15.0)
+
+let test_controller_drops_release_rules () =
+  (* Overload a tiny network so drops occur, and check dropped tasks leave
+     no rules behind. *)
+  let config = { Config.default with Config.drop_threshold = 2 } in
+  let controller = mk_controller ~config ~capacity:24 () in
+  let rng = Rng.create 19 in
+  for i = 0 to 11 do
+    ignore (submit_task controller rng ~filter_index:i ~duration:200)
+  done;
+  Controller.run controller ~epochs:80;
+  let dropped =
+    List.filter (fun r -> r.Metrics.outcome = Metrics.Dropped) (Controller.records controller)
+  in
+  List.iter
+    (fun r ->
+      Array.iter
+        (fun sw ->
+          Alcotest.(check int) "no rules left" 0
+            (Tcam.used_by (Switch.tcam sw) ~owner:r.Metrics.task_id))
+        (Controller.switches controller))
+    dropped;
+  (* Active tasks' installed rules always match their monitors. *)
+  Alcotest.(check bool) "controller still sane" true (Controller.active_tasks controller >= 0)
+
+let test_controller_install_budget_respected () =
+  let config = Config.hardware ~installs_per_epoch:16 in
+  (* Strip the delay model so only the budget differs from default. *)
+  let config = { config with Config.control_delay = None } in
+  let controller = mk_controller ~config ~capacity:256 () in
+  let rng = Rng.create 23 in
+  for i = 0 to 3 do
+    ignore (submit_task controller rng ~filter_index:i ~duration:40)
+  done;
+  let previous = ref 0 in
+  for _ = 1 to 30 do
+    Controller.tick controller;
+    let installed = Controller.total_rules_installed controller in
+    let delta = installed - !previous in
+    previous := installed;
+    (* 4 switches x 16 budget = at most 64 installs per epoch. *)
+    Alcotest.(check bool)
+      (Printf.sprintf "installs per epoch (%d) within budget" delta)
+      true (delta <= 64)
+  done
+
+let test_controller_install_budget_degrades () =
+  let run config =
+    let controller = mk_controller ~config ~capacity:256 () in
+    let rng = Rng.create 29 in
+    for i = 0 to 3 do
+      ignore (submit_task controller rng ~filter_index:i ~duration:40)
+    done;
+    Controller.run controller ~epochs:50;
+    Controller.finalize controller;
+    (Controller.summary controller).Metrics.mean_satisfaction
+  in
+  let unlimited = run Config.default in
+  let throttled =
+    run { Config.default with Config.install_budget = Some 4 }
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "throttled (%f) <= unlimited (%f)" throttled unlimited)
+    true
+    (throttled <= unlimited +. 1e-9)
+
+let test_controller_with_baselines () =
+  List.iter
+    (fun strategy ->
+      let controller = mk_controller ~strategy ~capacity:256 () in
+      let rng = Rng.create 31 in
+      for i = 0 to 5 do
+        ignore (submit_task controller rng ~filter_index:i ~duration:25)
+      done;
+      Controller.run controller ~epochs:35;
+      (* Capacity holds for the baselines too. *)
+      Array.iter
+        (fun sw ->
+          Alcotest.(check bool) "capacity" true
+            (Tcam.used (Switch.tcam sw) <= Tcam.capacity (Switch.tcam sw)))
+        (Controller.switches controller);
+      Controller.finalize controller;
+      let s = Controller.summary controller in
+      Alcotest.(check int) "all accounted" 6 s.Metrics.submitted;
+      Alcotest.(check bool) "sane satisfaction" true
+        (s.Metrics.mean_satisfaction >= 0.0 && s.Metrics.mean_satisfaction <= 100.0))
+    [ Allocator.Equal; Allocator.Fixed 16; Allocator.Fixed 4 ]
+
+let test_controller_replay_source () =
+  (* A recorded trace replays through the controller deterministically. *)
+  let run () =
+    let controller = mk_controller () in
+    let rng = Rng.create 41 in
+    let filter = Prefix.nth_descendant Prefix.root ~length:12 99 in
+    let topology =
+      Topology.create rng ~filter ~num_switches:(Controller.num_switches controller)
+        ~switches_per_task:4
+    in
+    let generator =
+      Generator.create (Rng.split rng) ~topology ~profile:(Profile.default ~threshold:8.0)
+    in
+    let trace = Array.of_list (Dream_traffic.Trace_io.record generator ~epochs:25) in
+    let spec =
+      Task_spec.make ~kind:Task_spec.Heavy_hitter ~filter ~leaf_length:24 ~threshold:8.0 ()
+    in
+    (match
+       Controller.submit controller ~spec ~topology
+         ~source:(Dream_traffic.Source.replay ~cycle:false trace)
+         ~duration:25
+     with
+    | `Admitted _ -> ()
+    | `Rejected -> Alcotest.fail "must admit");
+    Controller.run controller ~epochs:25;
+    Controller.finalize controller;
+    (Controller.summary controller).Metrics.mean_satisfaction
+  in
+  let a = run () and b = run () in
+  Alcotest.(check (float 1e-9)) "replay deterministic" a b;
+  Alcotest.(check bool) "replay satisfies" true (a > 30.0)
+
+let () =
+  Alcotest.run "dream.core"
+    [
+      ( "metrics",
+        [
+          Alcotest.test_case "summary" `Quick test_metrics_summary;
+          Alcotest.test_case "empty" `Quick test_metrics_empty;
+        ] );
+      ( "controller",
+        [
+          Alcotest.test_case "admits and completes" `Quick test_controller_admits_and_completes;
+          Alcotest.test_case "capacity never violated" `Quick test_controller_capacity_never_violated;
+          Alcotest.test_case "rejects under overload" `Quick test_controller_rejects_under_overload;
+          Alcotest.test_case "reports available" `Quick test_controller_reports_available;
+          Alcotest.test_case "deterministic" `Quick test_controller_deterministic;
+          Alcotest.test_case "finalize records partial" `Quick
+            test_controller_finalize_records_partial;
+          Alcotest.test_case "delay samples" `Quick test_controller_delay_samples;
+          Alcotest.test_case "prototype config degrades gracefully" `Quick
+            test_controller_prototype_config_degrades;
+          Alcotest.test_case "drops release rules" `Quick test_controller_drops_release_rules;
+          Alcotest.test_case "install budget respected" `Quick
+            test_controller_install_budget_respected;
+          Alcotest.test_case "install budget degrades satisfaction" `Quick
+            test_controller_install_budget_degrades;
+          Alcotest.test_case "baselines end-to-end" `Quick test_controller_with_baselines;
+          Alcotest.test_case "replay source" `Quick test_controller_replay_source;
+        ] );
+    ]

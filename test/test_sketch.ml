@@ -1,0 +1,369 @@
+(* Tests for dream.sketch: Count-Min invariants (qcheck), sketch-based HH
+   detection on the worked example, the precision estimator, and the
+   DREAM-driven sketch pool. *)
+
+module Prefix = Dream_prefix.Prefix
+module Flow = Dream_traffic.Flow
+module Aggregate = Dream_traffic.Aggregate
+module Task_spec = Dream_tasks.Task_spec
+module Report = Dream_tasks.Report
+module Count_min = Dream_sketch.Count_min
+module Sketch_hh = Dream_sketch.Sketch_hh
+module Sketch_pool = Dream_sketch.Sketch_pool
+module F = Fixtures
+
+(* ---- Count-Min ---- *)
+
+let test_cm_create_invalid () =
+  Alcotest.check_raises "width 0" (Invalid_argument "Count_min.create: width must be positive")
+    (fun () -> ignore (Count_min.create ~width:0 ~depth:4 ~seed:1));
+  Alcotest.check_raises "depth 0" (Invalid_argument "Count_min.create: depth must be positive")
+    (fun () -> ignore (Count_min.create ~width:8 ~depth:0 ~seed:1))
+
+let test_cm_basic_counts () =
+  let s = Count_min.create ~width:64 ~depth:4 ~seed:7 in
+  Count_min.update s ~key:42 10.0;
+  Count_min.update s ~key:42 5.0;
+  Count_min.update s ~key:99 3.0;
+  Alcotest.(check bool) "estimate >= true" true (Count_min.estimate s ~key:42 >= 15.0);
+  Alcotest.(check (float 1e-9)) "total" 18.0 (Count_min.total s);
+  Alcotest.(check int) "cells" 256 (Count_min.cells s)
+
+let test_cm_unseen_key_small () =
+  let s = Count_min.create ~width:1024 ~depth:4 ~seed:7 in
+  Count_min.update s ~key:1 100.0;
+  (* An unseen key collides with probability ~ depth/width per row; with
+     width 1024 its estimate is almost surely 0. *)
+  Alcotest.(check (float 1e-9)) "unseen" 0.0 (Count_min.estimate s ~key:2)
+
+let test_cm_reset () =
+  let s = Count_min.create ~width:16 ~depth:2 ~seed:7 in
+  Count_min.update s ~key:1 5.0;
+  Count_min.reset s;
+  Alcotest.(check (float 1e-9)) "zeroed" 0.0 (Count_min.estimate s ~key:1);
+  Alcotest.(check (float 1e-9)) "total zeroed" 0.0 (Count_min.total s)
+
+let test_cm_merge () =
+  let a = Count_min.create ~width:32 ~depth:3 ~seed:5 in
+  let b = Count_min.create ~width:32 ~depth:3 ~seed:5 in
+  Count_min.update a ~key:7 4.0;
+  Count_min.update b ~key:7 6.0;
+  let m = Count_min.merge a b in
+  Alcotest.(check bool) "merged estimate >= 10" true (Count_min.estimate m ~key:7 >= 10.0);
+  Alcotest.(check (float 1e-9)) "merged total" 10.0 (Count_min.total m)
+
+let test_cm_merge_mismatch () =
+  let a = Count_min.create ~width:32 ~depth:3 ~seed:5 in
+  let b = Count_min.create ~width:16 ~depth:3 ~seed:5 in
+  Alcotest.check_raises "dims" (Invalid_argument "Count_min.merge: dimension mismatch") (fun () ->
+      ignore (Count_min.merge a b));
+  let c = Count_min.create ~width:32 ~depth:3 ~seed:6 in
+  Alcotest.check_raises "seed" (Invalid_argument "Count_min.merge: seed mismatch") (fun () ->
+      ignore (Count_min.merge a c))
+
+let test_cm_error_bound_definition () =
+  let s = Count_min.create ~width:100 ~depth:5 ~seed:1 in
+  Count_min.update s ~key:1 50.0;
+  Alcotest.(check (float 1e-9)) "epsilon" (Float.exp 1.0 /. 100.0) (Count_min.epsilon s);
+  Alcotest.(check (float 1e-9)) "bound = eps * total"
+    (Float.exp 1.0 /. 100.0 *. 50.0)
+    (Count_min.error_bound s);
+  Alcotest.(check (float 1e-9)) "failure prob" (Float.exp (-5.0)) (Count_min.failure_probability s)
+
+let gen_stream =
+  QCheck.Gen.(list_size (int_range 1 200) (pair (int_bound 500) (int_range 1 50)))
+
+let prop_cm_never_undercounts =
+  QCheck.Test.make ~name:"estimate never under-counts" ~count:100 (QCheck.make gen_stream)
+    (fun stream ->
+      let s = Count_min.create ~width:64 ~depth:4 ~seed:3 in
+      List.iter (fun (key, v) -> Count_min.update s ~key (float_of_int v)) stream;
+      let truth = Hashtbl.create 64 in
+      List.iter
+        (fun (key, v) ->
+          Hashtbl.replace truth key
+            ((match Hashtbl.find_opt truth key with Some x -> x | None -> 0.0)
+            +. float_of_int v))
+        stream;
+      Hashtbl.fold
+        (fun key true_v ok -> ok && Count_min.estimate s ~key >= true_v -. 1e-6)
+        truth true)
+
+let prop_cm_merge_equals_concat =
+  QCheck.Test.make ~name:"merge estimates = concatenated-stream estimates" ~count:100
+    (QCheck.make QCheck.Gen.(pair gen_stream gen_stream))
+    (fun (s1, s2) ->
+      let a = Count_min.create ~width:32 ~depth:4 ~seed:9 in
+      let b = Count_min.create ~width:32 ~depth:4 ~seed:9 in
+      let c = Count_min.create ~width:32 ~depth:4 ~seed:9 in
+      List.iter (fun (key, v) -> Count_min.update a ~key (float_of_int v)) s1;
+      List.iter (fun (key, v) -> Count_min.update b ~key (float_of_int v)) s2;
+      List.iter (fun (key, v) -> Count_min.update c ~key (float_of_int v)) (s1 @ s2);
+      let m = Count_min.merge a b in
+      List.for_all
+        (fun (key, _) -> Float.abs (Count_min.estimate m ~key -. Count_min.estimate c ~key) < 1e-6)
+        (s1 @ s2))
+
+(* ---- Sketch HH ---- *)
+
+let example_aggregate () =
+  (F.epoch_data ~epoch:0 ()).Dream_traffic.Epoch_data.combined
+
+let test_sketch_hh_perfect_recall () =
+  (* A generously sized sketch detects exactly the true HHs. *)
+  let task = Sketch_hh.create ~spec:(F.spec ()) ~cells:4096 ~seed:1 () in
+  Sketch_hh.observe_epoch task (example_aggregate ());
+  let report = Sketch_hh.report task ~epoch:0 in
+  let expected = List.sort Prefix.compare (List.map F.leaf F.true_hh_leaves) in
+  let got =
+    List.sort Prefix.compare (List.map (fun (i : Report.item) -> i.Report.prefix) report.Report.items)
+  in
+  Alcotest.(check bool) "exact detection" true (List.equal Prefix.equal expected got);
+  Alcotest.(check (float 1e-9)) "recall 1" 1.0
+    (Sketch_hh.real_accuracy task (example_aggregate ()) ~precision:false);
+  Alcotest.(check bool) "high estimated precision" true (Sketch_hh.estimate_precision task > 0.9)
+
+let test_sketch_hh_recall_never_below_one () =
+  (* Count-Min never under-counts, so every true HH is always reported,
+     whatever the sketch size. *)
+  List.iter
+    (fun cells ->
+      let task = Sketch_hh.create ~spec:(F.spec ()) ~cells ~seed:2 () in
+      Sketch_hh.observe_epoch task (example_aggregate ());
+      Alcotest.(check (float 1e-9))
+        (Printf.sprintf "recall 1 at %d cells" cells)
+        1.0
+        (Sketch_hh.real_accuracy task (example_aggregate ()) ~precision:false))
+    [ 8; 16; 64; 1024 ]
+
+let test_sketch_hh_small_sketch_lower_precision () =
+  (* Tiny sketches collide: more detections, lower precision, and a lower
+     precision estimate. *)
+  let small = Sketch_hh.create ~spec:(F.spec ()) ~cells:8 ~seed:3 () in
+  let large = Sketch_hh.create ~spec:(F.spec ()) ~cells:4096 ~seed:3 () in
+  Sketch_hh.observe_epoch small (example_aggregate ());
+  Sketch_hh.observe_epoch large (example_aggregate ());
+  Alcotest.(check bool) "small estimates less precise" true
+    (Sketch_hh.estimate_precision small <= Sketch_hh.estimate_precision large);
+  Alcotest.(check bool) "small really less precise" true
+    (Sketch_hh.real_accuracy small (example_aggregate ()) ~precision:true
+    <= Sketch_hh.real_accuracy large (example_aggregate ()) ~precision:true)
+
+let test_sketch_hh_resize () =
+  let task = Sketch_hh.create ~spec:(F.spec ()) ~cells:64 ~seed:4 () in
+  Alcotest.(check int) "initial cells" 64 (Sketch_hh.cells task);
+  Sketch_hh.resize task ~cells:256;
+  Sketch_hh.observe_epoch task (example_aggregate ());
+  Alcotest.(check int) "resized" 256 (Sketch_hh.cells task)
+
+let test_sketch_estimator_is_pessimistic () =
+  (* The estimated precision must not exceed the real precision by more
+     than the 0.5-band construction allows; in particular a fully-correct
+     report never gets an estimate of 0. *)
+  let task = Sketch_hh.create ~spec:(F.spec ()) ~cells:512 ~seed:5 () in
+  Sketch_hh.observe_epoch task (example_aggregate ());
+  let est = Sketch_hh.estimate_precision task in
+  Alcotest.(check bool) "estimate in (0, 1]" true (est > 0.0 && est <= 1.0)
+
+(* ---- Sketch pool (DREAM-over-sketches) ---- *)
+
+let test_pool_admission_and_allocation () =
+  let pool = Sketch_pool.create ~capacity:2048 () in
+  let t0 = Sketch_hh.create ~spec:(F.spec ()) ~cells:4 ~seed:1 () in
+  let t1 = Sketch_hh.create ~spec:(F.spec ()) ~cells:4 ~seed:2 () in
+  Alcotest.(check bool) "admit 0" true (Sketch_pool.try_admit pool ~id:0 t0);
+  Alcotest.(check bool) "admit 1" true (Sketch_pool.try_admit pool ~id:1 t1);
+  Alcotest.(check int) "two active" 2 (Sketch_pool.active pool);
+  for _ = 1 to 10 do
+    Sketch_pool.observe_epoch pool (example_aggregate ())
+  done;
+  Alcotest.(check bool) "allocations grew" true
+    (Sketch_pool.allocation pool ~id:0 > 1 && Sketch_pool.allocation pool ~id:1 > 1);
+  Alcotest.(check int) "reports for both" 2 (List.length (Sketch_pool.reports pool ~epoch:10));
+  Sketch_pool.release pool ~id:0;
+  Alcotest.(check int) "one active" 1 (Sketch_pool.active pool);
+  Alcotest.(check int) "released allocation" 0 (Sketch_pool.allocation pool ~id:0)
+
+let test_pool_precision_converges () =
+  let pool = Sketch_pool.create ~capacity:4096 () in
+  let t0 = Sketch_hh.create ~spec:(F.spec ()) ~cells:4 ~seed:1 () in
+  ignore (Sketch_pool.try_admit pool ~id:0 t0);
+  for _ = 1 to 15 do
+    Sketch_pool.observe_epoch pool (example_aggregate ())
+  done;
+  match Sketch_pool.smoothed_precision pool ~id:0 with
+  | Some p -> Alcotest.(check bool) "precision above bound" true (p >= 0.8)
+  | None -> Alcotest.fail "expected precision"
+
+(* ---- Distinct counting ---- *)
+
+module Distinct = Dream_sketch.Distinct
+module Super_spreader = Dream_sketch.Super_spreader
+
+let test_distinct_counts () =
+  let d = Distinct.create ~bits:1024 ~seed:3 in
+  for i = 1 to 100 do
+    Distinct.add d i
+  done;
+  (* Re-adding the same elements must not move the estimate. *)
+  for i = 1 to 100 do
+    Distinct.add d i
+  done;
+  let est = Distinct.estimate d in
+  Alcotest.(check bool)
+    (Printf.sprintf "estimate %.1f near 100" est)
+    true
+    (Float.abs (est -. 100.0) < 15.0)
+
+let test_distinct_empty_and_saturated () =
+  let d = Distinct.create ~bits:8 ~seed:1 in
+  Alcotest.(check (float 1e-9)) "empty" 0.0 (Distinct.estimate d);
+  for i = 0 to 999 do
+    Distinct.add d i
+  done;
+  Alcotest.(check bool) "saturates" true (Distinct.saturated d);
+  Distinct.reset d;
+  Alcotest.(check (float 1e-9)) "reset" 0.0 (Distinct.estimate d)
+
+let test_distinct_merge () =
+  let a = Distinct.create ~bits:512 ~seed:5 and b = Distinct.create ~bits:512 ~seed:5 in
+  for i = 1 to 50 do
+    Distinct.add a i
+  done;
+  for i = 26 to 75 do
+    Distinct.add b i
+  done;
+  Distinct.merge_into a b;
+  let est = Distinct.estimate a in
+  Alcotest.(check bool)
+    (Printf.sprintf "union %.1f near 75" est)
+    true
+    (Float.abs (est -. 75.0) < 15.0);
+  let c = Distinct.create ~bits:256 ~seed:5 in
+  Alcotest.check_raises "size mismatch" (Invalid_argument "Distinct.merge_into: size mismatch")
+    (fun () -> Distinct.merge_into a c)
+
+(* ---- Sampled HH (NetFlow-style baseline) ---- *)
+
+module Sampled_hh = Dream_sketch.Sampled_hh
+
+let test_sampled_full_budget_exact () =
+  (* With a budget covering every flow, sampling is exact. *)
+  let task = Sampled_hh.create ~spec:(F.spec ()) ~budget:1000 ~seed:3 () in
+  Sampled_hh.observe_epoch task (example_aggregate ());
+  Alcotest.(check (float 1e-9)) "recall 1" 1.0
+    (Sampled_hh.real_accuracy task (example_aggregate ()) ~precision:false);
+  Alcotest.(check (float 1e-9)) "precision 1" 1.0
+    (Sampled_hh.real_accuracy task (example_aggregate ()) ~precision:true)
+
+let test_sampled_small_budget_lossy () =
+  (* A budget of 2 records out of 8 flows misses heavy hitters some
+     epochs: average recall over many epochs sits strictly below 1. *)
+  let task = Sampled_hh.create ~spec:(F.spec ()) ~budget:2 ~seed:5 () in
+  let recalls = ref [] in
+  for _ = 1 to 50 do
+    Sampled_hh.observe_epoch task (example_aggregate ());
+    recalls :=
+      Sampled_hh.real_accuracy task (example_aggregate ()) ~precision:false :: !recalls
+  done;
+  let mean = List.fold_left ( +. ) 0.0 !recalls /. 50.0 in
+  Alcotest.(check bool) (Printf.sprintf "mean recall %.2f below 1" mean) true (mean < 0.999);
+  Alcotest.(check bool) "but not hopeless" true (mean > 0.1)
+
+let test_sampled_invalid () =
+  Alcotest.check_raises "budget 0" (Invalid_argument "Sampled_hh.create: budget must be positive")
+    (fun () -> ignore (Sampled_hh.create ~spec:(F.spec ()) ~budget:0 ~seed:1 ()))
+
+(* ---- Super-spreader ---- *)
+
+let scan_epoch sketch =
+  Super_spreader.begin_epoch sketch;
+  (* 50 normal sources contacting 3 destinations each... *)
+  for src = 1 to 50 do
+    for dst = 1 to 3 do
+      Super_spreader.observe sketch ~src ~dst:((src * 100) + dst)
+    done
+  done;
+  (* ... and two scanners sweeping 200 destinations. *)
+  List.iter
+    (fun src ->
+      for dst = 1 to 200 do
+        Super_spreader.observe sketch ~src ~dst
+      done)
+    [ 777; 888 ]
+
+let test_spreader_detects_scanners () =
+  let sketch = Super_spreader.create ~cells:4096 ~threshold:50 ~seed:11 () in
+  scan_epoch sketch;
+  let detected = List.map fst (Super_spreader.detected sketch) in
+  Alcotest.(check (list int)) "exactly the scanners" [ 777; 888 ] detected;
+  Alcotest.(check bool) "high estimated precision" true
+    (Super_spreader.estimate_precision sketch > 0.9)
+
+let test_spreader_perfect_recall_small_sketch () =
+  (* Collisions only inflate fan-out, so scanners are always detected. *)
+  let sketch = Super_spreader.create ~cells:16 ~threshold:50 ~seed:13 () in
+  scan_epoch sketch;
+  let detected = List.map fst (Super_spreader.detected sketch) in
+  Alcotest.(check bool) "777 detected" true (List.mem 777 detected);
+  Alcotest.(check bool) "888 detected" true (List.mem 888 detected);
+  (* And the tiny sketch knows it may be over-reporting. *)
+  Alcotest.(check bool) "estimated precision drops" true
+    (Super_spreader.estimate_precision sketch < 1.0)
+
+let test_spreader_epoch_reset () =
+  let sketch = Super_spreader.create ~cells:4096 ~threshold:50 ~seed:11 () in
+  scan_epoch sketch;
+  Super_spreader.begin_epoch sketch;
+  Alcotest.(check int) "no detections after reset" 0
+    (List.length (Super_spreader.detected sketch))
+
+let () =
+  Alcotest.run "dream.sketch"
+    [
+      ( "count-min",
+        [
+          Alcotest.test_case "create invalid" `Quick test_cm_create_invalid;
+          Alcotest.test_case "basic counts" `Quick test_cm_basic_counts;
+          Alcotest.test_case "unseen key" `Quick test_cm_unseen_key_small;
+          Alcotest.test_case "reset" `Quick test_cm_reset;
+          Alcotest.test_case "merge" `Quick test_cm_merge;
+          Alcotest.test_case "merge mismatch" `Quick test_cm_merge_mismatch;
+          Alcotest.test_case "error bound definition" `Quick test_cm_error_bound_definition;
+          QCheck_alcotest.to_alcotest prop_cm_never_undercounts;
+          QCheck_alcotest.to_alcotest prop_cm_merge_equals_concat;
+        ] );
+      ( "sketch-hh",
+        [
+          Alcotest.test_case "perfect recall, exact detection" `Quick test_sketch_hh_perfect_recall;
+          Alcotest.test_case "recall always 1" `Quick test_sketch_hh_recall_never_below_one;
+          Alcotest.test_case "small sketch, lower precision" `Quick
+            test_sketch_hh_small_sketch_lower_precision;
+          Alcotest.test_case "resize" `Quick test_sketch_hh_resize;
+          Alcotest.test_case "estimator sane" `Quick test_sketch_estimator_is_pessimistic;
+        ] );
+      ( "distinct",
+        [
+          Alcotest.test_case "counts" `Quick test_distinct_counts;
+          Alcotest.test_case "empty and saturated" `Quick test_distinct_empty_and_saturated;
+          Alcotest.test_case "merge" `Quick test_distinct_merge;
+        ] );
+      ( "sampled-hh",
+        [
+          Alcotest.test_case "full budget is exact" `Quick test_sampled_full_budget_exact;
+          Alcotest.test_case "small budget is lossy" `Quick test_sampled_small_budget_lossy;
+          Alcotest.test_case "invalid budget" `Quick test_sampled_invalid;
+        ] );
+      ( "super-spreader",
+        [
+          Alcotest.test_case "detects scanners" `Quick test_spreader_detects_scanners;
+          Alcotest.test_case "perfect recall on tiny sketch" `Quick
+            test_spreader_perfect_recall_small_sketch;
+          Alcotest.test_case "epoch reset" `Quick test_spreader_epoch_reset;
+        ] );
+      ( "sketch-pool",
+        [
+          Alcotest.test_case "admission and allocation" `Quick test_pool_admission_and_allocation;
+          Alcotest.test_case "precision converges" `Quick test_pool_precision_converges;
+        ] );
+    ]

@@ -1,0 +1,201 @@
+(* Tests for dream.switch: TCAM capacity enforcement, incremental sync,
+   counter reads against aggregates, churn statistics, and the control-loop
+   delay model. *)
+
+module Prefix = Dream_prefix.Prefix
+module Flow = Dream_traffic.Flow
+module Aggregate = Dream_traffic.Aggregate
+module Tcam = Dream_switch.Tcam
+module Switch = Dream_switch.Switch
+module Delay_model = Dream_switch.Delay_model
+
+let p = Prefix.of_string
+
+let test_create_invalid () =
+  Alcotest.check_raises "capacity 0" (Invalid_argument "Tcam.create: capacity must be positive")
+    (fun () -> ignore (Tcam.create ~capacity:0))
+
+let test_install_remove () =
+  let t = Tcam.create ~capacity:4 in
+  Alcotest.(check bool) "install ok" true (Tcam.install t ~owner:1 (p "10.0.0.0/8") = Ok ());
+  Alcotest.(check int) "used" 1 (Tcam.used t);
+  Alcotest.(check int) "used_by owner" 1 (Tcam.used_by t ~owner:1);
+  Alcotest.(check bool) "duplicate" true (Tcam.install t ~owner:1 (p "10.0.0.0/8") = Error `Duplicate);
+  Alcotest.(check bool) "removed" true (Tcam.remove t ~owner:1 (p "10.0.0.0/8"));
+  Alcotest.(check bool) "remove absent" false (Tcam.remove t ~owner:1 (p "10.0.0.0/8"));
+  Alcotest.(check int) "empty again" 0 (Tcam.used t)
+
+let test_capacity_enforced () =
+  let t = Tcam.create ~capacity:2 in
+  ignore (Tcam.install t ~owner:1 (p "10.0.0.0/8"));
+  ignore (Tcam.install t ~owner:2 (p "11.0.0.0/8"));
+  Alcotest.(check bool) "full" true (Tcam.install t ~owner:3 (p "12.0.0.0/8") = Error `Capacity);
+  Alcotest.(check int) "free" 0 (Tcam.free t)
+
+let test_same_prefix_two_owners () =
+  let t = Tcam.create ~capacity:4 in
+  Alcotest.(check bool) "owner 1" true (Tcam.install t ~owner:1 (p "10.0.0.0/8") = Ok ());
+  Alcotest.(check bool) "owner 2 same prefix" true (Tcam.install t ~owner:2 (p "10.0.0.0/8") = Ok ());
+  Alcotest.(check int) "two entries" 2 (Tcam.used t)
+
+let test_remove_owner () =
+  let t = Tcam.create ~capacity:8 in
+  ignore (Tcam.install t ~owner:1 (p "10.0.0.0/8"));
+  ignore (Tcam.install t ~owner:1 (p "11.0.0.0/8"));
+  ignore (Tcam.install t ~owner:2 (p "12.0.0.0/8"));
+  Alcotest.(check int) "removed two" 2 (Tcam.remove_owner t ~owner:1);
+  Alcotest.(check int) "other owner kept" 1 (Tcam.used t);
+  Alcotest.(check (list int)) "owners" [ 2 ] (Tcam.owners t)
+
+let test_sync_incremental () =
+  let t = Tcam.create ~capacity:8 in
+  let d = Tcam.sync t ~owner:1 ~prefixes:[ p "10.0.0.0/8"; p "11.0.0.0/8" ] in
+  Alcotest.(check int) "added" 2 d.Tcam.added;
+  Alcotest.(check int) "removed" 0 d.Tcam.removed;
+  (* One rule kept, one swapped. *)
+  let d = Tcam.sync t ~owner:1 ~prefixes:[ p "10.0.0.0/8"; p "12.0.0.0/8" ] in
+  Alcotest.(check int) "added one" 1 d.Tcam.added;
+  Alcotest.(check int) "removed one" 1 d.Tcam.removed;
+  Alcotest.(check int) "still two rules" 2 (Tcam.used_by t ~owner:1);
+  (* No-op sync touches nothing. *)
+  let d = Tcam.sync t ~owner:1 ~prefixes:[ p "10.0.0.0/8"; p "12.0.0.0/8" ] in
+  Alcotest.(check int) "noop added" 0 d.Tcam.added;
+  Alcotest.(check int) "noop removed" 0 d.Tcam.removed
+
+let test_sync_capacity_guard () =
+  let t = Tcam.create ~capacity:2 in
+  ignore (Tcam.sync t ~owner:1 ~prefixes:[ p "10.0.0.0/8" ]);
+  ignore (Tcam.sync t ~owner:2 ~prefixes:[ p "11.0.0.0/8" ]);
+  Alcotest.(check bool) "oversync raises" true
+    (try
+       ignore (Tcam.sync t ~owner:1 ~prefixes:[ p "10.0.0.0/8"; p "12.0.0.0/8" ]);
+       false
+     with Invalid_argument _ -> true)
+
+let test_read_counters () =
+  let t = Tcam.create ~capacity:4 in
+  ignore (Tcam.sync t ~owner:1 ~prefixes:[ p "10.0.0.0/9"; p "10.128.0.0/9" ]);
+  let agg =
+    Aggregate.of_flows
+      [ Flow.make ~addr:0x0A000001 ~volume:3.0; Flow.make ~addr:0x0A800001 ~volume:5.0 ]
+  in
+  let readings = Tcam.read t ~owner:1 agg in
+  Alcotest.(check int) "two counters" 2 (List.length readings);
+  List.iter
+    (fun (q, v) ->
+      if Prefix.equal q (p "10.0.0.0/9") then Alcotest.(check (float 1e-9)) "left" 3.0 v
+      else Alcotest.(check (float 1e-9)) "right" 5.0 v)
+    readings
+
+let test_stats_tracking () =
+  let t = Tcam.create ~capacity:8 in
+  ignore (Tcam.sync t ~owner:1 ~prefixes:[ p "10.0.0.0/8"; p "11.0.0.0/8" ]);
+  ignore (Tcam.read t ~owner:1 Aggregate.empty);
+  ignore (Tcam.sync t ~owner:1 ~prefixes:[ p "11.0.0.0/8" ]);
+  let s = Tcam.stats t in
+  Alcotest.(check int) "installs" 2 s.Tcam.installs;
+  Alcotest.(check int) "removals" 1 s.Tcam.removals;
+  Alcotest.(check int) "fetches" 2 s.Tcam.fetches;
+  Tcam.reset_stats t;
+  let s = Tcam.stats t in
+  Alcotest.(check int) "reset installs" 0 s.Tcam.installs;
+  Alcotest.(check int) "reset fetches" 0 s.Tcam.fetches
+
+let test_rules_sorted () =
+  let t = Tcam.create ~capacity:8 in
+  ignore (Tcam.sync t ~owner:1 ~prefixes:[ p "11.0.0.0/8"; p "10.0.0.0/8" ]);
+  Alcotest.(check (list string)) "prefix order" [ "10.0.0.0/8"; "11.0.0.0/8" ]
+    (List.map Prefix.to_string (Tcam.rules_of t ~owner:1))
+
+(* ---- Switch ---- *)
+
+let test_network () =
+  let switches = Switch.network ~num_switches:4 ~capacity:128 in
+  Alcotest.(check int) "four switches" 4 (Array.length switches);
+  Array.iteri
+    (fun i sw ->
+      Alcotest.(check int) "id is index" i (Switch.id sw);
+      Alcotest.(check int) "capacity" 128 (Switch.capacity sw))
+    switches
+
+(* ---- Delay model ---- *)
+
+let test_delay_fetch_save () =
+  let c = Delay_model.default in
+  let fetch = Delay_model.fetch_ms c ~rules:512 ~switches:1 in
+  let save = Delay_model.save_ms c ~installs:512 ~removals:0 ~switches:1 in
+  (* Paper: saving 512 rules takes under 20 ms on software switches, and
+     per-rule save costs more than per-rule fetch. *)
+  Alcotest.(check bool) "512 saves under 20ms" true (save < 20.0);
+  Alcotest.(check bool) "save/rule > fetch/rule" true (save > fetch)
+
+let test_delay_fetch_dominates_incremental_save () =
+  (* Fetch-all vs save-few (90% unchanged): fetch dominates, matching
+     Section 6.5. *)
+  let c = Delay_model.default in
+  let fetch = Delay_model.fetch_ms c ~rules:1000 ~switches:8 in
+  let save = Delay_model.save_ms c ~installs:100 ~removals:100 ~switches:8 in
+  Alcotest.(check bool) "fetch dominates" true (fetch > save)
+
+let test_delay_miss_fraction () =
+  let c = Delay_model.default in
+  Alcotest.(check (float 1e-9)) "no installs, no loss" 0.0
+    (Delay_model.install_miss_fraction c ~epoch_ms:1000.0 ~installs:0 ~switches:0);
+  let f = Delay_model.install_miss_fraction c ~epoch_ms:1000.0 ~installs:512 ~switches:1 in
+  Alcotest.(check bool) "between 0 and 1" true (f > 0.0 && f < 1.0);
+  let clamped = Delay_model.install_miss_fraction c ~epoch_ms:1.0 ~installs:100000 ~switches:1 in
+  Alcotest.(check (float 1e-9)) "clamped at 1" 1.0 clamped
+
+let prop_sync_idempotent =
+  QCheck.Test.make ~name:"sync to same set is a no-op" ~count:200
+    QCheck.(list_of_size Gen.(int_range 0 20) (int_bound 0xFFFF))
+    (fun addrs ->
+      let t = Tcam.create ~capacity:64 in
+      let prefixes =
+        List.sort_uniq Prefix.compare (List.map Prefix.of_address addrs)
+        |> List.filteri (fun i _ -> i < 60)
+      in
+      ignore (Tcam.sync t ~owner:1 ~prefixes);
+      let d = Tcam.sync t ~owner:1 ~prefixes in
+      d.Tcam.added = 0 && d.Tcam.removed = 0 && Tcam.used_by t ~owner:1 = List.length prefixes)
+
+let prop_used_equals_sum_of_owners =
+  QCheck.Test.make ~name:"used = sum over owners" ~count:100
+    QCheck.(list_of_size Gen.(int_range 0 30) (pair (int_bound 3) (int_bound 0xFF)))
+    (fun entries ->
+      let t = Tcam.create ~capacity:256 in
+      List.iter
+        (fun (owner, addr) -> ignore (Tcam.install t ~owner (Prefix.of_address addr)))
+        entries;
+      let total =
+        List.fold_left (fun acc owner -> acc + Tcam.used_by t ~owner) 0 [ 0; 1; 2; 3 ]
+      in
+      total = Tcam.used t)
+
+let () =
+  Alcotest.run "dream.switch"
+    [
+      ( "tcam",
+        [
+          Alcotest.test_case "create invalid" `Quick test_create_invalid;
+          Alcotest.test_case "install and remove" `Quick test_install_remove;
+          Alcotest.test_case "capacity enforced" `Quick test_capacity_enforced;
+          Alcotest.test_case "same prefix, two owners" `Quick test_same_prefix_two_owners;
+          Alcotest.test_case "remove owner" `Quick test_remove_owner;
+          Alcotest.test_case "incremental sync" `Quick test_sync_incremental;
+          Alcotest.test_case "sync capacity guard" `Quick test_sync_capacity_guard;
+          Alcotest.test_case "read counters" `Quick test_read_counters;
+          Alcotest.test_case "stats tracking" `Quick test_stats_tracking;
+          Alcotest.test_case "rules sorted" `Quick test_rules_sorted;
+          QCheck_alcotest.to_alcotest prop_sync_idempotent;
+          QCheck_alcotest.to_alcotest prop_used_equals_sum_of_owners;
+        ] );
+      ("switch", [ Alcotest.test_case "network" `Quick test_network ]);
+      ( "delay_model",
+        [
+          Alcotest.test_case "fetch and save costs" `Quick test_delay_fetch_save;
+          Alcotest.test_case "fetch dominates incremental save" `Quick
+            test_delay_fetch_dominates_incremental_save;
+          Alcotest.test_case "miss fraction" `Quick test_delay_miss_fraction;
+        ] );
+    ]

@@ -1,0 +1,492 @@
+(* Tests for dream.tasks' task-independent machinery: counters, the monitor
+   configuration, divide-and-merge (Algorithm 2), the multi-switch cover,
+   and the partition invariant under random drills. *)
+
+module Rng = Dream_util.Rng
+module Prefix = Dream_prefix.Prefix
+module Switch_id = Dream_traffic.Switch_id
+module Topology = Dream_traffic.Topology
+module Flow = Dream_traffic.Flow
+module Aggregate = Dream_traffic.Aggregate
+module Epoch_data = Dream_traffic.Epoch_data
+module Task_spec = Dream_tasks.Task_spec
+module Counter = Dream_tasks.Counter
+module Monitor = Dream_tasks.Monitor
+module Score = Dream_tasks.Score
+
+(* A 4-bit universe: filter 10.0.0.0/28, leaves at /32.  Two switches split
+   it at /29 (0*** on one switch, 1*** on the other). *)
+let filter = Prefix.of_string "10.0.0.0/28"
+
+let leaf bits = Prefix.make ~bits:(Prefix.bits filter lor bits) ~length:32
+
+let sub bits length = Prefix.make ~bits:(Prefix.bits filter lor (bits lsl (32 - length))) ~length
+
+let mk_topology () =
+  Topology.create (Rng.create 1) ~filter ~num_switches:2 ~switches_per_task:2
+
+let spec ?(kind = Task_spec.Heavy_hitter) () =
+  Task_spec.make ~kind ~filter ~leaf_length:32 ~threshold:10.0 ()
+
+let mk_monitor ?kind () = Monitor.create ~spec:(spec ?kind ()) ~topology:(mk_topology ())
+
+(* The worked example: volumes per active leaf, threshold 10.
+   HHs: 0000 (12), 0111 (11).  HHHs: 0000, 010*, 0111. *)
+let example_flows =
+  [
+    Flow.make ~addr:(Prefix.bits (leaf 0b0000)) ~volume:12.0;
+    Flow.make ~addr:(Prefix.bits (leaf 0b0001)) ~volume:2.0;
+    Flow.make ~addr:(Prefix.bits (leaf 0b0100)) ~volume:6.0;
+    Flow.make ~addr:(Prefix.bits (leaf 0b0101)) ~volume:7.0;
+    Flow.make ~addr:(Prefix.bits (leaf 0b0111)) ~volume:11.0;
+    Flow.make ~addr:(Prefix.bits (leaf 0b1010)) ~volume:3.0;
+    Flow.make ~addr:(Prefix.bits (leaf 0b1100)) ~volume:4.0;
+    Flow.make ~addr:(Prefix.bits (leaf 0b1111)) ~volume:1.0;
+  ]
+
+let example_epoch ~epoch =
+  let topology = mk_topology () in
+  Epoch_data.of_flows ~epoch
+    (List.filter_map
+       (fun (f : Flow.t) ->
+         match Topology.switch_of_address topology f.Flow.addr with
+         | Some sw -> Some (sw, [ f ])
+         | None -> None)
+       example_flows)
+
+(* Drive one measurement epoch by hand: read desired rules straight off the
+   aggregates, score, and configure. *)
+let step monitor ~allocations ~epoch =
+  let data = example_epoch ~epoch in
+  let readings =
+    Switch_id.Set.fold
+      (fun sw acc ->
+        let agg = Epoch_data.switch_view data sw in
+        (sw, List.map (fun q -> (q, Aggregate.volume agg q)) (Monitor.rules_for monitor sw)) :: acc)
+      (Monitor.switches monitor) []
+  in
+  Monitor.ingest monitor readings;
+  Score.apply monitor;
+  Monitor.configure monitor ~allocations
+
+let allocations_of monitor n =
+  Switch_id.Set.fold
+    (fun sw acc -> Switch_id.Map.add sw n acc)
+    (Monitor.switches monitor) Switch_id.Map.empty
+
+(* ---- Counter ---- *)
+
+let test_counter_basics () =
+  let c = Counter.create ~prefix:(sub 0b01 30) ~switches:(Switch_id.set_of_list [ 0 ]) ~cd_history:0.8 in
+  Alcotest.(check bool) "fresh" true c.Counter.fresh;
+  Alcotest.(check int) "wildcards to /32" 2 (Counter.wildcards c ~leaf_length:32);
+  Alcotest.(check bool) "not exact" false (Counter.is_exact c ~leaf_length:32);
+  Counter.set_volumes c (Switch_id.Map.singleton 0 5.0);
+  Alcotest.(check bool) "no longer fresh" false c.Counter.fresh;
+  Alcotest.(check (float 1e-9)) "total" 5.0 c.Counter.total;
+  Alcotest.(check (float 1e-9)) "volume on switch" 5.0 (Counter.volume_on c 0);
+  Alcotest.(check (float 1e-9)) "volume elsewhere" 0.0 (Counter.volume_on c 1)
+
+let test_counter_cd_mean () =
+  let c = Counter.create ~prefix:(leaf 0) ~switches:Switch_id.Set.empty ~cd_history:0.5 in
+  Counter.set_volumes c (Switch_id.Map.singleton 0 10.0);
+  Alcotest.(check (float 1e-9)) "no history: deviation 0" 0.0 (Counter.cd_deviation c);
+  Counter.update_mean c;
+  Counter.set_volumes c (Switch_id.Map.singleton 0 4.0);
+  Alcotest.(check (float 1e-9)) "deviation vs mean 10" 6.0 (Counter.cd_deviation c)
+
+(* ---- Monitor basics ---- *)
+
+let test_monitor_initial () =
+  let m = mk_monitor () in
+  Alcotest.(check int) "one counter" 1 (Monitor.num_counters m);
+  Alcotest.(check bool) "monitors the filter" true (Monitor.find m filter <> None);
+  Alcotest.(check int) "usage on each switch" 1 (Monitor.usage m 0);
+  Alcotest.(check bool) "partition" true (Monitor.is_partition m)
+
+let test_monitor_drill_finds_heavy_leaves () =
+  let m = mk_monitor () in
+  let allocations = allocations_of m 16 in
+  for epoch = 0 to 5 do
+    step m ~allocations ~epoch
+  done;
+  (* After a few epochs the two heavy leaves must be monitored exactly. *)
+  Alcotest.(check bool) "0000 monitored" true (Monitor.find m (leaf 0b0000) <> None);
+  Alcotest.(check bool) "0111 monitored" true (Monitor.find m (leaf 0b0111) <> None);
+  Alcotest.(check bool) "partition maintained" true (Monitor.is_partition m)
+
+let test_monitor_respects_allocation () =
+  let m = mk_monitor () in
+  let allocations = allocations_of m 3 in
+  for epoch = 0 to 7 do
+    step m ~allocations ~epoch;
+    Switch_id.Set.iter
+      (fun sw ->
+        Alcotest.(check bool)
+          (Printf.sprintf "usage <= alloc on %d (epoch %d)" sw epoch)
+          true
+          (Monitor.usage m sw <= 3))
+      (Monitor.switches m)
+  done
+
+let test_monitor_shrinks_on_reduced_allocation () =
+  let m = mk_monitor () in
+  let big = allocations_of m 16 in
+  for epoch = 0 to 4 do
+    step m ~allocations:big ~epoch
+  done;
+  let before = Monitor.num_counters m in
+  Alcotest.(check bool) "expanded" true (before > 4);
+  let small = allocations_of m 2 in
+  step m ~allocations:small ~epoch:5;
+  Switch_id.Set.iter
+    (fun sw -> Alcotest.(check bool) "fits in 2" true (Monitor.usage m sw <= 2))
+    (Monitor.switches m);
+  Alcotest.(check bool) "partition after shrink" true (Monitor.is_partition m)
+
+let test_monitor_zero_allocation_uninstalls () =
+  let m = mk_monitor () in
+  let allocations =
+    Switch_id.Map.add 0 4 (Switch_id.Map.add 1 0 Switch_id.Map.empty)
+  in
+  step m ~allocations ~epoch:0;
+  Alcotest.(check (list string)) "no rules on switch 1" []
+    (List.map Prefix.to_string (Monitor.rules_for m 1));
+  Alcotest.(check bool) "switch 1 inactive" false (Switch_id.Set.mem 1 (Monitor.active m));
+  Alcotest.(check bool) "switch 0 active" true (Switch_id.Set.mem 0 (Monitor.active m))
+
+let test_monitor_bottlenecked () =
+  let m = mk_monitor () in
+  let allocations = allocations_of m 1 in
+  step m ~allocations ~epoch:0;
+  (* With one counter per switch and the filter spanning both switches,
+     both switches are saturated. *)
+  Alcotest.(check int) "both bottlenecked" 2
+    (Switch_id.Set.cardinal (Monitor.bottlenecked m ~allocations));
+  let loose = allocations_of m 100 in
+  Alcotest.(check int) "none bottlenecked under loose allocations" 0
+    (Switch_id.Set.cardinal (Monitor.bottlenecked m ~allocations:loose))
+
+let test_monitor_drill_direction () =
+  (* The drill goes toward the heavy side: with a modest budget the heavy
+     leaves get exact counters while the light side stays coarse. *)
+  let m = mk_monitor () in
+  let allocations = allocations_of m 6 in
+  for epoch = 0 to 9 do
+    step m ~allocations ~epoch
+  done;
+  Alcotest.(check bool) "heavy leaf resolved" true (Monitor.find m (leaf 0b0000) <> None);
+  Alcotest.(check bool) "light leaf 1111 not resolved" true (Monitor.find m (leaf 0b1111) = None)
+
+(* ---- Accuracy and Report types ---- *)
+
+module Accuracy = Dream_tasks.Accuracy
+module Report = Dream_tasks.Report
+
+let test_accuracy_overall () =
+  let locals = Switch_id.Map.add 0 0.3 (Switch_id.Map.add 1 0.9 Switch_id.Map.empty) in
+  let a = { Accuracy.global = 0.5; locals } in
+  Alcotest.(check (float 1e-9)) "overall takes max" 0.5 (Accuracy.overall a 0);
+  Alcotest.(check (float 1e-9)) "local can exceed global" 0.9 (Accuracy.overall a 1);
+  Alcotest.(check (float 1e-9)) "missing local falls back to global" 0.5 (Accuracy.local a 7);
+  Alcotest.(check (float 1e-9)) "clamp low" 0.0 (Accuracy.clamp (-0.2));
+  Alcotest.(check (float 1e-9)) "clamp high" 1.0 (Accuracy.clamp 1.7)
+
+let test_accuracy_perfect () =
+  let a = Accuracy.perfect ~switches:(Switch_id.set_of_list [ 0; 1 ]) in
+  Alcotest.(check (float 1e-9)) "global 1" 1.0 a.Accuracy.global;
+  Alcotest.(check (float 1e-9)) "locals 1" 1.0 (Accuracy.local a 0)
+
+let test_report_helpers () =
+  let report =
+    {
+      Report.kind = Task_spec.Heavy_hitter;
+      epoch = 3;
+      items =
+        [
+          { Report.prefix = leaf 0b0000; magnitude = 12.0 };
+          { Report.prefix = leaf 0b0111; magnitude = 11.0 };
+        ];
+    }
+  in
+  Alcotest.(check int) "size" 2 (Report.size report);
+  Alcotest.(check int) "prefix set" 2 (Prefix.Set.cardinal (Report.prefixes report));
+  (* pp must render without raising. *)
+  Alcotest.(check bool) "pp renders" true
+    (String.length (Format.asprintf "%a" Report.pp report) > 0)
+
+(* ---- Wider topologies ---- *)
+
+let test_monitor_eight_switches () =
+  (* A /28 filter split over 8 switches (subfilters /31): the partition and
+     budgets must hold through drills with uneven allocations. *)
+  let topology =
+    Topology.create (Rng.create 3)
+      ~filter:(Prefix.of_string "10.0.0.0/28")
+      ~num_switches:8 ~switches_per_task:8
+  in
+  let spec = Task_spec.make ~kind:Task_spec.Heavy_hitter ~filter ~leaf_length:32 ~threshold:10.0 () in
+  let m = Monitor.create ~spec ~topology in
+  let allocations =
+    List.fold_left
+      (fun acc sw -> Switch_id.Map.add sw (1 + (sw mod 3)) acc)
+      Switch_id.Map.empty [ 0; 1; 2; 3; 4; 5; 6; 7 ]
+  in
+  for epoch = 0 to 6 do
+    let data =
+      Epoch_data.of_flows ~epoch
+        (List.filter_map
+           (fun (f : Flow.t) ->
+             match Topology.switch_of_address topology f.Flow.addr with
+             | Some sw -> Some (sw, [ f ])
+             | None -> None)
+           example_flows)
+    in
+    let readings =
+      Switch_id.Set.fold
+        (fun sw acc ->
+          let agg = Epoch_data.switch_view data sw in
+          (sw, List.map (fun q -> (q, Aggregate.volume agg q)) (Monitor.rules_for m sw)) :: acc)
+        (Monitor.switches m) []
+    in
+    Monitor.ingest m readings;
+    Score.apply m;
+    Monitor.configure m ~allocations;
+    Alcotest.(check bool) "partition" true (Monitor.is_partition m);
+    Switch_id.Map.iter
+      (fun sw alloc ->
+        Alcotest.(check bool)
+          (Printf.sprintf "budget on %d" sw)
+          true
+          (Monitor.usage m sw <= alloc))
+      allocations
+  done
+
+(* ---- Cover ---- *)
+
+let test_cover_empty_set () =
+  let m = mk_monitor () in
+  match Monitor.Cover.solve m ~exclude:None Switch_id.Set.empty with
+  | Some sol ->
+    Alcotest.(check int) "no ancestors" 0 (List.length sol.Monitor.Cover.ancestors);
+    Alcotest.(check (float 1e-9)) "zero cost" 0.0 sol.Monitor.Cover.cost
+  | None -> Alcotest.fail "empty set must be coverable"
+
+let test_cover_single_counter_uncoverable () =
+  let m = mk_monitor () in
+  (* Only the filter counter exists: nothing can merge, so no cover. *)
+  Alcotest.(check bool) "uncoverable" true
+    (Monitor.Cover.solve m ~exclude:None (Switch_id.Set.singleton 0) = None)
+
+let test_cover_finds_mergeable_ancestor () =
+  let m = mk_monitor () in
+  let allocations = allocations_of m 8 in
+  for epoch = 0 to 4 do
+    step m ~allocations ~epoch
+  done;
+  (* Both switches have multiple counters now; a cover for either switch
+     must exist and actually free an entry there. *)
+  Switch_id.Set.iter
+    (fun sw ->
+      if Monitor.usage m sw >= 2 then begin
+        match Monitor.Cover.solve m ~exclude:None (Switch_id.Set.singleton sw) with
+        | Some sol ->
+          Alcotest.(check bool) "non-empty" true (sol.Monitor.Cover.ancestors <> []);
+          List.iter
+            (fun anc ->
+              Alcotest.(check bool) "ancestor within filter" true (Prefix.covers filter anc))
+            sol.Monitor.Cover.ancestors
+        | None -> Alcotest.fail "expected a cover"
+      end)
+    (Monitor.switches m)
+
+let test_cover_multi_switch () =
+  (* Cover a two-switch overload set: applying the merges must free at
+     least one entry on each requested switch. *)
+  let m = mk_monitor () in
+  let allocations = allocations_of m 8 in
+  for epoch = 0 to 4 do
+    step m ~allocations ~epoch
+  done;
+  let f = Switch_id.set_of_list [ 0; 1 ] in
+  if Monitor.usage m 0 >= 2 && Monitor.usage m 1 >= 2 then begin
+    let before0 = Monitor.usage m 0 and before1 = Monitor.usage m 1 in
+    match Monitor.Cover.solve m ~exclude:None f with
+    | Some sol ->
+      (* Apply the merges by configuring with allocations one below the
+         current usage on both switches. *)
+      Alcotest.(check bool) "positive cost for real counters" true (sol.Monitor.Cover.cost >= 0.0);
+      let tight =
+        Switch_id.Map.add 0 (before0 - 1) (Switch_id.Map.add 1 (before1 - 1) Switch_id.Map.empty)
+      in
+      Monitor.configure m ~allocations:tight;
+      Alcotest.(check bool) "freed on 0" true (Monitor.usage m 0 <= before0 - 1);
+      Alcotest.(check bool) "freed on 1" true (Monitor.usage m 1 <= before1 - 1);
+      Alcotest.(check bool) "still a partition" true (Monitor.is_partition m)
+    | None -> Alcotest.fail "expected a multi-switch cover"
+  end
+
+(* ---- Partition invariant under random allocation schedules ---- *)
+
+let prop_partition_under_random_allocations =
+  QCheck.Test.make ~name:"partition + budgets hold under random allocation schedules" ~count:30
+    QCheck.(list_of_size Gen.(int_range 1 12) (int_range 1 12))
+    (fun allocation_schedule ->
+      let m = mk_monitor () in
+      List.for_all
+        (fun n ->
+          let allocations = allocations_of m n in
+          let epoch = Random.int 1000 in
+          step m ~allocations ~epoch;
+          Monitor.is_partition m
+          && Switch_id.Set.for_all
+               (fun sw -> Monitor.usage m sw <= n)
+               (Monitor.switches m))
+        allocation_schedule)
+
+(* ---- Score ---- *)
+
+let test_score_hh () =
+  let s = spec () in
+  let c = Counter.create ~prefix:(sub 0b01 30) ~switches:Switch_id.Set.empty ~cd_history:0.8 in
+  Counter.set_volumes c (Switch_id.Map.singleton 0 30.0);
+  (* volume 30 over (2 wildcards + 1). *)
+  Alcotest.(check (float 1e-9)) "volume / (wildcards+1)" 10.0 (Score.of_counter s c);
+  Counter.set_volumes c (Switch_id.Map.singleton 0 9.0);
+  Alcotest.(check (float 1e-9)) "sub-threshold scores zero" 0.0 (Score.of_counter s c)
+
+let test_score_hhh () =
+  let s = spec ~kind:Task_spec.Hierarchical_heavy_hitter () in
+  let c = Counter.create ~prefix:(sub 0b01 30) ~switches:Switch_id.Set.empty ~cd_history:0.8 in
+  Counter.set_volumes c (Switch_id.Map.singleton 0 30.0);
+  Alcotest.(check (float 1e-9)) "raw volume" 30.0 (Score.of_counter s c)
+
+let test_score_cd () =
+  let s = spec ~kind:Task_spec.Change_detection () in
+  let c = Counter.create ~prefix:(sub 0b01 30) ~switches:Switch_id.Set.empty ~cd_history:0.8 in
+  Counter.set_volumes c (Switch_id.Map.singleton 0 30.0);
+  Counter.update_mean c;
+  Counter.set_volumes c (Switch_id.Map.singleton 0 0.0);
+  (* deviation 30 over 3; CD scores sub-threshold deviations too (floored
+     only below threshold/8). *)
+  Alcotest.(check (float 1e-9)) "deviation / (wildcards+1)" 10.0 (Score.of_counter s c);
+  Counter.set_volumes c (Switch_id.Map.singleton 0 26.0);
+  Alcotest.(check bool) "sub-threshold deviation still scores" true (Score.of_counter s c > 0.0);
+  Counter.set_volumes c (Switch_id.Map.singleton 0 29.5);
+  Alcotest.(check (float 1e-9)) "dead-calm scores zero" 0.0 (Score.of_counter s c)
+
+let () =
+  Alcotest.run "dream.tasks"
+    [
+      ( "counter",
+        [
+          Alcotest.test_case "basics" `Quick test_counter_basics;
+          Alcotest.test_case "cd mean" `Quick test_counter_cd_mean;
+        ] );
+      ( "monitor",
+        [
+          Alcotest.test_case "initial state" `Quick test_monitor_initial;
+          Alcotest.test_case "drill finds heavy leaves" `Quick test_monitor_drill_finds_heavy_leaves;
+          Alcotest.test_case "respects allocation" `Quick test_monitor_respects_allocation;
+          Alcotest.test_case "shrinks on reduced allocation" `Quick
+            test_monitor_shrinks_on_reduced_allocation;
+          Alcotest.test_case "zero allocation uninstalls" `Quick
+            test_monitor_zero_allocation_uninstalls;
+          Alcotest.test_case "bottleneck detection" `Quick test_monitor_bottlenecked;
+          Alcotest.test_case "drill direction" `Quick test_monitor_drill_direction;
+          QCheck_alcotest.to_alcotest prop_partition_under_random_allocations;
+        ] );
+      ( "cover",
+        [
+          Alcotest.test_case "empty set" `Quick test_cover_empty_set;
+          Alcotest.test_case "single counter uncoverable" `Quick
+            test_cover_single_counter_uncoverable;
+          Alcotest.test_case "finds mergeable ancestor" `Quick test_cover_finds_mergeable_ancestor;
+          Alcotest.test_case "multi-switch cover" `Quick test_cover_multi_switch;
+        ] );
+      ( "task-spec",
+        [
+          Alcotest.test_case "priority translation" `Quick (fun () ->
+              Alcotest.(check (float 1e-9)) "normal is the default bound" 0.8
+                (Task_spec.bound_of_priority Task_spec.Normal);
+              Alcotest.(check bool) "critical above high" true
+                (Task_spec.bound_of_priority Task_spec.Critical
+                > Task_spec.bound_of_priority Task_spec.High);
+              Alcotest.(check bool) "background dropped first" true
+                (Task_spec.drop_priority_of Task_spec.Background
+                > Task_spec.drop_priority_of Task_spec.Critical));
+          Alcotest.test_case "accuracy metric per kind" `Quick (fun () ->
+              let m k = Task_spec.accuracy_metric (spec ~kind:k ()) in
+              Alcotest.(check bool) "HH recall" true (m Task_spec.Heavy_hitter = `Recall);
+              Alcotest.(check bool) "HHH precision" true
+                (m Task_spec.Hierarchical_heavy_hitter = `Precision);
+              Alcotest.(check bool) "CD recall" true (m Task_spec.Change_detection = `Recall));
+          Alcotest.test_case "spec validation" `Quick (fun () ->
+              Alcotest.(check bool) "bad threshold" true
+                (try
+                   ignore (Task_spec.make ~kind:Task_spec.Heavy_hitter ~filter ~threshold:0.0 ());
+                   false
+                 with Invalid_argument _ -> true);
+              Alcotest.(check bool) "bad leaf length" true
+                (try
+                   ignore
+                     (Task_spec.make ~kind:Task_spec.Heavy_hitter ~filter ~leaf_length:20
+                        ~threshold:1.0 ());
+                   false
+                 with Invalid_argument _ -> true));
+        ] );
+      ( "accuracy-report",
+        [
+          Alcotest.test_case "overall accuracy" `Quick test_accuracy_overall;
+          Alcotest.test_case "perfect" `Quick test_accuracy_perfect;
+          Alcotest.test_case "report helpers" `Quick test_report_helpers;
+          Alcotest.test_case "eight-switch monitor" `Quick test_monitor_eight_switches;
+        ] );
+      ( "query",
+        [
+          Alcotest.test_case "builder happy path" `Quick (fun () ->
+              let module Query = Dream_tasks.Query in
+              match
+                Query.(
+                  heavy_hitters ~over:"10.0.0.0/8"
+                  |> exceeding_mb 16.0
+                  |> with_accuracy 0.9
+                  |> drill_to 24
+                  |> to_spec)
+              with
+              | Ok spec ->
+                Alcotest.(check bool) "kind" true (spec.Task_spec.kind = Task_spec.Heavy_hitter);
+                Alcotest.(check (float 1e-9)) "threshold" 16.0 spec.Task_spec.threshold;
+                Alcotest.(check (float 1e-9)) "bound" 0.9 spec.Task_spec.accuracy_bound;
+                Alcotest.(check int) "leaf" 24 spec.Task_spec.leaf_length
+              | Error msg -> Alcotest.fail msg);
+          Alcotest.test_case "priority sets bound and drop order" `Quick (fun () ->
+              let module Query = Dream_tasks.Query in
+              match
+                Query.(changes ~over:"172.16.0.0/12" |> with_priority Task_spec.High |> to_spec)
+              with
+              | Ok spec ->
+                Alcotest.(check (float 1e-9)) "bound from priority" 0.9
+                  spec.Task_spec.accuracy_bound;
+                Alcotest.(check int) "drop priority" (Task_spec.drop_priority_of Task_spec.High)
+                  spec.Task_spec.drop_priority
+              | Error msg -> Alcotest.fail msg);
+          Alcotest.test_case "builder errors" `Quick (fun () ->
+              let module Query = Dream_tasks.Query in
+              let is_err q = Result.is_error (Query.to_spec q) in
+              Alcotest.(check bool) "bad prefix" true
+                (is_err Query.(heavy_hitters ~over:"nonsense"));
+              Alcotest.(check bool) "bad threshold" true
+                (is_err Query.(heavy_hitters ~over:"10.0.0.0/8" |> exceeding_mb (-1.0)));
+              Alcotest.(check bool) "bad accuracy" true
+                (is_err Query.(heavy_hitters ~over:"10.0.0.0/8" |> with_accuracy 1.5));
+              Alcotest.(check bool) "drill above filter" true
+                (is_err Query.(heavy_hitters ~over:"10.0.0.0/8" |> drill_to 8)));
+        ] );
+      ( "score",
+        [
+          Alcotest.test_case "hh" `Quick test_score_hh;
+          Alcotest.test_case "hhh" `Quick test_score_hhh;
+          Alcotest.test_case "cd" `Quick test_score_cd;
+        ] );
+    ]

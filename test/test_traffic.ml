@@ -1,0 +1,420 @@
+(* Tests for dream.traffic: flow combination, aggregate prefix-volume
+   queries (against a brute-force model), topology switch mapping, traffic
+   profiles and the synthetic generator's calibration and determinism. *)
+
+module Rng = Dream_util.Rng
+module Prefix = Dream_prefix.Prefix
+module Flow = Dream_traffic.Flow
+module Aggregate = Dream_traffic.Aggregate
+module Switch_id = Dream_traffic.Switch_id
+module Topology = Dream_traffic.Topology
+module Profile = Dream_traffic.Profile
+module Generator = Dream_traffic.Generator
+module Epoch_data = Dream_traffic.Epoch_data
+
+let p = Prefix.of_string
+
+let flow addr volume = Flow.make ~addr ~volume
+
+(* ---- Flow ---- *)
+
+let test_flow_combine () =
+  let combined = Flow.combine [ flow 5 1.0; flow 3 2.0; flow 5 4.0 ] in
+  Alcotest.(check int) "two distinct addrs" 2 (List.length combined);
+  (match combined with
+  | [ a; b ] ->
+    Alcotest.(check int) "sorted" 3 a.Flow.addr;
+    Alcotest.(check (float 1e-9)) "summed" 5.0 b.Flow.volume
+  | _ -> Alcotest.fail "expected two flows");
+  Alcotest.(check (float 1e-9)) "total" 7.0 (Flow.total_volume combined)
+
+(* ---- Aggregate ---- *)
+
+let sample_flows =
+  [ flow 0x0A000001 1.0; flow 0x0A000002 2.0; flow 0x0A800000 4.0; flow 0x0B000000 8.0 ]
+
+let test_aggregate_volume () =
+  let a = Aggregate.of_flows sample_flows in
+  Alcotest.(check (float 1e-9)) "whole space" 15.0 (Aggregate.volume a Prefix.root);
+  Alcotest.(check (float 1e-9)) "10/8" 7.0 (Aggregate.volume a (p "10.0.0.0/8"));
+  Alcotest.(check (float 1e-9)) "10/9 left" 3.0 (Aggregate.volume a (p "10.0.0.0/9"));
+  Alcotest.(check (float 1e-9)) "exact" 2.0 (Aggregate.volume a (p "10.0.0.2/32"));
+  Alcotest.(check (float 1e-9)) "empty region" 0.0 (Aggregate.volume a (p "192.0.0.0/8"))
+
+let test_aggregate_counts () =
+  let a = Aggregate.of_flows sample_flows in
+  Alcotest.(check int) "addresses under 10/8" 3 (Aggregate.count_addresses a (p "10.0.0.0/8"));
+  Alcotest.(check int) "all" 4 (Aggregate.num_addresses a);
+  Alcotest.(check (float 1e-9)) "total" 15.0 (Aggregate.total a)
+
+let test_aggregate_flows_in () =
+  let a = Aggregate.of_flows sample_flows in
+  let inside = Aggregate.flows_in a (p "10.0.0.0/9") in
+  Alcotest.(check int) "two flows" 2 (List.length inside)
+
+let test_aggregate_merge () =
+  let a = Aggregate.of_flows [ flow 1 1.0; flow 2 2.0 ] in
+  let b = Aggregate.of_flows [ flow 2 3.0; flow 9 4.0 ] in
+  let m = Aggregate.merge a b in
+  Alcotest.(check (float 1e-9)) "overlap summed" 5.0 (Aggregate.volume m (Prefix.of_address 2));
+  Alcotest.(check int) "distinct addrs" 3 (Aggregate.num_addresses m)
+
+let test_aggregate_empty () =
+  Alcotest.(check (float 1e-9)) "empty total" 0.0 (Aggregate.total Aggregate.empty);
+  Alcotest.(check int) "no addresses" 0 (Aggregate.num_addresses Aggregate.empty)
+
+let gen_flows =
+  QCheck.Gen.(
+    list_size (int_range 0 60)
+      (map2 (fun a v -> flow (a land 0xFFFF) (float_of_int (v + 1))) (int_bound 0xFFFF)
+         (int_bound 100)))
+
+let gen_prefix16 =
+  QCheck.Gen.(
+    int_range 16 32 >>= fun length ->
+    map (fun bits -> Prefix.make ~bits:(bits land 0xFFFF) ~length) (int_bound 0xFFFF))
+
+let prop_aggregate_volume_model =
+  QCheck.Test.make ~name:"aggregate volume = brute force sum" ~count:300
+    (QCheck.make QCheck.Gen.(pair gen_flows gen_prefix16))
+    (fun (flows, q) ->
+      let a = Aggregate.of_flows flows in
+      let expected =
+        List.fold_left
+          (fun acc (f : Flow.t) ->
+            if Prefix.contains q f.Flow.addr then acc +. f.Flow.volume else acc)
+          0.0 flows
+      in
+      Float.abs (Aggregate.volume a q -. expected) < 1e-6)
+
+let prop_aggregate_children_sum =
+  QCheck.Test.make ~name:"children volumes sum to parent" ~count:300
+    (QCheck.make QCheck.Gen.(pair gen_flows gen_prefix16))
+    (fun (flows, q) ->
+      let a = Aggregate.of_flows flows in
+      match Prefix.children q with
+      | None -> true
+      | Some (l, r) ->
+        Float.abs (Aggregate.volume a q -. (Aggregate.volume a l +. Aggregate.volume a r)) < 1e-6)
+
+(* ---- Topology ---- *)
+
+let mk_topology ?(seed = 1) ?(num_switches = 8) ?(switches_per_task = 4) () =
+  Topology.create (Rng.create seed) ~filter:(p "10.16.0.0/12") ~num_switches ~switches_per_task
+
+let test_topology_subfilters () =
+  let t = mk_topology () in
+  let subs = Topology.subfilters t in
+  Alcotest.(check int) "k subfilters" 4 (List.length subs);
+  List.iter
+    (fun (sub, _) -> Alcotest.(check int) "length filter+2" 14 (Prefix.length sub))
+    subs;
+  let switches = List.map snd subs in
+  Alcotest.(check int) "distinct switches" 4 (List.length (List.sort_uniq compare switches))
+
+let test_topology_switch_set () =
+  let t = mk_topology () in
+  Alcotest.(check int) "filter sees all 4" 4
+    (Switch_id.Set.cardinal (Topology.switch_set t (p "10.16.0.0/12")));
+  Alcotest.(check int) "subfilter sees 1" 1
+    (Switch_id.Set.cardinal (Topology.switch_set t (p "10.16.0.0/14")));
+  Alcotest.(check int) "deep prefix sees 1" 1
+    (Switch_id.Set.cardinal (Topology.switch_set t (p "10.16.3.0/24")));
+  Alcotest.(check int) "outside filter sees none" 0
+    (Switch_id.Set.cardinal (Topology.switch_set t (p "11.0.0.0/12")))
+
+let test_topology_switch_of_address () =
+  let t = mk_topology () in
+  (match Topology.switch_of_address t 0x0A100001 with
+  | Some sw -> Alcotest.(check bool) "valid switch" true (sw >= 0 && sw < 8)
+  | None -> Alcotest.fail "address inside filter must map");
+  Alcotest.(check bool) "outside filter" true (Topology.switch_of_address t 0x0B000000 = None)
+
+let test_topology_address_consistent_with_set () =
+  let t = mk_topology ~seed:3 () in
+  let rng = Rng.create 5 in
+  for _ = 1 to 200 do
+    let addr = 0x0A100000 + Rng.int rng (1 lsl 20) in
+    match Topology.switch_of_address t addr with
+    | Some sw ->
+      let set = Topology.switch_set t (Prefix.of_address addr) in
+      Alcotest.(check bool) "switch_set contains switch_of_address" true
+        (Switch_id.Set.mem sw set)
+    | None -> Alcotest.fail "inside filter"
+  done
+
+let test_topology_validation () =
+  Alcotest.check_raises "non power of two"
+    (Invalid_argument "Topology.create: switches_per_task must be a power of two") (fun () ->
+      ignore (mk_topology ~switches_per_task:3 ()));
+  Alcotest.check_raises "more than switches"
+    (Invalid_argument "Topology.create: switches_per_task exceeds num_switches") (fun () ->
+      ignore (mk_topology ~num_switches:2 ~switches_per_task:4 ()))
+
+(* ---- Profile ---- *)
+
+let test_profile_default_valid () =
+  match Profile.validate (Profile.default ~threshold:8.0) with
+  | Ok () -> ()
+  | Error m -> Alcotest.fail m
+
+let test_profile_invalid () =
+  let base = Profile.default ~threshold:8.0 in
+  let bad = { base with Profile.churn = 1.5 } in
+  Alcotest.(check bool) "churn out of range" true (Result.is_error (Profile.validate bad));
+  let bad = { base with Profile.heavy_alpha = 0.9 } in
+  Alcotest.(check bool) "alpha too small" true (Result.is_error (Profile.validate bad));
+  let bad =
+    {
+      base with
+      Profile.phases =
+        [ { Profile.start_epoch = 10; heavy_scale = 1.0 }; { Profile.start_epoch = 5; heavy_scale = 1.0 } ];
+    }
+  in
+  Alcotest.(check bool) "unsorted phases" true (Result.is_error (Profile.validate bad))
+
+(* ---- Generator ---- *)
+
+let mk_generator ?(seed = 7) ?(profile = Profile.default ~threshold:8.0) () =
+  let rng = Rng.create seed in
+  let topology = mk_topology ~seed () in
+  Generator.create (Rng.split rng) ~topology ~profile
+
+let test_generator_deterministic () =
+  let volumes g =
+    List.init 5 (fun _ -> Aggregate.total (Generator.next g).Epoch_data.combined)
+  in
+  let a = volumes (mk_generator ()) and b = volumes (mk_generator ()) in
+  Alcotest.(check (list (float 1e-9))) "same trace" a b
+
+let test_generator_heavy_calibration () =
+  (* The default profile should actually produce roughly heavy_count
+     sources above the threshold. *)
+  let profile = Profile.default ~threshold:8.0 in
+  let g = mk_generator ~profile () in
+  let data = Generator.next g in
+  let heavies =
+    Aggregate.fold data.Epoch_data.combined ~init:0 ~f:(fun acc f ->
+        if f.Flow.volume > 8.0 then acc + 1 else acc)
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "heavies %d near nominal %d" heavies profile.Profile.heavy_count)
+    true
+    (heavies >= profile.Profile.heavy_count / 2 && heavies <= profile.Profile.heavy_count * 2)
+
+let test_generator_within_filter () =
+  let g = mk_generator () in
+  let data = Generator.next g in
+  Aggregate.fold data.Epoch_data.combined ~init:() ~f:(fun () f ->
+      Alcotest.(check bool) "flow inside filter" true
+        (Prefix.contains (p "10.16.0.0/12") f.Flow.addr))
+
+let test_generator_phases_scale_population () =
+  let profile =
+    {
+      (Profile.steady ~threshold:8.0 ~heavy_count:20) with
+      Profile.phases =
+        [
+          { Profile.start_epoch = 0; heavy_scale = 1.0 };
+          { Profile.start_epoch = 10; heavy_scale = 2.0 };
+        ];
+    }
+  in
+  let g = mk_generator ~profile () in
+  (* Epoch 9 (the 10th produced) is still before the phase boundary;
+     epoch 10 doubles the population. *)
+  for _ = 1 to 10 do
+    ignore (Generator.next g)
+  done;
+  Alcotest.(check int) "before phase" 20 (Generator.active_heavy_count g);
+  ignore (Generator.next g);
+  Alcotest.(check int) "after phase doubles" 40 (Generator.active_heavy_count g)
+
+let test_generator_per_switch_split () =
+  let g = mk_generator () in
+  let data = Generator.next g in
+  let sum_parts =
+    Switch_id.Map.fold (fun _ agg acc -> acc +. Aggregate.total agg) data.Epoch_data.per_switch 0.0
+  in
+  Alcotest.(check (float 1e-6)) "per-switch volumes sum to combined"
+    (Aggregate.total data.Epoch_data.combined)
+    sum_parts;
+  Alcotest.(check bool) "several active switches" true
+    (Switch_id.Set.cardinal (Epoch_data.active_switches data) >= 2)
+
+let test_generator_skip () =
+  let a = mk_generator () and b = mk_generator () in
+  for _ = 1 to 5 do
+    ignore (Generator.next a)
+  done;
+  Generator.skip b 5;
+  Alcotest.(check int) "epoch advanced" (Generator.current_epoch a) (Generator.current_epoch b);
+  (* The traces stay aligned: same epoch index produced next. *)
+  let da = Generator.next a and db = Generator.next b in
+  Alcotest.(check int) "same epoch index" da.Epoch_data.epoch db.Epoch_data.epoch
+
+let test_generator_steady_no_churn () =
+  let profile = Profile.steady ~threshold:8.0 ~heavy_count:10 in
+  let g = mk_generator ~profile () in
+  let d1 = Generator.next g in
+  let d2 = Generator.next g in
+  (* No churn, no jitter: the exact same addresses and volumes. *)
+  let flows agg = Aggregate.fold agg ~init:[] ~f:(fun acc f -> f :: acc) in
+  Alcotest.(check int) "same flow count"
+    (List.length (flows d1.Epoch_data.combined))
+    (List.length (flows d2.Epoch_data.combined));
+  List.iter2
+    (fun (a : Flow.t) (b : Flow.t) ->
+      Alcotest.(check int) "same addr" a.Flow.addr b.Flow.addr;
+      Alcotest.(check (float 1e-9)) "same volume" a.Flow.volume b.Flow.volume)
+    (flows d1.Epoch_data.combined)
+    (flows d2.Epoch_data.combined)
+
+(* ---- Trace_io / Source ---- *)
+
+module Trace_io = Dream_traffic.Trace_io
+module Source = Dream_traffic.Source
+module Epoch_data_m = Dream_traffic.Epoch_data
+
+let roundtrip_epochs () =
+  let g = mk_generator () in
+  Trace_io.record g ~epochs:5
+
+let test_trace_roundtrip () =
+  let epochs = roundtrip_epochs () in
+  let path = Filename.temp_file "dream_trace" ".txt" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Trace_io.save_file path epochs;
+      match Trace_io.load_file path with
+      | Error msg -> Alcotest.fail msg
+      | Ok loaded ->
+        Alcotest.(check int) "same epoch count" (List.length epochs) (List.length loaded);
+        List.iter2
+          (fun (a : Epoch_data_m.t) (b : Epoch_data_m.t) ->
+            Alcotest.(check int) "epoch index" a.Epoch_data_m.epoch b.Epoch_data_m.epoch;
+            Alcotest.(check (float 1e-3)) "total volume"
+              (Aggregate.total a.Epoch_data_m.combined)
+              (Aggregate.total b.Epoch_data_m.combined);
+            Alcotest.(check int) "flow count"
+              (Aggregate.num_addresses a.Epoch_data_m.combined)
+              (Aggregate.num_addresses b.Epoch_data_m.combined))
+          epochs loaded)
+
+let read_of_string s =
+  let path = Filename.temp_file "dream_trace_in" ".txt" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let out = open_out path in
+      output_string out s;
+      close_out out;
+      let input = open_in path in
+      Fun.protect ~finally:(fun () -> close_in input) (fun () -> Trace_io.read input))
+
+let test_trace_read_simple () =
+  match read_of_string "# c\n0 0 10.0.0.1 2.5\n0 1 10.0.0.2 1.0\n2 0 10.0.0.1 3.0\n" with
+  | Error msg -> Alcotest.fail msg
+  | Ok [ e0; e2 ] ->
+    Alcotest.(check int) "first epoch" 0 e0.Epoch_data_m.epoch;
+    Alcotest.(check int) "second epoch" 2 e2.Epoch_data_m.epoch;
+    Alcotest.(check (float 1e-9)) "epoch 0 volume" 3.5 (Aggregate.total e0.Epoch_data_m.combined);
+    Alcotest.(check (float 1e-9)) "epoch 2 volume" 3.0 (Aggregate.total e2.Epoch_data_m.combined)
+  | Ok _ -> Alcotest.fail "expected two epochs"
+
+let test_trace_read_errors () =
+  List.iter
+    (fun body ->
+      match read_of_string body with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.fail ("accepted malformed trace: " ^ String.escaped body))
+    [ "0 0 10.0.0.1\n"; "0 0 999.0.0.1 1.0\n"; "3 0 10.0.0.1 1.0\n1 0 10.0.0.1 1.0\n";
+      "0 0 10.0.0.1 -5.0\n" ]
+
+let test_source_generator () =
+  let s = Source.of_generator (mk_generator ()) in
+  let a = Source.next s and b = Source.next s in
+  Alcotest.(check int) "epochs count up" (a.Epoch_data_m.epoch + 1) b.Epoch_data_m.epoch
+
+let test_source_replay_cycles () =
+  let epochs = Array.of_list (roundtrip_epochs ()) in
+  let s = Source.replay epochs in
+  let first = Source.next s in
+  for _ = 1 to Array.length epochs - 1 do
+    ignore (Source.next s)
+  done;
+  let wrapped = Source.next s in
+  Alcotest.(check (float 1e-9)) "wraps to the first epoch's traffic"
+    (Aggregate.total first.Epoch_data_m.combined)
+    (Aggregate.total wrapped.Epoch_data_m.combined);
+  Alcotest.(check int) "epoch counter keeps rising" (Array.length epochs)
+    wrapped.Epoch_data_m.epoch
+
+let test_source_replay_no_cycle_goes_quiet () =
+  let epochs = Array.of_list (roundtrip_epochs ()) in
+  let s = Source.replay ~cycle:false epochs in
+  for _ = 1 to Array.length epochs do
+    ignore (Source.next s)
+  done;
+  let after = Source.next s in
+  Alcotest.(check (float 1e-9)) "empty after the trace" 0.0
+    (Aggregate.total after.Epoch_data_m.combined)
+
+let test_source_replay_empty () =
+  Alcotest.check_raises "empty trace" (Invalid_argument "Source.replay: empty trace") (fun () ->
+      ignore (Source.replay [||]))
+
+let () =
+  Alcotest.run "dream.traffic"
+    [
+      ("flow", [ Alcotest.test_case "combine" `Quick test_flow_combine ]);
+      ( "aggregate",
+        [
+          Alcotest.test_case "prefix volumes" `Quick test_aggregate_volume;
+          Alcotest.test_case "counts" `Quick test_aggregate_counts;
+          Alcotest.test_case "flows_in" `Quick test_aggregate_flows_in;
+          Alcotest.test_case "merge" `Quick test_aggregate_merge;
+          Alcotest.test_case "empty" `Quick test_aggregate_empty;
+          QCheck_alcotest.to_alcotest prop_aggregate_volume_model;
+          QCheck_alcotest.to_alcotest prop_aggregate_children_sum;
+        ] );
+      ( "topology",
+        [
+          Alcotest.test_case "subfilters" `Quick test_topology_subfilters;
+          Alcotest.test_case "switch_set" `Quick test_topology_switch_set;
+          Alcotest.test_case "switch_of_address" `Quick test_topology_switch_of_address;
+          Alcotest.test_case "address consistent with set" `Quick
+            test_topology_address_consistent_with_set;
+          Alcotest.test_case "validation" `Quick test_topology_validation;
+        ] );
+      ( "profile",
+        [
+          Alcotest.test_case "default valid" `Quick test_profile_default_valid;
+          Alcotest.test_case "invalid configs rejected" `Quick test_profile_invalid;
+        ] );
+      ( "trace-io",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_trace_roundtrip;
+          Alcotest.test_case "read simple" `Quick test_trace_read_simple;
+          Alcotest.test_case "read errors" `Quick test_trace_read_errors;
+        ] );
+      ( "source",
+        [
+          Alcotest.test_case "generator wrapper" `Quick test_source_generator;
+          Alcotest.test_case "replay cycles" `Quick test_source_replay_cycles;
+          Alcotest.test_case "replay uncycled goes quiet" `Quick
+            test_source_replay_no_cycle_goes_quiet;
+          Alcotest.test_case "replay empty rejected" `Quick test_source_replay_empty;
+        ] );
+      ( "generator",
+        [
+          Alcotest.test_case "deterministic" `Quick test_generator_deterministic;
+          Alcotest.test_case "heavy calibration" `Quick test_generator_heavy_calibration;
+          Alcotest.test_case "flows within filter" `Quick test_generator_within_filter;
+          Alcotest.test_case "phases scale population" `Quick test_generator_phases_scale_population;
+          Alcotest.test_case "per-switch split" `Quick test_generator_per_switch_split;
+          Alcotest.test_case "skip" `Quick test_generator_skip;
+          Alcotest.test_case "steady profile repeats" `Quick test_generator_steady_no_churn;
+        ] );
+    ]

@@ -1,0 +1,358 @@
+(* Tests for dream.util: RNG determinism and distributions, EWMA, stats,
+   heap — including qcheck properties on the heap and percentiles. *)
+
+module Rng = Dream_util.Rng
+module Ewma = Dream_util.Ewma
+module Stats = Dream_util.Stats
+module Heap = Dream_util.Heap
+module Timeseries = Dream_util.Timeseries
+
+let check_float = Alcotest.(check (float 1e-9))
+
+(* ---- Rng ---- *)
+
+let test_rng_deterministic () =
+  let a = Rng.create 42 and b = Rng.create 42 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Rng.bits64 a) (Rng.bits64 b)
+  done
+
+let test_rng_seed_sensitivity () =
+  let a = Rng.create 42 and b = Rng.create 43 in
+  let differs = ref false in
+  for _ = 1 to 10 do
+    if not (Int64.equal (Rng.bits64 a) (Rng.bits64 b)) then differs := true
+  done;
+  Alcotest.(check bool) "streams differ" true !differs
+
+let test_rng_int_bounds () =
+  let rng = Rng.create 7 in
+  for _ = 1 to 1000 do
+    let v = Rng.int rng 17 in
+    Alcotest.(check bool) "in [0, 17)" true (v >= 0 && v < 17)
+  done
+
+let test_rng_int_invalid () =
+  let rng = Rng.create 7 in
+  Alcotest.check_raises "bound 0" (Invalid_argument "Rng.int: bound must be positive") (fun () ->
+      ignore (Rng.int rng 0))
+
+let test_rng_int_in () =
+  let rng = Rng.create 7 in
+  for _ = 1 to 200 do
+    let v = Rng.int_in rng 5 9 in
+    Alcotest.(check bool) "in [5, 9]" true (v >= 5 && v <= 9)
+  done
+
+let test_rng_float_bounds () =
+  let rng = Rng.create 7 in
+  for _ = 1 to 1000 do
+    let v = Rng.float rng 3.0 in
+    Alcotest.(check bool) "in [0, 3)" true (v >= 0.0 && v < 3.0)
+  done
+
+let test_rng_split_independent () =
+  let parent = Rng.create 1 in
+  let child = Rng.split parent in
+  let equal = ref true in
+  for _ = 1 to 10 do
+    if not (Int64.equal (Rng.bits64 parent) (Rng.bits64 child)) then equal := false
+  done;
+  Alcotest.(check bool) "split diverges from parent" false !equal
+
+let test_rng_copy_preserves () =
+  let a = Rng.create 5 in
+  ignore (Rng.bits64 a);
+  let b = Rng.copy a in
+  Alcotest.(check int64) "copy equals original" (Rng.bits64 a) (Rng.bits64 b)
+
+let test_rng_bernoulli_extremes () =
+  let rng = Rng.create 3 in
+  for _ = 1 to 100 do
+    Alcotest.(check bool) "p=0 never true" false (Rng.bernoulli rng 0.0)
+  done;
+  for _ = 1 to 100 do
+    Alcotest.(check bool) "p=1 always true" true (Rng.bernoulli rng 1.0)
+  done
+
+let test_rng_exponential_mean () =
+  let rng = Rng.create 11 in
+  let n = 20000 in
+  let sum = ref 0.0 in
+  for _ = 1 to n do
+    sum := !sum +. Rng.exponential rng 5.0
+  done;
+  let mean = !sum /. float_of_int n in
+  Alcotest.(check bool) "mean near 5" true (Float.abs (mean -. 5.0) < 0.3)
+
+let test_rng_pareto_min () =
+  let rng = Rng.create 13 in
+  for _ = 1 to 1000 do
+    Alcotest.(check bool) "above xmin" true (Rng.pareto rng ~alpha:1.5 ~xmin:2.0 >= 2.0)
+  done
+
+let test_rng_poisson_mean () =
+  let rng = Rng.create 17 in
+  let n = 20000 in
+  let sum = ref 0 in
+  for _ = 1 to n do
+    sum := !sum + Rng.poisson rng 3.0
+  done;
+  let mean = float_of_int !sum /. float_of_int n in
+  Alcotest.(check bool) "mean near 3" true (Float.abs (mean -. 3.0) < 0.15)
+
+let test_rng_zipf_range () =
+  let rng = Rng.create 19 in
+  for _ = 1 to 1000 do
+    let v = Rng.zipf rng ~n:10 ~s:1.1 in
+    Alcotest.(check bool) "rank in [1, 10]" true (v >= 1 && v <= 10)
+  done
+
+let test_rng_zipf_skew () =
+  let rng = Rng.create 23 in
+  let counts = Array.make 11 0 in
+  for _ = 1 to 10000 do
+    let v = Rng.zipf rng ~n:10 ~s:1.2 in
+    counts.(v) <- counts.(v) + 1
+  done;
+  Alcotest.(check bool) "rank 1 most frequent" true (counts.(1) > counts.(2));
+  Alcotest.(check bool) "rank 2 beats rank 8" true (counts.(2) > counts.(8))
+
+let test_rng_gaussian_moments () =
+  let rng = Rng.create 29 in
+  let n = 50000 in
+  let sum = ref 0.0 and sq = ref 0.0 in
+  for _ = 1 to n do
+    let v = Rng.gaussian rng in
+    sum := !sum +. v;
+    sq := !sq +. (v *. v)
+  done;
+  let mean = !sum /. float_of_int n in
+  let var = (!sq /. float_of_int n) -. (mean *. mean) in
+  Alcotest.(check bool) "mean near 0" true (Float.abs mean < 0.03);
+  Alcotest.(check bool) "variance near 1" true (Float.abs (var -. 1.0) < 0.05)
+
+let test_rng_shuffle_permutation () =
+  let rng = Rng.create 31 in
+  let a = Array.init 50 Fun.id in
+  Rng.shuffle rng a;
+  let sorted = Array.copy a in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "is a permutation" (Array.init 50 Fun.id) sorted
+
+let test_rng_pick () =
+  let rng = Rng.create 37 in
+  for _ = 1 to 100 do
+    let v = Rng.pick rng [| 1; 2; 3 |] in
+    Alcotest.(check bool) "element of array" true (List.mem v [ 1; 2; 3 ])
+  done;
+  Alcotest.check_raises "empty" (Invalid_argument "Rng.pick: empty array") (fun () ->
+      ignore (Rng.pick rng [||]))
+
+(* ---- Ewma ---- *)
+
+let test_ewma_first_sample () =
+  let f = Ewma.create ~history:0.4 in
+  check_float "first sample initialises" 3.0 (Ewma.update f 3.0)
+
+let test_ewma_blend () =
+  let f = Ewma.create ~history:0.4 in
+  ignore (Ewma.update f 10.0);
+  check_float "0.4*10 + 0.6*0" 4.0 (Ewma.update f 0.0)
+
+let test_ewma_empty_value () =
+  let f = Ewma.create ~history:0.5 in
+  Alcotest.(check bool) "empty" true (Ewma.value f = None);
+  check_float "default" 7.0 (Ewma.value_or f 7.0)
+
+let test_ewma_reset () =
+  let f = Ewma.create ~history:0.5 in
+  ignore (Ewma.update f 1.0);
+  Ewma.reset f;
+  Alcotest.(check bool) "reset empties" true (Ewma.value f = None)
+
+let test_ewma_scale_seed () =
+  let f = Ewma.create ~history:0.5 in
+  ignore (Ewma.update f 8.0);
+  Ewma.scale f 0.5;
+  check_float "scaled" 4.0 (Ewma.value_or f 0.0);
+  Ewma.seed f 2.5;
+  check_float "seeded" 2.5 (Ewma.value_or f 0.0)
+
+let test_ewma_invalid_history () =
+  Alcotest.check_raises "history 1.0" (Invalid_argument "Ewma.create: history must be in [0, 1)")
+    (fun () -> ignore (Ewma.create ~history:1.0))
+
+let test_ewma_convergence () =
+  let f = Ewma.create ~history:0.8 in
+  for _ = 1 to 200 do
+    ignore (Ewma.update f 42.0)
+  done;
+  Alcotest.(check bool) "converges to constant input" true
+    (Float.abs (Ewma.value_or f 0.0 -. 42.0) < 1e-6)
+
+(* ---- Stats ---- *)
+
+let test_stats_mean () =
+  check_float "mean" 2.0 (Stats.mean [ 1.0; 2.0; 3.0 ]);
+  check_float "empty mean" 0.0 (Stats.mean [])
+
+let test_stats_stddev () =
+  check_float "constant stddev" 0.0 (Stats.stddev [ 5.0; 5.0; 5.0 ]);
+  check_float "known stddev" 2.0 (Stats.stddev [ 2.0; 4.0; 4.0; 4.0; 5.0; 5.0; 7.0; 9.0 ])
+
+let test_stats_percentile () =
+  let xs = [ 1.0; 2.0; 3.0; 4.0; 5.0 ] in
+  check_float "p0" 1.0 (Stats.percentile 0.0 xs);
+  check_float "p50" 3.0 (Stats.percentile 50.0 xs);
+  check_float "p100" 5.0 (Stats.percentile 100.0 xs);
+  check_float "p25 interpolates" 2.0 (Stats.percentile 25.0 xs)
+
+let test_stats_percentile_errors () =
+  Alcotest.check_raises "empty" (Invalid_argument "Stats.percentile: empty sample") (fun () ->
+      ignore (Stats.percentile 50.0 []));
+  Alcotest.check_raises "out of range" (Invalid_argument "Stats.percentile: p out of range")
+    (fun () -> ignore (Stats.percentile 101.0 [ 1.0 ]))
+
+let test_stats_summary () =
+  match Stats.summarize [ 3.0; 1.0; 2.0 ] with
+  | None -> Alcotest.fail "expected summary"
+  | Some s ->
+    Alcotest.(check int) "count" 3 s.Stats.count;
+    check_float "min" 1.0 s.Stats.min;
+    check_float "max" 3.0 s.Stats.max;
+    check_float "median" 2.0 s.Stats.median
+
+let test_stats_summary_empty () =
+  Alcotest.(check bool) "no summary of empty" true (Stats.summarize [] = None)
+
+(* ---- Heap ---- *)
+
+let test_heap_pop_order () =
+  let h = Heap.of_list ~cmp:Int.compare [ 3; 1; 4; 1; 5; 9; 2; 6 ] in
+  let rec drain acc = match Heap.pop h with None -> List.rev acc | Some x -> drain (x :: acc) in
+  Alcotest.(check (list int)) "descending" [ 9; 6; 5; 4; 3; 2; 1; 1 ] (drain [])
+
+let test_heap_peek () =
+  let h = Heap.of_list ~cmp:Int.compare [ 2; 7; 5 ] in
+  Alcotest.(check (option int)) "peek max" (Some 7) (Heap.peek h);
+  Alcotest.(check int) "peek preserves" 3 (Heap.length h)
+
+let test_heap_empty () =
+  let h = Heap.create ~cmp:Int.compare in
+  Alcotest.(check bool) "is_empty" true (Heap.is_empty h);
+  Alcotest.(check (option int)) "pop empty" None (Heap.pop h)
+
+let heap_sorted_prop =
+  QCheck.Test.make ~name:"heap drains in descending order" ~count:200
+    QCheck.(list int)
+    (fun xs ->
+      let h = Heap.of_list ~cmp:Int.compare xs in
+      let rec drain acc =
+        match Heap.pop h with None -> List.rev acc | Some x -> drain (x :: acc)
+      in
+      drain [] = List.sort (fun a b -> Int.compare b a) xs)
+
+let heap_length_prop =
+  QCheck.Test.make ~name:"heap length tracks pushes" ~count:200
+    QCheck.(list int)
+    (fun xs ->
+      let h = Heap.create ~cmp:Int.compare in
+      List.iter (Heap.push h) xs;
+      Heap.length h = List.length xs)
+
+let percentile_bounds_prop =
+  QCheck.Test.make ~name:"percentile stays within sample bounds" ~count:200
+    QCheck.(pair (list_of_size Gen.(int_range 1 50) (float_bound_exclusive 1000.0)) (int_range 0 100))
+    (fun (xs, p) ->
+      let v = Stats.percentile (float_of_int p) xs in
+      v >= Stats.minimum xs -. 1e-9 && v <= Stats.maximum xs +. 1e-9)
+
+(* ---- Timeseries ---- *)
+
+let test_ts_binned () =
+  let points = Timeseries.binned [ (0, 1.0); (1, 3.0); (10, 5.0); (12, 7.0) ] ~bin:10 in
+  match points with
+  | [ a; b ] ->
+    Alcotest.(check int) "first bucket" 0 a.Timeseries.epoch;
+    check_float "first mean" 2.0 a.Timeseries.value;
+    Alcotest.(check int) "second bucket" 10 b.Timeseries.epoch;
+    check_float "second mean" 6.0 b.Timeseries.value
+  | _ -> Alcotest.fail "expected two buckets"
+
+let test_ts_binned_invalid () =
+  Alcotest.check_raises "bin 0" (Invalid_argument "Timeseries.binned: bin must be positive")
+    (fun () -> ignore (Timeseries.binned [] ~bin:0))
+
+let test_ts_sparkline () =
+  Alcotest.(check string) "empty" "" (Timeseries.sparkline []);
+  let s = Timeseries.sparkline [ 0.0; 1.0 ] in
+  (* Two glyphs of three bytes each. *)
+  Alcotest.(check int) "two glyphs" 6 (String.length s);
+  let flat = Timeseries.sparkline [ 5.0; 5.0; 5.0 ] in
+  Alcotest.(check int) "flat series renders" 9 (String.length flat)
+
+let test_ts_sparkline_scaling () =
+  (* With explicit bounds, the glyph for lo and hi are the extremes. *)
+  let s = Timeseries.sparkline ~lo:0.0 ~hi:1.0 [ 0.0; 1.0 ] in
+  Alcotest.(check string) "lowest then highest" "\xe2\x96\x81\xe2\x96\x88" s
+
+let () =
+  Alcotest.run "dream.util"
+    [
+      ( "rng",
+        [
+          Alcotest.test_case "deterministic" `Quick test_rng_deterministic;
+          Alcotest.test_case "seed sensitivity" `Quick test_rng_seed_sensitivity;
+          Alcotest.test_case "int bounds" `Quick test_rng_int_bounds;
+          Alcotest.test_case "int invalid" `Quick test_rng_int_invalid;
+          Alcotest.test_case "int_in bounds" `Quick test_rng_int_in;
+          Alcotest.test_case "float bounds" `Quick test_rng_float_bounds;
+          Alcotest.test_case "split independence" `Quick test_rng_split_independent;
+          Alcotest.test_case "copy preserves state" `Quick test_rng_copy_preserves;
+          Alcotest.test_case "bernoulli extremes" `Quick test_rng_bernoulli_extremes;
+          Alcotest.test_case "exponential mean" `Slow test_rng_exponential_mean;
+          Alcotest.test_case "pareto min" `Quick test_rng_pareto_min;
+          Alcotest.test_case "poisson mean" `Slow test_rng_poisson_mean;
+          Alcotest.test_case "zipf range" `Quick test_rng_zipf_range;
+          Alcotest.test_case "zipf skew" `Slow test_rng_zipf_skew;
+          Alcotest.test_case "gaussian moments" `Slow test_rng_gaussian_moments;
+          Alcotest.test_case "shuffle permutes" `Quick test_rng_shuffle_permutation;
+          Alcotest.test_case "pick" `Quick test_rng_pick;
+        ] );
+      ( "ewma",
+        [
+          Alcotest.test_case "first sample" `Quick test_ewma_first_sample;
+          Alcotest.test_case "blend" `Quick test_ewma_blend;
+          Alcotest.test_case "empty value" `Quick test_ewma_empty_value;
+          Alcotest.test_case "reset" `Quick test_ewma_reset;
+          Alcotest.test_case "scale and seed" `Quick test_ewma_scale_seed;
+          Alcotest.test_case "invalid history" `Quick test_ewma_invalid_history;
+          Alcotest.test_case "convergence" `Quick test_ewma_convergence;
+        ] );
+      ( "stats",
+        [
+          Alcotest.test_case "mean" `Quick test_stats_mean;
+          Alcotest.test_case "stddev" `Quick test_stats_stddev;
+          Alcotest.test_case "percentile" `Quick test_stats_percentile;
+          Alcotest.test_case "percentile errors" `Quick test_stats_percentile_errors;
+          Alcotest.test_case "summary" `Quick test_stats_summary;
+          Alcotest.test_case "summary empty" `Quick test_stats_summary_empty;
+        ] );
+      ( "heap",
+        [
+          Alcotest.test_case "pop order" `Quick test_heap_pop_order;
+          Alcotest.test_case "peek" `Quick test_heap_peek;
+          Alcotest.test_case "empty" `Quick test_heap_empty;
+          QCheck_alcotest.to_alcotest heap_sorted_prop;
+          QCheck_alcotest.to_alcotest heap_length_prop;
+          QCheck_alcotest.to_alcotest percentile_bounds_prop;
+        ] );
+      ( "timeseries",
+        [
+          Alcotest.test_case "binned" `Quick test_ts_binned;
+          Alcotest.test_case "binned invalid" `Quick test_ts_binned_invalid;
+          Alcotest.test_case "sparkline" `Quick test_ts_sparkline;
+          Alcotest.test_case "sparkline scaling" `Quick test_ts_sparkline_scaling;
+        ] );
+    ]

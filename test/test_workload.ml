@@ -1,0 +1,100 @@
+(* Tests for dream.workload: scenario plumbing and the arrival schedule. *)
+
+module Prefix = Dream_prefix.Prefix
+module Task_spec = Dream_tasks.Task_spec
+module Scenario = Dream_workload.Scenario
+module Arrival = Dream_workload.Arrival
+
+let test_default_scenario_sane () =
+  let s = Scenario.default in
+  Alcotest.(check bool) "concurrency positive" true (Scenario.concurrency s > 1.0);
+  Alcotest.(check bool) "window within run" true (s.Scenario.arrival_window < s.Scenario.total_epochs)
+
+let test_with_kind () =
+  let s = Scenario.with_kind Scenario.default Task_spec.Change_detection in
+  Alcotest.(check bool) "single kind" true (s.Scenario.kinds = [ Task_spec.Change_detection ])
+
+let test_schedule_count_and_order () =
+  let subs = Arrival.schedule Scenario.default in
+  Alcotest.(check int) "one submission per task" Scenario.default.Scenario.num_tasks
+    (List.length subs);
+  let rec sorted = function
+    | [] | [ _ ] -> true
+    | a :: (b :: _ as rest) -> a.Arrival.arrival <= b.Arrival.arrival && sorted rest
+  in
+  Alcotest.(check bool) "sorted by arrival" true (sorted subs);
+  List.iter
+    (fun s ->
+      Alcotest.(check bool) "arrival in window" true
+        (s.Arrival.arrival >= 0 && s.Arrival.arrival < Scenario.default.Scenario.arrival_window);
+      Alcotest.(check bool) "duration floored" true
+        (s.Arrival.duration >= Scenario.default.Scenario.min_duration))
+    subs
+
+let test_schedule_distinct_filters () =
+  let subs = Arrival.schedule Scenario.default in
+  let filters = List.map (fun s -> s.Arrival.spec.Task_spec.filter) subs in
+  Alcotest.(check int) "all distinct" (List.length filters)
+    (List.length (List.sort_uniq Prefix.compare filters))
+
+let test_schedule_kind_mix () =
+  let subs = Arrival.schedule Scenario.default in
+  List.iter
+    (fun kind ->
+      let n =
+        List.length (List.filter (fun s -> s.Arrival.spec.Task_spec.kind = kind) subs)
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "kind %s present" (Task_spec.kind_to_string kind))
+        true (n > 0))
+    Task_spec.all_kinds
+
+let test_schedule_deterministic () =
+  let a = Arrival.schedule Scenario.default and b = Arrival.schedule Scenario.default in
+  List.iter2
+    (fun x y ->
+      Alcotest.(check int) "same arrival" x.Arrival.arrival y.Arrival.arrival;
+      Alcotest.(check int) "same duration" x.Arrival.duration y.Arrival.duration;
+      Alcotest.(check bool) "same filter" true
+        (Prefix.equal x.Arrival.spec.Task_spec.filter y.Arrival.spec.Task_spec.filter))
+    a b
+
+let test_schedule_seed_changes () =
+  let a = Arrival.schedule Scenario.default in
+  let b = Arrival.schedule { Scenario.default with Scenario.seed = 12345 } in
+  let same =
+    List.for_all2
+      (fun x y -> Prefix.equal x.Arrival.spec.Task_spec.filter y.Arrival.spec.Task_spec.filter)
+      a b
+  in
+  Alcotest.(check bool) "different seeds give different filters" false same
+
+let test_schedule_respects_spec_fields () =
+  let scenario =
+    { Scenario.default with Scenario.threshold = 16.0; accuracy_bound = 0.7; leaf_length = 28 }
+  in
+  List.iter
+    (fun s ->
+      Alcotest.(check (float 1e-9)) "threshold" 16.0 s.Arrival.spec.Task_spec.threshold;
+      Alcotest.(check (float 1e-9)) "bound" 0.7 s.Arrival.spec.Task_spec.accuracy_bound;
+      Alcotest.(check int) "leaf length" 28 s.Arrival.spec.Task_spec.leaf_length)
+    (Arrival.schedule scenario)
+
+let () =
+  Alcotest.run "dream.workload"
+    [
+      ( "scenario",
+        [
+          Alcotest.test_case "default sane" `Quick test_default_scenario_sane;
+          Alcotest.test_case "with_kind" `Quick test_with_kind;
+        ] );
+      ( "arrival",
+        [
+          Alcotest.test_case "count and order" `Quick test_schedule_count_and_order;
+          Alcotest.test_case "distinct filters" `Quick test_schedule_distinct_filters;
+          Alcotest.test_case "kind mix" `Quick test_schedule_kind_mix;
+          Alcotest.test_case "deterministic" `Quick test_schedule_deterministic;
+          Alcotest.test_case "seed changes schedule" `Quick test_schedule_seed_changes;
+          Alcotest.test_case "respects spec fields" `Quick test_schedule_respects_spec_fields;
+        ] );
+    ]
