@@ -1,17 +1,24 @@
-(* dream-sim: run one DREAM experiment scenario from the command line.
+(* dream-sim: run DREAM experiments from the command line.
 
-     dune exec bin/dream_sim.exe -- --capacity 1024 --strategy dream
-     dune exec bin/dream_sim.exe -- --kind HH --tasks 32 --strategy equal *)
+     dune exec bin/dream_sim.exe -- run --capacity 1024 --strategy dream
+     dune exec bin/dream_sim.exe -- run --kind HH --tasks 32 --fault-rate 0.1
+     dune exec bin/dream_sim.exe -- fault-sweep --rates 0.0,0.05,0.2
+
+   The bare form (no subcommand) still runs a single experiment, so the
+   pre-subcommand invocations keep working. *)
 
 module Scenario = Dream_workload.Scenario
 module Experiment = Dream_sim.Experiment
+module Fault_sweep = Dream_sim.Fault_sweep
+module Config = Dream_core.Config
 module Metrics = Dream_core.Metrics
 module Task_spec = Dream_tasks.Task_spec
+module Fault_model = Dream_fault.Fault_model
 module Allocator = Dream_alloc.Allocator
 module Stats = Dream_util.Stats
 
-let run capacity num_switches switches_per_task tasks window duration epochs threshold bound kind
-    strategy fixed_k seed verbose =
+let scenario_of capacity num_switches switches_per_task tasks window duration epochs threshold
+    bound kind seed =
   let scenario =
     {
       Scenario.default with
@@ -27,24 +34,37 @@ let run capacity num_switches switches_per_task tasks window duration epochs thr
       seed;
     }
   in
+  match String.lowercase_ascii kind with
+  | "hh" -> Scenario.with_kind scenario Task_spec.Heavy_hitter
+  | "hhh" -> Scenario.with_kind scenario Task_spec.Hierarchical_heavy_hitter
+  | "cd" -> Scenario.with_kind scenario Task_spec.Change_detection
+  | "combined" | "all" -> scenario
+  | other -> failwith (Printf.sprintf "unknown kind %S (HH | HHH | CD | combined)" other)
+
+let strategy_of strategy fixed_k =
+  match String.lowercase_ascii strategy with
+  | "dream" -> Experiment.dream_strategy
+  | "equal" -> Allocator.Equal
+  | "fixed" -> Allocator.Fixed fixed_k
+  | other -> failwith (Printf.sprintf "unknown strategy %S (dream | equal | fixed)" other)
+
+let run capacity num_switches switches_per_task tasks window duration epochs threshold bound kind
+    strategy fixed_k seed fault_rate fault_seed verbose =
   let scenario =
-    match String.lowercase_ascii kind with
-    | "hh" -> Scenario.with_kind scenario Task_spec.Heavy_hitter
-    | "hhh" -> Scenario.with_kind scenario Task_spec.Hierarchical_heavy_hitter
-    | "cd" -> Scenario.with_kind scenario Task_spec.Change_detection
-    | "combined" | "all" -> scenario
-    | other -> failwith (Printf.sprintf "unknown kind %S (HH | HHH | CD | combined)" other)
+    scenario_of capacity num_switches switches_per_task tasks window duration epochs threshold
+      bound kind seed
   in
-  let strategy =
-    match String.lowercase_ascii strategy with
-    | "dream" -> Experiment.dream_strategy
-    | "equal" -> Allocator.Equal
-    | "fixed" -> Allocator.Fixed fixed_k
-    | other -> failwith (Printf.sprintf "unknown strategy %S (dream | equal | fixed)" other)
+  let strategy = strategy_of strategy fixed_k in
+  let config =
+    if fault_rate <= 0.0 then Config.default
+    else
+      { Config.default with Config.faults = Some (Fault_model.uniform ~seed:fault_seed fault_rate) }
   in
   Format.printf "scenario: %a@." Scenario.pp scenario;
   Format.printf "expected concurrency: %.1f tasks@." (Scenario.concurrency scenario);
-  let result = Experiment.run scenario strategy in
+  if fault_rate > 0.0 then
+    Format.printf "fault injection: uniform rate %.3f (seed %d)@." fault_rate fault_seed;
+  let result = Experiment.run ~config scenario strategy in
   let s = result.Experiment.summary in
   Format.printf "@.%s results:@." result.Experiment.strategy;
   Format.printf "  satisfaction  mean %.1f%%  5th-pct %.1f%%@." s.Metrics.mean_satisfaction
@@ -54,6 +74,8 @@ let run capacity num_switches switches_per_task tasks window duration epochs thr
   Format.printf "  rejection     %.1f%%   drop %.1f%%@." s.Metrics.rejection_pct s.Metrics.drop_pct;
   Format.printf "  switch rules  installed %d  fetched %d@." result.Experiment.rules_installed
     result.Experiment.rules_fetched;
+  if s.Metrics.robustness <> Metrics.no_faults then
+    Format.printf "  robustness    %a@." Metrics.pp_robustness s.Metrics.robustness;
   if verbose then begin
     Format.printf "@.per-task records:@.";
     List.iter
@@ -69,6 +91,19 @@ let run capacity num_switches switches_per_task tasks window duration epochs thr
           (r.Metrics.satisfaction *. 100.0))
       result.Experiment.records
   end
+
+let fault_sweep capacity num_switches switches_per_task tasks window duration epochs threshold
+    bound kind strategy fixed_k seed rates fault_seed =
+  let scenario =
+    scenario_of capacity num_switches switches_per_task tasks window duration epochs threshold
+      bound kind seed
+  in
+  let strategy = strategy_of strategy fixed_k in
+  let rates = if rates = [] then Fault_sweep.default_rates else rates in
+  Format.printf "scenario: %a@." Scenario.pp scenario;
+  Format.printf "strategy: %s   fault seed: %d@.@." (Allocator.strategy_name strategy) fault_seed;
+  let points = Fault_sweep.sweep ~fault_seed ~rates scenario strategy in
+  Fault_sweep.print_points points
 
 open Cmdliner
 
@@ -93,14 +128,41 @@ let strategy =
 
 let fixed_k = Arg.(value & opt int 32 & info [ "fixed-k" ] ~doc:"The k of Fixed_k (capacity/k per task).")
 let seed = Arg.(value & opt int 7 & info [ "seed" ] ~doc:"Random seed.")
+
+let fault_rate =
+  Arg.(
+    value & opt float 0.0
+    & info [ "fault-rate" ] ~doc:"Uniform failure rate in [0,1]; 0 disables fault injection.")
+
+let fault_seed = Arg.(value & opt int 97 & info [ "fault-seed" ] ~doc:"Fault-injection random seed.")
+
+let rates =
+  Arg.(
+    value
+    & opt (list float) []
+    & info [ "rates" ] ~doc:"Comma-separated failure rates to sweep (default 0,0.02,0.05,0.1,0.2).")
+
 let verbose = Arg.(value & flag & info [ "verbose"; "v" ] ~doc:"Print per-task records.")
+
+let run_term =
+  Term.(
+    const run $ capacity $ num_switches $ switches_per_task $ tasks $ window $ duration $ epochs
+    $ threshold $ bound $ kind $ strategy $ fixed_k $ seed $ fault_rate $ fault_seed $ verbose)
+
+let run_cmd =
+  let doc = "run one measurement experiment (optionally with fault injection)" in
+  Cmd.v (Cmd.info "run" ~doc) run_term
+
+let fault_sweep_cmd =
+  let doc = "sweep failure rates and report satisfaction/accuracy degradation" in
+  Cmd.v
+    (Cmd.info "fault-sweep" ~doc)
+    Term.(
+      const fault_sweep $ capacity $ num_switches $ switches_per_task $ tasks $ window $ duration
+      $ epochs $ threshold $ bound $ kind $ strategy $ fixed_k $ seed $ rates $ fault_seed)
 
 let cmd =
   let doc = "run a DREAM software-defined measurement experiment" in
-  Cmd.v
-    (Cmd.info "dream-sim" ~doc)
-    Term.(
-      const run $ capacity $ num_switches $ switches_per_task $ tasks $ window $ duration $ epochs
-      $ threshold $ bound $ kind $ strategy $ fixed_k $ seed $ verbose)
+  Cmd.group ~default:run_term (Cmd.info "dream-sim" ~doc) [ run_cmd; fault_sweep_cmd ]
 
 let () = exit (Cmd.eval cmd)

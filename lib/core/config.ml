@@ -7,6 +7,7 @@ type t = {
   score_satisfaction_with : [ `Real_accuracy | `Estimated_accuracy ];
   accuracy_mode : Dream_tasks.Task.accuracy_mode;
   install_budget : int option;
+  faults : Dream_fault.Fault_model.spec option;
 }
 
 let default =
@@ -19,6 +20,7 @@ let default =
     score_satisfaction_with = `Real_accuracy;
     accuracy_mode = Dream_tasks.Task.Overall;
     install_budget = None;
+    faults = None;
   }
 
 let prototype =

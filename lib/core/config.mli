@@ -24,6 +24,13 @@ type t = {
           platform); a few hundred models the hardware switch whose slow
           rule installation made the paper abandon it (Section 6.1: the
           Pica8 3290 took 1 s for 256 rules) *)
+  faults : Dream_fault.Fault_model.spec option;
+      (** when set, the controller drives its switches through a seeded
+          fault-injection layer (crashes, fetch timeouts, counter loss,
+          install failures) and runs its failure-tolerance machinery:
+          retries, stale-counter fallback, quarantine and reinstall.
+          [None] (the default) is the paper's perfectly reliable control
+          channel and leaves runs bit-identical to the fault-free code. *)
 }
 
 val default : t

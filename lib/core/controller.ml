@@ -3,8 +3,10 @@ module Switch_id = Dream_traffic.Switch_id
 module Epoch_data = Dream_traffic.Epoch_data
 module Source = Dream_traffic.Source
 module Topology = Dream_traffic.Topology
+module Fault_model = Dream_fault.Fault_model
 module Switch = Dream_switch.Switch
 module Tcam = Dream_switch.Tcam
+module Data_plane = Dream_switch.Data_plane
 module Delay_model = Dream_switch.Delay_model
 module Task = Dream_tasks.Task
 module Task_spec = Dream_tasks.Task_spec
@@ -32,6 +34,9 @@ type runtime = {
   mutable last_report : Report.t option;
   mutable fresh_rules : Prefix.Set.t Switch_id.Map.t; (* installed by the last sync *)
   mutable last_install_counts : int Switch_id.Map.t;
+  mutable stale_counters : (Prefix.t * float) list Switch_id.Map.t;
+      (* last successfully fetched readings per switch, the fallback when a
+         switch is down or a fetch is abandoned (fault injection only) *)
 }
 
 type delay_sample = {
@@ -43,10 +48,27 @@ type delay_sample = {
   configure_ms : float;
 }
 
+(* Robustness counters, kept mutable here and exported as the immutable
+   {!Metrics.robustness}. *)
+type rob = {
+  mutable crashes : int;
+  mutable recoveries : int;
+  mutable switch_down_epochs : int;
+  mutable fetch_timeouts : int;
+  mutable fetch_retries : int;
+  mutable fetch_failures : int;
+  mutable stale_epochs : int;
+  mutable counters_lost : int;
+  mutable install_failures : int;
+  mutable recovery_reinstalls : int;
+}
+
 type t = {
   config : Config.t;
   allocator : Allocator.t;
   switches : Switch.t array;
+  planes : Data_plane.t array;
+  faults : Fault_model.t option;
   active : (int, runtime) Hashtbl.t;
   mutable epoch : int;
   mutable next_id : int;
@@ -54,15 +76,28 @@ type t = {
   mutable delays : delay_sample list; (* newest first *)
   mutable rules_installed : int;
   mutable rules_fetched : int;
+  rob : rob;
+  mutable recovered_now : Switch_id.Set.t; (* switches back up as of this tick *)
 }
 
 let create ~config ~strategy ~num_switches ~capacity =
+  if num_switches <= 0 then
+    invalid_arg
+      (Printf.sprintf "Controller.create: num_switches must be positive, got %d" num_switches);
+  if capacity <= 0 then
+    invalid_arg (Printf.sprintf "Controller.create: capacity must be positive, got %d" capacity);
   let switches = Switch.network ~num_switches ~capacity in
+  let faults =
+    Option.map (fun spec -> Fault_model.create spec ~num_switches) config.Config.faults
+  in
+  let planes = Array.map (fun sw -> Data_plane.create ?faults sw) switches in
   let capacities = Array.to_list (Array.map (fun sw -> (Switch.id sw, capacity)) switches) in
   {
     config;
     allocator = Allocator.create strategy ~capacities;
     switches;
+    planes;
+    faults;
     active = Hashtbl.create 64;
     epoch = 0;
     next_id = 0;
@@ -70,6 +105,20 @@ let create ~config ~strategy ~num_switches ~capacity =
     delays = [];
     rules_installed = 0;
     rules_fetched = 0;
+    rob =
+      {
+        crashes = 0;
+        recoveries = 0;
+        switch_down_epochs = 0;
+        fetch_timeouts = 0;
+        fetch_retries = 0;
+        fetch_failures = 0;
+        stale_epochs = 0;
+        counters_lost = 0;
+        install_failures = 0;
+        recovery_reinstalls = 0;
+      };
+    recovered_now = Switch_id.Set.empty;
   }
 
 let epoch t = t.epoch
@@ -79,6 +128,22 @@ let num_switches t = Array.length t.switches
 let switches t = t.switches
 
 let allocator t = t.allocator
+
+let faults t = t.faults
+
+let robustness t =
+  {
+    Metrics.crashes = t.rob.crashes;
+    recoveries = t.rob.recoveries;
+    switch_down_epochs = t.rob.switch_down_epochs;
+    fetch_timeouts = t.rob.fetch_timeouts;
+    fetch_retries = t.rob.fetch_retries;
+    fetch_failures = t.rob.fetch_failures;
+    stale_epochs = t.rob.stale_epochs;
+    counters_lost = t.rob.counters_lost;
+    install_failures = t.rob.install_failures;
+    recovery_reinstalls = t.rob.recovery_reinstalls;
+  }
 
 let active_tasks t = Hashtbl.length t.active
 
@@ -130,6 +195,7 @@ let submit t ~spec ~topology ~source ~duration =
       last_report = None;
       fresh_rules = Switch_id.Map.empty;
       last_install_counts = Switch_id.Map.empty;
+      stale_counters = Switch_id.Map.empty;
     }
   in
   let view = view_of_runtime runtime in
@@ -185,22 +251,38 @@ let remove_task t r ~outcome =
   Hashtbl.remove t.active id;
   t.records <- finish_record r ~outcome ~ended_at:t.epoch :: t.records
 
-(* Counter fetch with optional control-loop degradation: rules installed by
-   the previous sync miss the head of the epoch while the update is in
-   flight (Figs 8/9's prototype-vs-simulator gap). *)
-let read_counters t r =
+let delay_costs t =
+  match t.config.Config.control_delay with Some c -> c | None -> Delay_model.default
+
+(* Fraction of the epoch a freshly installed rule missed while its update
+   was in flight (Figs 8/9's prototype-vs-simulator gap). *)
+let install_miss t r sw_id =
+  match t.config.Config.control_delay with
+  | None -> 0.0
+  | Some costs ->
+    let installs =
+      match Switch_id.Map.find_opt sw_id r.last_install_counts with Some n -> n | None -> 0
+    in
+    Delay_model.install_miss_fraction costs ~epoch_ms:t.config.Config.epoch_ms ~installs
+      ~switches:1
+
+let degrade_fresh t r sw_id pairs =
+  let miss = install_miss t r sw_id in
+  let fresh =
+    match Switch_id.Map.find_opt sw_id r.fresh_rules with
+    | Some set -> set
+    | None -> Prefix.Set.empty
+  in
+  List.map
+    (fun (p, v) ->
+      if miss > 0.0 && Prefix.Set.mem p fresh then (p, v *. (1.0 -. miss)) else (p, v))
+    pairs
+
+(* Counter fetch over a perfectly reliable control channel — the paper's
+   assumption, and the behaviour when no fault spec is configured. *)
+let read_counters_reliable t r =
   let id = Task.id r.task in
   let data = Source.next r.source in
-  let miss_for sw_id =
-    match t.config.Config.control_delay with
-    | None -> 0.0
-    | Some costs ->
-      let installs =
-        match Switch_id.Map.find_opt sw_id r.last_install_counts with Some n -> n | None -> 0
-      in
-      Delay_model.install_miss_fraction costs ~epoch_ms:t.config.Config.epoch_ms ~installs
-        ~switches:1
-  in
   let readings =
     Array.to_list t.switches
     |> List.filter_map (fun sw ->
@@ -210,27 +292,120 @@ let read_counters t r =
            else begin
              let aggregate = Epoch_data.switch_view data sw_id in
              let pairs = Tcam.read (Switch.tcam sw) ~owner:id aggregate in
-             let miss = miss_for sw_id in
-             let fresh =
-               match Switch_id.Map.find_opt sw_id r.fresh_rules with
-               | Some set -> set
-               | None -> Prefix.Set.empty
-             in
-             let degraded =
-               List.map
-                 (fun (p, v) ->
-                   if miss > 0.0 && Prefix.Set.mem p fresh then (p, v *. (1.0 -. miss)) else (p, v))
-                 pairs
-             in
-             Some (sw_id, degraded)
+             Some (sw_id, degrade_fresh t r sw_id pairs)
            end)
   in
   (data, readings)
+
+(* Fault-aware fetch: timed-out batches are retried with exponential
+   backoff while the epoch's retry budget lasts (retries cost control-loop
+   time exactly like slow installs do); a down switch, or a fetch
+   abandoned after retries, falls back to the previous epoch's readings.
+   Returns the switches the task could not hear from, so the caller can
+   decay the task's estimated accuracy after this epoch's estimate. *)
+let read_counters_faulty t r ~retry_budget ~fault_ms =
+  let id = Task.id r.task in
+  let data = Source.next r.source in
+  let costs = delay_costs t in
+  let task_switches = Task.switches r.task in
+  let readings = ref [] in
+  let degraded = ref [] in
+  let use_stale sw_id =
+    match Switch_id.Map.find_opt sw_id r.stale_counters with
+    | Some ((_ :: _) as pairs) ->
+      readings := (sw_id, pairs) :: !readings;
+      t.rob.stale_epochs <- t.rob.stale_epochs + 1
+    | Some [] | None -> ()
+  in
+  Array.iter
+    (fun dp ->
+      let sw_id = Data_plane.id dp in
+      if Data_plane.down dp then begin
+        if Switch_id.Set.mem sw_id task_switches then begin
+          use_stale sw_id;
+          degraded := sw_id :: !degraded
+        end
+      end
+      else begin
+        let rules = Data_plane.rules_of dp ~owner:id in
+        if rules <> [] then begin
+          let aggregate = Epoch_data.switch_view data sw_id in
+          let rec attempt k =
+            match Data_plane.read dp ~owner:id aggregate with
+            | Ok pairs -> Some pairs
+            | Error `Down -> None
+            | Error `Timeout ->
+              t.rob.fetch_timeouts <- t.rob.fetch_timeouts + 1;
+              let backoff = costs.Delay_model.rtt_ms *. (2.0 ** float_of_int k) in
+              if !retry_budget >= backoff then begin
+                retry_budget := !retry_budget -. backoff;
+                fault_ms := !fault_ms +. backoff;
+                t.rob.fetch_retries <- t.rob.fetch_retries + 1;
+                attempt (k + 1)
+              end
+              else begin
+                t.rob.fetch_failures <- t.rob.fetch_failures + 1;
+                None
+              end
+          in
+          match attempt 0 with
+          | Some pairs ->
+            let lost = List.length rules - List.length pairs in
+            if lost > 0 then t.rob.counters_lost <- t.rob.counters_lost + lost;
+            let pairs = degrade_fresh t r sw_id pairs in
+            r.stale_counters <- Switch_id.Map.add sw_id pairs r.stale_counters;
+            readings := (sw_id, pairs) :: !readings
+          | None ->
+            use_stale sw_id;
+            degraded := sw_id :: !degraded
+        end
+      end)
+    t.planes;
+  (data, List.rev !readings, List.rev !degraded)
+
+let read_counters t r ~retry_budget ~fault_ms =
+  match t.faults with
+  | None ->
+    let data, readings = read_counters_reliable t r in
+    (data, readings, [])
+  | Some _ -> read_counters_faulty t r ~retry_budget ~fault_ms
+
+(* Advance the fault model one epoch: crashed switches lose their TCAM
+   contents before anything is fetched; recovered switches are remembered
+   so this tick's rule sync can reinstall (and attribute) their rules. *)
+let advance_faults t =
+  match t.faults with
+  | None -> ()
+  | Some fm ->
+    let events = Fault_model.begin_epoch fm in
+    List.iter
+      (fun sw_id ->
+        Data_plane.crash t.planes.(sw_id);
+        t.rob.crashes <- t.rob.crashes + 1;
+        Log.info (fun m -> m "epoch %d: switch %d CRASHED (TCAM lost)" t.epoch sw_id))
+      events.Fault_model.crashed;
+    List.iter
+      (fun sw_id -> Log.info (fun m -> m "epoch %d: switch %d recovered" t.epoch sw_id))
+      events.Fault_model.recovered;
+    t.recovered_now <- Switch_id.set_of_list events.Fault_model.recovered;
+    t.rob.recoveries <- t.rob.recoveries + List.length events.Fault_model.recovered;
+    t.rob.switch_down_epochs <- t.rob.switch_down_epochs + Fault_model.down_count fm
+
+(* Quarantine: a down switch contributes nothing, so divide-and-merge must
+   reconfigure the task's counters onto the healthy switches.  Zeroing the
+   allocation is exactly that signal — {!Task.configure} deactivates the
+   switch and merges its counters away. *)
+let quarantine_allocations t allocations =
+  match t.faults with
+  | None -> allocations
+  | Some fm ->
+    Switch_id.Map.mapi (fun sw v -> if Fault_model.is_down fm sw then 0 else v) allocations
 
 let ms_of_cpu seconds = seconds *. 1000.0
 
 let tick t =
   let config = t.config in
+  advance_faults t;
   let runtimes =
     List.sort
       (fun a b -> Int.compare (Task.id a.task) (Task.id b.task))
@@ -240,15 +415,30 @@ let tick t =
   Array.iter (fun sw -> Tcam.reset_stats (Switch.tcam sw)) t.switches;
   (* Fetch + report + estimate, per task. *)
   let report_clock = ref 0.0 in
+  let retry_budget =
+    ref
+      (match t.faults with
+      | Some fm -> (Fault_model.spec fm).Fault_model.retry_budget_fraction *. config.Config.epoch_ms
+      | None -> 0.0)
+  in
+  let fault_ms = ref 0.0 in
   List.iter
     (fun r ->
-      let data, readings = read_counters t r in
+      let data, readings, degraded = read_counters t r ~retry_budget ~fault_ms in
       Task.ingest_counters r.task readings;
       let t0 = Sys.time () in
       let report = Task.make_report r.task ~epoch:t.epoch in
       r.last_report <- Some report;
       let estimate = Task.estimate_accuracy r.task in
       report_clock := !report_clock +. (Sys.time () -. t0);
+      (* Degraded visibility: the estimators only saw stale (or no)
+         counters for these switches, so the estimate is optimistic — decay
+         the smoothed accuracies the allocator reads. *)
+      (match t.faults with
+      | Some fm when degraded <> [] ->
+        let factor = (Fault_model.spec fm).Fault_model.stale_decay in
+        List.iter (fun sw -> Task.decay_accuracy r.task ~switch:sw ~factor ()) degraded
+      | Some _ | None -> ());
       let truth = Ground_truth.evaluate r.ground_truth data report in
       let spec = Task.spec r.task in
       let scored =
@@ -323,6 +513,7 @@ let tick t =
       (fun r ->
         let id = Task.id r.task in
         let allocations = Allocator.allocation_of t.allocator ~task_id:id in
+        let allocations = quarantine_allocations t allocations in
         let t0 = Sys.time () in
         Task.configure r.task ~allocations;
         configure_clock := !configure_clock +. (Sys.time () -. t0);
@@ -349,47 +540,54 @@ let tick t =
     (fun (r, per_switch) ->
       let id = Task.id r.task in
       Array.iteri
-        (fun i sw ->
-          let tcam = Switch.tcam sw in
+        (fun i dp ->
           let budget = budgets.(i) in
           List.iter
             (fun p ->
               if (not (Prefix.Set.mem p per_switch.(i))) && !budget > 0 then begin
-                ignore (Tcam.remove tcam ~owner:id p);
-                decr budget
+                match Data_plane.remove dp ~owner:id p with
+                | Ok _ -> decr budget
+                | Error `Down -> ()
               end)
-            (Tcam.rules_of tcam ~owner:id))
-        t.switches)
+            (Data_plane.rules_of dp ~owner:id))
+        t.planes)
     desired_of;
   (* Pass 2: installs, newest rules skipped once a switch's budget runs
-     out or its table is full. *)
+     out or its table is full.  Installs onto a switch that recovered this
+     epoch are the full rule-set reinstall its crash demands. *)
   List.iter
     (fun (r, per_switch) ->
       let id = Task.id r.task in
       let fresh = ref Switch_id.Map.empty in
       let installs = ref Switch_id.Map.empty in
       Array.iteri
-        (fun i sw ->
-          let sw_id = Switch.id sw in
-          let tcam = Switch.tcam sw in
+        (fun i dp ->
+          let sw_id = Data_plane.id dp in
           let budget = budgets.(i) in
-          let installed = Prefix.Set.of_list (Tcam.rules_of tcam ~owner:id) in
+          let installed = Prefix.Set.of_list (Data_plane.rules_of dp ~owner:id) in
           let added = ref Prefix.Set.empty in
           Prefix.Set.iter
             (fun p ->
               if (not (Prefix.Set.mem p installed)) && !budget > 0 then begin
-                match Tcam.install tcam ~owner:id p with
+                match Data_plane.install dp ~owner:id p with
                 | Ok () ->
                   decr budget;
-                  added := Prefix.Set.add p !added
-                | Error (`Capacity | `Duplicate) -> ()
+                  added := Prefix.Set.add p !added;
+                  if Switch_id.Set.mem sw_id t.recovered_now then
+                    t.rob.recovery_reinstalls <- t.rob.recovery_reinstalls + 1
+                | Error `Failed ->
+                  (* The attempt consumed an update slot; the rule stays
+                     desired and is retried next epoch. *)
+                  decr budget;
+                  t.rob.install_failures <- t.rob.install_failures + 1
+                | Error (`Capacity | `Duplicate | `Down) -> ()
               end)
             per_switch.(i);
           if not (Prefix.Set.is_empty !added) then begin
             fresh := Switch_id.Map.add sw_id !added !fresh;
             installs := Switch_id.Map.add sw_id (Prefix.Set.cardinal !added) !installs
           end)
-        t.switches;
+        t.planes;
       r.fresh_rules <- !fresh;
       r.last_install_counts <- !installs)
     desired_of;
@@ -402,13 +600,11 @@ let tick t =
         (f + stats.Tcam.fetches, i + stats.Tcam.installs, rm + stats.Tcam.removals, sw_count + touched))
       (0, 0, 0, 0) t.switches
   in
-  let costs =
-    match config.Config.control_delay with Some c -> c | None -> Delay_model.default
-  in
+  let costs = delay_costs t in
   let sample =
     {
       epoch = t.epoch;
-      fetch_ms = Delay_model.fetch_ms costs ~rules:fetch_total ~switches:touched;
+      fetch_ms = Delay_model.fetch_ms costs ~rules:fetch_total ~switches:touched +. !fault_ms;
       save_ms = Delay_model.save_ms costs ~installs:install_total ~removals:remove_total ~switches:touched;
       report_ms = ms_of_cpu !report_clock;
       allocate_ms = ms_of_cpu !allocate_clock;
@@ -418,6 +614,7 @@ let tick t =
   t.delays <- sample :: t.delays;
   t.rules_installed <- t.rules_installed + install_total;
   t.rules_fetched <- t.rules_fetched + fetch_total;
+  t.recovered_now <- Switch_id.Set.empty;
   (* Retire tasks that reached their duration. *)
   List.iter
     (fun r ->
@@ -437,7 +634,7 @@ let finalize t =
 
 let records t = List.rev t.records
 
-let summary t = Metrics.summarize (records t)
+let summary t = Metrics.summarize ~robustness:(robustness t) (records t)
 
 let delay_samples t = List.rev t.delays
 

@@ -9,7 +9,18 @@
     syncs rules to switches.
 
     Real accuracy against ground truth is computed per epoch for
-    evaluation; DREAM's own decisions only ever use estimated accuracy. *)
+    evaluation; DREAM's own decisions only ever use estimated accuracy.
+
+    When {!Config.t.faults} is set, the controller drives its switches
+    through the fault-injection layer and tolerates the failures it
+    injects: timed-out counter fetches are retried with exponential
+    backoff while a per-epoch time budget (a fraction of [epoch_ms])
+    lasts; a switch that stays unreachable serves the previous epoch's
+    readings while the task's estimated accuracy is decayed so the
+    allocator reacts; crashed switches are quarantined (their allocations
+    zeroed, which makes divide-and-merge reconfigure counters onto the
+    healthy switches); and a recovered switch gets its full rule set
+    reinstalled.  Everything is tallied in {!robustness}. *)
 
 type t
 
@@ -19,6 +30,7 @@ val create :
   num_switches:int ->
   capacity:int ->
   t
+(** @raise Invalid_argument if [num_switches <= 0] or [capacity <= 0]. *)
 
 val epoch : t -> int
 (** Next epoch to be simulated (0 before the first {!tick}). *)
@@ -64,6 +76,14 @@ val records : t -> Metrics.record list
 (** All finished (or finalized) and rejected task records. *)
 
 val summary : t -> Metrics.summary
+(** Includes the {!robustness} counters. *)
+
+val faults : t -> Dream_fault.Fault_model.t option
+(** The live fault model, when the config enabled injection. *)
+
+val robustness : t -> Metrics.robustness
+(** Cumulative fault/recovery counters ({!Metrics.no_faults} when no fault
+    spec is configured). *)
 
 type delay_sample = {
   epoch : int;

@@ -13,6 +13,33 @@ type record = {
   mean_accuracy : float;
 }
 
+type robustness = {
+  crashes : int;
+  recoveries : int;
+  switch_down_epochs : int;
+  fetch_timeouts : int;
+  fetch_retries : int;
+  fetch_failures : int;
+  stale_epochs : int;
+  counters_lost : int;
+  install_failures : int;
+  recovery_reinstalls : int;
+}
+
+let no_faults =
+  {
+    crashes = 0;
+    recoveries = 0;
+    switch_down_epochs = 0;
+    fetch_timeouts = 0;
+    fetch_retries = 0;
+    fetch_failures = 0;
+    stale_epochs = 0;
+    counters_lost = 0;
+    install_failures = 0;
+    recovery_reinstalls = 0;
+  }
+
 type summary = {
   submitted : int;
   admitted : int;
@@ -23,6 +50,7 @@ type summary = {
   p5_satisfaction : float;
   rejection_pct : float;
   drop_pct : float;
+  robustness : robustness;
 }
 
 let satisfaction_values records =
@@ -30,7 +58,7 @@ let satisfaction_values records =
     (fun r -> match r.outcome with Rejected -> None | Completed | Dropped -> Some (r.satisfaction *. 100.0))
     records
 
-let summarize records =
+let summarize ?(robustness = no_faults) records =
   let submitted = List.length records in
   let count p = List.length (List.filter p records) in
   let rejected = count (fun r -> r.outcome = Rejected) in
@@ -48,9 +76,18 @@ let summarize records =
     p5_satisfaction = (match sats with [] -> 0.0 | _ :: _ -> Stats.percentile 5.0 sats);
     rejection_pct = pct rejected;
     drop_pct = pct dropped;
+    robustness;
   }
+
+let pp_robustness ppf r =
+  Format.fprintf ppf
+    "crashes=%d recoveries=%d down-epochs=%d timeouts=%d retries=%d fetch-failures=%d \
+     stale-epochs=%d counters-lost=%d install-failures=%d reinstalls=%d"
+    r.crashes r.recoveries r.switch_down_epochs r.fetch_timeouts r.fetch_retries r.fetch_failures
+    r.stale_epochs r.counters_lost r.install_failures r.recovery_reinstalls
 
 let pp_summary ppf s =
   Format.fprintf ppf
     "submitted=%d admitted=%d satisfaction(mean=%.1f%% p5=%.1f%%) reject=%.1f%% drop=%.1f%%"
-    s.submitted s.admitted s.mean_satisfaction s.p5_satisfaction s.rejection_pct s.drop_pct
+    s.submitted s.admitted s.mean_satisfaction s.p5_satisfaction s.rejection_pct s.drop_pct;
+  if s.robustness <> no_faults then Format.fprintf ppf " [%a]" pp_robustness s.robustness

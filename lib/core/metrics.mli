@@ -16,6 +16,22 @@ type record = {
   mean_accuracy : float;  (** average scored accuracy while active *)
 }
 
+type robustness = {
+  crashes : int;  (** switch crash events *)
+  recoveries : int;  (** switches that came back up *)
+  switch_down_epochs : int;  (** sum over epochs of down-switch count *)
+  fetch_timeouts : int;  (** counter-fetch batches that timed out *)
+  fetch_retries : int;  (** retry attempts issued after timeouts *)
+  fetch_failures : int;  (** fetches abandoned after the retry budget ran out *)
+  stale_epochs : int;  (** task-switch epochs served from the previous epoch's counters *)
+  counters_lost : int;  (** individual counters dropped from otherwise-successful batches *)
+  install_failures : int;  (** rule installs that did not land *)
+  recovery_reinstalls : int;  (** rules reinstalled on freshly recovered switches *)
+}
+
+val no_faults : robustness
+(** All counters zero — what a run without fault injection reports. *)
+
 type summary = {
   submitted : int;
   admitted : int;
@@ -26,11 +42,14 @@ type summary = {
   p5_satisfaction : float;
   rejection_pct : float;  (** rejected / submitted * 100 *)
   drop_pct : float;  (** dropped / submitted * 100 *)
+  robustness : robustness;  (** {!no_faults} unless fault injection ran *)
 }
 
-val summarize : record list -> summary
+val summarize : ?robustness:robustness -> record list -> summary
 
 val pp_summary : Format.formatter -> summary -> unit
+
+val pp_robustness : Format.formatter -> robustness -> unit
 
 val satisfaction_values : record list -> float list
 (** Satisfaction (as a percentage) of every admitted task. *)

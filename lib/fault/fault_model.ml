@@ -1,0 +1,134 @@
+module Rng = Dream_util.Rng
+module Switch_id = Dream_traffic.Switch_id
+
+type spec = {
+  seed : int;
+  crash_rate : float;
+  mean_downtime : float;
+  fetch_timeout_rate : float;
+  counter_loss_rate : float;
+  install_failure_rate : float;
+  perturb_stddev : float;
+  stale_decay : float;
+  retry_budget_fraction : float;
+}
+
+let zero =
+  {
+    seed = 0;
+    crash_rate = 0.0;
+    mean_downtime = 4.0;
+    fetch_timeout_rate = 0.0;
+    counter_loss_rate = 0.0;
+    install_failure_rate = 0.0;
+    perturb_stddev = 0.0;
+    stale_decay = 0.9;
+    retry_budget_fraction = 0.5;
+  }
+
+let uniform ?(seed = 0) rate =
+  if rate < 0.0 || rate > 1.0 then invalid_arg "Fault_model.uniform: rate must be in [0, 1]";
+  {
+    zero with
+    seed;
+    (* Crashes are an order of magnitude rarer than transient faults, as in
+       any real deployment: a lossy channel is common, a dead switch is not. *)
+    crash_rate = rate /. 10.0;
+    fetch_timeout_rate = rate;
+    counter_loss_rate = rate;
+    install_failure_rate = rate;
+    perturb_stddev = rate /. 10.0;
+  }
+
+let validate spec =
+  let check_rate name v =
+    if v < 0.0 || v > 1.0 then
+      invalid_arg (Printf.sprintf "Fault_model: %s must be in [0, 1], got %g" name v)
+  in
+  check_rate "crash_rate" spec.crash_rate;
+  check_rate "fetch_timeout_rate" spec.fetch_timeout_rate;
+  check_rate "counter_loss_rate" spec.counter_loss_rate;
+  check_rate "install_failure_rate" spec.install_failure_rate;
+  if spec.mean_downtime < 1.0 then invalid_arg "Fault_model: mean_downtime must be >= 1 epoch";
+  if spec.perturb_stddev < 0.0 then invalid_arg "Fault_model: perturb_stddev must be >= 0";
+  if spec.stale_decay <= 0.0 || spec.stale_decay > 1.0 then
+    invalid_arg "Fault_model: stale_decay must be in (0, 1]";
+  if spec.retry_budget_fraction < 0.0 || spec.retry_budget_fraction > 1.0 then
+    invalid_arg "Fault_model: retry_budget_fraction must be in [0, 1]"
+
+type switch_state = {
+  lifecycle : Rng.t; (* crash / recovery draws *)
+  data : Rng.t; (* timeout / loss / install / perturbation draws *)
+  mutable down_until : int; (* first epoch the switch is back up; <= epoch means up *)
+}
+
+type events = { crashed : Switch_id.t list; recovered : Switch_id.t list }
+
+type t = { spec : spec; states : switch_state array; mutable epoch : int }
+
+let create spec ~num_switches =
+  validate spec;
+  if num_switches <= 0 then invalid_arg "Fault_model.create: num_switches must be positive";
+  (* One master stream expands the seed; each switch then owns two
+     independent streams, so per-switch event sequences do not depend on the
+     order (or number) of draws made for other switches. *)
+  let master = Rng.create spec.seed in
+  let states =
+    Array.init num_switches (fun _ ->
+        let lifecycle = Rng.split master in
+        let data = Rng.split master in
+        { lifecycle; data; down_until = 0 })
+  in
+  { spec; states; epoch = 0 }
+
+let spec t = t.spec
+
+let num_switches t = Array.length t.states
+
+let state t sw =
+  if sw < 0 || sw >= Array.length t.states then
+    invalid_arg (Printf.sprintf "Fault_model: unknown switch %d" sw);
+  t.states.(sw)
+
+let is_down t sw = (state t sw).down_until > t.epoch
+
+let down_count t =
+  Array.fold_left (fun acc s -> if s.down_until > t.epoch then acc + 1 else acc) 0 t.states
+
+let begin_epoch t =
+  t.epoch <- t.epoch + 1;
+  let crashed = ref [] and recovered = ref [] in
+  Array.iteri
+    (fun sw s ->
+      if s.down_until > 0 && s.down_until = t.epoch then recovered := sw :: !recovered;
+      (* [<] not [<=]: a switch that recovered this very epoch gets one
+         epoch of grace, so its recovery (and the controller's rule
+         reinstall) is never voided before it was ever visible. *)
+      if s.down_until < t.epoch && t.spec.crash_rate > 0.0
+         && Rng.bernoulli s.lifecycle t.spec.crash_rate
+      then begin
+        let downtime = max 1 (int_of_float (Float.round (Rng.exponential s.lifecycle t.spec.mean_downtime))) in
+        s.down_until <- t.epoch + downtime;
+        crashed := sw :: !crashed
+      end)
+    t.states;
+  { crashed = List.rev !crashed; recovered = List.rev !recovered }
+
+let fetch_times_out t sw =
+  let s = state t sw in
+  t.spec.fetch_timeout_rate > 0.0 && Rng.bernoulli s.data t.spec.fetch_timeout_rate
+
+let lose_counter t sw =
+  let s = state t sw in
+  t.spec.counter_loss_rate > 0.0 && Rng.bernoulli s.data t.spec.counter_loss_rate
+
+let install_fails t sw =
+  let s = state t sw in
+  t.spec.install_failure_rate > 0.0 && Rng.bernoulli s.data t.spec.install_failure_rate
+
+let perturb t sw v =
+  if t.spec.perturb_stddev <= 0.0 then v
+  else begin
+    let s = state t sw in
+    Float.max 0.0 (v *. (1.0 +. (t.spec.perturb_stddev *. Rng.gaussian s.data)))
+  end

@@ -1,0 +1,72 @@
+(** Seeded fault injection for the control channel and switches.
+
+    DREAM's evaluation assumes every counter fetch succeeds and no switch
+    ever restarts; this module supplies the failures a real deployment
+    sees, deterministically.  A {!spec} fixes per-epoch / per-event rates
+    and a seed; {!create} expands the seed into two independent
+    {!Dream_util.Rng} streams per switch (lifecycle and data-path), so a
+    (spec, num_switches) pair always replays the same fault schedule no
+    matter how many draws other switches consume.
+
+    The controller drives the model: {!begin_epoch} once per tick to
+    advance crash/recovery state, then the per-event predicates as it
+    touches each switch.  All predicates short-circuit without consuming
+    randomness when their rate is zero, so a zero-rate spec is
+    behaviourally identical to running with no fault model at all. *)
+
+type spec = {
+  seed : int;
+  crash_rate : float;  (** per-switch per-epoch crash probability *)
+  mean_downtime : float;  (** mean epochs a crashed switch stays down (>= 1) *)
+  fetch_timeout_rate : float;  (** probability one counter-fetch batch times out *)
+  counter_loss_rate : float;  (** per-rule probability a fetched counter is lost *)
+  install_failure_rate : float;  (** per-rule probability an install fails *)
+  perturb_stddev : float;  (** relative Gaussian noise on fetched counter values *)
+  stale_decay : float;
+      (** factor applied to a task's smoothed estimated accuracy for each
+          epoch it reports from stale counters, in (0, 1] *)
+  retry_budget_fraction : float;
+      (** fraction of the epoch the controller may spend on fetch retries *)
+}
+
+val zero : spec
+(** All failure rates zero (seed 0, downtime 4, decay 0.9, retry budget
+    0.5): injects nothing. *)
+
+val uniform : ?seed:int -> float -> spec
+(** [uniform ~seed rate] scales every failure mode from one knob: timeout,
+    loss and install-failure rates equal [rate]; crashes and perturbation
+    at [rate / 10].  @raise Invalid_argument unless [rate] is in [0, 1]. *)
+
+type t
+
+type events = { crashed : Dream_traffic.Switch_id.t list; recovered : Dream_traffic.Switch_id.t list }
+
+val create : spec -> num_switches:int -> t
+(** @raise Invalid_argument on out-of-range rates or [num_switches <= 0]. *)
+
+val spec : t -> spec
+
+val num_switches : t -> int
+
+val begin_epoch : t -> events
+(** Advance one epoch: decide which switches crash this epoch (their TCAM
+    state is lost) and which finish their downtime and come back up. *)
+
+val is_down : t -> Dream_traffic.Switch_id.t -> bool
+
+val down_count : t -> int
+(** Switches currently down. *)
+
+val fetch_times_out : t -> Dream_traffic.Switch_id.t -> bool
+(** Roll one counter-fetch attempt on an up switch; re-roll to retry. *)
+
+val lose_counter : t -> Dream_traffic.Switch_id.t -> bool
+(** Roll one rule's counter dropping out of a successful batch. *)
+
+val install_fails : t -> Dream_traffic.Switch_id.t -> bool
+(** Roll one rule-install attempt. *)
+
+val perturb : t -> Dream_traffic.Switch_id.t -> float -> float
+(** Apply multiplicative Gaussian noise to a counter value (clamped at 0);
+    identity when [perturb_stddev = 0]. *)

@@ -13,6 +13,7 @@ type result = {
   delay_samples : Controller.delay_sample list;
   rules_installed : int;
   rules_fetched : int;
+  robustness : Metrics.robustness;
 }
 
 let dream_strategy = Allocator.Dream Dream_alloc.Dream_allocator.default_config
@@ -48,4 +49,5 @@ let run ?(config = Config.default) (scenario : Scenario.t) strategy =
     delay_samples = Controller.delay_samples controller;
     rules_installed = Controller.total_rules_installed controller;
     rules_fetched = Controller.total_rules_fetched controller;
+    robustness = Controller.robustness controller;
   }

@@ -10,6 +10,9 @@ type result = {
   delay_samples : Dream_core.Controller.delay_sample list;
   rules_installed : int;
   rules_fetched : int;
+  robustness : Dream_core.Metrics.robustness;
+      (** fault/recovery counters; {!Dream_core.Metrics.no_faults} unless
+          the config carries a fault spec *)
 }
 
 val run :

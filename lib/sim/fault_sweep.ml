@@ -1,0 +1,71 @@
+module Scenario = Dream_workload.Scenario
+module Config = Dream_core.Config
+module Metrics = Dream_core.Metrics
+module Fault_model = Dream_fault.Fault_model
+
+type point = {
+  rate : float;
+  strategy : string;
+  summary : Metrics.summary;
+  mean_accuracy : float; (* over admitted tasks, in [0, 1] *)
+}
+
+let default_rates = [ 0.0; 0.02; 0.05; 0.1; 0.2 ]
+
+let mean_accuracy records =
+  let accs =
+    List.filter_map
+      (fun (r : Metrics.record) ->
+        match r.Metrics.outcome with
+        | Metrics.Rejected -> None
+        | Metrics.Completed | Metrics.Dropped -> Some r.Metrics.mean_accuracy)
+      records
+  in
+  Dream_util.Stats.mean accs
+
+let run_point ?(config = Config.default) ?(fault_seed = 97) scenario strategy rate =
+  let config =
+    if rate <= 0.0 then config
+    else { config with Config.faults = Some (Fault_model.uniform ~seed:fault_seed rate) }
+  in
+  let result = Experiment.run ~config scenario strategy in
+  {
+    rate;
+    strategy = result.Experiment.strategy;
+    summary = result.Experiment.summary;
+    mean_accuracy = mean_accuracy result.Experiment.records;
+  }
+
+let sweep ?config ?fault_seed ?(rates = default_rates) scenario strategy =
+  List.map (fun rate -> run_point ?config ?fault_seed scenario strategy rate) rates
+
+let print_points points =
+  Table.row
+    [ "rate"; "mean-sat"; "p5-sat"; "accuracy"; "drop%"; "down-ep"; "stale"; "retries"; "reinst" ];
+  List.iter
+    (fun p ->
+      let s = p.summary in
+      let r = s.Metrics.robustness in
+      Table.row
+        [
+          Printf.sprintf "%.2f" p.rate;
+          Table.pct s.Metrics.mean_satisfaction;
+          Table.pct s.Metrics.p5_satisfaction;
+          Table.f2 p.mean_accuracy;
+          Table.pct s.Metrics.drop_pct;
+          string_of_int r.Metrics.switch_down_epochs;
+          string_of_int r.Metrics.stale_epochs;
+          string_of_int r.Metrics.fetch_retries;
+          string_of_int r.Metrics.recovery_reinstalls;
+        ])
+    points
+
+let run ~quick =
+  let base = if quick then Fig06.quick_scale Scenario.default else Scenario.default in
+  Table.heading "Fault sweep: satisfaction/accuracy degradation vs failure rate (combined workload)";
+  List.iter
+    (fun strategy ->
+      let points = sweep base strategy in
+      Table.subheading (Dream_alloc.Allocator.strategy_name strategy);
+      print_points points)
+    [ Experiment.dream_strategy; Dream_alloc.Allocator.Equal ]

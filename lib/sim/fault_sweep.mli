@@ -1,0 +1,41 @@
+(** Fault-sweep experiment: how gracefully does the control loop degrade as
+    the control channel and switches fail?
+
+    Each point runs one scenario with {!Dream_fault.Fault_model.uniform}
+    failure rates (fetch timeouts, counter loss, install failures at the
+    sweep rate; crashes and perturbation at a tenth of it) and reports the
+    paper's satisfaction metrics next to the robustness counters.  Rate 0
+    runs without any fault model — the baseline every other point is
+    compared against. *)
+
+type point = {
+  rate : float;  (** the uniform failure rate of this run *)
+  strategy : string;
+  summary : Dream_core.Metrics.summary;
+  mean_accuracy : float;  (** mean per-task scored accuracy over admitted tasks, in \[0, 1\] *)
+}
+
+val default_rates : float list
+(** [0; 0.02; 0.05; 0.1; 0.2] *)
+
+val run_point :
+  ?config:Dream_core.Config.t ->
+  ?fault_seed:int ->
+  Dream_workload.Scenario.t ->
+  Dream_alloc.Allocator.strategy ->
+  float ->
+  point
+
+val sweep :
+  ?config:Dream_core.Config.t ->
+  ?fault_seed:int ->
+  ?rates:float list ->
+  Dream_workload.Scenario.t ->
+  Dream_alloc.Allocator.strategy ->
+  point list
+
+val print_points : point list -> unit
+(** The satisfaction-vs-failure-rate table. *)
+
+val run : quick:bool -> unit
+(** Sweep DREAM and Equal over {!default_rates} on the combined workload. *)

@@ -11,6 +11,7 @@ let registry : (string * string * (quick:bool -> unit)) list =
     ("fig16", "Fixed_k configurations", Fig16.run);
     ("fig17", "control-loop delay breakdown and allocation delay", Fig17.run);
     ("ablation", "design ablations: allocation signal, step policy, TCAM vs sketch", Ablation.run);
+    ("faults", "satisfaction/accuracy degradation vs failure rate", Fault_sweep.run);
   ]
 
 let all = List.map (fun (id, descr, _) -> (id, descr)) registry

@@ -1,0 +1,60 @@
+module Prefix = Dream_prefix.Prefix
+module Aggregate = Dream_traffic.Aggregate
+module Fault_model = Dream_fault.Fault_model
+
+type fetch_error = [ `Down | `Timeout ]
+
+type install_error = [ `Capacity | `Duplicate | `Down | `Failed ]
+
+type t = { switch : Switch.t; faults : Fault_model.t option }
+
+let create ?faults switch = { switch; faults }
+
+let switch t = t.switch
+
+let id t = Switch.id t.switch
+
+let tcam t = Switch.tcam t.switch
+
+let faults t = t.faults
+
+let down t =
+  match t.faults with None -> false | Some fm -> Fault_model.is_down fm (id t)
+
+let rules_of t ~owner = Tcam.rules_of (tcam t) ~owner
+
+let read t ~owner aggregate =
+  if down t then Error `Down
+  else begin
+    (* The fetch is issued (and priced through the TCAM stats) before the
+       timeout verdict: a timed-out batch costs the control loop the same
+       wire time as a successful one. *)
+    let pairs = Tcam.read (tcam t) ~owner aggregate in
+    match t.faults with
+    | None -> Ok pairs
+    | Some fm ->
+      if Fault_model.fetch_times_out fm (id t) then Error `Timeout
+      else begin
+        let surviving =
+          List.filter_map
+            (fun (p, v) ->
+              if Fault_model.lose_counter fm (id t) then None
+              else Some (p, Fault_model.perturb fm (id t) v))
+            pairs
+        in
+        Ok surviving
+      end
+  end
+
+let install t ~owner p =
+  if down t then Error `Down
+  else begin
+    match t.faults with
+    | Some fm when Fault_model.install_fails fm (id t) -> Error `Failed
+    | Some _ | None -> (Tcam.install (tcam t) ~owner p :> (unit, install_error) result)
+  end
+
+let remove t ~owner p = if down t then Error `Down else Ok (Tcam.remove (tcam t) ~owner p)
+
+let crash t =
+  Tcam.wipe (tcam t)

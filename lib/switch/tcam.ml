@@ -100,6 +100,10 @@ let read t ~owner aggregate =
   t.fetches <- t.fetches + List.length rules;
   List.map (fun p -> (p, Aggregate.volume aggregate p)) rules
 
+let wipe t =
+  Hashtbl.reset t.tables;
+  t.used <- 0
+
 let stats t = { installs = t.installs; removals = t.removals; fetches = t.fetches }
 
 let reset_stats t =

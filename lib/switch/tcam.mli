@@ -56,6 +56,11 @@ val read : t -> owner:int -> Dream_traffic.Aggregate.t -> (Dream_prefix.Prefix.t
 (** Per-rule counters of a task against this epoch's traffic at this
     switch.  Counts one fetch per rule in the stats. *)
 
+val wipe : t -> unit
+(** Drop every rule of every owner without touching the churn stats: a
+    switch crash losing its table, not controller-issued deletes (which
+    the delay model would otherwise price). *)
+
 val stats : t -> stats
 
 val reset_stats : t -> unit

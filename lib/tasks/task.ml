@@ -82,6 +82,10 @@ let estimate_accuracy t =
     (switches t);
   accuracy
 
+let decay_accuracy t ?switch ~factor () =
+  Ewma.scale t.global_acc factor;
+  match switch with None -> () | Some sw -> Ewma.scale (overall_filter t sw) factor
+
 let smoothed_global t = Ewma.value_or t.global_acc 1.0
 
 let overall_accuracy t sw = Ewma.value_or (overall_filter t sw) 1.0

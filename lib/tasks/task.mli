@@ -53,6 +53,12 @@ val estimate_accuracy : t -> Accuracy.t
 val smoothed_global : t -> float
 (** EWMA-smoothed estimated global accuracy (1 before any estimate). *)
 
+val decay_accuracy : t -> ?switch:Dream_traffic.Switch_id.t -> factor:float -> unit -> unit
+(** Scale the smoothed global accuracy (and, when [switch] is given, that
+    switch's smoothed overall accuracy) by [factor].  The controller calls
+    this when a task reports from stale counters — degraded visibility the
+    estimators cannot see, which must still reach the allocator. *)
+
 val overall_accuracy : t -> Dream_traffic.Switch_id.t -> float
 (** EWMA-smoothed [max (global, local)] on a switch — the allocator's
     input (Section 4). *)

@@ -1,0 +1,313 @@
+(* Tests for dream.fault and the failure-tolerant controller: fault-model
+   determinism, the zero-spec regression guard (fault plumbing must not
+   change fault-free results), fault-path determinism, and graceful
+   survival of an aggressively faulty run. *)
+
+module Rng = Dream_util.Rng
+module Prefix = Dream_prefix.Prefix
+module Topology = Dream_traffic.Topology
+module Generator = Dream_traffic.Generator
+module Profile = Dream_traffic.Profile
+module Fault_model = Dream_fault.Fault_model
+module Switch = Dream_switch.Switch
+module Tcam = Dream_switch.Tcam
+module Data_plane = Dream_switch.Data_plane
+module Task_spec = Dream_tasks.Task_spec
+module Allocator = Dream_alloc.Allocator
+module Dream_allocator = Dream_alloc.Dream_allocator
+module Config = Dream_core.Config
+module Metrics = Dream_core.Metrics
+module Controller = Dream_core.Controller
+
+(* ---- Fault_model ---- *)
+
+let aggressive seed =
+  {
+    Fault_model.zero with
+    Fault_model.seed;
+    crash_rate = 0.15;
+    mean_downtime = 3.0;
+    fetch_timeout_rate = 0.3;
+    counter_loss_rate = 0.1;
+    install_failure_rate = 0.1;
+    perturb_stddev = 0.05;
+  }
+
+let schedule spec ~num_switches ~epochs =
+  let fm = Fault_model.create spec ~num_switches in
+  let events = ref [] in
+  for _ = 1 to epochs do
+    let e = Fault_model.begin_epoch fm in
+    events := (e.Fault_model.crashed, e.Fault_model.recovered) :: !events
+  done;
+  List.rev !events
+
+let test_model_deterministic () =
+  let a = schedule (aggressive 5) ~num_switches:8 ~epochs:100 in
+  let b = schedule (aggressive 5) ~num_switches:8 ~epochs:100 in
+  Alcotest.(check bool) "same seed, same schedule" true (a = b);
+  let c = schedule (aggressive 6) ~num_switches:8 ~epochs:100 in
+  Alcotest.(check bool) "different seed, different schedule" true (a <> c)
+
+let test_model_crash_recovery_cycle () =
+  let spec = { (aggressive 11) with Fault_model.crash_rate = 0.3 } in
+  let fm = Fault_model.create spec ~num_switches:4 in
+  let crashes = ref 0 and recoveries = ref 0 in
+  for _ = 1 to 200 do
+    let e = Fault_model.begin_epoch fm in
+    crashes := !crashes + List.length e.Fault_model.crashed;
+    recoveries := !recoveries + List.length e.Fault_model.recovered;
+    List.iter
+      (fun sw -> Alcotest.(check bool) "crashed switch is down" true (Fault_model.is_down fm sw))
+      e.Fault_model.crashed;
+    List.iter
+      (fun sw ->
+        Alcotest.(check bool) "recovered switch is up" false (Fault_model.is_down fm sw))
+      e.Fault_model.recovered
+  done;
+  Alcotest.(check bool) (Printf.sprintf "crashes occur (%d)" !crashes) true (!crashes > 10);
+  Alcotest.(check bool) "most crashes recover" true (!recoveries > !crashes / 2)
+
+let test_model_zero_is_silent () =
+  let fm = Fault_model.create Fault_model.zero ~num_switches:4 in
+  for _ = 1 to 50 do
+    let e = Fault_model.begin_epoch fm in
+    Alcotest.(check bool) "no crashes" true (e.Fault_model.crashed = []);
+    for sw = 0 to 3 do
+      Alcotest.(check bool) "up" false (Fault_model.is_down fm sw);
+      Alcotest.(check bool) "no timeout" false (Fault_model.fetch_times_out fm sw);
+      Alcotest.(check bool) "no loss" false (Fault_model.lose_counter fm sw);
+      Alcotest.(check bool) "no install failure" false (Fault_model.install_fails fm sw);
+      Alcotest.(check (float 0.0)) "perturb is identity" 42.5 (Fault_model.perturb fm sw 42.5)
+    done
+  done
+
+let test_model_validation () =
+  let raises f =
+    match f () with
+    | _ -> Alcotest.fail "expected Invalid_argument"
+    | exception Invalid_argument _ -> ()
+  in
+  raises (fun () -> Fault_model.uniform 1.5);
+  raises (fun () -> Fault_model.uniform (-0.1));
+  raises (fun () -> Fault_model.create { Fault_model.zero with Fault_model.crash_rate = 2.0 } ~num_switches:4);
+  raises (fun () -> Fault_model.create { Fault_model.zero with Fault_model.stale_decay = 0.0 } ~num_switches:4);
+  raises (fun () -> Fault_model.create Fault_model.zero ~num_switches:0)
+
+(* ---- Data_plane ---- *)
+
+let test_data_plane_transparent_without_faults () =
+  let sw = Switch.create ~id:0 ~capacity:16 in
+  let dp = Data_plane.create sw in
+  Alcotest.(check bool) "never down" false (Data_plane.down dp);
+  let p = Prefix.nth_descendant Prefix.root ~length:8 3 in
+  (match Data_plane.install dp ~owner:1 p with
+  | Ok () -> ()
+  | Error _ -> Alcotest.fail "install must succeed");
+  Alcotest.(check int) "rule landed" 1 (Tcam.used_by (Switch.tcam sw) ~owner:1);
+  match Data_plane.remove dp ~owner:1 p with
+  | Ok true -> ()
+  | Ok false | Error `Down -> Alcotest.fail "remove must find the rule"
+
+let test_data_plane_down_refuses () =
+  let spec = { Fault_model.zero with Fault_model.crash_rate = 1.0; mean_downtime = 100.0 } in
+  let fm = Fault_model.create spec ~num_switches:1 in
+  let sw = Switch.create ~id:0 ~capacity:16 in
+  let dp = Data_plane.create ~faults:fm sw in
+  let p = Prefix.nth_descendant Prefix.root ~length:8 1 in
+  (match Data_plane.install dp ~owner:1 p with
+  | Ok () -> ()
+  | Error _ -> Alcotest.fail "install before crash must succeed");
+  ignore (Fault_model.begin_epoch fm);
+  Alcotest.(check bool) "down after crash" true (Data_plane.down dp);
+  (match Data_plane.install dp ~owner:1 p with
+  | Error `Down -> ()
+  | Ok () | Error _ -> Alcotest.fail "install on a down switch must refuse");
+  match Data_plane.remove dp ~owner:1 p with
+  | Error `Down -> ()
+  | Ok _ -> Alcotest.fail "remove on a down switch must refuse"
+
+(* ---- Controller under faults ---- *)
+
+let mk_controller ?(config = Config.default) ?(capacity = 128) ?(num_switches = 4)
+    ?(strategy = Allocator.Dream Dream_allocator.default_config) () =
+  Controller.create ~config ~strategy ~num_switches ~capacity
+
+let submit_task controller rng ~filter_index ~duration =
+  let filter = Prefix.nth_descendant Prefix.root ~length:12 (filter_index * 53) in
+  let num_switches = Controller.num_switches controller in
+  let topology =
+    Topology.create rng ~filter ~num_switches ~switches_per_task:(min 4 num_switches)
+  in
+  let spec =
+    Task_spec.make ~kind:Task_spec.Heavy_hitter ~filter ~leaf_length:24 ~threshold:8.0 ()
+  in
+  let generator =
+    Generator.create (Rng.split rng) ~topology ~profile:(Profile.default ~threshold:8.0)
+  in
+  Controller.submit controller ~spec ~topology
+    ~source:(Dream_traffic.Source.of_generator generator)
+    ~duration
+
+type run_result = {
+  summary : Metrics.summary;
+  records : Metrics.record list;
+  modelled_delays : (float * float) list; (* (fetch_ms, save_ms), deterministic *)
+}
+
+let run_controller config =
+  let controller = mk_controller ~config () in
+  let rng = Rng.create 21 in
+  for i = 0 to 7 do
+    ignore (submit_task controller rng ~filter_index:i ~duration:25)
+  done;
+  Controller.run controller ~epochs:40;
+  Controller.finalize controller;
+  {
+    summary = Controller.summary controller;
+    records = Controller.records controller;
+    modelled_delays =
+      List.map
+        (fun (s : Controller.delay_sample) -> (s.Controller.fetch_ms, s.Controller.save_ms))
+        (Controller.delay_samples controller);
+  }
+
+let test_zero_spec_identical_to_no_faults () =
+  (* Regression guard: the fault plumbing must not change fault-free
+     behaviour.  A zero-rate spec exercises the fault-aware code path end
+     to end and must still be byte-identical to running with no fault
+     model at all. *)
+  let plain = run_controller Config.default in
+  let zeroed = run_controller { Config.default with Config.faults = Some Fault_model.zero } in
+  Alcotest.(check bool) "same records" true (plain.records = zeroed.records);
+  Alcotest.(check bool) "same summary" true (plain.summary = zeroed.summary);
+  Alcotest.(check bool) "same modelled delays" true
+    (plain.modelled_delays = zeroed.modelled_delays);
+  Alcotest.(check bool) "robustness counters all zero" true
+    (zeroed.summary.Metrics.robustness = Metrics.no_faults)
+
+let faulty_config fault_seed =
+  { Config.default with Config.faults = Some (aggressive fault_seed) }
+
+let test_fault_path_deterministic () =
+  let a = run_controller (faulty_config 5) in
+  let b = run_controller (faulty_config 5) in
+  Alcotest.(check bool) "same records" true (a.records = b.records);
+  Alcotest.(check bool) "same summary" true (a.summary = b.summary);
+  Alcotest.(check bool) "same modelled delays" true (a.modelled_delays = b.modelled_delays);
+  let c = run_controller (faulty_config 6) in
+  Alcotest.(check bool) "different fault seed diverges" true
+    (a.records <> c.records || a.summary <> c.summary)
+
+let test_faulty_run_survives_gracefully () =
+  let config = faulty_config 42 in
+  let controller = mk_controller ~config ~capacity:256 () in
+  let rng = Rng.create 33 in
+  for i = 0 to 5 do
+    ignore (submit_task controller rng ~filter_index:i ~duration:60)
+  done;
+  for _ = 1 to 70 do
+    Controller.tick controller;
+    (* Capacity safety holds even while switches crash and recover. *)
+    Array.iter
+      (fun sw ->
+        Alcotest.(check bool) "used <= capacity" true
+          (Tcam.used (Switch.tcam sw) <= Tcam.capacity (Switch.tcam sw)))
+      (Controller.switches controller);
+    (* Active tasks keep reporting from the healthy switches. *)
+    List.iter
+      (fun id ->
+        match Controller.smoothed_accuracy controller ~task_id:id with
+        | Some a -> Alcotest.(check bool) "accuracy in range" true (a >= 0.0 && a <= 1.0)
+        | None -> Alcotest.fail "active task lost its accuracy")
+      (Controller.active_task_ids controller)
+  done;
+  Controller.finalize controller;
+  let r = Controller.robustness controller in
+  Alcotest.(check bool) (Printf.sprintf "crashes (%d)" r.Metrics.crashes) true (r.Metrics.crashes > 0);
+  Alcotest.(check bool) "switch-down epochs" true (r.Metrics.switch_down_epochs > 0);
+  Alcotest.(check bool) "fetch timeouts" true (r.Metrics.fetch_timeouts > 0);
+  Alcotest.(check bool) "retries" true (r.Metrics.fetch_retries > 0);
+  Alcotest.(check bool) "stale-counter epochs" true (r.Metrics.stale_epochs > 0);
+  Alcotest.(check bool) "counters lost" true (r.Metrics.counters_lost > 0);
+  Alcotest.(check bool) "install failures" true (r.Metrics.install_failures > 0);
+  Alcotest.(check bool) "recovery reinstalls" true (r.Metrics.recovery_reinstalls > 0);
+  (* The summary carries the same counters. *)
+  let s = Controller.summary controller in
+  Alcotest.(check bool) "summary exposes robustness" true
+    (s.Metrics.robustness = r && r <> Metrics.no_faults)
+
+let test_down_switches_quarantined () =
+  (* Crash-heavy run: whenever a switch is down, no surviving task may
+     have rules installed on it (its TCAM was wiped and the controller
+     must not reinstall until recovery). *)
+  let spec =
+    { Fault_model.zero with Fault_model.seed = 13; crash_rate = 0.2; mean_downtime = 5.0 }
+  in
+  let config = { Config.default with Config.faults = Some spec } in
+  let controller = mk_controller ~config ~capacity:128 () in
+  let rng = Rng.create 51 in
+  for i = 0 to 3 do
+    ignore (submit_task controller rng ~filter_index:i ~duration:80)
+  done;
+  let saw_down = ref false in
+  for _ = 1 to 80 do
+    Controller.tick controller;
+    match Controller.faults controller with
+    | None -> Alcotest.fail "fault model must be live"
+    | Some fm ->
+      Array.iter
+        (fun sw ->
+          if Fault_model.is_down fm (Switch.id sw) then begin
+            saw_down := true;
+            Alcotest.(check int) "down switch holds no rules" 0 (Tcam.used (Switch.tcam sw))
+          end)
+        (Controller.switches controller)
+  done;
+  Alcotest.(check bool) "scenario exercised downtime" true !saw_down
+
+(* ---- input validation ---- *)
+
+let test_controller_validates_inputs () =
+  let raises f =
+    match f () with
+    | _ -> Alcotest.fail "expected Invalid_argument"
+    | exception Invalid_argument _ -> ()
+  in
+  let strategy = Allocator.Dream Dream_allocator.default_config in
+  raises (fun () ->
+      Controller.create ~config:Config.default ~strategy ~num_switches:0 ~capacity:128);
+  raises (fun () ->
+      Controller.create ~config:Config.default ~strategy ~num_switches:(-3) ~capacity:128);
+  raises (fun () ->
+      Controller.create ~config:Config.default ~strategy ~num_switches:4 ~capacity:0);
+  raises (fun () -> Switch.network ~num_switches:0 ~capacity:64);
+  raises (fun () -> Switch.network ~num_switches:4 ~capacity:(-1))
+
+let () =
+  Alcotest.run "dream.fault"
+    [
+      ( "fault-model",
+        [
+          Alcotest.test_case "deterministic schedules" `Quick test_model_deterministic;
+          Alcotest.test_case "crash/recovery cycle" `Quick test_model_crash_recovery_cycle;
+          Alcotest.test_case "zero spec injects nothing" `Quick test_model_zero_is_silent;
+          Alcotest.test_case "spec validation" `Quick test_model_validation;
+        ] );
+      ( "data-plane",
+        [
+          Alcotest.test_case "transparent without faults" `Quick
+            test_data_plane_transparent_without_faults;
+          Alcotest.test_case "down switch refuses operations" `Quick test_data_plane_down_refuses;
+        ] );
+      ( "controller",
+        [
+          Alcotest.test_case "zero spec identical to no faults" `Quick
+            test_zero_spec_identical_to_no_faults;
+          Alcotest.test_case "fault path deterministic" `Quick test_fault_path_deterministic;
+          Alcotest.test_case "faulty run survives gracefully" `Quick
+            test_faulty_run_survives_gracefully;
+          Alcotest.test_case "down switches quarantined" `Quick test_down_switches_quarantined;
+          Alcotest.test_case "input validation" `Quick test_controller_validates_inputs;
+        ] );
+    ]
