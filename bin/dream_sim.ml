@@ -3,22 +3,55 @@
      dune exec bin/dream_sim.exe -- run --capacity 1024 --strategy dream
      dune exec bin/dream_sim.exe -- run --kind HH --tasks 32 --fault-rate 0.1
      dune exec bin/dream_sim.exe -- fault-sweep --rates 0.0,0.05,0.2
+     dune exec bin/dream_sim.exe -- checkpoint --out run.ckpt --at 100
+     dune exec bin/dream_sim.exe -- restore-run --from run.ckpt --epochs 100
+     dune exec bin/dream_sim.exe -- crash-recovery --rates 0.0,0.02,0.05
 
    The bare form (no subcommand) still runs a single experiment, so the
-   pre-subcommand invocations keep working. *)
+   pre-subcommand invocations keep working.  Every numeric option is
+   validated up front; bad values produce a clear message and a non-zero
+   exit code instead of a crash deep inside the simulator. *)
 
 module Scenario = Dream_workload.Scenario
+module Arrival = Dream_workload.Arrival
+module Controller = Dream_core.Controller
 module Experiment = Dream_sim.Experiment
 module Fault_sweep = Dream_sim.Fault_sweep
+module Crash_recovery = Dream_sim.Crash_recovery
 module Config = Dream_core.Config
 module Metrics = Dream_core.Metrics
 module Task_spec = Dream_tasks.Task_spec
 module Fault_model = Dream_fault.Fault_model
+module Journal = Dream_recovery.Journal
 module Allocator = Dream_alloc.Allocator
 module Stats = Dream_util.Stats
 
+let ( let* ) = Result.bind
+let check cond msg = if cond then Ok () else Error msg
+let sp = Printf.sprintf
+
 let scenario_of capacity num_switches switches_per_task tasks window duration epochs threshold
     bound kind seed =
+  let* () = check (capacity > 0) (sp "--capacity must be positive (got %d)" capacity) in
+  let* () = check (num_switches > 0) (sp "--switches must be positive (got %d)" num_switches) in
+  let* () =
+    check (switches_per_task > 0)
+      (sp "--switches-per-task must be positive (got %d)" switches_per_task)
+  in
+  let* () = check (tasks > 0) (sp "--tasks must be positive (got %d)" tasks) in
+  let* () = check (window > 0) (sp "--window must be a positive epoch count (got %d)" window) in
+  let* () =
+    check (duration > 0) (sp "--duration must be a positive epoch count (got %d)" duration)
+  in
+  let* () = check (epochs > 0) (sp "--epochs must be a positive epoch count (got %d)" epochs) in
+  let* () =
+    check
+      (Float.is_finite threshold && threshold > 0.0)
+      (sp "--threshold must be a positive finite number of Mb (got %g)" threshold)
+  in
+  let* () =
+    check (bound >= 0.0 && bound <= 1.0) (sp "--bound must be in [0, 1] (got %g)" bound)
+  in
   let scenario =
     {
       Scenario.default with
@@ -35,26 +68,47 @@ let scenario_of capacity num_switches switches_per_task tasks window duration ep
     }
   in
   match String.lowercase_ascii kind with
-  | "hh" -> Scenario.with_kind scenario Task_spec.Heavy_hitter
-  | "hhh" -> Scenario.with_kind scenario Task_spec.Hierarchical_heavy_hitter
-  | "cd" -> Scenario.with_kind scenario Task_spec.Change_detection
-  | "combined" | "all" -> scenario
-  | other -> failwith (Printf.sprintf "unknown kind %S (HH | HHH | CD | combined)" other)
+  | "hh" -> Ok (Scenario.with_kind scenario Task_spec.Heavy_hitter)
+  | "hhh" -> Ok (Scenario.with_kind scenario Task_spec.Hierarchical_heavy_hitter)
+  | "cd" -> Ok (Scenario.with_kind scenario Task_spec.Change_detection)
+  | "combined" | "all" -> Ok scenario
+  | other -> Error (sp "unknown kind %S (HH | HHH | CD | combined)" other)
 
 let strategy_of strategy fixed_k =
   match String.lowercase_ascii strategy with
-  | "dream" -> Experiment.dream_strategy
-  | "equal" -> Allocator.Equal
-  | "fixed" -> Allocator.Fixed fixed_k
-  | other -> failwith (Printf.sprintf "unknown strategy %S (dream | equal | fixed)" other)
+  | "dream" -> Ok Experiment.dream_strategy
+  | "equal" -> Ok Allocator.Equal
+  | "fixed" ->
+    let* () = check (fixed_k > 0) (sp "--fixed-k must be positive (got %d)" fixed_k) in
+    Ok (Allocator.Fixed fixed_k)
+  | other -> Error (sp "unknown strategy %S (dream | equal | fixed)" other)
+
+let rate_in_range ~flag rate =
+  check
+    (rate >= 0.0 && rate <= 1.0)
+    (sp "%s must be in [0, 1] (got %g)" flag rate)
+
+let rates_in_range ~flag rates =
+  List.fold_left (fun acc r -> Result.bind acc (fun () -> rate_in_range ~flag r)) (Ok ()) rates
+
+let print_summary name (s : Metrics.summary) =
+  Format.printf "@.%s results:@." name;
+  Format.printf "  satisfaction  mean %.1f%%  5th-pct %.1f%%@." s.Metrics.mean_satisfaction
+    s.Metrics.p5_satisfaction;
+  Format.printf "  tasks         submitted %d  admitted %d  completed %d@." s.Metrics.submitted
+    s.Metrics.admitted s.Metrics.completed;
+  Format.printf "  rejection     %.1f%%   drop %.1f%%@." s.Metrics.rejection_pct s.Metrics.drop_pct;
+  if s.Metrics.robustness <> Metrics.no_faults then
+    Format.printf "  robustness    %a@." Metrics.pp_robustness s.Metrics.robustness
 
 let run capacity num_switches switches_per_task tasks window duration epochs threshold bound kind
     strategy fixed_k seed fault_rate fault_seed verbose =
-  let scenario =
+  let* scenario =
     scenario_of capacity num_switches switches_per_task tasks window duration epochs threshold
       bound kind seed
   in
-  let strategy = strategy_of strategy fixed_k in
+  let* strategy = strategy_of strategy fixed_k in
+  let* () = rate_in_range ~flag:"--fault-rate" fault_rate in
   let config =
     if fault_rate <= 0.0 then Config.default
     else
@@ -65,17 +119,9 @@ let run capacity num_switches switches_per_task tasks window duration epochs thr
   if fault_rate > 0.0 then
     Format.printf "fault injection: uniform rate %.3f (seed %d)@." fault_rate fault_seed;
   let result = Experiment.run ~config scenario strategy in
-  let s = result.Experiment.summary in
-  Format.printf "@.%s results:@." result.Experiment.strategy;
-  Format.printf "  satisfaction  mean %.1f%%  5th-pct %.1f%%@." s.Metrics.mean_satisfaction
-    s.Metrics.p5_satisfaction;
-  Format.printf "  tasks         submitted %d  admitted %d  completed %d@." s.Metrics.submitted
-    s.Metrics.admitted s.Metrics.completed;
-  Format.printf "  rejection     %.1f%%   drop %.1f%%@." s.Metrics.rejection_pct s.Metrics.drop_pct;
+  print_summary result.Experiment.strategy result.Experiment.summary;
   Format.printf "  switch rules  installed %d  fetched %d@." result.Experiment.rules_installed
     result.Experiment.rules_fetched;
-  if s.Metrics.robustness <> Metrics.no_faults then
-    Format.printf "  robustness    %a@." Metrics.pp_robustness s.Metrics.robustness;
   if verbose then begin
     Format.printf "@.per-task records:@.";
     List.iter
@@ -90,20 +136,142 @@ let run capacity num_switches switches_per_task tasks window duration epochs thr
           r.Metrics.arrived_at r.Metrics.active_epochs
           (r.Metrics.satisfaction *. 100.0))
       result.Experiment.records
-  end
+  end;
+  Ok ()
 
 let fault_sweep capacity num_switches switches_per_task tasks window duration epochs threshold
-    bound kind strategy fixed_k seed rates fault_seed =
-  let scenario =
+    bound kind strategy fixed_k seed rates fault_seeds =
+  let* scenario =
     scenario_of capacity num_switches switches_per_task tasks window duration epochs threshold
       bound kind seed
   in
-  let strategy = strategy_of strategy fixed_k in
+  let* strategy = strategy_of strategy fixed_k in
   let rates = if rates = [] then Fault_sweep.default_rates else rates in
+  let* () = rates_in_range ~flag:"--rates" rates in
+  let seeds = if fault_seeds = [] then Fault_sweep.default_seeds else fault_seeds in
   Format.printf "scenario: %a@." Scenario.pp scenario;
-  Format.printf "strategy: %s   fault seed: %d@.@." (Allocator.strategy_name strategy) fault_seed;
-  let points = Fault_sweep.sweep ~fault_seed ~rates scenario strategy in
-  Fault_sweep.print_points points
+  Format.printf "strategy: %s   fault seeds: %s@.@."
+    (Allocator.strategy_name strategy)
+    (String.concat "," (List.map string_of_int seeds));
+  let aggregates = Fault_sweep.sweep_seeds ~seeds ~rates scenario strategy in
+  Fault_sweep.print_aggregates aggregates;
+  Ok ()
+
+(* Drive a controller through [epochs] epochs of a scenario's arrival
+   schedule, journaling, then seal a checkpoint. *)
+let checkpoint capacity num_switches switches_per_task tasks window duration epochs threshold
+    bound kind strategy fixed_k seed fault_rate fault_seed at out journal_path =
+  let* scenario =
+    scenario_of capacity num_switches switches_per_task tasks window duration epochs threshold
+      bound kind seed
+  in
+  let* strategy = strategy_of strategy fixed_k in
+  let* () = rate_in_range ~flag:"--fault-rate" fault_rate in
+  let* () =
+    check (at > 0 && at <= scenario.Scenario.total_epochs)
+      (sp "--at must be a positive epoch count within --epochs (got %d, epochs %d)" at
+         scenario.Scenario.total_epochs)
+  in
+  let config =
+    if fault_rate <= 0.0 then Config.default
+    else
+      { Config.default with Config.faults = Some (Fault_model.uniform ~seed:fault_seed fault_rate) }
+  in
+  let controller =
+    Controller.create ~config ~strategy ~num_switches:scenario.Scenario.num_switches
+      ~capacity:scenario.Scenario.capacity
+  in
+  let sink =
+    match journal_path with Some path -> Journal.file path | None -> Journal.memory ()
+  in
+  Controller.set_journal controller (Some sink);
+  let pending = ref (Arrival.schedule scenario) in
+  for epoch = 0 to at - 1 do
+    let due, rest =
+      List.partition (fun (s : Arrival.submission) -> s.Arrival.arrival <= epoch) !pending
+    in
+    pending := rest;
+    List.iter
+      (fun (s : Arrival.submission) ->
+        ignore
+          (Controller.submit controller ~spec:s.Arrival.spec ~topology:s.Arrival.topology
+             ~source:(Dream_traffic.Source.of_generator s.Arrival.generator)
+             ~duration:s.Arrival.duration))
+      due;
+    Controller.tick controller
+  done;
+  let doc = Controller.snapshot controller in
+  Journal.close sink;
+  let* () =
+    try
+      let oc = open_out out in
+      output_string oc doc;
+      close_out oc;
+      Ok ()
+    with Sys_error msg -> Error (sp "cannot write checkpoint %s: %s" out msg)
+  in
+  Format.printf "checkpoint: %d epochs, %d active tasks, %d bytes -> %s@." at
+    (Controller.active_tasks controller)
+    (String.length doc) out;
+  (match journal_path with
+  | Some path -> Format.printf "journal: %d entries -> %s@." (Journal.length sink) path
+  | None -> ());
+  Ok ()
+
+let read_file path =
+  try
+    let ic = open_in_bin path in
+    let n = in_channel_length ic in
+    let s = really_input_string ic n in
+    close_in ic;
+    Ok s
+  with Sys_error msg -> Error (sp "cannot read checkpoint %s: %s" path msg)
+
+let restore_run from epochs verbose =
+  let* () = check (epochs >= 0) (sp "--epochs must not be negative (got %d)" epochs) in
+  let* doc = read_file from in
+  let* controller = Result.map_error (sp "invalid checkpoint %s: %s" from) (Controller.restore doc) in
+  Format.printf "restored %s: epoch %d, %d switches, %d active tasks@." from
+    (Controller.epoch controller) (Controller.num_switches controller)
+    (Controller.active_tasks controller);
+  Controller.run controller ~epochs;
+  Controller.finalize controller;
+  print_summary "resumed run" (Controller.summary controller);
+  if verbose then begin
+    Format.printf "@.per-task records:@.";
+    List.iter
+      (fun (r : Metrics.record) ->
+        Format.printf "  task %3d arrived %4d  active %4d  satisfaction %5.1f%%@." r.Metrics.task_id
+          r.Metrics.arrived_at r.Metrics.active_epochs
+          (r.Metrics.satisfaction *. 100.0))
+      (Controller.records controller)
+  end;
+  Ok ()
+
+let crash_recovery capacity num_switches switches_per_task tasks window duration epochs threshold
+    bound kind strategy fixed_k seed rates fault_seeds checkpoint_interval =
+  let* scenario =
+    scenario_of capacity num_switches switches_per_task tasks window duration epochs threshold
+      bound kind seed
+  in
+  let* strategy = strategy_of strategy fixed_k in
+  let rates = if rates = [] then Crash_recovery.default_rates else rates in
+  let* () = rates_in_range ~flag:"--rates" rates in
+  let* () =
+    check (checkpoint_interval > 0)
+      (sp "--checkpoint-interval must be a positive epoch count (got %d)" checkpoint_interval)
+  in
+  let seeds = if fault_seeds = [] then Crash_recovery.default_seeds else fault_seeds in
+  Format.printf "scenario: %a@." Scenario.pp scenario;
+  Format.printf "strategy: %s   fault seeds: %s   checkpoint every %d epochs@.@."
+    (Allocator.strategy_name strategy)
+    (String.concat "," (List.map string_of_int seeds))
+    checkpoint_interval;
+  let points =
+    Crash_recovery.sweep ~checkpoint_interval ~seeds ~rates scenario strategy
+  in
+  Crash_recovery.print_points points;
+  Ok ()
 
 open Cmdliner
 
@@ -136,33 +304,98 @@ let fault_rate =
 
 let fault_seed = Arg.(value & opt int 97 & info [ "fault-seed" ] ~doc:"Fault-injection random seed.")
 
+let fault_seeds =
+  Arg.(
+    value
+    & opt (list int) []
+    & info [ "fault-seeds" ] ~doc:"Comma-separated fault seeds; each rate runs once per seed.")
+
 let rates =
   Arg.(
     value
     & opt (list float) []
-    & info [ "rates" ] ~doc:"Comma-separated failure rates to sweep (default 0,0.02,0.05,0.1,0.2).")
+    & info [ "rates" ] ~doc:"Comma-separated failure rates in [0,1] to sweep.")
 
 let verbose = Arg.(value & flag & info [ "verbose"; "v" ] ~doc:"Print per-task records.")
 
-let run_term =
+let scenario_args f =
   Term.(
-    const run $ capacity $ num_switches $ switches_per_task $ tasks $ window $ duration $ epochs
-    $ threshold $ bound $ kind $ strategy $ fixed_k $ seed $ fault_rate $ fault_seed $ verbose)
+    f $ capacity $ num_switches $ switches_per_task $ tasks $ window $ duration $ epochs
+    $ threshold $ bound $ kind)
+
+let run_term =
+  Term.term_result' ~usage:false
+    Term.(
+      scenario_args (const run) $ strategy $ fixed_k $ seed $ fault_rate $ fault_seed $ verbose)
 
 let run_cmd =
   let doc = "run one measurement experiment (optionally with fault injection)" in
   Cmd.v (Cmd.info "run" ~doc) run_term
 
 let fault_sweep_cmd =
-  let doc = "sweep failure rates and report satisfaction/accuracy degradation" in
+  let doc = "sweep failure rates over several seeds; report mean±stddev degradation" in
   Cmd.v
     (Cmd.info "fault-sweep" ~doc)
-    Term.(
-      const fault_sweep $ capacity $ num_switches $ switches_per_task $ tasks $ window $ duration
-      $ epochs $ threshold $ bound $ kind $ strategy $ fixed_k $ seed $ rates $ fault_seed)
+    (Term.term_result' ~usage:false
+       Term.(scenario_args (const fault_sweep) $ strategy $ fixed_k $ seed $ rates $ fault_seeds))
+
+let checkpoint_cmd =
+  let doc = "run part of an experiment, then write a sealed controller checkpoint" in
+  let at =
+    Arg.(value & opt int 100 & info [ "at" ] ~doc:"Epochs to simulate before checkpointing.")
+  in
+  let out =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "out"; "o" ] ~docv:"FILE" ~doc:"Where to write the checkpoint document.")
+  in
+  let journal_path =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "journal" ] ~docv:"FILE" ~doc:"Also write the write-ahead journal to $(docv).")
+  in
+  Cmd.v
+    (Cmd.info "checkpoint" ~doc)
+    (Term.term_result' ~usage:false
+       Term.(
+         scenario_args (const checkpoint) $ strategy $ fixed_k $ seed $ fault_rate $ fault_seed
+         $ at $ out $ journal_path))
+
+let restore_run_cmd =
+  let doc = "restore a controller from a checkpoint and keep simulating" in
+  let from =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "from"; "f" ] ~docv:"FILE" ~doc:"Checkpoint document to restore.")
+  in
+  let extra =
+    Arg.(value & opt int 100 & info [ "epochs" ] ~doc:"Epochs to simulate after restoring.")
+  in
+  Cmd.v
+    (Cmd.info "restore-run" ~doc)
+    (Term.term_result' ~usage:false Term.(const restore_run $ from $ extra $ verbose))
+
+let crash_recovery_cmd =
+  let doc = "sweep controller crash rates; fail over from checkpoint + journal each crash" in
+  let checkpoint_interval =
+    Arg.(
+      value
+      & opt int Crash_recovery.default_checkpoint_interval
+      & info [ "checkpoint-interval" ] ~doc:"Epochs between checkpoints.")
+  in
+  Cmd.v
+    (Cmd.info "crash-recovery" ~doc)
+    (Term.term_result' ~usage:false
+       Term.(
+         scenario_args (const crash_recovery) $ strategy $ fixed_k $ seed $ rates $ fault_seeds
+         $ checkpoint_interval))
 
 let cmd =
   let doc = "run a DREAM software-defined measurement experiment" in
-  Cmd.group ~default:run_term (Cmd.info "dream-sim" ~doc) [ run_cmd; fault_sweep_cmd ]
+  Cmd.group ~default:run_term (Cmd.info "dream-sim" ~doc)
+    [ run_cmd; fault_sweep_cmd; checkpoint_cmd; restore_run_cmd; crash_recovery_cmd ]
 
 let () = exit (Cmd.eval cmd)

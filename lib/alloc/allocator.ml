@@ -31,6 +31,12 @@ let try_admit t view =
     true
   | Fixed_impl a -> Fixed_allocator.try_admit a view
 
+let force_admit t view =
+  match t.impl with
+  | Dream_impl a -> Dream_allocator.force_admit a view
+  | Equal_impl a -> Equal_allocator.admit a view
+  | Fixed_impl a -> Fixed_allocator.force_admit a view
+
 let release t ~task_id =
   match t.impl with
   | Dream_impl a -> Dream_allocator.release a ~task_id
@@ -56,3 +62,39 @@ let congested t sw =
 let supports_drop t = match t.impl with Dream_impl _ -> true | Equal_impl _ | Fixed_impl _ -> false
 
 let dream t = match t.impl with Dream_impl a -> Some a | Equal_impl _ | Fixed_impl _ -> None
+
+let force_allocation t ~task_id ~switch ~alloc =
+  match t.impl with
+  | Dream_impl a -> Dream_allocator.force_allocation a ~task_id ~switch ~alloc
+  | Equal_impl _ | Fixed_impl _ ->
+    (* Membership allocators derive allocations from admissions, which the
+       journal replays separately. *)
+    ()
+
+let emit w t =
+  let module C = Dream_util.Codec in
+  C.section w "allocator";
+  match t.impl with
+  | Dream_impl a ->
+    C.string w "strategy" "dream";
+    Dream_allocator.emit w a
+  | Equal_impl a ->
+    C.string w "strategy" "equal";
+    Equal_allocator.emit w a
+  | Fixed_impl a ->
+    C.string w "strategy" "fixed";
+    C.int w "denominator" (match t.strategy with Fixed k -> k | Dream _ | Equal -> 0);
+    Fixed_allocator.emit w a
+
+let parse r =
+  let module C = Dream_util.Codec in
+  C.expect_section r "allocator";
+  match C.string_field r "strategy" with
+  | "dream" ->
+    let a = Dream_allocator.parse r in
+    { strategy = Dream (Dream_allocator.config a); impl = Dream_impl a }
+  | "equal" -> { strategy = Equal; impl = Equal_impl (Equal_allocator.parse r) }
+  | "fixed" ->
+    let k = C.int_field r "denominator" in
+    { strategy = Fixed k; impl = Fixed_impl (Fixed_allocator.parse r) }
+  | s -> C.parse_error 0 (Printf.sprintf "unknown allocator strategy %S" s)

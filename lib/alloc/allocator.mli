@@ -19,6 +19,11 @@ val try_admit : t -> Task_view.t -> bool
 (** DREAM: headroom-based admission control.  Equal: always admits.
     Fixed: admits while the reservation fits everywhere. *)
 
+val force_admit : t -> Task_view.t -> unit
+(** Journal replay: apply a recorded admission outcome without re-running
+    the admission decision (whose inputs included transient headroom state
+    that checkpoints do not carry). *)
+
 val release : t -> task_id:int -> unit
 
 val reallocate : t -> Task_view.t list -> unit
@@ -35,3 +40,16 @@ val supports_drop : t -> bool
 val dream : t -> Dream_allocator.t option
 (** Access to DREAM-specific observability (phantom, headroom) in tests
     and benchmarks. *)
+
+val force_allocation :
+  t -> task_id:int -> switch:Dream_traffic.Switch_id.t -> alloc:int -> unit
+(** Journal replay hook; a no-op for membership-based strategies whose
+    allocations are implied by admissions. *)
+
+val emit : Dream_util.Codec.writer -> t -> unit
+(** Append the strategy tag and the underlying allocator's state to a
+    checkpoint document. *)
+
+val parse : Dream_util.Codec.reader -> t
+(** Inverse of {!emit}.  @raise Dream_util.Codec.Parse_error on
+    mismatch. *)

@@ -118,6 +118,26 @@ let try_admit t (view : Task_view.t) =
   end;
   ok
 
+(* Journal replay: re-apply an admission whose outcome is already decided.
+   The original decision depended on transient headroom state (last_sp /
+   last_sr) that checkpoints do not carry, so replay must not re-run
+   [try_admit] — it applies the recorded outcome unconditionally. *)
+let force_admit t (view : Task_view.t) =
+  Switch_id.Set.iter
+    (fun sw ->
+      let s = state t sw in
+      s.phantom <- s.phantom - t.config.min_allocation;
+      Hashtbl.replace s.slots view.Task_view.id
+        {
+          task_id = view.Task_view.id;
+          alloc = t.config.min_allocation;
+          step = t.config.initial_step;
+          last_status = None;
+          changed = false;
+          just_flipped = false;
+        })
+    view.Task_view.switches
+
 let release t ~task_id =
   Switch_id.Map.iter
     (fun _ s ->
@@ -354,3 +374,137 @@ let check_invariants t =
                s.phantom s.capacity)
         else Ok ())
     t.states (Ok ())
+
+let config t = t.config
+
+(* Journal replay: pin a task's allocation on one switch to a recorded
+   value.  The delta is settled against the phantom so the conservation
+   invariant (allocations + phantom = capacity) survives replay; step /
+   status state is freshly initialised — the fine-grained adaptation state
+   between checkpoint and crash is the part recovery legitimately loses. *)
+let force_allocation t ~task_id ~switch ~alloc =
+  if alloc < 0 then invalid_arg "Dream_allocator.force_allocation: negative allocation";
+  let s = state t switch in
+  let slot =
+    match Hashtbl.find_opt s.slots task_id with
+    | Some slot -> slot
+    | None ->
+      let slot =
+        {
+          task_id;
+          alloc = 0;
+          step = t.config.initial_step;
+          last_status = None;
+          changed = false;
+          just_flipped = false;
+        }
+      in
+      Hashtbl.replace s.slots task_id slot;
+      slot
+  in
+  s.phantom <- s.phantom + slot.alloc - alloc;
+  slot.alloc <- alloc
+
+let emit w t =
+  let module C = Dream_util.Codec in
+  C.section w "dream_allocator";
+  C.float w "headroom_fraction" t.config.headroom_fraction;
+  C.float w "hysteresis" t.config.hysteresis;
+  C.string w "policy" (Step_policy.to_string t.config.policy);
+  C.float w "factor" t.config.params.Step_policy.factor;
+  C.int w "addend" t.config.params.Step_policy.addend;
+  C.int w "min_step" t.config.params.Step_policy.min_step;
+  C.int w "max_step" t.config.params.Step_policy.max_step;
+  C.int w "initial_step" t.config.initial_step;
+  C.int w "min_allocation" t.config.min_allocation;
+  C.int w "states" (Switch_id.Map.cardinal t.states);
+  Switch_id.Map.iter
+    (fun sw s ->
+      C.int w "switch" sw;
+      C.int w "capacity" s.capacity;
+      C.int w "target" s.target;
+      C.int w "phantom" s.phantom;
+      C.bool w "congested" s.congested;
+      C.int w "last_sp" s.last_sp;
+      C.int w "last_sr" s.last_sr;
+      let slots =
+        Hashtbl.fold (fun _ slot acc -> slot :: acc) s.slots []
+        |> List.sort (fun a b -> Int.compare a.task_id b.task_id)
+      in
+      C.int w "slots" (List.length slots);
+      List.iter
+        (fun slot ->
+          C.int w "task_id" slot.task_id;
+          C.int w "alloc" slot.alloc;
+          C.int w "step" slot.step;
+          C.int w "last_status"
+            (match slot.last_status with
+            | None -> 0
+            | Some Rich -> 1
+            | Some Poor -> 2
+            | Some Neutral -> 3);
+          C.bool w "changed" slot.changed;
+          C.bool w "just_flipped" slot.just_flipped)
+        slots)
+    t.states
+
+let parse r =
+  let module C = Dream_util.Codec in
+  C.expect_section r "dream_allocator";
+  let headroom_fraction = C.float_field r "headroom_fraction" in
+  let hysteresis = C.float_field r "hysteresis" in
+  let policy =
+    let s = C.string_field r "policy" in
+    match Step_policy.of_string s with
+    | Some p -> p
+    | None -> C.parse_error 0 (Printf.sprintf "unknown step policy %S" s)
+  in
+  let factor = C.float_field r "factor" in
+  let addend = C.int_field r "addend" in
+  let min_step = C.int_field r "min_step" in
+  let max_step = C.int_field r "max_step" in
+  let initial_step = C.int_field r "initial_step" in
+  let min_allocation = C.int_field r "min_allocation" in
+  let config =
+    {
+      headroom_fraction;
+      hysteresis;
+      policy;
+      params = { Step_policy.factor; addend; min_step; max_step };
+      initial_step;
+      min_allocation;
+    }
+  in
+  let n = C.int_field r "states" in
+  let states =
+    C.repeat n (fun () ->
+        let sw = C.int_field r "switch" in
+        let capacity = C.int_field r "capacity" in
+        let target = C.int_field r "target" in
+        let phantom = C.int_field r "phantom" in
+        let congested = C.bool_field r "congested" in
+        let last_sp = C.int_field r "last_sp" in
+        let last_sr = C.int_field r "last_sr" in
+        let slots = Hashtbl.create 64 in
+        let k = C.int_field r "slots" in
+        ignore
+          (C.repeat k (fun () ->
+               let task_id = C.int_field r "task_id" in
+               let alloc = C.int_field r "alloc" in
+               let step = C.int_field r "step" in
+               let last_status =
+                 match C.int_field r "last_status" with
+                 | 0 -> None
+                 | 1 -> Some Rich
+                 | 2 -> Some Poor
+                 | 3 -> Some Neutral
+                 | v -> C.parse_error 0 (Printf.sprintf "unknown slot status %d" v)
+               in
+               let changed = C.bool_field r "changed" in
+               let just_flipped = C.bool_field r "just_flipped" in
+               Hashtbl.replace slots task_id
+                 { task_id; alloc; step; last_status; changed; just_flipped }));
+        (sw, { switch = sw; capacity; target; phantom; slots; congested; last_sp; last_sr }))
+    |> List.fold_left (fun acc (sw, s) -> Switch_id.Map.add sw s acc) Switch_id.Map.empty
+  in
+  { config; states }

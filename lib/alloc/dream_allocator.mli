@@ -39,6 +39,11 @@ val try_admit : t -> Task_view.t -> bool
     touches; on success the task gets [min_allocation] entries per switch,
     taken from the phantom. *)
 
+val force_admit : t -> Task_view.t -> unit
+(** Journal replay: apply a recorded admission without re-deciding it (the
+    original verdict depended on transient headroom state that checkpoints
+    do not carry). *)
+
 val release : t -> task_id:int -> unit
 (** Return all of a task's entries to the phantom (task finished or
     dropped). *)
@@ -63,3 +68,22 @@ val congested : t -> Dream_traffic.Switch_id.t -> bool
 val check_invariants : t -> (unit, string) result
 (** Test hook: allocations positive, and allocations + phantom = capacity
     on every switch. *)
+
+val config : t -> config
+
+val force_allocation :
+  t -> task_id:int -> switch:Dream_traffic.Switch_id.t -> alloc:int -> unit
+(** Journal replay hook: pin one task's allocation on one switch to a
+    recorded value, settling the delta against the phantom so
+    conservation holds.  @raise Invalid_argument on a negative value or
+    unknown switch. *)
+
+val emit : Dream_util.Codec.writer -> t -> unit
+(** Append the allocator's full state — config, per-switch phantom /
+    congestion and every slot's allocation, step and status memory — to a
+    checkpoint document. *)
+
+val parse : Dream_util.Codec.reader -> t
+(** Inverse of {!emit}: a restored allocator makes bit-identical decisions
+    from the next round on.  @raise Dream_util.Codec.Parse_error on
+    mismatch. *)

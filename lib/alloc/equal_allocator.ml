@@ -57,3 +57,30 @@ let allocation_of t ~task_id =
     t.states Switch_id.Map.empty
 
 let tasks_on t sw = Int_set.cardinal (state t sw).tasks
+
+let emit w t =
+  let module C = Dream_util.Codec in
+  C.section w "equal_allocator";
+  C.int w "states" (Switch_id.Map.cardinal t.states);
+  Switch_id.Map.iter
+    (fun sw s ->
+      C.int w "switch" sw;
+      C.int w "capacity" s.capacity;
+      C.int w "tasks" (Int_set.cardinal s.tasks);
+      Int_set.iter (fun id -> C.int w "task" id) s.tasks)
+    t.states
+
+let parse r =
+  let module C = Dream_util.Codec in
+  C.expect_section r "equal_allocator";
+  let n = C.int_field r "states" in
+  let states =
+    C.repeat n (fun () ->
+        let sw = C.int_field r "switch" in
+        let capacity = C.int_field r "capacity" in
+        let k = C.int_field r "tasks" in
+        let tasks = C.repeat k (fun () -> C.int_field r "task") |> Int_set.of_list in
+        (sw, { capacity; tasks }))
+    |> List.fold_left (fun acc (sw, s) -> Switch_id.Map.add sw s acc) Switch_id.Map.empty
+  in
+  { states }

@@ -16,3 +16,10 @@ val allocation_of : t -> task_id:int -> int Dream_traffic.Switch_id.Map.t
     are more tasks than entries, the excess tasks get zero). *)
 
 val tasks_on : t -> Dream_traffic.Switch_id.t -> int
+
+val emit : Dream_util.Codec.writer -> t -> unit
+(** Append per-switch task membership to a checkpoint document. *)
+
+val parse : Dream_util.Codec.reader -> t
+(** Inverse of {!emit}.  @raise Dream_util.Codec.Parse_error on
+    mismatch. *)

@@ -45,6 +45,14 @@ let try_admit t (view : Task_view.t) =
   end
   else false
 
+(* Journal replay: re-apply a recorded admission without the fits check. *)
+let force_admit t (view : Task_view.t) =
+  Switch_id.Set.iter
+    (fun sw ->
+      let s = state t sw in
+      s.tasks <- Int_set.add view.Task_view.id s.tasks)
+    view.Task_view.switches
+
 let release t ~task_id =
   Switch_id.Map.iter (fun _ s -> s.tasks <- Int_set.remove task_id s.tasks) t.states
 
@@ -53,3 +61,32 @@ let allocation_of t ~task_id =
     (fun sw s acc ->
       if Int_set.mem task_id s.tasks then Switch_id.Map.add sw s.share acc else acc)
     t.states Switch_id.Map.empty
+
+let emit w t =
+  let module C = Dream_util.Codec in
+  C.section w "fixed_allocator";
+  C.int w "states" (Switch_id.Map.cardinal t.states);
+  Switch_id.Map.iter
+    (fun sw s ->
+      C.int w "switch" sw;
+      C.int w "capacity" s.capacity;
+      C.int w "share" s.share;
+      C.int w "tasks" (Int_set.cardinal s.tasks);
+      Int_set.iter (fun id -> C.int w "task" id) s.tasks)
+    t.states
+
+let parse r =
+  let module C = Dream_util.Codec in
+  C.expect_section r "fixed_allocator";
+  let n = C.int_field r "states" in
+  let states =
+    C.repeat n (fun () ->
+        let sw = C.int_field r "switch" in
+        let capacity = C.int_field r "capacity" in
+        let share = C.int_field r "share" in
+        let k = C.int_field r "tasks" in
+        let tasks = C.repeat k (fun () -> C.int_field r "task") |> Int_set.of_list in
+        (sw, { capacity; share; tasks }))
+    |> List.fold_left (fun acc (sw, s) -> Switch_id.Map.add sw s acc) Switch_id.Map.empty
+  in
+  { states }

@@ -14,9 +14,19 @@ val share : t -> Dream_traffic.Switch_id.t -> int
 
 val try_admit : t -> Task_view.t -> bool
 
+val force_admit : t -> Task_view.t -> unit
+(** Journal replay: apply a recorded admission without re-deciding it. *)
+
 val release : t -> task_id:int -> unit
 
 val allocation_of : t -> task_id:int -> int Dream_traffic.Switch_id.Map.t
 
 val reserved : t -> Dream_traffic.Switch_id.t -> int
 (** Entries currently reserved on a switch. *)
+
+val emit : Dream_util.Codec.writer -> t -> unit
+(** Append per-switch task membership to a checkpoint document. *)
+
+val parse : Dream_util.Codec.reader -> t
+(** Inverse of {!emit}.  @raise Dream_util.Codec.Parse_error on
+    mismatch. *)

@@ -8,6 +8,7 @@ type t = {
   accuracy_mode : Dream_tasks.Task.accuracy_mode;
   install_budget : int option;
   faults : Dream_fault.Fault_model.spec option;
+  check_invariants : bool;
 }
 
 let default =
@@ -21,6 +22,7 @@ let default =
     accuracy_mode = Dream_tasks.Task.Overall;
     install_budget = None;
     faults = None;
+    check_invariants = false;
   }
 
 let prototype =

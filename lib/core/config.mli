@@ -31,6 +31,10 @@ type t = {
           retries, stale-counter fallback, quarantine and reinstall.
           [None] (the default) is the paper's perfectly reliable control
           channel and leaves runs bit-identical to the fault-free code. *)
+  check_invariants : bool;
+      (** run {!Dream_recovery.Invariant.check_all} at the end of every
+          epoch and tally violations in the robustness metrics.  Off by
+          default: the checks walk every task's rule sets each epoch. *)
 }
 
 val default : t

@@ -14,6 +14,9 @@ module Report = Dream_tasks.Report
 module Ground_truth = Dream_tasks.Ground_truth
 module Allocator = Dream_alloc.Allocator
 module Task_view = Dream_alloc.Task_view
+module Journal = Dream_recovery.Journal
+module Invariant = Dream_recovery.Invariant
+module C = Dream_util.Codec
 
 let log_src = Logs.Src.create "dream.controller" ~doc:"DREAM controller events"
 
@@ -61,6 +64,10 @@ type rob = {
   mutable counters_lost : int;
   mutable install_failures : int;
   mutable recovery_reinstalls : int;
+  mutable controller_crashes : int;
+  mutable reconcile_removed : int;
+  mutable reconcile_installed : int;
+  mutable invariant_violations : int;
 }
 
 type t = {
@@ -78,6 +85,10 @@ type t = {
   mutable rules_fetched : int;
   rob : rob;
   mutable recovered_now : Switch_id.Set.t; (* switches back up as of this tick *)
+  mutable journal : Journal.sink option;
+  mutable crash_pending : bool;
+      (* the fault model declared a controller crash this epoch; the driver
+         decides whether to fail over (see {!recover}) *)
 }
 
 let create ~config ~strategy ~num_switches ~capacity =
@@ -117,8 +128,14 @@ let create ~config ~strategy ~num_switches ~capacity =
         counters_lost = 0;
         install_failures = 0;
         recovery_reinstalls = 0;
+        controller_crashes = 0;
+        reconcile_removed = 0;
+        reconcile_installed = 0;
+        invariant_violations = 0;
       };
     recovered_now = Switch_id.Set.empty;
+    journal = None;
+    crash_pending = false;
   }
 
 let epoch t = t.epoch
@@ -143,6 +160,10 @@ let robustness t =
     counters_lost = t.rob.counters_lost;
     install_failures = t.rob.install_failures;
     recovery_reinstalls = t.rob.recovery_reinstalls;
+    controller_crashes = t.rob.controller_crashes;
+    reconcile_removed = t.rob.reconcile_removed;
+    reconcile_installed = t.rob.reconcile_installed;
+    invariant_violations = t.rob.invariant_violations;
   }
 
 let active_tasks t = Hashtbl.length t.active
@@ -166,6 +187,18 @@ let view_of_runtime r =
     overall = (fun sw -> Task.overall_accuracy r.task sw);
     used = (fun sw -> Task.counters_used r.task sw);
   }
+
+(* ---- write-ahead journal ---- *)
+
+let set_journal t sink = t.journal <- sink
+
+let journal t = t.journal
+
+let journaling t = t.journal <> None
+
+let jot t entry = match t.journal with None -> () | Some sink -> Journal.append sink entry
+
+let controller_crash_pending t = t.crash_pending
 
 let submit t ~spec ~topology ~source ~duration =
   let id = t.next_id in
@@ -200,12 +233,34 @@ let submit t ~spec ~topology ~source ~duration =
   in
   let view = view_of_runtime runtime in
   if Allocator.try_admit t.allocator view then begin
+    (* Journal the admission outcome before the task takes effect.  The
+       entry carries everything replay needs to re-apply it verbatim —
+       including the traffic source serialized at this instant, which replay
+       fast-forwards to the recovery epoch. *)
+    if journaling t then begin
+      let w = C.writer () in
+      Source.emit w source;
+      jot t
+        (Journal.Admit
+           {
+             epoch = t.epoch;
+             task_id = id;
+             spec;
+             topology;
+             duration;
+             drop_priority;
+             accuracy_history = t.config.Config.accuracy_history;
+             global_only = t.config.Config.accuracy_mode = Task.Global_only;
+             source = C.contents w;
+           })
+    end;
     Hashtbl.replace t.active id runtime;
     Log.info (fun m ->
         m "epoch %d: admitted task %d (%a, %d epochs)" t.epoch id Task_spec.pp spec duration);
     `Admitted id
   end
   else begin
+    jot t (Journal.Reject { epoch = t.epoch; task_id = id; kind = spec.Task_spec.kind });
     t.records <-
       {
         Metrics.task_id = id;
@@ -246,10 +301,34 @@ let remove_task t r ~outcome =
         | Metrics.Dropped -> "DROPPED"
         | Metrics.Rejected -> "rejected")
         r.active_epochs);
+  let record = finish_record r ~outcome ~ended_at:t.epoch in
+  (* Journal the end (with its final record fields) and the rule purge
+     before either takes effect: if the controller dies in between, replay
+     still retires the task and the audit removes its now-unowned rules. *)
+  if journaling t then begin
+    let cause =
+      match outcome with
+      | Metrics.Dropped -> Journal.Dropped
+      | Metrics.Completed | Metrics.Rejected -> Journal.Completed
+    in
+    jot t
+      (Journal.Task_end
+         {
+           epoch = t.epoch;
+           task_id = id;
+           kind = record.Metrics.kind;
+           cause;
+           arrived_at = record.Metrics.arrived_at;
+           active_epochs = record.Metrics.active_epochs;
+           satisfaction = record.Metrics.satisfaction;
+           mean_accuracy = record.Metrics.mean_accuracy;
+         });
+    jot t (Journal.Purge { epoch = t.epoch; task_id = id })
+  end;
   Allocator.release t.allocator ~task_id:id;
   Array.iter (fun sw -> ignore (Tcam.remove_owner (Switch.tcam sw) ~owner:id)) t.switches;
   Hashtbl.remove t.active id;
-  t.records <- finish_record r ~outcome ~ended_at:t.epoch :: t.records
+  t.records <- record :: t.records
 
 let delay_costs t =
   match t.config.Config.control_delay with Some c -> c | None -> Delay_model.default
@@ -374,22 +453,30 @@ let read_counters t r ~retry_budget ~fault_ms =
    contents before anything is fetched; recovered switches are remembered
    so this tick's rule sync can reinstall (and attribute) their rules. *)
 let advance_faults t =
+  t.crash_pending <- false;
   match t.faults with
   | None -> ()
   | Some fm ->
     let events = Fault_model.begin_epoch fm in
     List.iter
       (fun sw_id ->
+        jot t (Journal.Switch_down { epoch = t.epoch; switch = sw_id });
         Data_plane.crash t.planes.(sw_id);
         t.rob.crashes <- t.rob.crashes + 1;
         Log.info (fun m -> m "epoch %d: switch %d CRASHED (TCAM lost)" t.epoch sw_id))
       events.Fault_model.crashed;
     List.iter
-      (fun sw_id -> Log.info (fun m -> m "epoch %d: switch %d recovered" t.epoch sw_id))
+      (fun sw_id ->
+        jot t (Journal.Switch_up { epoch = t.epoch; switch = sw_id });
+        Log.info (fun m -> m "epoch %d: switch %d recovered" t.epoch sw_id))
       events.Fault_model.recovered;
     t.recovered_now <- Switch_id.set_of_list events.Fault_model.recovered;
     t.rob.recoveries <- t.rob.recoveries + List.length events.Fault_model.recovered;
-    t.rob.switch_down_epochs <- t.rob.switch_down_epochs + Fault_model.down_count fm
+    t.rob.switch_down_epochs <- t.rob.switch_down_epochs + Fault_model.down_count fm;
+    if events.Fault_model.controller_crashed then begin
+      t.crash_pending <- true;
+      Log.info (fun m -> m "epoch %d: CONTROLLER crash scheduled" t.epoch)
+    end
 
 (* Quarantine: a down switch contributes nothing, so divide-and-merge must
    reconfigure the task's counters onto the healthy switches.  Zeroing the
@@ -458,6 +545,17 @@ let tick t =
     let views = List.map view_of_runtime runtimes in
     Allocator.reallocate t.allocator views;
     allocate_clock := Sys.time () -. t0;
+    (* Journal the round's outcome — every task's full allocation map, not
+       just deltas, so replay restores the allocator by forcing values
+       rather than re-running the (state-dependent) adaptation logic. *)
+    if journaling t then
+      List.iter
+        (fun r ->
+          let id = Task.id r.task in
+          Switch_id.Map.iter
+            (fun switch alloc -> jot t (Journal.Alloc { epoch = t.epoch; task_id = id; switch; alloc }))
+            (Allocator.allocation_of t.allocator ~task_id:id))
+        runtimes;
     if Allocator.supports_drop t.allocator then begin
       (* Track poor streaks and pick at most one drop victim per round:
          the poorest-priority task that stayed poor through the drop
@@ -545,6 +643,8 @@ let tick t =
           List.iter
             (fun p ->
               if (not (Prefix.Set.mem p per_switch.(i))) && !budget > 0 then begin
+                jot t
+                  (Journal.Delete { epoch = t.epoch; task_id = id; switch = Data_plane.id dp; prefix = p });
                 match Data_plane.remove dp ~owner:id p with
                 | Ok _ -> decr budget
                 | Error `Down -> ()
@@ -569,6 +669,7 @@ let tick t =
           Prefix.Set.iter
             (fun p ->
               if (not (Prefix.Set.mem p installed)) && !budget > 0 then begin
+                jot t (Journal.Install { epoch = t.epoch; task_id = id; switch = sw_id; prefix = p });
                 match Data_plane.install dp ~owner:id p with
                 | Ok () ->
                   decr budget;
@@ -621,6 +722,22 @@ let tick t =
       if Hashtbl.mem t.active (Task.id r.task) && r.active_epochs >= r.duration then
         remove_task t r ~outcome:Metrics.Completed)
     survivors;
+  if config.Config.check_invariants then begin
+    let tasks =
+      List.sort
+        (fun a b -> Int.compare (Task.id a) (Task.id b))
+        (Hashtbl.fold (fun _ r acc -> r.task :: acc) t.active [])
+    in
+    let up sw = not (Data_plane.down t.planes.(sw)) in
+    let violations =
+      Invariant.check_all ~allocator:t.allocator ~switches:t.switches ~up ~tasks
+    in
+    t.rob.invariant_violations <- t.rob.invariant_violations + List.length violations;
+    List.iter
+      (fun v ->
+        Log.warn (fun m -> m "epoch %d: invariant violated — %s" t.epoch (Invariant.to_string v)))
+      violations
+  end;
   t.epoch <- t.epoch + 1
 
 let run t ~epochs =
@@ -641,3 +758,569 @@ let delay_samples t = List.rev t.delays
 let total_rules_installed t = t.rules_installed
 
 let total_rules_fetched t = t.rules_fetched
+
+(* ---- checkpoints ---- *)
+
+let snapshot_magic = "dream-checkpoint v1"
+
+let emit_config w (config : Config.t) =
+  C.section w "config";
+  C.int w "allocation_interval" config.Config.allocation_interval;
+  C.int w "drop_threshold" config.Config.drop_threshold;
+  C.float w "accuracy_history" config.Config.accuracy_history;
+  C.float w "epoch_ms" config.Config.epoch_ms;
+  C.bool w "has_control_delay" (config.Config.control_delay <> None);
+  (match config.Config.control_delay with
+  | Some c ->
+    C.float w "fetch_per_rule_ms" c.Delay_model.fetch_per_rule_ms;
+    C.float w "save_per_rule_ms" c.Delay_model.save_per_rule_ms;
+    C.float w "delete_per_rule_ms" c.Delay_model.delete_per_rule_ms;
+    C.float w "rtt_ms" c.Delay_model.rtt_ms
+  | None -> ());
+  C.bool w "score_real" (config.Config.score_satisfaction_with = `Real_accuracy);
+  C.bool w "accuracy_overall" (config.Config.accuracy_mode = Task.Overall);
+  C.bool w "has_install_budget" (config.Config.install_budget <> None);
+  (match config.Config.install_budget with Some b -> C.int w "install_budget" b | None -> ());
+  C.bool w "check_invariants" config.Config.check_invariants
+
+(* The fault spec is not part of this section: the live fault model (RNG
+   streams and all) is serialized separately, and the restored config gets
+   its spec from there. *)
+let parse_config r : Config.t =
+  C.expect_section r "config";
+  let allocation_interval = C.int_field r "allocation_interval" in
+  let drop_threshold = C.int_field r "drop_threshold" in
+  let accuracy_history = C.float_field r "accuracy_history" in
+  let epoch_ms = C.float_field r "epoch_ms" in
+  let control_delay =
+    if C.bool_field r "has_control_delay" then begin
+      let fetch_per_rule_ms = C.float_field r "fetch_per_rule_ms" in
+      let save_per_rule_ms = C.float_field r "save_per_rule_ms" in
+      let delete_per_rule_ms = C.float_field r "delete_per_rule_ms" in
+      let rtt_ms = C.float_field r "rtt_ms" in
+      Some { Delay_model.fetch_per_rule_ms; save_per_rule_ms; delete_per_rule_ms; rtt_ms }
+    end
+    else None
+  in
+  let score_satisfaction_with =
+    if C.bool_field r "score_real" then `Real_accuracy else `Estimated_accuracy
+  in
+  let accuracy_mode = if C.bool_field r "accuracy_overall" then Task.Overall else Task.Global_only in
+  let install_budget =
+    if C.bool_field r "has_install_budget" then Some (C.int_field r "install_budget") else None
+  in
+  let check_invariants = C.bool_field r "check_invariants" in
+  {
+    Config.allocation_interval;
+    drop_threshold;
+    accuracy_history;
+    epoch_ms;
+    control_delay;
+    score_satisfaction_with;
+    accuracy_mode;
+    install_budget;
+    faults = None;
+    check_invariants;
+  }
+
+let emit_prefix_list w key prefixes =
+  C.int w key (List.length prefixes);
+  List.iter (fun p -> C.string w "p" (Prefix.to_string p)) prefixes
+
+let parse_prefix_list r key =
+  let n = C.int_field r key in
+  C.repeat n (fun () ->
+      let s = C.string_field r "p" in
+      match Prefix.of_string s with
+      | p -> p
+      | exception Invalid_argument _ ->
+        C.parse_error 0 (Printf.sprintf "invalid prefix %S" s))
+
+let emit_runtime w r =
+  C.section w "runtime";
+  C.int w "duration" r.duration;
+  C.int w "arrived_at" r.arrived_at;
+  C.int w "drop_priority" r.drop_priority;
+  C.int w "active_epochs" r.active_epochs;
+  C.int w "satisfied_epochs" r.satisfied_epochs;
+  C.float w "accuracy_sum" r.accuracy_sum;
+  C.int w "poor_streak" r.poor_streak;
+  C.int w "last_alloc_total" r.last_alloc_total;
+  C.int w "fresh_rules" (Switch_id.Map.cardinal r.fresh_rules);
+  Switch_id.Map.iter
+    (fun sw set ->
+      C.int w "sw" sw;
+      emit_prefix_list w "rules" (Prefix.Set.elements set))
+    r.fresh_rules;
+  C.int w "last_install_counts" (Switch_id.Map.cardinal r.last_install_counts);
+  Switch_id.Map.iter
+    (fun sw n ->
+      C.int w "sw" sw;
+      C.int w "installs" n)
+    r.last_install_counts;
+  C.int w "stale_counters" (Switch_id.Map.cardinal r.stale_counters);
+  Switch_id.Map.iter
+    (fun sw pairs ->
+      C.int w "sw" sw;
+      C.int w "pairs" (List.length pairs);
+      List.iter
+        (fun (p, v) ->
+          C.string w "p" (Prefix.to_string p);
+          C.float w "v" v)
+        pairs)
+    r.stale_counters;
+  Task.emit w r.task;
+  Source.emit w r.source;
+  Ground_truth.emit w r.ground_truth
+
+(* [last_report] is deliberately not serialized: it is a UI convenience the
+   control loop never reads, and a restored controller reports afresh on
+   its first tick. *)
+let parse_runtime r =
+  C.expect_section r "runtime";
+  let duration = C.int_field r "duration" in
+  let arrived_at = C.int_field r "arrived_at" in
+  let drop_priority = C.int_field r "drop_priority" in
+  let active_epochs = C.int_field r "active_epochs" in
+  let satisfied_epochs = C.int_field r "satisfied_epochs" in
+  let accuracy_sum = C.float_field r "accuracy_sum" in
+  let poor_streak = C.int_field r "poor_streak" in
+  let last_alloc_total = C.int_field r "last_alloc_total" in
+  let fresh_rules =
+    let n = C.int_field r "fresh_rules" in
+    C.repeat n (fun () ->
+        let sw = C.int_field r "sw" in
+        (sw, Prefix.Set.of_list (parse_prefix_list r "rules")))
+    |> List.fold_left (fun acc (sw, set) -> Switch_id.Map.add sw set acc) Switch_id.Map.empty
+  in
+  let last_install_counts =
+    let n = C.int_field r "last_install_counts" in
+    C.repeat n (fun () ->
+        let sw = C.int_field r "sw" in
+        (sw, C.int_field r "installs"))
+    |> List.fold_left (fun acc (sw, n) -> Switch_id.Map.add sw n acc) Switch_id.Map.empty
+  in
+  let stale_counters =
+    let n = C.int_field r "stale_counters" in
+    C.repeat n (fun () ->
+        let sw = C.int_field r "sw" in
+        let pairs =
+          C.repeat (C.int_field r "pairs") (fun () ->
+              let s = C.string_field r "p" in
+              let p =
+                match Prefix.of_string s with
+                | p -> p
+                | exception Invalid_argument _ ->
+                  C.parse_error 0 (Printf.sprintf "invalid prefix %S" s)
+              in
+              (p, C.float_field r "v"))
+        in
+        (sw, pairs))
+    |> List.fold_left (fun acc (sw, pairs) -> Switch_id.Map.add sw pairs acc) Switch_id.Map.empty
+  in
+  let task = Task.parse r in
+  let source = Source.parse r in
+  let ground_truth = Ground_truth.parse r ~spec:(Task.spec task) in
+  {
+    task;
+    source;
+    ground_truth;
+    duration;
+    arrived_at;
+    drop_priority;
+    active_epochs;
+    satisfied_epochs;
+    accuracy_sum;
+    poor_streak;
+    last_alloc_total;
+    last_report = None;
+    fresh_rules;
+    last_install_counts;
+    stale_counters;
+  }
+
+let outcome_to_string = function
+  | Metrics.Completed -> "completed"
+  | Metrics.Dropped -> "dropped"
+  | Metrics.Rejected -> "rejected"
+
+let outcome_of_string = function
+  | "completed" -> Some Metrics.Completed
+  | "dropped" -> Some Metrics.Dropped
+  | "rejected" -> Some Metrics.Rejected
+  | _ -> None
+
+let emit_records w records =
+  C.int w "records" (List.length records);
+  List.iter
+    (fun (rec_ : Metrics.record) ->
+      C.section w "record";
+      C.int w "task_id" rec_.Metrics.task_id;
+      C.string w "kind" (Task_spec.kind_to_string rec_.Metrics.kind);
+      C.string w "outcome" (outcome_to_string rec_.Metrics.outcome);
+      C.int w "arrived_at" rec_.Metrics.arrived_at;
+      C.int w "ended_at" rec_.Metrics.ended_at;
+      C.int w "active_epochs" rec_.Metrics.active_epochs;
+      C.float w "satisfaction" rec_.Metrics.satisfaction;
+      C.float w "mean_accuracy" rec_.Metrics.mean_accuracy)
+    records
+
+let parse_records r =
+  let n = C.int_field r "records" in
+  C.repeat n (fun () ->
+      C.expect_section r "record";
+      let task_id = C.int_field r "task_id" in
+      let kind =
+        let s = C.string_field r "kind" in
+        match Task_spec.kind_of_string s with
+        | Some k -> k
+        | None -> C.parse_error 0 (Printf.sprintf "unknown task kind %S" s)
+      in
+      let outcome =
+        let s = C.string_field r "outcome" in
+        match outcome_of_string s with
+        | Some o -> o
+        | None -> C.parse_error 0 (Printf.sprintf "unknown outcome %S" s)
+      in
+      let arrived_at = C.int_field r "arrived_at" in
+      let ended_at = C.int_field r "ended_at" in
+      let active_epochs = C.int_field r "active_epochs" in
+      let satisfaction = C.float_field r "satisfaction" in
+      let mean_accuracy = C.float_field r "mean_accuracy" in
+      { Metrics.task_id; kind; outcome; arrived_at; ended_at; active_epochs; satisfaction;
+        mean_accuracy })
+
+let emit_rob w (rob : rob) =
+  C.section w "robustness";
+  C.int w "crashes" rob.crashes;
+  C.int w "recoveries" rob.recoveries;
+  C.int w "switch_down_epochs" rob.switch_down_epochs;
+  C.int w "fetch_timeouts" rob.fetch_timeouts;
+  C.int w "fetch_retries" rob.fetch_retries;
+  C.int w "fetch_failures" rob.fetch_failures;
+  C.int w "stale_epochs" rob.stale_epochs;
+  C.int w "counters_lost" rob.counters_lost;
+  C.int w "install_failures" rob.install_failures;
+  C.int w "recovery_reinstalls" rob.recovery_reinstalls;
+  C.int w "controller_crashes" rob.controller_crashes;
+  C.int w "reconcile_removed" rob.reconcile_removed;
+  C.int w "reconcile_installed" rob.reconcile_installed;
+  C.int w "invariant_violations" rob.invariant_violations
+
+let parse_rob r : rob =
+  C.expect_section r "robustness";
+  let crashes = C.int_field r "crashes" in
+  let recoveries = C.int_field r "recoveries" in
+  let switch_down_epochs = C.int_field r "switch_down_epochs" in
+  let fetch_timeouts = C.int_field r "fetch_timeouts" in
+  let fetch_retries = C.int_field r "fetch_retries" in
+  let fetch_failures = C.int_field r "fetch_failures" in
+  let stale_epochs = C.int_field r "stale_epochs" in
+  let counters_lost = C.int_field r "counters_lost" in
+  let install_failures = C.int_field r "install_failures" in
+  let recovery_reinstalls = C.int_field r "recovery_reinstalls" in
+  let controller_crashes = C.int_field r "controller_crashes" in
+  let reconcile_removed = C.int_field r "reconcile_removed" in
+  let reconcile_installed = C.int_field r "reconcile_installed" in
+  let invariant_violations = C.int_field r "invariant_violations" in
+  { crashes; recoveries; switch_down_epochs; fetch_timeouts; fetch_retries; fetch_failures;
+    stale_epochs; counters_lost; install_failures; recovery_reinstalls; controller_crashes;
+    reconcile_removed; reconcile_installed; invariant_violations }
+
+let snapshot t =
+  let w = C.writer () in
+  C.section w "controller";
+  C.int w "epoch" t.epoch;
+  C.int w "next_id" t.next_id;
+  C.int w "rules_installed" t.rules_installed;
+  C.int w "rules_fetched" t.rules_fetched;
+  emit_config w t.config;
+  C.bool w "has_faults" (t.faults <> None);
+  (match t.faults with Some fm -> Fault_model.emit w fm | None -> ());
+  C.int w "num_switches" (Array.length t.switches);
+  Array.iter
+    (fun sw ->
+      C.section w "switch";
+      C.int w "id" (Switch.id sw);
+      C.int w "capacity" (Switch.capacity sw);
+      let dump = Tcam.dump (Switch.tcam sw) in
+      C.int w "owners" (List.length dump);
+      List.iter
+        (fun (owner, rules) ->
+          C.int w "owner" owner;
+          emit_prefix_list w "rules" rules)
+        dump)
+    t.switches;
+  Allocator.emit w t.allocator;
+  emit_rob w t.rob;
+  emit_records w t.records;
+  let runtimes =
+    List.sort
+      (fun a b -> Int.compare (Task.id a.task) (Task.id b.task))
+      (Hashtbl.fold (fun _ r acc -> r :: acc) t.active [])
+  in
+  C.int w "runtimes" (List.length runtimes);
+  List.iter (emit_runtime w) runtimes;
+  C.seal ~magic:snapshot_magic (C.contents w)
+
+let checkpoint t =
+  let s = snapshot t in
+  (* Everything the journal held is now folded into the snapshot; recovery
+     only ever needs the suffix after the last checkpoint. *)
+  (match t.journal with Some sink -> Journal.truncate sink | None -> ());
+  s
+
+type parsed_snapshot = {
+  p_epoch : int;
+  p_next_id : int;
+  p_rules_installed : int;
+  p_rules_fetched : int;
+  p_config : Config.t; (* faults spec filled in by the caller *)
+  p_faults : Fault_model.t option;
+  p_switches : (int * int * (int * Prefix.t list) list) list; (* id, capacity, dump *)
+  p_allocator : Allocator.t;
+  p_rob : rob;
+  p_records : Metrics.record list; (* newest first *)
+  p_runtimes : runtime list; (* task-id order *)
+}
+
+let parse_snapshot r =
+  C.expect_section r "controller";
+  let p_epoch = C.int_field r "epoch" in
+  let p_next_id = C.int_field r "next_id" in
+  let p_rules_installed = C.int_field r "rules_installed" in
+  let p_rules_fetched = C.int_field r "rules_fetched" in
+  let p_config = parse_config r in
+  let p_faults = if C.bool_field r "has_faults" then Some (Fault_model.parse r) else None in
+  let num_switches = C.int_field r "num_switches" in
+  let p_switches =
+    C.repeat num_switches (fun () ->
+        C.expect_section r "switch";
+        let id = C.int_field r "id" in
+        let capacity = C.int_field r "capacity" in
+        let owners = C.int_field r "owners" in
+        let dump =
+          C.repeat owners (fun () ->
+              let owner = C.int_field r "owner" in
+              (owner, parse_prefix_list r "rules"))
+        in
+        (id, capacity, dump))
+  in
+  let p_allocator = Allocator.parse r in
+  let p_rob = parse_rob r in
+  let p_records = parse_records r in
+  let p_runtimes = C.repeat (C.int_field r "runtimes") (fun () -> parse_runtime r) in
+  { p_epoch; p_next_id; p_rules_installed; p_rules_fetched; p_config; p_faults; p_switches;
+    p_allocator; p_rob; p_records; p_runtimes }
+
+let controller_of_parsed d ~switches ~planes ~faults =
+  let active = Hashtbl.create 64 in
+  List.iter (fun r -> Hashtbl.replace active (Task.id r.task) r) d.p_runtimes;
+  {
+    config = { d.p_config with Config.faults = Option.map Fault_model.spec faults };
+    allocator = d.p_allocator;
+    switches;
+    planes;
+    faults;
+    active;
+    epoch = d.p_epoch;
+    next_id = d.p_next_id;
+    records = d.p_records;
+    delays = [];
+    rules_installed = d.p_rules_installed;
+    rules_fetched = d.p_rules_fetched;
+    rob = d.p_rob;
+    recovered_now = Switch_id.Set.empty;
+    journal = None;
+    crash_pending = false;
+  }
+
+let restore s =
+  match C.unseal ~magic:snapshot_magic s with
+  | Error e -> Error e
+  | Ok body -> begin
+    match
+      let d = parse_snapshot (C.reader_of_string body) in
+      let switches =
+        Array.of_list
+          (List.mapi
+             (fun i (id, capacity, dump) ->
+               if id <> i then
+                 C.parse_error 0 (Printf.sprintf "switch ids not consecutive (%d at %d)" id i);
+               let sw = Switch.create ~id ~capacity in
+               List.iter
+                 (fun (owner, rules) ->
+                   List.iter
+                     (fun p ->
+                       match Tcam.install (Switch.tcam sw) ~owner p with
+                       | Ok () -> ()
+                       | Error (`Capacity | `Duplicate) ->
+                         C.parse_error 0
+                           (Printf.sprintf "snapshot rules overflow switch %d" id))
+                     rules)
+                 dump;
+               Tcam.reset_stats (Switch.tcam sw);
+               sw)
+             d.p_switches)
+      in
+      let faults = d.p_faults in
+      let planes = Array.map (fun sw -> Data_plane.create ?faults sw) switches in
+      controller_of_parsed d ~switches ~planes ~faults
+    with
+    | t -> Ok t
+    | exception C.Parse_error err -> Error (C.error_to_string err)
+  end
+
+(* ---- failover recovery ---- *)
+
+type env = {
+  env_switches : Switch.t array;
+  env_planes : Data_plane.t array;
+  env_faults : Fault_model.t option;
+}
+
+let environment t = { env_switches = t.switches; env_planes = t.planes; env_faults = t.faults }
+
+let replay_entry t state_epochs entry =
+  match entry with
+  | Journal.Admit
+      { epoch; task_id; spec; topology; duration; drop_priority; accuracy_history; global_only;
+        source } ->
+    let task =
+      Task.create ~id:task_id ~spec ~topology ~accuracy_history
+        ~accuracy_mode:(if global_only then Task.Global_only else Task.Overall)
+        ()
+    in
+    let source = Source.parse (C.reader_of_string source) in
+    let runtime =
+      {
+        task;
+        source;
+        ground_truth = Ground_truth.create spec;
+        duration;
+        arrived_at = epoch;
+        drop_priority;
+        active_epochs = 0;
+        satisfied_epochs = 0;
+        accuracy_sum = 0.0;
+        poor_streak = 0;
+        last_alloc_total = 0;
+        last_report = None;
+        fresh_rules = Switch_id.Map.empty;
+        last_install_counts = Switch_id.Map.empty;
+        stale_counters = Switch_id.Map.empty;
+      }
+    in
+    Allocator.force_admit t.allocator (view_of_runtime runtime);
+    Hashtbl.replace t.active task_id runtime;
+    Hashtbl.replace state_epochs task_id epoch;
+    t.next_id <- max t.next_id (task_id + 1)
+  | Journal.Reject { epoch; task_id; kind } ->
+    t.records <-
+      {
+        Metrics.task_id;
+        kind;
+        outcome = Metrics.Rejected;
+        arrived_at = epoch;
+        ended_at = epoch;
+        active_epochs = 0;
+        satisfaction = 0.0;
+        mean_accuracy = 0.0;
+      }
+      :: t.records;
+    t.next_id <- max t.next_id (task_id + 1)
+  | Journal.Alloc { task_id; switch; alloc; _ } ->
+    Allocator.force_allocation t.allocator ~task_id ~switch ~alloc
+  | Journal.Install _ | Journal.Delete _ | Journal.Purge _ ->
+    (* Rule-level entries document what the dead controller did to the
+       switches; reconciliation derives its expectations from the restored
+       task state instead, so replay has nothing to apply here. *)
+    ()
+  | Journal.Switch_down _ -> t.rob.crashes <- t.rob.crashes + 1
+  | Journal.Switch_up _ -> t.rob.recoveries <- t.rob.recoveries + 1
+  | Journal.Task_end
+      { epoch; task_id; kind; cause; arrived_at; active_epochs; satisfaction; mean_accuracy } ->
+    if Hashtbl.mem t.active task_id then begin
+      Allocator.release t.allocator ~task_id;
+      Hashtbl.remove t.active task_id;
+      Hashtbl.remove state_epochs task_id
+    end;
+    let outcome =
+      match cause with Journal.Completed -> Metrics.Completed | Journal.Dropped -> Metrics.Dropped
+    in
+    t.records <-
+      { Metrics.task_id; kind; outcome; arrived_at; ended_at = epoch; active_epochs;
+        satisfaction; mean_accuracy }
+      :: t.records
+
+let recover ~env ~snapshot ~journal ~at_epoch =
+  match C.unseal ~magic:snapshot_magic snapshot with
+  | Error e -> Error e
+  | Ok body -> begin
+    match
+      let d = parse_snapshot (C.reader_of_string body) in
+      if List.length d.p_switches <> Array.length env.env_switches then
+        C.parse_error 0 "snapshot switch count does not match the live network";
+      if at_epoch < d.p_epoch then C.parse_error 0 "recovery epoch precedes the checkpoint";
+      (* The network outlives the controller: switches, data planes and the
+         fault model keep their live state, and the snapshot's copies (taken
+         at checkpoint time) are discarded after parsing. *)
+      let t =
+        controller_of_parsed d ~switches:env.env_switches ~planes:env.env_planes
+          ~faults:env.env_faults
+      in
+      (* Tasks restored from the snapshot carry state as of the checkpoint
+         epoch; tasks replayed from the journal carry state as of their
+         admission.  Either way the journal suffix brings membership,
+         records and allocations current. *)
+      let state_epochs = Hashtbl.create 16 in
+      Hashtbl.iter (fun id _ -> Hashtbl.replace state_epochs id d.p_epoch) t.active;
+      List.iter (fun e -> replay_entry t state_epochs e) journal;
+      (* Traffic kept flowing while the controller was down: fast-forward
+         each survivor's source by the epochs it missed.  Discarded epochs
+         consume exactly the RNG draws the live run would have, so the
+         traffic stream itself is unperturbed by the failover. *)
+      Hashtbl.iter
+        (fun id r ->
+          let from = match Hashtbl.find_opt state_epochs id with Some e -> e | None -> at_epoch in
+          for _ = from to at_epoch - 1 do
+            ignore (Source.next r.source)
+          done)
+        t.active;
+      (* Reconcile every reachable switch against the restored state: rules
+         no restored task wants are strays, rules a restored task wants but
+         the switch lost are missing.  A switch that is down now is wiped
+         anyway and gets its rules back through the normal recovered-switch
+         reinstall path. *)
+      let runtimes =
+        List.sort
+          (fun a b -> Int.compare (Task.id a.task) (Task.id b.task))
+          (Hashtbl.fold (fun _ r acc -> r :: acc) t.active [])
+      in
+      Array.iter
+        (fun dp ->
+          let sw_id = Data_plane.id dp in
+          let expected =
+            List.filter_map
+              (fun r ->
+                match Task.desired_rules r.task sw_id with
+                | [] -> None
+                | rules -> Some (Task.id r.task, rules))
+              runtimes
+          in
+          match Data_plane.audit dp ~expected with
+          | Ok { Data_plane.strays_removed; missing_installed } ->
+            t.rob.reconcile_removed <- t.rob.reconcile_removed + strays_removed;
+            t.rob.reconcile_installed <- t.rob.reconcile_installed + missing_installed
+          | Error `Down -> ())
+        env.env_planes;
+      t.rob.controller_crashes <- t.rob.controller_crashes + 1;
+      t.epoch <- at_epoch;
+      Log.info (fun m ->
+          m "epoch %d: controller recovered from checkpoint at epoch %d (+%d journal entries)"
+            at_epoch d.p_epoch (List.length journal));
+      t
+    with
+    | t -> Ok t
+    | exception C.Parse_error err -> Error (C.error_to_string err)
+  end

@@ -100,3 +100,73 @@ val delay_samples : t -> delay_sample list
 val total_rules_installed : t -> int
 val total_rules_fetched : t -> int
 (** Cumulative switch-side rule churn, for the incremental-update stats. *)
+
+(** {2 Crash consistency}
+
+    The controller can persist its full state between ticks: {!snapshot}
+    serializes a sealed, deterministic checkpoint document, and an attached
+    write-ahead {!Dream_recovery.Journal} records every control-plane
+    action (admissions, rejections, allocation changes, rule installs and
+    deletes, task endings, switch crash/recovery observations) before its
+    effects are applied.
+
+    Two restart paths consume them.  {!restore} rebuilds a standalone
+    controller — network and all — from a snapshot alone: a restored run
+    produces bit-identical per-epoch behaviour to the run that wrote the
+    checkpoint.  {!recover} is fail-over: the switches, data planes and
+    fault model {e survive} the controller crash, so the new controller
+    re-attaches to the live network, replays the journal suffix to bring
+    task membership, records and allocations current, fast-forwards each
+    task's traffic source to the recovery epoch, and audits every reachable
+    switch against the restored rule state — strays removed, missing rules
+    reinstalled, both tallied in {!robustness}.  Task measurement state
+    between the checkpoint and the crash (counter readings, smoothed
+    accuracies) is legitimately lost; the crash-recovery experiment
+    measures exactly that accuracy dip and its reconvergence time. *)
+
+val set_journal : t -> Dream_recovery.Journal.sink option -> unit
+(** Attach (or detach) a write-ahead journal.  [None] by default: without
+    a sink, runs journal nothing and behave bit-identically to builds
+    before crash consistency existed. *)
+
+val journal : t -> Dream_recovery.Journal.sink option
+
+val controller_crash_pending : t -> bool
+(** Whether the fault model declared a controller crash during the last
+    {!tick}.  The driver owning the controller decides what to do — in the
+    crash-recovery experiment it builds a successor with {!recover}. *)
+
+val snapshot : t -> string
+(** Serialize the full controller state — config, fault model, allocator,
+    every switch's installed rules, all records and robustness counters,
+    and every active task's complete runtime state (spec, topology,
+    counters, EWMA estimators, traffic source RNG) — as a sealed text
+    document.  Call between ticks. *)
+
+val checkpoint : t -> string
+(** {!snapshot}, then truncate the attached journal: the snapshot now
+    subsumes everything the journal held. *)
+
+val restore : string -> (t, string) result
+(** Rebuild a standalone controller from a {!snapshot} document,
+    reconstructing the switch network and fault model from the checkpoint.
+    [Error] on a bad checksum, wrong magic, or malformed body. *)
+
+type env
+(** The part of the simulation that outlives a controller crash: switches
+    (with their TCAM contents), data planes and the fault model. *)
+
+val environment : t -> env
+(** Capture the live network before tearing a controller down. *)
+
+val recover :
+  env:env ->
+  snapshot:string ->
+  journal:Dream_recovery.Journal.entry list ->
+  at_epoch:int ->
+  (t, string) result
+(** Fail over onto the live [env]: restore controller-private state from
+    [snapshot], replay the [journal] suffix, fast-forward traffic sources
+    to [at_epoch], reconcile every reachable switch, and resume at
+    [at_epoch].  The successor has no journal attached; re-attach one with
+    {!set_journal}. *)

@@ -24,6 +24,10 @@ type robustness = {
   counters_lost : int;
   install_failures : int;
   recovery_reinstalls : int;
+  controller_crashes : int;
+  reconcile_removed : int;
+  reconcile_installed : int;
+  invariant_violations : int;
 }
 
 let no_faults =
@@ -38,6 +42,10 @@ let no_faults =
     counters_lost = 0;
     install_failures = 0;
     recovery_reinstalls = 0;
+    controller_crashes = 0;
+    reconcile_removed = 0;
+    reconcile_installed = 0;
+    invariant_violations = 0;
   }
 
 type summary = {
@@ -84,7 +92,12 @@ let pp_robustness ppf r =
     "crashes=%d recoveries=%d down-epochs=%d timeouts=%d retries=%d fetch-failures=%d \
      stale-epochs=%d counters-lost=%d install-failures=%d reinstalls=%d"
     r.crashes r.recoveries r.switch_down_epochs r.fetch_timeouts r.fetch_retries r.fetch_failures
-    r.stale_epochs r.counters_lost r.install_failures r.recovery_reinstalls
+    r.stale_epochs r.counters_lost r.install_failures r.recovery_reinstalls;
+  if r.controller_crashes > 0 || r.reconcile_removed > 0 || r.reconcile_installed > 0 then
+    Format.fprintf ppf " controller-crashes=%d reconciled(-%d +%d)" r.controller_crashes
+      r.reconcile_removed r.reconcile_installed;
+  if r.invariant_violations > 0 then
+    Format.fprintf ppf " INVARIANT-VIOLATIONS=%d" r.invariant_violations
 
 let pp_summary ppf s =
   Format.fprintf ppf

@@ -27,6 +27,10 @@ type robustness = {
   counters_lost : int;  (** individual counters dropped from otherwise-successful batches *)
   install_failures : int;  (** rule installs that did not land *)
   recovery_reinstalls : int;  (** rules reinstalled on freshly recovered switches *)
+  controller_crashes : int;  (** controller fail-overs survived *)
+  reconcile_removed : int;  (** stray rules deleted by the post-crash switch audit *)
+  reconcile_installed : int;  (** missing rules reinstalled by the post-crash switch audit *)
+  invariant_violations : int;  (** violations flagged by the runtime invariant checker *)
 }
 
 val no_faults : robustness

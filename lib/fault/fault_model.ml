@@ -11,6 +11,7 @@ type spec = {
   perturb_stddev : float;
   stale_decay : float;
   retry_budget_fraction : float;
+  controller_crash_rate : float;
 }
 
 let zero =
@@ -24,6 +25,7 @@ let zero =
     perturb_stddev = 0.0;
     stale_decay = 0.9;
     retry_budget_fraction = 0.5;
+    controller_crash_rate = 0.0;
   }
 
 let uniform ?(seed = 0) rate =
@@ -54,7 +56,8 @@ let validate spec =
   if spec.stale_decay <= 0.0 || spec.stale_decay > 1.0 then
     invalid_arg "Fault_model: stale_decay must be in (0, 1]";
   if spec.retry_budget_fraction < 0.0 || spec.retry_budget_fraction > 1.0 then
-    invalid_arg "Fault_model: retry_budget_fraction must be in [0, 1]"
+    invalid_arg "Fault_model: retry_budget_fraction must be in [0, 1]";
+  check_rate "controller_crash_rate" spec.controller_crash_rate
 
 type switch_state = {
   lifecycle : Rng.t; (* crash / recovery draws *)
@@ -62,9 +65,18 @@ type switch_state = {
   mutable down_until : int; (* first epoch the switch is back up; <= epoch means up *)
 }
 
-type events = { crashed : Switch_id.t list; recovered : Switch_id.t list }
+type events = {
+  crashed : Switch_id.t list;
+  recovered : Switch_id.t list;
+  controller_crashed : bool;
+}
 
-type t = { spec : spec; states : switch_state array; mutable epoch : int }
+type t = {
+  spec : spec;
+  states : switch_state array;
+  controller : Rng.t; (* controller-crash draws, one per epoch *)
+  mutable epoch : int;
+}
 
 let create spec ~num_switches =
   validate spec;
@@ -79,7 +91,10 @@ let create spec ~num_switches =
         let data = Rng.split master in
         { lifecycle; data; down_until = 0 })
   in
-  { spec; states; epoch = 0 }
+  (* Split after the per-switch streams: adding controller crashes must not
+     perturb the switch fault schedules existing experiments replay. *)
+  let controller = Rng.split master in
+  { spec; states; controller; epoch = 0 }
 
 let spec t = t.spec
 
@@ -112,7 +127,11 @@ let begin_epoch t =
         crashed := sw :: !crashed
       end)
     t.states;
-  { crashed = List.rev !crashed; recovered = List.rev !recovered }
+  let controller_crashed =
+    t.spec.controller_crash_rate > 0.0
+    && Rng.bernoulli t.controller t.spec.controller_crash_rate
+  in
+  { crashed = List.rev !crashed; recovered = List.rev !recovered; controller_crashed }
 
 let fetch_times_out t sw =
   let s = state t sw in
@@ -132,3 +151,85 @@ let perturb t sw v =
     let s = state t sw in
     Float.max 0.0 (v *. (1.0 +. (t.spec.perturb_stddev *. Rng.gaussian s.data)))
   end
+
+(* ---- checkpoint serialization ---- *)
+
+let emit_rng w name rng =
+  let s0, s1, s2, s3 = Rng.state rng in
+  let module C = Dream_util.Codec in
+  C.int64 w (name ^ "0") s0;
+  C.int64 w (name ^ "1") s1;
+  C.int64 w (name ^ "2") s2;
+  C.int64 w (name ^ "3") s3
+
+let parse_rng r name =
+  let module C = Dream_util.Codec in
+  let s0 = C.int64_field r (name ^ "0") in
+  let s1 = C.int64_field r (name ^ "1") in
+  let s2 = C.int64_field r (name ^ "2") in
+  let s3 = C.int64_field r (name ^ "3") in
+  Rng.of_state (s0, s1, s2, s3)
+
+let emit w t =
+  let module C = Dream_util.Codec in
+  C.section w "fault_model";
+  C.int w "seed" t.spec.seed;
+  C.float w "crash_rate" t.spec.crash_rate;
+  C.float w "mean_downtime" t.spec.mean_downtime;
+  C.float w "fetch_timeout_rate" t.spec.fetch_timeout_rate;
+  C.float w "counter_loss_rate" t.spec.counter_loss_rate;
+  C.float w "install_failure_rate" t.spec.install_failure_rate;
+  C.float w "perturb_stddev" t.spec.perturb_stddev;
+  C.float w "stale_decay" t.spec.stale_decay;
+  C.float w "retry_budget_fraction" t.spec.retry_budget_fraction;
+  C.float w "controller_crash_rate" t.spec.controller_crash_rate;
+  C.int w "epoch" t.epoch;
+  emit_rng w "controller" t.controller;
+  C.int w "switches" (Array.length t.states);
+  Array.iter
+    (fun s ->
+      emit_rng w "lifecycle" s.lifecycle;
+      emit_rng w "data" s.data;
+      C.int w "down_until" s.down_until)
+    t.states
+
+let parse r =
+  let module C = Dream_util.Codec in
+  C.expect_section r "fault_model";
+  let seed = C.int_field r "seed" in
+  let crash_rate = C.float_field r "crash_rate" in
+  let mean_downtime = C.float_field r "mean_downtime" in
+  let fetch_timeout_rate = C.float_field r "fetch_timeout_rate" in
+  let counter_loss_rate = C.float_field r "counter_loss_rate" in
+  let install_failure_rate = C.float_field r "install_failure_rate" in
+  let perturb_stddev = C.float_field r "perturb_stddev" in
+  let stale_decay = C.float_field r "stale_decay" in
+  let retry_budget_fraction = C.float_field r "retry_budget_fraction" in
+  let controller_crash_rate = C.float_field r "controller_crash_rate" in
+  let spec =
+    {
+      seed;
+      crash_rate;
+      mean_downtime;
+      fetch_timeout_rate;
+      counter_loss_rate;
+      install_failure_rate;
+      perturb_stddev;
+      stale_decay;
+      retry_budget_fraction;
+      controller_crash_rate;
+    }
+  in
+  validate spec;
+  let epoch = C.int_field r "epoch" in
+  let controller = parse_rng r "controller" in
+  let n = C.int_field r "switches" in
+  let states =
+    C.repeat n (fun () ->
+        let lifecycle = parse_rng r "lifecycle" in
+        let data = parse_rng r "data" in
+        let down_until = C.int_field r "down_until" in
+        { lifecycle; data; down_until })
+    |> Array.of_list
+  in
+  { spec; states; controller; epoch }

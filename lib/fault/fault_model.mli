@@ -27,6 +27,9 @@ type spec = {
           epoch it reports from stale counters, in (0, 1] *)
   retry_budget_fraction : float;
       (** fraction of the epoch the controller may spend on fetch retries *)
+  controller_crash_rate : float;
+      (** per-epoch probability the controller itself crashes and must
+          recover from its last checkpoint + journal *)
 }
 
 val zero : spec
@@ -40,7 +43,11 @@ val uniform : ?seed:int -> float -> spec
 
 type t
 
-type events = { crashed : Dream_traffic.Switch_id.t list; recovered : Dream_traffic.Switch_id.t list }
+type events = {
+  crashed : Dream_traffic.Switch_id.t list;
+  recovered : Dream_traffic.Switch_id.t list;
+  controller_crashed : bool;  (** the controller dies at the start of this epoch *)
+}
 
 val create : spec -> num_switches:int -> t
 (** @raise Invalid_argument on out-of-range rates or [num_switches <= 0]. *)
@@ -51,7 +58,10 @@ val num_switches : t -> int
 
 val begin_epoch : t -> events
 (** Advance one epoch: decide which switches crash this epoch (their TCAM
-    state is lost) and which finish their downtime and come back up. *)
+    state is lost), which finish their downtime and come back up, and
+    whether the controller itself dies.  Controller-crash draws come from
+    a stream split after all per-switch streams, so enabling them never
+    perturbs an existing switch fault schedule. *)
 
 val is_down : t -> Dream_traffic.Switch_id.t -> bool
 
@@ -70,3 +80,12 @@ val install_fails : t -> Dream_traffic.Switch_id.t -> bool
 val perturb : t -> Dream_traffic.Switch_id.t -> float -> float
 (** Apply multiplicative Gaussian noise to a counter value (clamped at 0);
     identity when [perturb_stddev = 0]. *)
+
+val emit : Dream_util.Codec.writer -> t -> unit
+(** Append the full model state — spec, epoch, every RNG stream and
+    downtime clock — to a checkpoint document, so a restored run replays
+    the exact same fault schedule suffix. *)
+
+val parse : Dream_util.Codec.reader -> t
+(** Inverse of {!emit}.  @raise Dream_util.Codec.Parse_error on mismatch,
+    [Invalid_argument] on out-of-range rates. *)

@@ -1,0 +1,99 @@
+module Prefix = Dream_prefix.Prefix
+module Switch_id = Dream_traffic.Switch_id
+module Switch = Dream_switch.Switch
+module Tcam = Dream_switch.Tcam
+module Task = Dream_tasks.Task
+module Monitor = Dream_tasks.Monitor
+module Allocator = Dream_alloc.Allocator
+module Dream_allocator = Dream_alloc.Dream_allocator
+
+type violation = { code : string; detail : string }
+
+let to_string v = Printf.sprintf "%s: %s" v.code v.detail
+
+let violation code fmt = Printf.ksprintf (fun detail -> { code; detail }) fmt
+
+let check_allocator ~allocator acc =
+  match Allocator.dream allocator with
+  | None -> acc
+  | Some a -> begin
+    match Dream_allocator.check_invariants a with
+    | Ok () -> acc
+    | Error msg -> violation "allocator-conservation" "%s" msg :: acc
+  end
+
+let alloc_on task sw =
+  match Switch_id.Map.find_opt sw (Task.allocations task) with Some a -> a | None -> 0
+
+let check_switch ~tasks sw acc =
+  let id = Switch.id sw in
+  let tcam = Switch.tcam sw in
+  let acc =
+    if Tcam.used tcam > Tcam.capacity tcam then
+      violation "switch-capacity" "switch %d holds %d rules, capacity %d" id (Tcam.used tcam)
+        (Tcam.capacity tcam)
+      :: acc
+    else acc
+  in
+  let allocated =
+    List.fold_left (fun sum task -> sum + alloc_on task id) 0 tasks
+  in
+  let acc =
+    if allocated > Switch.capacity sw then
+      violation "switch-capacity" "switch %d allocations sum to %d, capacity %d" id allocated
+        (Switch.capacity sw)
+      :: acc
+    else acc
+  in
+  (* Every installed rule must belong to a live task: remove_task purges a
+     task's rules everywhere, so an unknown owner is leaked state. *)
+  let live = List.fold_left (fun s t -> Task.id t :: s) [] tasks in
+  List.fold_left
+    (fun acc (owner, rules) ->
+      if List.mem owner live then acc
+      else
+        violation "orphan-rules" "switch %d holds %d rules of dead task %d" id
+          (List.length rules) owner
+        :: acc)
+    acc (Tcam.dump tcam)
+
+let check_task ~switches ~up task acc =
+  let id = Task.id task in
+  let acc =
+    if Monitor.is_partition (Task.monitor task) then acc
+    else violation "partition" "task %d counters do not partition its filter" id :: acc
+  in
+  Switch_id.Set.fold
+    (fun sw acc ->
+      let alloc = alloc_on task sw in
+      let used = Task.counters_used task sw in
+      let acc =
+        if used > alloc then
+          violation "usage-within-allocation"
+            "task %d configures %d counters on switch %d, allocated %d" id used sw alloc
+          :: acc
+        else acc
+      in
+      if not (up sw) then acc
+      else begin
+        let tcam = Switch.tcam switches.(sw) in
+        let installed = Prefix.Set.of_list (Tcam.rules_of tcam ~owner:id) in
+        let desired = Prefix.Set.of_list (Task.desired_rules task sw) in
+        if Prefix.Set.equal installed desired then acc
+        else
+          violation "rules-match"
+            "task %d on switch %d: %d rules installed, %d configured (%d stray, %d missing)" id
+            sw
+            (Prefix.Set.cardinal installed)
+            (Prefix.Set.cardinal desired)
+            (Prefix.Set.cardinal (Prefix.Set.diff installed desired))
+            (Prefix.Set.cardinal (Prefix.Set.diff desired installed))
+          :: acc
+      end)
+    (Task.switches task) acc
+
+let check_all ~allocator ~switches ~up ~tasks =
+  let acc = check_allocator ~allocator [] in
+  let acc = Array.fold_right (fun sw acc -> check_switch ~tasks sw acc) switches acc in
+  let acc = List.fold_left (fun acc t -> check_task ~switches ~up t acc) acc tasks in
+  List.rev acc

@@ -1,0 +1,106 @@
+(** Write-ahead journal of control-plane actions.
+
+    Every externally visible decision the controller takes — admitting or
+    rejecting a task, changing an allocation, installing or deleting a
+    rule, observing a switch crash — is appended here {e before} its
+    effects are applied.  Recovery after a controller crash is then: load
+    the last checkpoint, replay the journal suffix in order, and reconcile
+    each switch against the replayed expectation.
+
+    Entries deliberately carry raw data (spec, topology, serialized
+    source, record fields) rather than live objects, so replay can rebuild
+    controller state without re-running any decision logic: the journal
+    records {e outcomes}, and replay applies them verbatim.  This is what
+    makes replay deterministic even though the original decisions depended
+    on transient allocator state that is not checkpointed. *)
+
+type end_cause = Completed | Dropped
+
+type entry =
+  | Admit of {
+      epoch : int;
+      task_id : int;
+      spec : Dream_tasks.Task_spec.t;
+      topology : Dream_traffic.Topology.t;
+      duration : int;
+      drop_priority : int;
+      accuracy_history : float;
+      global_only : bool;
+      source : string;
+          (** the task's traffic source, serialized at admission time
+              ({!Dream_traffic.Source.emit}); replay fast-forwards it to
+              the recovery epoch by discarding epochs, which consumes
+              exactly the RNG draws the live run would have *)
+    }
+  | Reject of { epoch : int; task_id : int; kind : Dream_tasks.Task_spec.kind }
+  | Alloc of { epoch : int; task_id : int; switch : Dream_traffic.Switch_id.t; alloc : int }
+  | Install of {
+      epoch : int;
+      task_id : int;
+      switch : Dream_traffic.Switch_id.t;
+      prefix : Dream_prefix.Prefix.t;
+    }
+  | Delete of {
+      epoch : int;
+      task_id : int;
+      switch : Dream_traffic.Switch_id.t;
+      prefix : Dream_prefix.Prefix.t;
+    }
+  | Purge of { epoch : int; task_id : int }
+      (** all rules of a task removed everywhere (task ended or dropped) *)
+  | Switch_down of { epoch : int; switch : Dream_traffic.Switch_id.t }
+      (** the switch crashed: its TCAM contents are gone *)
+  | Switch_up of { epoch : int; switch : Dream_traffic.Switch_id.t }
+  | Task_end of {
+      epoch : int;
+      task_id : int;
+      kind : Dream_tasks.Task_spec.kind;
+      cause : end_cause;
+      arrived_at : int;
+      active_epochs : int;
+      satisfaction : float;
+      mean_accuracy : float;
+    }
+
+val epoch_of : entry -> int
+
+val encode : Dream_util.Codec.writer -> entry -> unit
+
+val decode : Dream_util.Codec.reader -> entry
+(** @raise Dream_util.Codec.Parse_error on malformed input. *)
+
+val entry_to_string : entry -> string
+
+val entries_of_string : string -> (entry list, string) result
+(** Parse a journal body.  A torn final entry (the classic crash-while-
+    appending artifact) is dropped rather than rejected: everything before
+    it was written completely and remains replayable.  A malformed entry
+    {e followed by} further entries is a corruption, not a torn tail, and
+    yields [Error]. *)
+
+(** {1 Sinks} *)
+
+type sink
+(** An append-only destination.  The in-memory entry list is always
+    maintained (recovery replays from it); a file-backed sink additionally
+    appends each entry to disk and flushes, so the journal survives the
+    process. *)
+
+val memory : unit -> sink
+
+val file : string -> sink
+(** Opens (and truncates) [path] for appending.
+    @raise Sys_error if the file cannot be opened. *)
+
+val append : sink -> entry -> unit
+
+val entries : sink -> entry list
+(** All entries appended since the last {!truncate}, in append order. *)
+
+val length : sink -> int
+
+val truncate : sink -> unit
+(** Discard all entries — called right after a checkpoint is sealed, since
+    recovery only ever needs the suffix after the last snapshot. *)
+
+val close : sink -> unit

@@ -39,6 +39,41 @@ let run_point ?(config = Config.default) ?(fault_seed = 97) scenario strategy ra
 let sweep ?config ?fault_seed ?(rates = default_rates) scenario strategy =
   List.map (fun rate -> run_point ?config ?fault_seed scenario strategy rate) rates
 
+type stat = { mean : float; stddev : float }
+
+type aggregate = {
+  agg_rate : float;
+  agg_strategy : string;
+  agg_runs : int;
+  agg_satisfaction : stat;
+  agg_p5 : stat;
+  agg_accuracy : stat;
+  agg_drop_pct : stat;
+}
+
+let default_seeds = [ 97; 193; 389 ]
+
+let stat xs = { mean = Dream_util.Stats.mean xs; stddev = Dream_util.Stats.stddev xs }
+
+let sweep_seeds ?config ?(seeds = default_seeds) ?(rates = default_rates) scenario strategy =
+  if seeds = [] then invalid_arg "Fault_sweep: at least one seed required";
+  List.map
+    (fun rate ->
+      let points =
+        List.map (fun fault_seed -> run_point ?config ~fault_seed scenario strategy rate) seeds
+      in
+      let over f = stat (List.map f points) in
+      {
+        agg_rate = rate;
+        agg_strategy = (List.hd points).strategy;
+        agg_runs = List.length points;
+        agg_satisfaction = over (fun p -> p.summary.Metrics.mean_satisfaction);
+        agg_p5 = over (fun p -> p.summary.Metrics.p5_satisfaction);
+        agg_accuracy = over (fun p -> p.mean_accuracy);
+        agg_drop_pct = over (fun p -> p.summary.Metrics.drop_pct);
+      })
+    rates
+
 let print_points points =
   Table.row
     [ "rate"; "mean-sat"; "p5-sat"; "accuracy"; "drop%"; "down-ep"; "stale"; "retries"; "reinst" ];
@@ -60,12 +95,31 @@ let print_points points =
         ])
     points
 
+let pm s = Printf.sprintf "%.1f±%.1f" s.mean s.stddev
+let pm_frac s = Printf.sprintf "%.2f±%.2f" s.mean s.stddev
+
+let print_aggregates aggs =
+  Table.row [ "rate"; "runs"; "mean-sat±sd"; "p5-sat±sd"; "accuracy±sd"; "drop%±sd" ];
+  List.iter
+    (fun a ->
+      Table.row
+        [
+          Printf.sprintf "%.2f" a.agg_rate;
+          string_of_int a.agg_runs;
+          pm a.agg_satisfaction;
+          pm a.agg_p5;
+          pm_frac a.agg_accuracy;
+          pm a.agg_drop_pct;
+        ])
+    aggs
+
 let run ~quick =
   let base = if quick then Fig06.quick_scale Scenario.default else Scenario.default in
+  let seeds = if quick then [ 97; 193 ] else default_seeds in
   Table.heading "Fault sweep: satisfaction/accuracy degradation vs failure rate (combined workload)";
   List.iter
     (fun strategy ->
-      let points = sweep base strategy in
+      let aggs = sweep_seeds ~seeds base strategy in
       Table.subheading (Dream_alloc.Allocator.strategy_name strategy);
-      print_points points)
+      print_aggregates aggs)
     [ Experiment.dream_strategy; Dream_alloc.Allocator.Equal ]

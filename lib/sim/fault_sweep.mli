@@ -37,5 +37,40 @@ val sweep :
 val print_points : point list -> unit
 (** The satisfaction-vs-failure-rate table. *)
 
+(** {1 Multi-seed aggregation}
+
+    One seed per point makes the sweep an anecdote; the aggregate runs
+    each rate under several fault seeds and reports mean ± population
+    stddev, so degradation trends can be told apart from fault-schedule
+    luck. *)
+
+type stat = { mean : float; stddev : float }
+
+type aggregate = {
+  agg_rate : float;
+  agg_strategy : string;
+  agg_runs : int;  (** seeds aggregated *)
+  agg_satisfaction : stat;  (** mean satisfaction, percent *)
+  agg_p5 : stat;  (** 5th-percentile satisfaction, percent *)
+  agg_accuracy : stat;  (** mean scored accuracy, in \[0, 1\] *)
+  agg_drop_pct : stat;
+}
+
+val default_seeds : int list
+(** [97; 193; 389] *)
+
+val sweep_seeds :
+  ?config:Dream_core.Config.t ->
+  ?seeds:int list ->
+  ?rates:float list ->
+  Dream_workload.Scenario.t ->
+  Dream_alloc.Allocator.strategy ->
+  aggregate list
+(** {!run_point} per (rate, seed), aggregated per rate.
+    @raise Invalid_argument on an empty seed list. *)
+
+val print_aggregates : aggregate list -> unit
+
 val run : quick:bool -> unit
-(** Sweep DREAM and Equal over {!default_rates} on the combined workload. *)
+(** Sweep DREAM and Equal over {!default_rates} on the combined workload,
+    multi-seed, reporting mean ± stddev. *)

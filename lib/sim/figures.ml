@@ -12,6 +12,7 @@ let registry : (string * string * (quick:bool -> unit)) list =
     ("fig17", "control-loop delay breakdown and allocation delay", Fig17.run);
     ("ablation", "design ablations: allocation signal, step policy, TCAM vs sketch", Ablation.run);
     ("faults", "satisfaction/accuracy degradation vs failure rate", Fault_sweep.run);
+    ("crash-recovery", "checkpoint/journal fail-over vs controller crash rate", Crash_recovery.run);
   ]
 
 let all = List.map (fun (id, descr, _) -> (id, descr)) registry

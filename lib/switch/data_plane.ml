@@ -58,3 +58,47 @@ let remove t ~owner p = if down t then Error `Down else Ok (Tcam.remove (tcam t)
 
 let crash t =
   Tcam.wipe (tcam t)
+
+type audit_result = { strays_removed : int; missing_installed : int }
+
+let audit t ~expected =
+  if down t then Error `Down
+  else begin
+    let tcam = tcam t in
+    let expected_sets =
+      List.map (fun (owner, rules) -> (owner, Prefix.Set.of_list rules)) expected
+    in
+    let want_of owner =
+      match List.assoc_opt owner expected_sets with
+      | Some set -> set
+      | None -> Prefix.Set.empty
+    in
+    let removed = ref 0 in
+    let installed = ref 0 in
+    (* Pass 1: delete strays first so reinstalls can never transiently
+       overflow the table (the expected state fit before the crash). *)
+    List.iter
+      (fun (owner, rules) ->
+        let want = want_of owner in
+        List.iter
+          (fun p ->
+            if (not (Prefix.Set.mem p want)) && Tcam.remove tcam ~owner p then incr removed)
+          rules)
+      (Tcam.dump tcam);
+    (* Pass 2: reinstall missing rules.  Recovery runs over the reliable
+       control channel (retried until acked), so installs bypass the
+       fault model's per-message install failures. *)
+    List.iter
+      (fun (owner, want) ->
+        let have = Prefix.Set.of_list (Tcam.rules_of tcam ~owner) in
+        Prefix.Set.iter
+          (fun p ->
+            if not (Prefix.Set.mem p have) then begin
+              match Tcam.install tcam ~owner p with
+              | Ok () -> incr installed
+              | Error (`Capacity | `Duplicate) -> ()
+            end)
+          want)
+      expected_sets;
+    Ok { strays_removed = !removed; missing_installed = !installed }
+  end

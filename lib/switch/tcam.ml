@@ -45,6 +45,13 @@ let rules_of t ~owner =
   | Some set -> Prefix.Set.elements !set
   | None -> []
 
+let dump t =
+  Hashtbl.fold
+    (fun owner set acc ->
+      if Prefix.Set.is_empty !set then acc else (owner, Prefix.Set.elements !set) :: acc)
+    t.tables []
+  |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
+
 let install t ~owner p =
   let set = table t owner in
   if Prefix.Set.mem p !set then Error `Duplicate

@@ -36,6 +36,11 @@ val owners : t -> int list
 val rules_of : t -> owner:int -> Dream_prefix.Prefix.t list
 (** Installed prefixes of one task, in prefix order. *)
 
+val dump : t -> (int * Dream_prefix.Prefix.t list) list
+(** Every installed rule, grouped by owner in owner order with prefixes in
+    prefix order — the deterministic full-table view used by checkpoints
+    and the recovery audit. *)
+
 val install : t -> owner:int -> Dream_prefix.Prefix.t -> (unit, [ `Capacity | `Duplicate ]) result
 
 val remove : t -> owner:int -> Dream_prefix.Prefix.t -> bool

@@ -38,6 +38,40 @@ let cd_deviation t = Float.abs (t.total -. Ewma.value_or t.mean t.total)
 
 let update_mean t = ignore (Ewma.update t.mean t.total)
 
+let emit w t =
+  let module C = Dream_util.Codec in
+  C.section w "counter";
+  C.string w "prefix" (Prefix.to_string t.prefix);
+  C.int w "volumes" (Switch_id.Map.cardinal t.volumes);
+  Switch_id.Map.iter
+    (fun sw v ->
+      C.int w "sw" sw;
+      C.float w "vol" v)
+    t.volumes;
+  C.float w "score" t.score;
+  Ewma.emit w t.mean;
+  C.bool w "fresh" t.fresh
+
+let parse r ~switch_set =
+  let module C = Dream_util.Codec in
+  C.expect_section r "counter";
+  let prefix = Prefix.of_string (C.string_field r "prefix") in
+  let n = C.int_field r "volumes" in
+  let volumes =
+    C.repeat n (fun () ->
+        let sw = C.int_field r "sw" in
+        let v = C.float_field r "vol" in
+        (sw, v))
+    |> List.fold_left (fun acc (sw, v) -> Switch_id.Map.add sw v acc) Switch_id.Map.empty
+  in
+  let score = C.float_field r "score" in
+  let mean = Ewma.parse r in
+  let fresh = C.bool_field r "fresh" in
+  (* [total] is recomputed with the same fold [set_volumes] uses, so the
+     restored float is bit-identical to the captured one. *)
+  let total = Switch_id.Map.fold (fun _ v acc -> acc +. v) volumes 0.0 in
+  { prefix; switches = switch_set prefix; volumes; total; score; mean; fresh }
+
 let pp ppf t =
   Format.fprintf ppf "%a vol=%.2f score=%.2f %a%s" Prefix.pp t.prefix t.total t.score
     Switch_id.pp_set t.switches

@@ -40,3 +40,15 @@ val update_mean : t -> unit
 (** Fold the current total into the CD mean (call after reporting). *)
 
 val pp : Format.formatter -> t -> unit
+
+val emit : Dream_util.Codec.writer -> t -> unit
+(** Append the counter's measurement state to a checkpoint document.
+    [switches] is not written; it is re-derived from the topology. *)
+
+val parse :
+  Dream_util.Codec.reader ->
+  switch_set:(Dream_prefix.Prefix.t -> Dream_traffic.Switch_id.Set.t) ->
+  t
+(** Inverse of {!emit}; [switch_set] recomputes the S set (pass
+    [Topology.switch_set topology]).
+    @raise Dream_util.Codec.Parse_error on mismatch. *)

@@ -28,3 +28,11 @@ val true_hierarchical_heavy_hitters :
   Task_spec.t -> Dream_traffic.Aggregate.t -> Dream_prefix.Prefix.Set.t
 (** Exact HHH set (prefixes whose volume minus descendant-HHH volumes
     exceeds the threshold), computed recursively under the filter. *)
+
+val emit : Dream_util.Codec.writer -> t -> unit
+(** Append the CD per-leaf means to a checkpoint document (empty for
+    HH/HHH tasks, which keep no cross-epoch state here). *)
+
+val parse : Dream_util.Codec.reader -> spec:Task_spec.t -> t
+(** Inverse of {!emit}.  @raise Dream_util.Codec.Parse_error on
+    mismatch. *)

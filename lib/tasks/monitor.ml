@@ -289,6 +289,15 @@ let merge t ancestor =
   | [ c ] when Prefix.equal c.Counter.prefix ancestor ->
     () (* already monitoring exactly this prefix *)
   | victims ->
+    (* Sort victims: [descendant_counters] folds a Hashtbl, whose order
+       depends on insertion history.  The float sums below must not — a
+       restored controller rebuilds its tables in a different order and
+       still has to produce bit-identical merges. *)
+    let victims =
+      List.sort
+        (fun (a : Counter.t) (b : Counter.t) -> Prefix.compare a.prefix b.prefix)
+        victims
+    in
     let merged = new_counter t ancestor in
     let volumes =
       List.fold_left
@@ -468,6 +477,35 @@ let configure t ~allocations =
   set_active t granted;
   shrink_to_fit t ~allocations;
   divide_phase t ~allocations
+
+let emit w t =
+  let module C = Dream_util.Codec in
+  C.section w "monitor";
+  C.int w "active" (Switch_id.Set.cardinal t.active);
+  Switch_id.Set.iter (fun sw -> C.int w "sw" sw) t.active;
+  C.int w "counters" (num_counters t);
+  List.iter (Counter.emit w) (counters t)
+
+let parse r ~spec ~topology =
+  let module C = Dream_util.Codec in
+  C.expect_section r "monitor";
+  let n = C.int_field r "active" in
+  let active = C.repeat n (fun () -> C.int_field r "sw") |> Switch_id.set_of_list in
+  let t =
+    {
+      spec;
+      topology;
+      table = Prefix.Table.create 64;
+      usage = Switch_id.Map.empty;
+      active;
+      sorted_cache = None;
+    }
+  in
+  let n = C.int_field r "counters" in
+  ignore
+    (C.repeat n (fun () ->
+         add_counter t (Counter.parse r ~switch_set:(Topology.switch_set topology))));
+  t
 
 let is_partition t =
   let filter = t.spec.Task_spec.filter in

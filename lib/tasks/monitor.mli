@@ -79,3 +79,17 @@ val configure : t -> allocations:int Dream_traffic.Switch_id.Map.t -> unit
 
 val is_partition : t -> bool
 (** Whether the counters exactly partition the filter (test hook). *)
+
+val emit : Dream_util.Codec.writer -> t -> unit
+(** Append the active-switch set and every counter (in prefix order) to a
+    checkpoint document.  The spec and topology are serialized by the
+    owning task, not here. *)
+
+val parse :
+  Dream_util.Codec.reader ->
+  spec:Task_spec.t ->
+  topology:Dream_traffic.Topology.t ->
+  t
+(** Inverse of {!emit}; per-switch usage is rebuilt incrementally as
+    counters are re-added.  @raise Dream_util.Codec.Parse_error on
+    mismatch. *)

@@ -96,3 +96,72 @@ let configure t ~allocations =
   Monitor.configure t.monitor ~allocations
 
 let counters_used t sw = Monitor.usage t.monitor sw
+
+let emit w t =
+  let module C = Dream_util.Codec in
+  C.section w "task";
+  C.int w "id" t.id;
+  Task_spec.emit w t.spec;
+  Topology.emit w t.topology;
+  C.float w "accuracy_history" t.accuracy_history;
+  C.string w "accuracy_mode"
+    (match t.accuracy_mode with Overall -> "overall" | Global_only -> "global");
+  Ewma.emit w t.global_acc;
+  let overall =
+    Hashtbl.fold (fun sw f acc -> (sw, f) :: acc) t.overall_acc []
+    |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
+  in
+  C.int w "overall_acc" (List.length overall);
+  List.iter
+    (fun (sw, f) ->
+      C.int w "sw" sw;
+      Ewma.emit w f)
+    overall;
+  C.int w "allocations" (Switch_id.Map.cardinal t.allocations);
+  Switch_id.Map.iter
+    (fun sw alloc ->
+      C.int w "sw" sw;
+      C.int w "alloc" alloc)
+    t.allocations;
+  Monitor.emit w t.monitor
+
+let parse r =
+  let module C = Dream_util.Codec in
+  C.expect_section r "task";
+  let id = C.int_field r "id" in
+  let spec = Task_spec.parse r in
+  let topology = Topology.parse r in
+  let accuracy_history = C.float_field r "accuracy_history" in
+  let accuracy_mode =
+    match C.string_field r "accuracy_mode" with
+    | "overall" -> Overall
+    | "global" -> Global_only
+    | m -> C.parse_error 0 (Printf.sprintf "unknown accuracy mode %S" m)
+  in
+  let global_acc = Ewma.parse r in
+  let overall_acc = Hashtbl.create 8 in
+  let n = C.int_field r "overall_acc" in
+  ignore
+    (C.repeat n (fun () ->
+         let sw = C.int_field r "sw" in
+         Hashtbl.replace overall_acc sw (Ewma.parse r)));
+  let n = C.int_field r "allocations" in
+  let allocations =
+    C.repeat n (fun () ->
+        let sw = C.int_field r "sw" in
+        let alloc = C.int_field r "alloc" in
+        (sw, alloc))
+    |> List.fold_left (fun acc (sw, a) -> Switch_id.Map.add sw a acc) Switch_id.Map.empty
+  in
+  let monitor = Monitor.parse r ~spec ~topology in
+  {
+    id;
+    spec;
+    topology;
+    monitor;
+    global_acc;
+    overall_acc;
+    accuracy_history;
+    accuracy_mode;
+    allocations;
+  }

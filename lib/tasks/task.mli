@@ -67,3 +67,13 @@ val configure : t -> allocations:int Dream_traffic.Switch_id.Map.t -> unit
 (** Re-score counters and run divide-and-merge under the new allocations. *)
 
 val counters_used : t -> Dream_traffic.Switch_id.t -> int
+
+val emit : Dream_util.Codec.writer -> t -> unit
+(** Append the full task state — spec, topology, smoothed accuracies,
+    allocations and the monitor's counter configuration — to a checkpoint
+    document. *)
+
+val parse : Dream_util.Codec.reader -> t
+(** Inverse of {!emit}: a restored task produces bit-identical reports,
+    estimates and configurations from the next epoch on.
+    @raise Dream_util.Codec.Parse_error on mismatch. *)

@@ -52,3 +52,13 @@ val drop_priority_of : priority -> int
 (** A matching drop ordering: Background tasks are dropped first. *)
 
 val pp : Format.formatter -> t -> unit
+
+val kind_of_string : string -> kind option
+(** Inverse of {!kind_to_string}. *)
+
+val emit : Dream_util.Codec.writer -> t -> unit
+(** Append the spec to a checkpoint document. *)
+
+val parse : Dream_util.Codec.reader -> t
+(** Inverse of {!emit}.  @raise Dream_util.Codec.Parse_error on
+    mismatch. *)

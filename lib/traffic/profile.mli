@@ -36,3 +36,9 @@ val steady : threshold:float -> heavy_count:int -> t
 val validate : t -> (unit, string) result
 (** Check ranges (counts non-negative, probabilities in \[0,1\], alpha > 1,
     phases sorted with non-negative scales). *)
+
+val emit : Dream_util.Codec.writer -> t -> unit
+(** Append the profile to a checkpoint document. *)
+
+val parse : Dream_util.Codec.reader -> t
+(** Inverse of {!emit}.  @raise Dream_util.Codec.Parse_error on mismatch. *)

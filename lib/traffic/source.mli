@@ -17,3 +17,11 @@ val next : t -> Epoch_data.t
     from the source's own counter. *)
 
 val current_epoch : t -> int
+
+val emit : Dream_util.Codec.writer -> t -> unit
+(** Append the source state — synthetic generators serialize their full RNG
+    and population, replay sources their recorded epochs — so a restored
+    source resumes mid-trace at the same clock. *)
+
+val parse : Dream_util.Codec.reader -> t
+(** Inverse of {!emit}.  @raise Dream_util.Codec.Parse_error on mismatch. *)

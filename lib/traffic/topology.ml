@@ -31,6 +31,35 @@ let create rng ~filter ~num_switches ~switches_per_task =
   in
   { filter; num_switches; switches_per_task; subfilters }
 
+let emit w t =
+  let module C = Dream_util.Codec in
+  C.section w "topology";
+  C.string w "filter" (Prefix.to_string t.filter);
+  C.int w "num_switches" t.num_switches;
+  C.int w "switches_per_task" t.switches_per_task;
+  C.int w "subfilters" (Array.length t.subfilters);
+  Array.iter
+    (fun (p, sw) ->
+      C.string w "sub" (Prefix.to_string p);
+      C.int w "sw" sw)
+    t.subfilters
+
+let parse r =
+  let module C = Dream_util.Codec in
+  C.expect_section r "topology";
+  let filter = Prefix.of_string (C.string_field r "filter") in
+  let num_switches = C.int_field r "num_switches" in
+  let switches_per_task = C.int_field r "switches_per_task" in
+  let n = C.int_field r "subfilters" in
+  let subfilters =
+    C.repeat n (fun () ->
+        let p = Prefix.of_string (C.string_field r "sub") in
+        let sw = C.int_field r "sw" in
+        (p, sw))
+    |> Array.of_list
+  in
+  { filter; num_switches; switches_per_task; subfilters }
+
 let filter t = t.filter
 
 let num_switches t = t.num_switches

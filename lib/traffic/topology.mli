@@ -35,3 +35,10 @@ val switch_set : t -> Dream_prefix.Prefix.t -> Switch_id.Set.t
 
 val switch_of_address : t -> Dream_prefix.Prefix.address -> Switch_id.t option
 (** Ingress switch of an address, or [None] outside the filter. *)
+
+val emit : Dream_util.Codec.writer -> t -> unit
+(** Append the topology (including the realised sub-filter → switch
+    assignment) to a checkpoint document. *)
+
+val parse : Dream_util.Codec.reader -> t
+(** Inverse of {!emit}.  @raise Dream_util.Codec.Parse_error on mismatch. *)

@@ -57,7 +57,8 @@ let read input =
              float_of_string_opt volume)
           with
           | Some epoch, Some sw, Some addr, Some volume ->
-            if volume < 0.0 then error "negative volume"
+            if not (Float.is_finite volume) || volume < 0.0 then
+              error "volume must be a non-negative finite number"
             else if sw < 0 then error "negative switch id"
             else if epoch < !current_epoch then error "epochs must be non-decreasing"
             else begin

@@ -22,3 +22,19 @@ let reset t = t.avg <- None
 let scale t k = match t.avg with None -> () | Some v -> t.avg <- Some (v *. k)
 
 let seed t x = t.avg <- Some x
+
+let history t = t.history
+
+let restore ~history ~avg =
+  if history < 0.0 || history >= 1.0 then invalid_arg "Ewma.restore: history must be in [0, 1)";
+  { history; avg }
+
+let emit w t =
+  Codec.float w "history" t.history;
+  Codec.bool w "has_avg" (t.avg <> None);
+  match t.avg with Some v -> Codec.float w "avg" v | None -> ()
+
+let parse r =
+  let history = Codec.float_field r "history" in
+  let avg = if Codec.bool_field r "has_avg" then Some (Codec.float_field r "avg") else None in
+  restore ~history ~avg

@@ -125,3 +125,7 @@ let shuffle t a =
 let pick t a =
   if Array.length a = 0 then invalid_arg "Rng.pick: empty array";
   a.(int t (Array.length a))
+
+let state t = (t.s0, t.s1, t.s2, t.s3)
+
+let of_state (s0, s1, s2, s3) = { s0; s1; s2; s3 }

@@ -66,3 +66,10 @@ val shuffle : t -> 'a array -> unit
 val pick : t -> 'a array -> 'a
 (** Uniform element of a non-empty array.  @raise Invalid_argument on
     empty input. *)
+
+val state : t -> int64 * int64 * int64 * int64
+(** Raw xoshiro256** state words, for checkpointing. *)
+
+val of_state : int64 * int64 * int64 * int64 -> t
+(** Rebuild a generator from {!state} output; the stream continues exactly
+    where the captured generator left off. *)

@@ -266,6 +266,145 @@ let test_down_switches_quarantined () =
   done;
   Alcotest.(check bool) "scenario exercised downtime" true !saw_down
 
+(* ---- degraded paths ---- *)
+
+let test_stale_decay_bounds () =
+  (* The exact contract the controller's stale-counter path relies on:
+     decay scales the smoothed accuracy by the factor, compounds
+     multiplicatively, and never leaves [0, 1]. *)
+  let module Ewma = Dream_util.Ewma in
+  let e = Ewma.create ~history:0.4 in
+  ignore (Ewma.update e 0.8);
+  let factor = 0.9 in
+  Ewma.scale e factor;
+  Alcotest.(check (float 1e-9)) "one decay scales by the factor" (0.8 *. factor)
+    (Ewma.value_or e 1.0);
+  for _ = 1 to 9 do
+    Ewma.scale e factor
+  done;
+  Alcotest.(check (float 1e-9)) "ten decays compound" (0.8 *. (factor ** 10.0))
+    (Ewma.value_or e 1.0);
+  Alcotest.(check bool) "never negative" true (Ewma.value_or e 1.0 >= 0.0);
+  (* At the task level a decay before any estimate is a no-op: the smoothed
+     accuracy stays at its optimistic default instead of collapsing. *)
+  let rng = Rng.create 9 in
+  let filter = Prefix.nth_descendant Prefix.root ~length:12 7 in
+  let topology = Topology.create rng ~filter ~num_switches:2 ~switches_per_task:2 in
+  let spec =
+    Task_spec.make ~kind:Task_spec.Heavy_hitter ~filter ~leaf_length:24 ~threshold:8.0 ()
+  in
+  let task = Dream_tasks.Task.create ~id:1 ~spec ~topology ~accuracy_history:0.4 () in
+  Dream_tasks.Task.decay_accuracy task ~switch:0 ~factor ();
+  Alcotest.(check (float 1e-9)) "no-op before the first estimate" 1.0
+    (Dream_tasks.Task.smoothed_global task);
+  Alcotest.(check bool) "switch-level accuracy bounded" true
+    (let a = Dream_tasks.Task.overall_accuracy task 0 in
+     a >= 0.0 && a <= 1.0)
+
+let test_stale_run_decay_lowers_accuracy () =
+  (* Two identical stale-heavy runs differing only in the decay factor
+     (decay draws no randomness, so the fault schedules coincide until the
+     allocator first reacts to a decayed accuracy).  At that first point of
+     divergence the decayed run must read lower — the degraded visibility
+     reached the allocator. *)
+  let spec decay =
+    {
+      Fault_model.zero with
+      Fault_model.seed = 23;
+      fetch_timeout_rate = 0.6;
+      retry_budget_fraction = 0.05;
+      stale_decay = decay;
+    }
+  in
+  let trajectory decay =
+    let config = { Config.default with Config.faults = Some (spec decay) } in
+    let controller = mk_controller ~config () in
+    let rng = Rng.create 21 in
+    for i = 0 to 7 do
+      ignore (submit_task controller rng ~filter_index:i ~duration:25)
+    done;
+    let samples = ref [] in
+    for _ = 1 to 40 do
+      Controller.tick controller;
+      let accs =
+        List.filter_map
+          (fun id -> Controller.smoothed_accuracy controller ~task_id:id)
+          (Controller.active_task_ids controller)
+      in
+      samples := Dream_util.Stats.mean accs :: !samples
+    done;
+    (List.rev !samples, Controller.robustness controller)
+  in
+  let undecayed, _ = trajectory 1.0 in
+  let decayed, rob = trajectory 0.5 in
+  Alcotest.(check bool) "stale epochs occurred" true (rob.Metrics.stale_epochs > 0);
+  Alcotest.(check bool) "some fetches were abandoned" true (rob.Metrics.fetch_failures > 0);
+  let rec first_divergence = function
+    | a :: rest_a, b :: rest_b ->
+      if Float.abs (a -. b) > 1e-12 then Some (a, b) else first_divergence (rest_a, rest_b)
+    | _ -> None
+  in
+  match first_divergence (undecayed, decayed) with
+  | None -> Alcotest.fail "decay never affected the smoothed accuracies"
+  | Some (without_decay, with_decay) ->
+    Alcotest.(check bool) "decay lowers the allocator's signal" true
+      (with_decay < without_decay)
+
+let test_quarantine_divide_merge_reinstall_roundtrip () =
+  (* Crash-heavy run with the invariant checker on: quarantine must zero a
+     down switch, divide-and-merge must reconfigure onto the healthy ones,
+     and recovery must reinstall the full rule set — all without the
+     installed state ever diverging from the configured counters. *)
+  let spec =
+    { Fault_model.zero with Fault_model.seed = 13; crash_rate = 0.15; mean_downtime = 4.0 }
+  in
+  let config =
+    { Config.default with Config.faults = Some spec; check_invariants = true }
+  in
+  let controller = mk_controller ~config ~capacity:256 () in
+  let rng = Rng.create 51 in
+  for i = 0 to 5 do
+    ignore (submit_task controller rng ~filter_index:i ~duration:60)
+  done;
+  Controller.run controller ~epochs:70;
+  Controller.finalize controller;
+  let r = Controller.robustness controller in
+  Alcotest.(check bool) "switches crashed" true (r.Metrics.crashes > 0);
+  Alcotest.(check bool) "switches recovered" true (r.Metrics.recoveries > 0);
+  Alcotest.(check bool) "recovery reinstalled rules" true (r.Metrics.recovery_reinstalls > 0);
+  Alcotest.(check int) "round trip never violated an invariant" 0
+    r.Metrics.invariant_violations
+
+let test_retry_budget_exhaustion_within_one_epoch () =
+  (* Every fetch times out and the retry budget is a sliver of the epoch:
+     the controller must abandon the fetch within the epoch (bounded
+     retries, a recorded failure) instead of retrying forever. *)
+  let spec =
+    {
+      Fault_model.zero with
+      Fault_model.seed = 3;
+      fetch_timeout_rate = 1.0;
+      retry_budget_fraction = 0.005;
+    }
+  in
+  let config = { Config.default with Config.faults = Some spec } in
+  let controller = mk_controller ~config ~num_switches:1 () in
+  let rng = Rng.create 5 in
+  ignore (submit_task controller rng ~filter_index:0 ~duration:20);
+  (* Epoch 0 installs the first rules; epoch 1 is the first fetch. *)
+  Controller.tick controller;
+  let before = Controller.robustness controller in
+  Controller.tick controller;
+  let after = Controller.robustness controller in
+  Alcotest.(check bool) "fetch timed out" true
+    (after.Metrics.fetch_timeouts > before.Metrics.fetch_timeouts);
+  Alcotest.(check bool) "fetch abandoned within the epoch" true
+    (after.Metrics.fetch_failures > before.Metrics.fetch_failures);
+  (* Budget 0.005 * 1000 ms with exponential backoff from one RTT keeps
+     the retry count tiny; generous bound so the delay model can evolve. *)
+  Alcotest.(check bool) "retries bounded by the budget" true
+    (after.Metrics.fetch_retries - before.Metrics.fetch_retries <= 16)
+
 (* ---- input validation ---- *)
 
 let test_controller_validates_inputs () =
@@ -309,5 +448,15 @@ let () =
             test_faulty_run_survives_gracefully;
           Alcotest.test_case "down switches quarantined" `Quick test_down_switches_quarantined;
           Alcotest.test_case "input validation" `Quick test_controller_validates_inputs;
+        ] );
+      ( "degraded-paths",
+        [
+          Alcotest.test_case "stale decay bounds" `Quick test_stale_decay_bounds;
+          Alcotest.test_case "stale decay lowers the allocator's signal" `Quick
+            test_stale_run_decay_lowers_accuracy;
+          Alcotest.test_case "quarantine/divide-merge/reinstall round trip" `Quick
+            test_quarantine_divide_merge_reinstall_roundtrip;
+          Alcotest.test_case "retry budget exhausted within one epoch" `Quick
+            test_retry_budget_exhaustion_within_one_epoch;
         ] );
     ]

@@ -1,0 +1,412 @@
+(* Tests for crash consistency: journal encode/decode (torn tails,
+   corruption), checkpoint/restore bit-identical resumption, fail-over
+   recovery with journal replay and switch reconciliation, and the runtime
+   invariant checker. *)
+
+module Rng = Dream_util.Rng
+module Prefix = Dream_prefix.Prefix
+module Topology = Dream_traffic.Topology
+module Generator = Dream_traffic.Generator
+module Profile = Dream_traffic.Profile
+module Fault_model = Dream_fault.Fault_model
+module Switch = Dream_switch.Switch
+module Tcam = Dream_switch.Tcam
+module Task_spec = Dream_tasks.Task_spec
+module Allocator = Dream_alloc.Allocator
+module Dream_allocator = Dream_alloc.Dream_allocator
+module Journal = Dream_recovery.Journal
+module Invariant = Dream_recovery.Invariant
+module Config = Dream_core.Config
+module Metrics = Dream_core.Metrics
+module Controller = Dream_core.Controller
+module Crash_recovery = Dream_sim.Crash_recovery
+module Scenario = Dream_workload.Scenario
+
+(* ---- journal codec ---- *)
+
+let sample_entries () =
+  let rng = Rng.create 3 in
+  let filter = Prefix.nth_descendant Prefix.root ~length:12 17 in
+  let topology = Topology.create rng ~filter ~num_switches:4 ~switches_per_task:4 in
+  let spec = Task_spec.make ~kind:Task_spec.Heavy_hitter ~filter ~leaf_length:24 ~threshold:8.0 () in
+  let p = Prefix.nth_descendant Prefix.root ~length:16 5 in
+  [
+    Journal.Admit
+      {
+        epoch = 3;
+        task_id = 1;
+        spec;
+        topology;
+        duration = 40;
+        drop_priority = 2;
+        accuracy_history = 0.4;
+        global_only = false;
+        source = "line one\nline two [with] brackets";
+      };
+    Journal.Reject { epoch = 4; task_id = 2; kind = Task_spec.Change_detection };
+    Journal.Alloc { epoch = 4; task_id = 1; switch = 0; alloc = 64 };
+    Journal.Install { epoch = 4; task_id = 1; switch = 0; prefix = p };
+    Journal.Delete { epoch = 6; task_id = 1; switch = 0; prefix = p };
+    Journal.Switch_down { epoch = 7; switch = 3 };
+    Journal.Switch_up { epoch = 9; switch = 3 };
+    Journal.Task_end
+      {
+        epoch = 12;
+        task_id = 1;
+        kind = Task_spec.Heavy_hitter;
+        cause = Journal.Dropped;
+        arrived_at = 3;
+        active_epochs = 9;
+        satisfaction = 0.5;
+        mean_accuracy = 0.75;
+      };
+    Journal.Purge { epoch = 12; task_id = 1 };
+  ]
+
+let encode_all entries = String.concat "" (List.map Journal.entry_to_string entries)
+
+let test_journal_roundtrip () =
+  let entries = sample_entries () in
+  let s = encode_all entries in
+  match Journal.entries_of_string s with
+  | Error msg -> Alcotest.failf "journal did not parse: %s" msg
+  | Ok decoded ->
+    Alcotest.(check int) "entry count" (List.length entries) (List.length decoded);
+    (* Compare canonically re-encoded forms: structural equality of
+       topologies is not meaningful across parse. *)
+    Alcotest.(check string) "canonical round trip" s (encode_all decoded);
+    Alcotest.(check (list int)) "epochs preserved"
+      (List.map Journal.epoch_of entries)
+      (List.map Journal.epoch_of decoded)
+
+let test_journal_torn_tail () =
+  let entries = sample_entries () in
+  let s = encode_all entries in
+  let last = Journal.entry_to_string (List.nth entries (List.length entries - 1)) in
+  (* Cut into the final entry: classic crash-while-appending artifact. *)
+  let torn = String.sub s 0 (String.length s - (String.length last / 2) - 1) in
+  match Journal.entries_of_string torn with
+  | Error msg -> Alcotest.failf "torn tail must be tolerated: %s" msg
+  | Ok decoded ->
+    Alcotest.(check int) "torn final entry dropped"
+      (List.length entries - 1)
+      (List.length decoded)
+
+let test_journal_corruption_rejected () =
+  let entries = sample_entries () in
+  let s =
+    match entries with
+    | e1 :: rest -> Journal.entry_to_string e1 ^ "garbage line\n" ^ encode_all rest
+    | [] -> assert false
+  in
+  match Journal.entries_of_string s with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "mid-journal corruption must be rejected"
+
+let test_journal_file_sink () =
+  let path = Filename.temp_file "dream" ".wal" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () ->
+      let sink = Journal.file path in
+      let entries = sample_entries () in
+      List.iter (Journal.append sink) entries;
+      Alcotest.(check int) "length" (List.length entries) (Journal.length sink);
+      (* The on-disk bytes parse back to the same journal. *)
+      let ic = open_in_bin path in
+      let contents = really_input_string ic (in_channel_length ic) in
+      close_in ic;
+      (match Journal.entries_of_string contents with
+      | Error msg -> Alcotest.failf "file journal did not parse: %s" msg
+      | Ok decoded ->
+        Alcotest.(check string) "file matches memory" (encode_all entries) (encode_all decoded));
+      Journal.truncate sink;
+      Alcotest.(check int) "truncated" 0 (Journal.length sink);
+      Journal.close sink)
+
+(* ---- helpers: a small controller workload ---- *)
+
+let mk_controller ?(config = Config.default) ?(capacity = 128) ?(num_switches = 4)
+    ?(strategy = Allocator.Dream Dream_allocator.default_config) () =
+  Controller.create ~config ~strategy ~num_switches ~capacity
+
+let submit_task controller rng ~filter_index ~duration =
+  let filter = Prefix.nth_descendant Prefix.root ~length:12 (filter_index * 53) in
+  let num_switches = Controller.num_switches controller in
+  let topology =
+    Topology.create rng ~filter ~num_switches ~switches_per_task:(min 4 num_switches)
+  in
+  let spec =
+    Task_spec.make ~kind:Task_spec.Heavy_hitter ~filter ~leaf_length:24 ~threshold:8.0 ()
+  in
+  let generator =
+    Generator.create (Rng.split rng) ~topology ~profile:(Profile.default ~threshold:8.0)
+  in
+  Controller.submit controller ~spec ~topology
+    ~source:(Dream_traffic.Source.of_generator generator)
+    ~duration
+
+let populated_controller ?config ?num_switches () =
+  let controller = mk_controller ?config ?num_switches () in
+  let rng = Rng.create 21 in
+  for i = 0 to 7 do
+    ignore (submit_task controller rng ~filter_index:i ~duration:40)
+  done;
+  controller
+
+(* ---- snapshot / restore ---- *)
+
+let finish controller =
+  Controller.finalize controller;
+  (Controller.records controller, Controller.summary controller)
+
+let test_snapshot_restore_bit_identical_generic config =
+  (* The round-trip property: continuing from a restored snapshot must be
+     bit-identical to never having stopped. *)
+  let original = populated_controller ~config () in
+  Controller.run original ~epochs:25;
+  let doc = Controller.snapshot original in
+  let restored =
+    match Controller.restore doc with
+    | Ok c -> c
+    | Error msg -> Alcotest.failf "restore failed: %s" msg
+  in
+  Alcotest.(check int) "same epoch" (Controller.epoch original) (Controller.epoch restored);
+  Controller.run original ~epochs:25;
+  Controller.run restored ~epochs:25;
+  (* Strongest equality first: the full serialized states coincide. *)
+  Alcotest.(check bool) "final snapshots byte-identical" true
+    (Controller.snapshot original = Controller.snapshot restored);
+  let records_a, summary_a = finish original in
+  let records_b, summary_b = finish restored in
+  Alcotest.(check bool) "same records" true (records_a = records_b);
+  Alcotest.(check bool) "same summary" true (summary_a = summary_b);
+  Alcotest.(check int) "same rule churn"
+    (Controller.total_rules_installed original)
+    (Controller.total_rules_installed restored)
+
+let test_snapshot_restore_bit_identical () =
+  test_snapshot_restore_bit_identical_generic Config.default
+
+let test_snapshot_restore_with_faults () =
+  let spec =
+    {
+      Fault_model.zero with
+      Fault_model.seed = 5;
+      crash_rate = 0.1;
+      mean_downtime = 3.0;
+      fetch_timeout_rate = 0.2;
+      counter_loss_rate = 0.05;
+      install_failure_rate = 0.05;
+      perturb_stddev = 0.02;
+    }
+  in
+  (* The fault model's RNG streams are part of the checkpoint: the restored
+     run must replay the exact same fault schedule suffix. *)
+  test_snapshot_restore_bit_identical_generic
+    { Config.default with Config.faults = Some spec }
+
+let test_restore_rejects_corruption () =
+  let controller = populated_controller () in
+  Controller.run controller ~epochs:10;
+  let doc = Controller.snapshot controller in
+  let reject name doc =
+    match Controller.restore doc with
+    | Error _ -> ()
+    | Ok _ -> Alcotest.failf "%s must be rejected" name
+  in
+  reject "empty document" "";
+  reject "wrong magic" ("bogus" ^ doc);
+  reject "truncation" (String.sub doc 0 (String.length doc / 2));
+  let flipped = Bytes.of_string doc in
+  let mid = Bytes.length flipped / 2 in
+  Bytes.set flipped mid (if Bytes.get flipped mid = 'a' then 'b' else 'a');
+  reject "flipped byte" (Bytes.to_string flipped)
+
+(* ---- fail-over recovery ---- *)
+
+let test_recover_from_fresh_checkpoint_is_clean () =
+  (* Crash right after a checkpoint: the journal suffix is empty and the
+     network exactly matches the restored state, so the audit must find
+     nothing to fix. *)
+  let controller = populated_controller () in
+  let sink = Journal.memory () in
+  Controller.set_journal controller (Some sink);
+  Controller.run controller ~epochs:20;
+  let snapshot = Controller.checkpoint controller in
+  let at_epoch = Controller.epoch controller in
+  let active_before = Controller.active_task_ids controller in
+  let records_before = Controller.records controller in
+  let env = Controller.environment controller in
+  match Controller.recover ~env ~snapshot ~journal:(Journal.entries sink) ~at_epoch with
+  | Error msg -> Alcotest.failf "recover failed: %s" msg
+  | Ok successor ->
+    Alcotest.(check int) "resumes at the crash epoch" at_epoch (Controller.epoch successor);
+    Alcotest.(check (list int)) "same active tasks" active_before
+      (Controller.active_task_ids successor);
+    Alcotest.(check bool) "records restored" true
+      (Controller.records successor = records_before);
+    let rob = Controller.robustness successor in
+    Alcotest.(check int) "fail-over counted" 1 rob.Metrics.controller_crashes;
+    Alcotest.(check int) "no strays" 0 rob.Metrics.reconcile_removed;
+    Alcotest.(check int) "no missing rules" 0 rob.Metrics.reconcile_installed
+
+let test_recover_replays_journal () =
+  (* Crash with a non-empty journal suffix: admissions, endings and
+     allocation changes after the checkpoint are replayed verbatim, and the
+     audit reconciles the drift between the live network and the replayed
+     state (measurement state since the checkpoint is legitimately lost). *)
+  let controller = populated_controller () in
+  let sink = Journal.memory () in
+  Controller.set_journal controller (Some sink);
+  Controller.run controller ~epochs:20;
+  let snapshot = Controller.checkpoint controller in
+  let rng = Rng.create 77 in
+  ignore (submit_task controller rng ~filter_index:11 ~duration:30);
+  ignore (submit_task controller rng ~filter_index:12 ~duration:30);
+  Controller.run controller ~epochs:6;
+  Alcotest.(check bool) "journal suffix is non-empty" true (Journal.length sink > 0);
+  let at_epoch = Controller.epoch controller in
+  let active_before = Controller.active_task_ids controller in
+  let records_before = Controller.records controller in
+  let env = Controller.environment controller in
+  match Controller.recover ~env ~snapshot ~journal:(Journal.entries sink) ~at_epoch with
+  | Error msg -> Alcotest.failf "recover failed: %s" msg
+  | Ok successor ->
+    Alcotest.(check int) "resumes at the crash epoch" at_epoch (Controller.epoch successor);
+    Alcotest.(check (list int)) "post-checkpoint admissions replayed" active_before
+      (Controller.active_task_ids successor);
+    Alcotest.(check bool) "records replayed" true
+      (Controller.records successor = records_before);
+    Alcotest.(check int) "fail-over counted" 1
+      (Controller.robustness successor).Metrics.controller_crashes;
+    (* And the successor keeps running to completion. *)
+    Controller.run successor ~epochs:30;
+    Controller.finalize successor;
+    let s = Controller.summary successor in
+    Alcotest.(check bool) "tasks completed after fail-over" true (s.Metrics.completed > 0)
+
+let test_recover_reconciles_tampered_switches () =
+  let controller = populated_controller () in
+  let sink = Journal.memory () in
+  Controller.set_journal controller (Some sink);
+  Controller.run controller ~epochs:20;
+  let snapshot = Controller.checkpoint controller in
+  let at_epoch = Controller.epoch controller in
+  (* Simulate rule drift while the controller is dead: a stray rule from
+     nowhere, and one legitimate rule lost. *)
+  let switches = Controller.switches controller in
+  let tcam = Switch.tcam switches.(0) in
+  let stray = Prefix.nth_descendant Prefix.root ~length:30 12345 in
+  (match Tcam.install tcam ~owner:9999 stray with
+  | Ok () -> ()
+  | Error _ -> Alcotest.fail "stray install must fit");
+  let lost_owner, lost_prefix =
+    match
+      List.find_opt (fun (owner, prefixes) -> owner <> 9999 && prefixes <> []) (Tcam.dump tcam)
+    with
+    | Some (owner, p :: _) -> (owner, p)
+    | _ -> Alcotest.fail "expected at least one legitimate rule on switch 0"
+  in
+  Alcotest.(check bool) "legit rule removed" true (Tcam.remove tcam ~owner:lost_owner lost_prefix);
+  let env = Controller.environment controller in
+  match Controller.recover ~env ~snapshot ~journal:(Journal.entries sink) ~at_epoch with
+  | Error msg -> Alcotest.failf "recover failed: %s" msg
+  | Ok successor ->
+    let rob = Controller.robustness successor in
+    Alcotest.(check int) "stray removed" 1 rob.Metrics.reconcile_removed;
+    Alcotest.(check int) "missing rule reinstalled" 1 rob.Metrics.reconcile_installed;
+    Alcotest.(check int) "stray owner gone" 0 (Tcam.used_by tcam ~owner:9999);
+    Alcotest.(check int) "legit rule back" 1
+      (List.length
+         (List.filter (( = ) lost_prefix)
+            (List.concat_map
+               (fun (owner, ps) -> if owner = lost_owner then ps else [])
+               (Tcam.dump tcam))))
+
+let test_crash_recovery_sweep_clean () =
+  (* End-to-end: under injected controller crashes the driver fails over
+     from checkpoint + journal; the invariant checker must stay silent. *)
+  let scenario =
+    {
+      Scenario.default with
+      Scenario.num_tasks = 12;
+      num_switches = 4;
+      switches_per_task = 4;
+      capacity = 256;
+      arrival_window = 40;
+      mean_duration = 30;
+      total_epochs = 90;
+    }
+  in
+  let result =
+    Crash_recovery.run_once ~checkpoint_interval:15 ~fault_seed:211 ~crash_rate:0.08 scenario
+      (Allocator.Dream Dream_allocator.default_config)
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "crashes injected (%d)" result.Crash_recovery.crashes)
+    true
+    (result.Crash_recovery.crashes > 0);
+  let rob = result.Crash_recovery.summary.Metrics.robustness in
+  Alcotest.(check int) "fail-overs survived" result.Crash_recovery.crashes
+    rob.Metrics.controller_crashes;
+  Alcotest.(check int) "zero invariant violations" 0 rob.Metrics.invariant_violations;
+  Alcotest.(check bool) "tasks completed" true
+    (result.Crash_recovery.summary.Metrics.completed > 0)
+
+(* ---- invariant checker ---- *)
+
+let test_invariant_clean_run () =
+  let config = { Config.default with Config.check_invariants = true } in
+  let controller = populated_controller ~config () in
+  Controller.run controller ~epochs:40;
+  Controller.finalize controller;
+  Alcotest.(check int) "no violations on a healthy run" 0
+    (Controller.robustness controller).Metrics.invariant_violations
+
+let test_invariant_detects_orphan_rule () =
+  let sw = Switch.create ~id:0 ~capacity:8 in
+  let p = Prefix.nth_descendant Prefix.root ~length:8 1 in
+  (match Tcam.install (Switch.tcam sw) ~owner:42 p with
+  | Ok () -> ()
+  | Error _ -> Alcotest.fail "install must fit");
+  let allocator = Allocator.create Allocator.Equal ~capacities:[ (0, 8) ] in
+  let violations =
+    Invariant.check_all ~allocator ~switches:[| sw |] ~up:(fun _ -> true) ~tasks:[]
+  in
+  Alcotest.(check bool) "orphan rule flagged" true
+    (List.exists (fun v -> v.Invariant.code = "orphan-rules") violations)
+
+let () =
+  Alcotest.run "dream.recovery"
+    [
+      ( "journal",
+        [
+          Alcotest.test_case "encode/decode round trip" `Quick test_journal_roundtrip;
+          Alcotest.test_case "torn tail tolerated" `Quick test_journal_torn_tail;
+          Alcotest.test_case "corruption rejected" `Quick test_journal_corruption_rejected;
+          Alcotest.test_case "file sink" `Quick test_journal_file_sink;
+        ] );
+      ( "snapshot",
+        [
+          Alcotest.test_case "restore is bit-identical" `Quick test_snapshot_restore_bit_identical;
+          Alcotest.test_case "restore is bit-identical under faults" `Quick
+            test_snapshot_restore_with_faults;
+          Alcotest.test_case "corruption rejected" `Quick test_restore_rejects_corruption;
+        ] );
+      ( "failover",
+        [
+          Alcotest.test_case "fresh checkpoint fail-over is clean" `Quick
+            test_recover_from_fresh_checkpoint_is_clean;
+          Alcotest.test_case "journal replay" `Quick test_recover_replays_journal;
+          Alcotest.test_case "switch reconciliation" `Quick
+            test_recover_reconciles_tampered_switches;
+          Alcotest.test_case "crash-recovery sweep stays invariant-clean" `Quick
+            test_crash_recovery_sweep_clean;
+        ] );
+      ( "invariant",
+        [
+          Alcotest.test_case "clean run has no violations" `Quick test_invariant_clean_run;
+          Alcotest.test_case "orphan rule detected" `Quick test_invariant_detects_orphan_rule;
+        ] );
+    ]

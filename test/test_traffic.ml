@@ -330,7 +330,8 @@ let test_trace_read_errors () =
       | Error _ -> ()
       | Ok _ -> Alcotest.fail ("accepted malformed trace: " ^ String.escaped body))
     [ "0 0 10.0.0.1\n"; "0 0 999.0.0.1 1.0\n"; "3 0 10.0.0.1 1.0\n1 0 10.0.0.1 1.0\n";
-      "0 0 10.0.0.1 -5.0\n" ]
+      "0 0 10.0.0.1 -5.0\n"; "0 0 10.0.0.1 nan\n"; "0 0 10.0.0.1 inf\n";
+      "0 0 10.0.0.1 -inf\n" ]
 
 let test_source_generator () =
   let s = Source.of_generator (mk_generator ()) in
