@@ -85,9 +85,24 @@ let micro_tests () =
   in
   List.iter (fun v -> ignore (Dream_allocator.try_admit allocator v)) views;
   let agg = Epoch_data.switch_view !data 0 in
+  (* Telemetry fixture: the instruments the controller hits every epoch. *)
+  let module Registry = Dream_obs.Registry in
+  let module Trace = Dream_obs.Trace in
+  let reg = Registry.create () in
+  let ctr = Registry.counter reg "bench_counter" in
+  let histo = Registry.histogram reg ~labels:[ ("phase", "bench") ] "bench_ms" in
+  let trace = Trace.create () in
   [
     Test.make ~name:"allocator.reallocate (64 tasks, 1 switch)"
       (Staged.stage (fun () -> Dream_allocator.reallocate allocator views));
+    Test.make ~name:"registry.counter incr (hot path)"
+      (Staged.stage (fun () -> Registry.Counter.incr ctr));
+    Test.make ~name:"registry.counter find-or-create + incr"
+      (Staged.stage (fun () -> Registry.Counter.incr (Registry.counter reg "bench_counter")));
+    Test.make ~name:"registry.histogram observe"
+      (Staged.stage (fun () -> Registry.Histogram.observe histo 3.7));
+    Test.make ~name:"trace.span append"
+      (Staged.stage (fun () -> Trace.span trace ~epoch:0 ~phase:"bench" ~ms:1.0));
     Test.make ~name:"task.configure (divide-and-merge)"
       (Staged.stage (fun () -> Task.configure task ~allocations));
     Test.make ~name:"task.report+estimate (HH)"

@@ -25,6 +25,8 @@ module Fault_model = Dream_fault.Fault_model
 module Journal = Dream_recovery.Journal
 module Allocator = Dream_alloc.Allocator
 module Stats = Dream_util.Stats
+module Telemetry = Dream_obs.Telemetry
+module Inspect = Dream_obs.Inspect
 
 let ( let* ) = Result.bind
 let check cond msg = if cond then Ok () else Error msg
@@ -91,6 +93,40 @@ let rate_in_range ~flag rate =
 let rates_in_range ~flag rates =
   List.fold_left (fun acc r -> Result.bind acc (fun () -> rate_in_range ~flag r)) (Ok ()) rates
 
+(* Validate --telemetry DIR before the run spends any time: the path must
+   be (or become) a writable directory that does not already hold a bundle,
+   so a long experiment can never fail at export time. *)
+let telemetry_dir_ready dir =
+  let exists = Sys.file_exists dir in
+  let* () =
+    check
+      ((not exists) || Sys.is_directory dir)
+      (sp "--telemetry: %s exists and is not a directory" dir)
+  in
+  let* () =
+    if exists then begin
+      let collisions =
+        List.filter
+          (fun f -> Sys.file_exists (Filename.concat dir f))
+          [ "trace.jsonl"; "metrics.prom"; "tasks.csv"; "switches.csv" ]
+      in
+      check (collisions = [])
+        (sp "--telemetry: %s already holds a bundle (%s); pick a fresh directory" dir
+           (String.concat ", " collisions))
+    end
+    else begin
+      try Ok (Sys.mkdir dir 0o755)
+      with Sys_error msg -> Error (sp "--telemetry: cannot create %s: %s" dir msg)
+    end
+  in
+  let probe = Filename.concat dir ".write-probe" in
+  try
+    let oc = open_out probe in
+    close_out oc;
+    Sys.remove probe;
+    Ok ()
+  with Sys_error msg -> Error (sp "--telemetry: %s is not writable: %s" dir msg)
+
 let print_summary name (s : Metrics.summary) =
   Format.printf "@.%s results:@." name;
   Format.printf "  satisfaction  mean %.1f%%  5th-pct %.1f%%@." s.Metrics.mean_satisfaction
@@ -102,17 +138,29 @@ let print_summary name (s : Metrics.summary) =
     Format.printf "  robustness    %a@." Metrics.pp_robustness s.Metrics.robustness
 
 let run capacity num_switches switches_per_task tasks window duration epochs threshold bound kind
-    strategy fixed_k seed fault_rate fault_seed verbose =
+    strategy fixed_k seed fault_rate fault_seed telemetry_dir verbose =
   let* scenario =
     scenario_of capacity num_switches switches_per_task tasks window duration epochs threshold
       bound kind seed
   in
   let* strategy = strategy_of strategy fixed_k in
   let* () = rate_in_range ~flag:"--fault-rate" fault_rate in
+  let* telemetry =
+    match telemetry_dir with
+    | None -> Ok None
+    | Some dir ->
+      let* () = telemetry_dir_ready dir in
+      Ok (Some (Telemetry.create ()))
+  in
   let config =
-    if fault_rate <= 0.0 then Config.default
-    else
-      { Config.default with Config.faults = Some (Fault_model.uniform ~seed:fault_seed fault_rate) }
+    let base =
+      if fault_rate <= 0.0 then Config.default
+      else
+        { Config.default with
+          Config.faults = Some (Fault_model.uniform ~seed:fault_seed fault_rate)
+        }
+    in
+    { base with Config.telemetry }
   in
   Format.printf "scenario: %a@." Scenario.pp scenario;
   Format.printf "expected concurrency: %.1f tasks@." (Scenario.concurrency scenario);
@@ -122,6 +170,16 @@ let run capacity num_switches switches_per_task tasks window duration epochs thr
   print_summary result.Experiment.strategy result.Experiment.summary;
   Format.printf "  switch rules  installed %d  fetched %d@." result.Experiment.rules_installed
     result.Experiment.rules_fetched;
+  let* () =
+    match (telemetry, telemetry_dir) with
+    | Some bundle, Some dir ->
+      let* () = Telemetry.write_dir bundle ~dir in
+      Format.printf "  telemetry     %d trace items -> %s@."
+        (Dream_obs.Trace.length (Telemetry.trace bundle))
+        dir;
+      Ok ()
+    | _ -> Ok ()
+  in
   if verbose then begin
     Format.printf "@.per-task records:@.";
     List.iter
@@ -318,6 +376,15 @@ let rates =
 
 let verbose = Arg.(value & flag & info [ "verbose"; "v" ] ~doc:"Print per-task records.")
 
+let telemetry_dir =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "telemetry" ] ~docv:"DIR"
+        ~doc:
+          "Record a telemetry bundle (JSONL trace, Prometheus snapshot, per-task and per-switch \
+           CSV) into $(docv); read it back with the $(b,inspect) subcommand.")
+
 let scenario_args f =
   Term.(
     f $ capacity $ num_switches $ switches_per_task $ tasks $ window $ duration $ epochs
@@ -326,7 +393,8 @@ let scenario_args f =
 let run_term =
   Term.term_result' ~usage:false
     Term.(
-      scenario_args (const run) $ strategy $ fixed_k $ seed $ fault_rate $ fault_seed $ verbose)
+      scenario_args (const run) $ strategy $ fixed_k $ seed $ fault_rate $ fault_seed
+      $ telemetry_dir $ verbose)
 
 let run_cmd =
   let doc = "run one measurement experiment (optionally with fault injection)" in
@@ -393,9 +461,35 @@ let crash_recovery_cmd =
          scenario_args (const crash_recovery) $ strategy $ fixed_k $ seed $ rates $ fault_seeds
          $ checkpoint_interval))
 
+let inspect dir top =
+  let* () = check (top > 0) (sp "--top must be positive (got %d)" top) in
+  let* () =
+    check
+      (Sys.file_exists dir && Sys.is_directory dir)
+      (sp "%s is not a telemetry directory" dir)
+  in
+  let* report = Inspect.load ~top dir in
+  Format.printf "%a" Inspect.pp report;
+  Ok ()
+
+let inspect_cmd =
+  let doc = "summarize a telemetry bundle written by run --telemetry" in
+  let dir =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"DIR" ~doc:"Telemetry directory to read.")
+  in
+  let top =
+    Arg.(value & opt int 5 & info [ "top" ] ~doc:"How many noisiest tasks to list.")
+  in
+  Cmd.v
+    (Cmd.info "inspect" ~doc)
+    (Term.term_result' ~usage:false Term.(const inspect $ dir $ top))
+
 let cmd =
   let doc = "run a DREAM software-defined measurement experiment" in
   Cmd.group ~default:run_term (Cmd.info "dream-sim" ~doc)
-    [ run_cmd; fault_sweep_cmd; checkpoint_cmd; restore_run_cmd; crash_recovery_cmd ]
+    [ run_cmd; fault_sweep_cmd; checkpoint_cmd; restore_run_cmd; crash_recovery_cmd; inspect_cmd ]
 
 let () = exit (Cmd.eval cmd)

@@ -9,6 +9,7 @@ type t = {
   install_budget : int option;
   faults : Dream_fault.Fault_model.spec option;
   check_invariants : bool;
+  telemetry : Dream_obs.Telemetry.t option;
 }
 
 let default =
@@ -23,6 +24,7 @@ let default =
     install_budget = None;
     faults = None;
     check_invariants = false;
+    telemetry = None;
   }
 
 let prototype =

@@ -35,6 +35,14 @@ type t = {
       (** run {!Dream_recovery.Invariant.check_all} at the end of every
           epoch and tally violations in the robustness metrics.  Off by
           default: the checks walk every task's rule sets each epoch. *)
+  telemetry : Dream_obs.Telemetry.t option;
+      (** when set, the controller times every control-loop phase against
+          the bundle's clock, records spans/events in its trace and
+          per-task/per-switch rows, and tallies all counters in its
+          registry.  [None] (the default) records nothing and leaves runs
+          bit-identical: telemetry never touches simulation state.  The
+          field lives only in memory — checkpoints neither save nor
+          restore it. *)
 }
 
 val default : t

@@ -17,6 +17,9 @@ module Task_view = Dream_alloc.Task_view
 module Journal = Dream_recovery.Journal
 module Invariant = Dream_recovery.Invariant
 module C = Dream_util.Codec
+module Obs = Dream_obs
+module Ctr = Dream_obs.Registry.Counter
+module Tr = Dream_obs.Trace
 
 let log_src = Logs.Src.create "dream.controller" ~doc:"DREAM controller events"
 
@@ -51,24 +54,61 @@ type delay_sample = {
   configure_ms : float;
 }
 
-(* Robustness counters, kept mutable here and exported as the immutable
-   {!Metrics.robustness}. *)
+(* Robustness counters.  These live in the metrics registry (the
+   telemetry bundle's when one is attached, a private one otherwise), so
+   the exporters and {!Metrics.robustness} read the same cells — there is
+   exactly one copy of each tally. *)
 type rob = {
-  mutable crashes : int;
-  mutable recoveries : int;
-  mutable switch_down_epochs : int;
-  mutable fetch_timeouts : int;
-  mutable fetch_retries : int;
-  mutable fetch_failures : int;
-  mutable stale_epochs : int;
-  mutable counters_lost : int;
-  mutable install_failures : int;
-  mutable recovery_reinstalls : int;
-  mutable controller_crashes : int;
-  mutable reconcile_removed : int;
-  mutable reconcile_installed : int;
-  mutable invariant_violations : int;
+  crashes : Ctr.t;
+  recoveries : Ctr.t;
+  switch_down_epochs : Ctr.t;
+  fetch_timeouts : Ctr.t;
+  fetch_retries : Ctr.t;
+  fetch_failures : Ctr.t;
+  stale_epochs : Ctr.t;
+  counters_lost : Ctr.t;
+  install_failures : Ctr.t;
+  recovery_reinstalls : Ctr.t;
+  controller_crashes : Ctr.t;
+  reconcile_removed : Ctr.t;
+  reconcile_installed : Ctr.t;
+  invariant_violations : Ctr.t;
 }
+
+let rob_of_registry reg =
+  let c name = Obs.Registry.counter reg name in
+  {
+    crashes = c "crashes";
+    recoveries = c "recoveries";
+    switch_down_epochs = c "switch_down_epochs";
+    fetch_timeouts = c "fetch_timeouts";
+    fetch_retries = c "fetch_retries";
+    fetch_failures = c "fetch_failures";
+    stale_epochs = c "stale_epochs";
+    counters_lost = c "counters_lost";
+    install_failures = c "install_failures";
+    recovery_reinstalls = c "recovery_reinstalls";
+    controller_crashes = c "controller_crashes";
+    reconcile_removed = c "reconcile_removed";
+    reconcile_installed = c "reconcile_installed";
+    invariant_violations = c "invariant_violations";
+  }
+
+let set_robustness rob (v : Metrics.robustness) =
+  Ctr.set rob.crashes v.Metrics.crashes;
+  Ctr.set rob.recoveries v.Metrics.recoveries;
+  Ctr.set rob.switch_down_epochs v.Metrics.switch_down_epochs;
+  Ctr.set rob.fetch_timeouts v.Metrics.fetch_timeouts;
+  Ctr.set rob.fetch_retries v.Metrics.fetch_retries;
+  Ctr.set rob.fetch_failures v.Metrics.fetch_failures;
+  Ctr.set rob.stale_epochs v.Metrics.stale_epochs;
+  Ctr.set rob.counters_lost v.Metrics.counters_lost;
+  Ctr.set rob.install_failures v.Metrics.install_failures;
+  Ctr.set rob.recovery_reinstalls v.Metrics.recovery_reinstalls;
+  Ctr.set rob.controller_crashes v.Metrics.controller_crashes;
+  Ctr.set rob.reconcile_removed v.Metrics.reconcile_removed;
+  Ctr.set rob.reconcile_installed v.Metrics.reconcile_installed;
+  Ctr.set rob.invariant_violations v.Metrics.invariant_violations
 
 type t = {
   config : Config.t;
@@ -76,13 +116,16 @@ type t = {
   switches : Switch.t array;
   planes : Data_plane.t array;
   faults : Fault_model.t option;
+  tel : Obs.Telemetry.t option;
+  registry : Obs.Registry.t; (* the bundle's, or a private one when [tel = None] *)
+  clock : Obs.Clock.t;
   active : (int, runtime) Hashtbl.t;
   mutable epoch : int;
   mutable next_id : int;
   mutable records : Metrics.record list;
   mutable delays : delay_sample list; (* newest first *)
-  mutable rules_installed : int;
-  mutable rules_fetched : int;
+  rules_installed : Ctr.t;
+  rules_fetched : Ctr.t;
   rob : rob;
   mutable recovered_now : Switch_id.Set.t; (* switches back up as of this tick *)
   mutable journal : Journal.sink option;
@@ -103,36 +146,34 @@ let create ~config ~strategy ~num_switches ~capacity =
   in
   let planes = Array.map (fun sw -> Data_plane.create ?faults sw) switches in
   let capacities = Array.to_list (Array.map (fun sw -> (Switch.id sw, capacity)) switches) in
+  let tel = config.Config.telemetry in
+  let registry =
+    match tel with Some b -> Obs.Telemetry.registry b | None -> Obs.Registry.create ()
+  in
+  let clock = match tel with Some b -> Obs.Telemetry.clock b | None -> Obs.Clock.cpu in
+  (* Self-describing trace: record the fault schedule the bundle ran under. *)
+  (match (tel, config.Config.faults) with
+  | Some b, Some spec ->
+    Tr.event (Obs.Telemetry.trace b) ~epoch:0 ~name:"fault_spec"
+      [ ("spec", Tr.Str (Format.asprintf "%a" Fault_model.pp_spec spec)) ]
+  | _ -> ());
   {
     config;
     allocator = Allocator.create strategy ~capacities;
     switches;
     planes;
     faults;
+    tel;
+    registry;
+    clock;
     active = Hashtbl.create 64;
     epoch = 0;
     next_id = 0;
     records = [];
     delays = [];
-    rules_installed = 0;
-    rules_fetched = 0;
-    rob =
-      {
-        crashes = 0;
-        recoveries = 0;
-        switch_down_epochs = 0;
-        fetch_timeouts = 0;
-        fetch_retries = 0;
-        fetch_failures = 0;
-        stale_epochs = 0;
-        counters_lost = 0;
-        install_failures = 0;
-        recovery_reinstalls = 0;
-        controller_crashes = 0;
-        reconcile_removed = 0;
-        reconcile_installed = 0;
-        invariant_violations = 0;
-      };
+    rules_installed = Obs.Registry.counter registry "rules_installed";
+    rules_fetched = Obs.Registry.counter registry "rules_fetched";
+    rob = rob_of_registry registry;
     recovered_now = Switch_id.Set.empty;
     journal = None;
     crash_pending = false;
@@ -148,22 +189,32 @@ let allocator t = t.allocator
 
 let faults t = t.faults
 
+let telemetry t = t.tel
+
+(* Emit a trace event iff a telemetry bundle is attached.  Tracing never
+   touches simulation state, so runs with and without a bundle stay
+   bit-identical. *)
+let trace_event t ~name fields =
+  match t.tel with
+  | None -> ()
+  | Some b -> Tr.event (Obs.Telemetry.trace b) ~epoch:t.epoch ~name fields
+
 let robustness t =
   {
-    Metrics.crashes = t.rob.crashes;
-    recoveries = t.rob.recoveries;
-    switch_down_epochs = t.rob.switch_down_epochs;
-    fetch_timeouts = t.rob.fetch_timeouts;
-    fetch_retries = t.rob.fetch_retries;
-    fetch_failures = t.rob.fetch_failures;
-    stale_epochs = t.rob.stale_epochs;
-    counters_lost = t.rob.counters_lost;
-    install_failures = t.rob.install_failures;
-    recovery_reinstalls = t.rob.recovery_reinstalls;
-    controller_crashes = t.rob.controller_crashes;
-    reconcile_removed = t.rob.reconcile_removed;
-    reconcile_installed = t.rob.reconcile_installed;
-    invariant_violations = t.rob.invariant_violations;
+    Metrics.crashes = Ctr.value t.rob.crashes;
+    recoveries = Ctr.value t.rob.recoveries;
+    switch_down_epochs = Ctr.value t.rob.switch_down_epochs;
+    fetch_timeouts = Ctr.value t.rob.fetch_timeouts;
+    fetch_retries = Ctr.value t.rob.fetch_retries;
+    fetch_failures = Ctr.value t.rob.fetch_failures;
+    stale_epochs = Ctr.value t.rob.stale_epochs;
+    counters_lost = Ctr.value t.rob.counters_lost;
+    install_failures = Ctr.value t.rob.install_failures;
+    recovery_reinstalls = Ctr.value t.rob.recovery_reinstalls;
+    controller_crashes = Ctr.value t.rob.controller_crashes;
+    reconcile_removed = Ctr.value t.rob.reconcile_removed;
+    reconcile_installed = Ctr.value t.rob.reconcile_installed;
+    invariant_violations = Ctr.value t.rob.invariant_violations;
   }
 
 let active_tasks t = Hashtbl.length t.active
@@ -255,6 +306,9 @@ let submit t ~spec ~topology ~source ~duration =
            })
     end;
     Hashtbl.replace t.active id runtime;
+    Ctr.incr (Obs.Registry.counter t.registry "tasks_admitted");
+    trace_event t ~name:"task_admit"
+      [ ("task", Tr.Int id); ("kind", Tr.Str (Task_spec.kind_to_string spec.Task_spec.kind)) ];
     Log.info (fun m ->
         m "epoch %d: admitted task %d (%a, %d epochs)" t.epoch id Task_spec.pp spec duration);
     `Admitted id
@@ -273,6 +327,9 @@ let submit t ~spec ~topology ~source ~duration =
         mean_accuracy = 0.0;
       }
       :: t.records;
+    Ctr.incr (Obs.Registry.counter t.registry "tasks_rejected");
+    trace_event t ~name:"task_reject"
+      [ ("task", Tr.Int id); ("kind", Tr.Str (Task_spec.kind_to_string spec.Task_spec.kind)) ];
     Log.info (fun m -> m "epoch %d: rejected task %d (%a)" t.epoch id Task_spec.pp spec);
     `Rejected
   end
@@ -328,7 +385,20 @@ let remove_task t r ~outcome =
   Allocator.release t.allocator ~task_id:id;
   Array.iter (fun sw -> ignore (Tcam.remove_owner (Switch.tcam sw) ~owner:id)) t.switches;
   Hashtbl.remove t.active id;
-  t.records <- record :: t.records
+  t.records <- record :: t.records;
+  let kind = Task_spec.kind_to_string record.Metrics.kind in
+  match outcome with
+  | Metrics.Dropped ->
+    Ctr.incr (Obs.Registry.counter t.registry "tasks_dropped");
+    trace_event t ~name:"task_drop"
+      [ ("task", Tr.Int id); ("kind", Tr.Str kind);
+        ("active_epochs", Tr.Int record.Metrics.active_epochs) ]
+  | Metrics.Completed ->
+    Ctr.incr (Obs.Registry.counter t.registry "tasks_completed");
+    trace_event t ~name:"task_complete"
+      [ ("task", Tr.Int id); ("kind", Tr.Str kind);
+        ("satisfaction", Tr.Float record.Metrics.satisfaction) ]
+  | Metrics.Rejected -> ()
 
 let delay_costs t =
   match t.config.Config.control_delay with Some c -> c | None -> Delay_model.default
@@ -393,7 +463,7 @@ let read_counters_faulty t r ~retry_budget ~fault_ms =
     match Switch_id.Map.find_opt sw_id r.stale_counters with
     | Some ((_ :: _) as pairs) ->
       readings := (sw_id, pairs) :: !readings;
-      t.rob.stale_epochs <- t.rob.stale_epochs + 1
+      Ctr.incr t.rob.stale_epochs
     | Some [] | None -> ()
   in
   Array.iter
@@ -414,23 +484,23 @@ let read_counters_faulty t r ~retry_budget ~fault_ms =
             | Ok pairs -> Some pairs
             | Error `Down -> None
             | Error `Timeout ->
-              t.rob.fetch_timeouts <- t.rob.fetch_timeouts + 1;
+              Ctr.incr t.rob.fetch_timeouts;
               let backoff = costs.Delay_model.rtt_ms *. (2.0 ** float_of_int k) in
               if !retry_budget >= backoff then begin
                 retry_budget := !retry_budget -. backoff;
                 fault_ms := !fault_ms +. backoff;
-                t.rob.fetch_retries <- t.rob.fetch_retries + 1;
+                Ctr.incr t.rob.fetch_retries;
                 attempt (k + 1)
               end
               else begin
-                t.rob.fetch_failures <- t.rob.fetch_failures + 1;
+                Ctr.incr t.rob.fetch_failures;
                 None
               end
           in
           match attempt 0 with
           | Some pairs ->
             let lost = List.length rules - List.length pairs in
-            if lost > 0 then t.rob.counters_lost <- t.rob.counters_lost + lost;
+            if lost > 0 then Ctr.add t.rob.counters_lost lost;
             let pairs = degrade_fresh t r sw_id pairs in
             r.stale_counters <- Switch_id.Map.add sw_id pairs r.stale_counters;
             readings := (sw_id, pairs) :: !readings
@@ -462,19 +532,22 @@ let advance_faults t =
       (fun sw_id ->
         jot t (Journal.Switch_down { epoch = t.epoch; switch = sw_id });
         Data_plane.crash t.planes.(sw_id);
-        t.rob.crashes <- t.rob.crashes + 1;
+        Ctr.incr t.rob.crashes;
+        trace_event t ~name:"switch_crash" [ ("switch", Tr.Int sw_id) ];
         Log.info (fun m -> m "epoch %d: switch %d CRASHED (TCAM lost)" t.epoch sw_id))
       events.Fault_model.crashed;
     List.iter
       (fun sw_id ->
         jot t (Journal.Switch_up { epoch = t.epoch; switch = sw_id });
+        trace_event t ~name:"switch_recover" [ ("switch", Tr.Int sw_id) ];
         Log.info (fun m -> m "epoch %d: switch %d recovered" t.epoch sw_id))
       events.Fault_model.recovered;
     t.recovered_now <- Switch_id.set_of_list events.Fault_model.recovered;
-    t.rob.recoveries <- t.rob.recoveries + List.length events.Fault_model.recovered;
-    t.rob.switch_down_epochs <- t.rob.switch_down_epochs + Fault_model.down_count fm;
+    Ctr.add t.rob.recoveries (List.length events.Fault_model.recovered);
+    Ctr.add t.rob.switch_down_epochs (Fault_model.down_count fm);
     if events.Fault_model.controller_crashed then begin
       t.crash_pending <- true;
+      trace_event t ~name:"controller_crash_scheduled" [];
       Log.info (fun m -> m "epoch %d: CONTROLLER crash scheduled" t.epoch)
     end
 
@@ -488,10 +561,11 @@ let quarantine_allocations t allocations =
   | Some fm ->
     Switch_id.Map.mapi (fun sw v -> if Fault_model.is_down fm sw then 0 else v) allocations
 
-let ms_of_cpu seconds = seconds *. 1000.0
-
 let tick t =
   let config = t.config in
+  let now () = Obs.Clock.now_ms t.clock in
+  let tick_t0 = now () in
+  let tracing = t.tel <> None in
   advance_faults t;
   let runtimes =
     List.sort
@@ -509,15 +583,17 @@ let tick t =
       | None -> 0.0)
   in
   let fault_ms = ref 0.0 in
+  let task_scores = ref [] in
+  (* (id, kind, scored, satisfied) per task, for tasks.csv; tracing only *)
   List.iter
     (fun r ->
       let data, readings, degraded = read_counters t r ~retry_budget ~fault_ms in
       Task.ingest_counters r.task readings;
-      let t0 = Sys.time () in
+      let t0 = now () in
       let report = Task.make_report r.task ~epoch:t.epoch in
       r.last_report <- Some report;
       let estimate = Task.estimate_accuracy r.task in
-      report_clock := !report_clock +. (Sys.time () -. t0);
+      report_clock := !report_clock +. (now () -. t0);
       (* Degraded visibility: the estimators only saw stale (or no)
          counters for these switches, so the estimate is optimistic — decay
          the smoothed accuracies the allocator reads. *)
@@ -535,16 +611,59 @@ let tick t =
       in
       r.active_epochs <- r.active_epochs + 1;
       r.accuracy_sum <- r.accuracy_sum +. scored;
-      if scored >= spec.Task_spec.accuracy_bound then
-        r.satisfied_epochs <- r.satisfied_epochs + 1)
+      let satisfied = scored >= spec.Task_spec.accuracy_bound in
+      if satisfied then r.satisfied_epochs <- r.satisfied_epochs + 1;
+      if tracing then
+        task_scores :=
+          (Task.id r.task, Task_spec.kind_to_string spec.Task_spec.kind, scored, satisfied)
+          :: !task_scores)
     runtimes;
   (* Allocation epoch: redistribute and decide drops. *)
   let allocate_clock = ref 0.0 in
   if t.epoch mod config.Config.allocation_interval = 0 then begin
-    let t0 = Sys.time () in
+    (* Snapshot allocations before the round so tracing can price churn;
+       taken outside the timed region. *)
+    let alloc_before =
+      if not tracing then []
+      else
+        List.map
+          (fun r ->
+            let id = Task.id r.task in
+            (id, Allocator.allocation_of t.allocator ~task_id:id))
+          runtimes
+    in
+    let t0 = now () in
     let views = List.map view_of_runtime runtimes in
     Allocator.reallocate t.allocator views;
-    allocate_clock := Sys.time () -. t0;
+    allocate_clock := now () -. t0;
+    if tracing then begin
+      let changes =
+        List.fold_left
+          (fun acc (id, old_map) ->
+            let new_map = Allocator.allocation_of t.allocator ~task_id:id in
+            let grown_or_moved =
+              Switch_id.Map.fold
+                (fun sw v acc ->
+                  let old_v =
+                    match Switch_id.Map.find_opt sw old_map with Some v -> v | None -> 0
+                  in
+                  if old_v <> v then acc + 1 else acc)
+                new_map 0
+            in
+            let vacated =
+              Switch_id.Map.fold
+                (fun sw v acc ->
+                  if v <> 0 && not (Switch_id.Map.mem sw new_map) then acc + 1 else acc)
+                old_map 0
+            in
+            acc + grown_or_moved + vacated)
+          0 alloc_before
+      in
+      if changes > 0 then begin
+        Ctr.add (Obs.Registry.counter t.registry "allocation_changes") changes;
+        trace_event t ~name:"reallocate" [ ("changes", Tr.Int changes) ]
+      end
+    end;
     (* Journal the round's outcome — every task's full allocation map, not
        just deltas, so replay restores the allocator by forcing values
        rather than re-running the (state-dependent) adaptation logic. *)
@@ -612,9 +731,9 @@ let tick t =
         let id = Task.id r.task in
         let allocations = Allocator.allocation_of t.allocator ~task_id:id in
         let allocations = quarantine_allocations t allocations in
-        let t0 = Sys.time () in
+        let t0 = now () in
         Task.configure r.task ~allocations;
-        configure_clock := !configure_clock +. (Sys.time () -. t0);
+        configure_clock := !configure_clock +. (now () -. t0);
         let per_switch =
           Array.map
             (fun sw -> Prefix.Set.of_list (Task.desired_rules r.task (Switch.id sw)))
@@ -634,9 +753,11 @@ let tick t =
       t.switches
   in
   (* Pass 1: removals. *)
+  let removals_by_task = Hashtbl.create 16 in
   List.iter
     (fun (r, per_switch) ->
       let id = Task.id r.task in
+      let removed = ref 0 in
       Array.iteri
         (fun i dp ->
           let budget = budgets.(i) in
@@ -646,11 +767,14 @@ let tick t =
                 jot t
                   (Journal.Delete { epoch = t.epoch; task_id = id; switch = Data_plane.id dp; prefix = p });
                 match Data_plane.remove dp ~owner:id p with
-                | Ok _ -> decr budget
+                | Ok _ ->
+                  decr budget;
+                  incr removed
                 | Error `Down -> ()
               end)
             (Data_plane.rules_of dp ~owner:id))
-        t.planes)
+        t.planes;
+      if tracing && !removed > 0 then Hashtbl.replace removals_by_task id !removed)
     desired_of;
   (* Pass 2: installs, newest rules skipped once a switch's budget runs
      out or its table is full.  Installs onto a switch that recovered this
@@ -675,12 +799,12 @@ let tick t =
                   decr budget;
                   added := Prefix.Set.add p !added;
                   if Switch_id.Set.mem sw_id t.recovered_now then
-                    t.rob.recovery_reinstalls <- t.rob.recovery_reinstalls + 1
+                    Ctr.incr t.rob.recovery_reinstalls
                 | Error `Failed ->
                   (* The attempt consumed an update slot; the rule stays
                      desired and is retried next epoch. *)
                   decr budget;
-                  t.rob.install_failures <- t.rob.install_failures + 1
+                  Ctr.incr t.rob.install_failures
                 | Error (`Capacity | `Duplicate | `Down) -> ()
               end)
             per_switch.(i);
@@ -690,7 +814,18 @@ let tick t =
           end)
         t.planes;
       r.fresh_rules <- !fresh;
-      r.last_install_counts <- !installs)
+      r.last_install_counts <- !installs;
+      if tracing then begin
+        let installed = Switch_id.Map.fold (fun _ n acc -> acc + n) !installs 0 in
+        let removed =
+          match Hashtbl.find_opt removals_by_task id with Some n -> n | None -> 0
+        in
+        (* Rule churn is divide-and-merge made visible: installs are
+           drill-downs (or reinstalls), removals are merges and retreats. *)
+        if installed + removed > 0 then
+          trace_event t ~name:"rule_sync"
+            [ ("task", Tr.Int id); ("installs", Tr.Int installed); ("removals", Tr.Int removed) ]
+      end)
     desired_of;
   (* Price the epoch's switch interactions for Fig 17. *)
   let fetch_total, install_total, remove_total, touched =
@@ -707,15 +842,16 @@ let tick t =
       epoch = t.epoch;
       fetch_ms = Delay_model.fetch_ms costs ~rules:fetch_total ~switches:touched +. !fault_ms;
       save_ms = Delay_model.save_ms costs ~installs:install_total ~removals:remove_total ~switches:touched;
-      report_ms = ms_of_cpu !report_clock;
-      allocate_ms = ms_of_cpu !allocate_clock;
-      configure_ms = ms_of_cpu !configure_clock;
+      report_ms = !report_clock;
+      allocate_ms = !allocate_clock;
+      configure_ms = !configure_clock;
     }
   in
   t.delays <- sample :: t.delays;
-  t.rules_installed <- t.rules_installed + install_total;
-  t.rules_fetched <- t.rules_fetched + fetch_total;
+  Ctr.add t.rules_installed install_total;
+  Ctr.add t.rules_fetched fetch_total;
   t.recovered_now <- Switch_id.Set.empty;
+  let tail_t0 = now () in
   (* Retire tasks that reached their duration. *)
   List.iter
     (fun r ->
@@ -732,12 +868,59 @@ let tick t =
     let violations =
       Invariant.check_all ~allocator:t.allocator ~switches:t.switches ~up ~tasks
     in
-    t.rob.invariant_violations <- t.rob.invariant_violations + List.length violations;
+    Ctr.add t.rob.invariant_violations (List.length violations);
+    if violations <> [] then
+      trace_event t ~name:"invariant_violation" [ ("count", Tr.Int (List.length violations)) ];
     List.iter
       (fun v ->
         Log.warn (fun m -> m "epoch %d: invariant violated — %s" t.epoch (Invariant.to_string v)))
       violations
   end;
+  (match t.tel with
+  | None -> ()
+  | Some tel ->
+    let tr = Obs.Telemetry.trace tel in
+    let epoch = t.epoch in
+    (* Phase spans: fetch and the configure tail are modelled switch time,
+       estimate/allocate/configure bodies are measured controller time, and
+       report is the record-keeping tail just timed above. *)
+    let report_ms = now () -. tail_t0 in
+    let phases =
+      [ ("fetch", sample.fetch_ms); ("estimate", sample.report_ms);
+        ("allocate", sample.allocate_ms); ("configure", sample.configure_ms +. sample.save_ms);
+        ("report", report_ms); ("epoch", now () -. tick_t0) ]
+    in
+    List.iter
+      (fun (phase, ms) ->
+        Tr.span tr ~epoch ~phase ~ms;
+        Obs.Registry.Histogram.observe
+          (Obs.Registry.histogram t.registry ~labels:[ ("phase", phase) ] "phase_ms")
+          ms)
+      phases;
+    List.iter
+      (fun (id, kind, accuracy, satisfied) ->
+        let alloc =
+          Switch_id.Map.fold
+            (fun _ v acc -> acc + v)
+            (Allocator.allocation_of t.allocator ~task_id:id)
+            0
+        in
+        Obs.Telemetry.record_task tel
+          { Obs.Telemetry.epoch; task = id; kind; accuracy; satisfied; alloc })
+      (List.rev !task_scores);
+    Array.iter
+      (fun sw ->
+        let stats = Tcam.stats (Switch.tcam sw) in
+        Obs.Telemetry.record_switch tel
+          {
+            Obs.Telemetry.epoch;
+            switch = Switch.id sw;
+            rules = Tcam.used (Switch.tcam sw);
+            fetches = stats.Tcam.fetches;
+            installs = stats.Tcam.installs;
+            removals = stats.Tcam.removals;
+          })
+      t.switches);
   t.epoch <- t.epoch + 1
 
 let run t ~epochs =
@@ -755,9 +938,9 @@ let summary t = Metrics.summarize ~robustness:(robustness t) (records t)
 
 let delay_samples t = List.rev t.delays
 
-let total_rules_installed t = t.rules_installed
+let total_rules_installed t = Ctr.value t.rules_installed
 
-let total_rules_fetched t = t.rules_fetched
+let total_rules_fetched t = Ctr.value t.rules_fetched
 
 (* ---- checkpoints ---- *)
 
@@ -821,6 +1004,7 @@ let parse_config r : Config.t =
     install_budget;
     faults = None;
     check_invariants;
+    telemetry = None;
   }
 
 let emit_prefix_list w key prefixes =
@@ -990,24 +1174,24 @@ let parse_records r =
       { Metrics.task_id; kind; outcome; arrived_at; ended_at; active_epochs; satisfaction;
         mean_accuracy })
 
-let emit_rob w (rob : rob) =
+let emit_rob w (rob : Metrics.robustness) =
   C.section w "robustness";
-  C.int w "crashes" rob.crashes;
-  C.int w "recoveries" rob.recoveries;
-  C.int w "switch_down_epochs" rob.switch_down_epochs;
-  C.int w "fetch_timeouts" rob.fetch_timeouts;
-  C.int w "fetch_retries" rob.fetch_retries;
-  C.int w "fetch_failures" rob.fetch_failures;
-  C.int w "stale_epochs" rob.stale_epochs;
-  C.int w "counters_lost" rob.counters_lost;
-  C.int w "install_failures" rob.install_failures;
-  C.int w "recovery_reinstalls" rob.recovery_reinstalls;
-  C.int w "controller_crashes" rob.controller_crashes;
-  C.int w "reconcile_removed" rob.reconcile_removed;
-  C.int w "reconcile_installed" rob.reconcile_installed;
-  C.int w "invariant_violations" rob.invariant_violations
+  C.int w "crashes" rob.Metrics.crashes;
+  C.int w "recoveries" rob.Metrics.recoveries;
+  C.int w "switch_down_epochs" rob.Metrics.switch_down_epochs;
+  C.int w "fetch_timeouts" rob.Metrics.fetch_timeouts;
+  C.int w "fetch_retries" rob.Metrics.fetch_retries;
+  C.int w "fetch_failures" rob.Metrics.fetch_failures;
+  C.int w "stale_epochs" rob.Metrics.stale_epochs;
+  C.int w "counters_lost" rob.Metrics.counters_lost;
+  C.int w "install_failures" rob.Metrics.install_failures;
+  C.int w "recovery_reinstalls" rob.Metrics.recovery_reinstalls;
+  C.int w "controller_crashes" rob.Metrics.controller_crashes;
+  C.int w "reconcile_removed" rob.Metrics.reconcile_removed;
+  C.int w "reconcile_installed" rob.Metrics.reconcile_installed;
+  C.int w "invariant_violations" rob.Metrics.invariant_violations
 
-let parse_rob r : rob =
+let parse_rob r : Metrics.robustness =
   C.expect_section r "robustness";
   let crashes = C.int_field r "crashes" in
   let recoveries = C.int_field r "recoveries" in
@@ -1023,17 +1207,17 @@ let parse_rob r : rob =
   let reconcile_removed = C.int_field r "reconcile_removed" in
   let reconcile_installed = C.int_field r "reconcile_installed" in
   let invariant_violations = C.int_field r "invariant_violations" in
-  { crashes; recoveries; switch_down_epochs; fetch_timeouts; fetch_retries; fetch_failures;
-    stale_epochs; counters_lost; install_failures; recovery_reinstalls; controller_crashes;
-    reconcile_removed; reconcile_installed; invariant_violations }
+  { Metrics.crashes; recoveries; switch_down_epochs; fetch_timeouts; fetch_retries;
+    fetch_failures; stale_epochs; counters_lost; install_failures; recovery_reinstalls;
+    controller_crashes; reconcile_removed; reconcile_installed; invariant_violations }
 
 let snapshot t =
   let w = C.writer () in
   C.section w "controller";
   C.int w "epoch" t.epoch;
   C.int w "next_id" t.next_id;
-  C.int w "rules_installed" t.rules_installed;
-  C.int w "rules_fetched" t.rules_fetched;
+  C.int w "rules_installed" (Ctr.value t.rules_installed);
+  C.int w "rules_fetched" (Ctr.value t.rules_fetched);
   emit_config w t.config;
   C.bool w "has_faults" (t.faults <> None);
   (match t.faults with Some fm -> Fault_model.emit w fm | None -> ());
@@ -1052,7 +1236,7 @@ let snapshot t =
         dump)
     t.switches;
   Allocator.emit w t.allocator;
-  emit_rob w t.rob;
+  emit_rob w (robustness t);
   emit_records w t.records;
   let runtimes =
     List.sort
@@ -1079,7 +1263,7 @@ type parsed_snapshot = {
   p_faults : Fault_model.t option;
   p_switches : (int * int * (int * Prefix.t list) list) list; (* id, capacity, dump *)
   p_allocator : Allocator.t;
-  p_rob : rob;
+  p_rob : Metrics.robustness;
   p_records : Metrics.record list; (* newest first *)
   p_runtimes : runtime list; (* task-id order *)
 }
@@ -1113,23 +1297,37 @@ let parse_snapshot r =
   { p_epoch; p_next_id; p_rules_installed; p_rules_fetched; p_config; p_faults; p_switches;
     p_allocator; p_rob; p_records; p_runtimes }
 
-let controller_of_parsed d ~switches ~planes ~faults =
+let controller_of_parsed d ~switches ~planes ~faults ~tel =
   let active = Hashtbl.create 64 in
   List.iter (fun r -> Hashtbl.replace active (Task.id r.task) r) d.p_runtimes;
+  let registry =
+    match tel with Some b -> Obs.Telemetry.registry b | None -> Obs.Registry.create ()
+  in
+  let clock = match tel with Some b -> Obs.Telemetry.clock b | None -> Obs.Clock.cpu in
+  let rob = rob_of_registry registry in
+  set_robustness rob d.p_rob;
+  let rules_installed = Obs.Registry.counter registry "rules_installed" in
+  Ctr.set rules_installed d.p_rules_installed;
+  let rules_fetched = Obs.Registry.counter registry "rules_fetched" in
+  Ctr.set rules_fetched d.p_rules_fetched;
   {
-    config = { d.p_config with Config.faults = Option.map Fault_model.spec faults };
+    config =
+      { d.p_config with Config.faults = Option.map Fault_model.spec faults; telemetry = tel };
     allocator = d.p_allocator;
     switches;
     planes;
     faults;
+    tel;
+    registry;
+    clock;
     active;
     epoch = d.p_epoch;
     next_id = d.p_next_id;
     records = d.p_records;
     delays = [];
-    rules_installed = d.p_rules_installed;
-    rules_fetched = d.p_rules_fetched;
-    rob = d.p_rob;
+    rules_installed;
+    rules_fetched;
+    rob;
     recovered_now = Switch_id.Set.empty;
     journal = None;
     crash_pending = false;
@@ -1165,7 +1363,7 @@ let restore s =
       in
       let faults = d.p_faults in
       let planes = Array.map (fun sw -> Data_plane.create ?faults sw) switches in
-      controller_of_parsed d ~switches ~planes ~faults
+      controller_of_parsed d ~switches ~planes ~faults ~tel:None
     with
     | t -> Ok t
     | exception C.Parse_error err -> Error (C.error_to_string err)
@@ -1177,9 +1375,13 @@ type env = {
   env_switches : Switch.t array;
   env_planes : Data_plane.t array;
   env_faults : Fault_model.t option;
+  env_tel : Obs.Telemetry.t option;
+      (* the telemetry bundle outlives the controller too, so a failed-over
+         run keeps appending to the same trace and counters *)
 }
 
-let environment t = { env_switches = t.switches; env_planes = t.planes; env_faults = t.faults }
+let environment t =
+  { env_switches = t.switches; env_planes = t.planes; env_faults = t.faults; env_tel = t.tel }
 
 let replay_entry t state_epochs entry =
   match entry with
@@ -1236,8 +1438,8 @@ let replay_entry t state_epochs entry =
        switches; reconciliation derives its expectations from the restored
        task state instead, so replay has nothing to apply here. *)
     ()
-  | Journal.Switch_down _ -> t.rob.crashes <- t.rob.crashes + 1
-  | Journal.Switch_up _ -> t.rob.recoveries <- t.rob.recoveries + 1
+  | Journal.Switch_down _ -> Ctr.incr t.rob.crashes
+  | Journal.Switch_up _ -> Ctr.incr t.rob.recoveries
   | Journal.Task_end
       { epoch; task_id; kind; cause; arrived_at; active_epochs; satisfaction; mean_accuracy } ->
     if Hashtbl.mem t.active task_id then begin
@@ -1267,7 +1469,7 @@ let recover ~env ~snapshot ~journal ~at_epoch =
          at checkpoint time) are discarded after parsing. *)
       let t =
         controller_of_parsed d ~switches:env.env_switches ~planes:env.env_planes
-          ~faults:env.env_faults
+          ~faults:env.env_faults ~tel:env.env_tel
       in
       (* Tasks restored from the snapshot carry state as of the checkpoint
          epoch; tasks replayed from the journal carry state as of their
@@ -1297,6 +1499,7 @@ let recover ~env ~snapshot ~journal ~at_epoch =
           (fun a b -> Int.compare (Task.id a.task) (Task.id b.task))
           (Hashtbl.fold (fun _ r acc -> r :: acc) t.active [])
       in
+      t.epoch <- at_epoch;
       Array.iter
         (fun dp ->
           let sw_id = Data_plane.id dp in
@@ -1310,12 +1513,31 @@ let recover ~env ~snapshot ~journal ~at_epoch =
           in
           match Data_plane.audit dp ~expected with
           | Ok { Data_plane.strays_removed; missing_installed } ->
-            t.rob.reconcile_removed <- t.rob.reconcile_removed + strays_removed;
-            t.rob.reconcile_installed <- t.rob.reconcile_installed + missing_installed
+            Ctr.add t.rob.reconcile_removed strays_removed;
+            Ctr.add t.rob.reconcile_installed missing_installed;
+            if strays_removed + missing_installed > 0 then
+              trace_event t ~name:"reconcile"
+                [ ("switch", Tr.Int sw_id); ("removed", Tr.Int strays_removed);
+                  ("installed", Tr.Int missing_installed) ]
           | Error `Down -> ())
         env.env_planes;
-      t.rob.controller_crashes <- t.rob.controller_crashes + 1;
-      t.epoch <- at_epoch;
+      Ctr.incr t.rob.controller_crashes;
+      (* Break the replayed suffix down by entry kind, so the trace shows
+         what the journal actually had to carry across the crash. *)
+      let by_kind = Hashtbl.create 8 in
+      List.iter
+        (fun e ->
+          let k = Journal.entry_name e in
+          Hashtbl.replace by_kind k (1 + Option.value ~default:0 (Hashtbl.find_opt by_kind k)))
+        journal;
+      let breakdown =
+        Hashtbl.fold (fun k n acc -> (k, Tr.Int n) :: acc) by_kind []
+        |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+      in
+      trace_event t ~name:"failover"
+        ([ ("checkpoint_epoch", Tr.Int d.p_epoch);
+           ("journal_entries", Tr.Int (List.length journal)) ]
+        @ breakdown);
       Log.info (fun m ->
           m "epoch %d: controller recovered from checkpoint at epoch %d (+%d journal entries)"
             at_epoch d.p_epoch (List.length journal));

@@ -81,6 +81,11 @@ val summary : t -> Metrics.summary
 val faults : t -> Dream_fault.Fault_model.t option
 (** The live fault model, when the config enabled injection. *)
 
+val telemetry : t -> Dream_obs.Telemetry.t option
+(** The telemetry bundle the config attached, if any.  The controller
+    only ever appends to it; exporting is the owner's job
+    ({!Dream_obs.Telemetry.write_dir}). *)
+
 val robustness : t -> Metrics.robustness
 (** Cumulative fault/recovery counters ({!Metrics.no_faults} when no fault
     spec is configured). *)

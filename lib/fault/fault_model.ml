@@ -42,6 +42,14 @@ let uniform ?(seed = 0) rate =
     perturb_stddev = rate /. 10.0;
   }
 
+let pp_spec ppf s =
+  Format.fprintf ppf
+    "seed=%d crash=%g downtime=%g timeout=%g loss=%g install_fail=%g perturb=%g decay=%g \
+     retry_budget=%g ctrl_crash=%g"
+    s.seed s.crash_rate s.mean_downtime s.fetch_timeout_rate s.counter_loss_rate
+    s.install_failure_rate s.perturb_stddev s.stale_decay s.retry_budget_fraction
+    s.controller_crash_rate
+
 let validate spec =
   let check_rate name v =
     if v < 0.0 || v > 1.0 then

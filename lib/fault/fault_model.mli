@@ -41,6 +41,10 @@ val uniform : ?seed:int -> float -> spec
     loss and install-failure rates equal [rate]; crashes and perturbation
     at [rate / 10].  @raise Invalid_argument unless [rate] is in [0, 1]. *)
 
+val pp_spec : Format.formatter -> spec -> unit
+(** One line, every knob — recorded in the telemetry trace so an exported
+    bundle is self-describing about the fault schedule it ran under. *)
+
 type t
 
 type events = {

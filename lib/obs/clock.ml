@@ -1,0 +1,15 @@
+type t = { now_ms : unit -> float }
+
+let now_ms t = t.now_ms ()
+
+let cpu = { now_ms = (fun () -> Sys.time () *. 1000.0) }
+
+type manual = { mutable at_ms : float }
+
+let manual ?(start = 0.0) () =
+  let m = { at_ms = start } in
+  ({ now_ms = (fun () -> m.at_ms) }, m)
+
+let advance m ms =
+  if ms < 0.0 then invalid_arg "Clock.advance: negative step";
+  m.at_ms <- m.at_ms +. ms

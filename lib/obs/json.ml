@@ -1,0 +1,292 @@
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+(* ---- emission ---- *)
+
+let escape_into buf s =
+  Buffer.add_char buf '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 -> Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.add_char buf '"'
+
+(* A float must re-parse as a float: force a '.' or exponent into the
+   shortest %g rendering that round-trips. *)
+let float_to_string f =
+  if not (Float.is_finite f) then "null"
+  else begin
+    let s = Printf.sprintf "%.12g" f in
+    let s = if float_of_string s = f then s else Printf.sprintf "%.17g" f in
+    if String.exists (fun c -> c = '.' || c = 'e' || c = 'E') s then s else s ^ ".0"
+  end
+
+let rec emit buf = function
+  | Null -> Buffer.add_string buf "null"
+  | Bool b -> Buffer.add_string buf (if b then "true" else "false")
+  | Int i -> Buffer.add_string buf (string_of_int i)
+  | Float f -> Buffer.add_string buf (float_to_string f)
+  | Str s -> escape_into buf s
+  | List items ->
+    Buffer.add_char buf '[';
+    List.iteri
+      (fun i v ->
+        if i > 0 then Buffer.add_char buf ',';
+        emit buf v)
+      items;
+    Buffer.add_char buf ']'
+  | Obj fields ->
+    Buffer.add_char buf '{';
+    List.iteri
+      (fun i (k, v) ->
+        if i > 0 then Buffer.add_char buf ',';
+        escape_into buf k;
+        Buffer.add_char buf ':';
+        emit buf v)
+      fields;
+    Buffer.add_char buf '}'
+
+let to_string v =
+  let buf = Buffer.create 128 in
+  emit buf v;
+  Buffer.contents buf
+
+(* ---- parsing ---- *)
+
+exception Fail of string
+
+type state = { src : string; mutable pos : int }
+
+let fail st msg = raise (Fail (Printf.sprintf "offset %d: %s" st.pos msg))
+
+let peek st = if st.pos < String.length st.src then Some st.src.[st.pos] else None
+
+let advance st = st.pos <- st.pos + 1
+
+let rec skip_ws st =
+  match peek st with
+  | Some (' ' | '\t' | '\n' | '\r') ->
+    advance st;
+    skip_ws st
+  | Some _ | None -> ()
+
+let expect st c =
+  match peek st with
+  | Some c' when c' = c -> advance st
+  | Some c' -> fail st (Printf.sprintf "expected %C, found %C" c c')
+  | None -> fail st (Printf.sprintf "expected %C, found end of input" c)
+
+let literal st word value =
+  let n = String.length word in
+  if st.pos + n <= String.length st.src && String.sub st.src st.pos n = word then begin
+    st.pos <- st.pos + n;
+    value
+  end
+  else fail st (Printf.sprintf "expected %s" word)
+
+let utf8_of_code buf code =
+  (* Encode one Unicode scalar value; surrogates arrive pre-combined. *)
+  if code < 0x80 then Buffer.add_char buf (Char.chr code)
+  else if code < 0x800 then begin
+    Buffer.add_char buf (Char.chr (0xC0 lor (code lsr 6)));
+    Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F)))
+  end
+  else if code < 0x10000 then begin
+    Buffer.add_char buf (Char.chr (0xE0 lor (code lsr 12)));
+    Buffer.add_char buf (Char.chr (0x80 lor ((code lsr 6) land 0x3F)));
+    Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F)))
+  end
+  else begin
+    Buffer.add_char buf (Char.chr (0xF0 lor (code lsr 18)));
+    Buffer.add_char buf (Char.chr (0x80 lor ((code lsr 12) land 0x3F)));
+    Buffer.add_char buf (Char.chr (0x80 lor ((code lsr 6) land 0x3F)));
+    Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F)))
+  end
+
+let hex4 st =
+  let digit c =
+    match c with
+    | '0' .. '9' -> Char.code c - Char.code '0'
+    | 'a' .. 'f' -> Char.code c - Char.code 'a' + 10
+    | 'A' .. 'F' -> Char.code c - Char.code 'A' + 10
+    | _ -> fail st "invalid \\u escape"
+  in
+  let v = ref 0 in
+  for _ = 1 to 4 do
+    match peek st with
+    | Some c ->
+      v := (!v * 16) + digit c;
+      advance st
+    | None -> fail st "truncated \\u escape"
+  done;
+  !v
+
+let parse_string st =
+  expect st '"';
+  let buf = Buffer.create 16 in
+  let rec go () =
+    match peek st with
+    | None -> fail st "unterminated string"
+    | Some '"' -> advance st
+    | Some '\\' ->
+      advance st;
+      (match peek st with
+      | None -> fail st "truncated escape"
+      | Some c ->
+        advance st;
+        (match c with
+        | '"' -> Buffer.add_char buf '"'
+        | '\\' -> Buffer.add_char buf '\\'
+        | '/' -> Buffer.add_char buf '/'
+        | 'b' -> Buffer.add_char buf '\b'
+        | 'f' -> Buffer.add_char buf '\012'
+        | 'n' -> Buffer.add_char buf '\n'
+        | 'r' -> Buffer.add_char buf '\r'
+        | 't' -> Buffer.add_char buf '\t'
+        | 'u' ->
+          let code = hex4 st in
+          let code =
+            if code >= 0xD800 && code <= 0xDBFF then begin
+              (* high surrogate: a low surrogate must follow *)
+              expect st '\\';
+              expect st 'u';
+              let low = hex4 st in
+              if low < 0xDC00 || low > 0xDFFF then fail st "unpaired surrogate"
+              else 0x10000 + ((code - 0xD800) lsl 10) + (low - 0xDC00)
+            end
+            else code
+          in
+          utf8_of_code buf code
+        | c -> fail st (Printf.sprintf "invalid escape \\%c" c)));
+      go ()
+    | Some c ->
+      advance st;
+      Buffer.add_char buf c;
+      go ()
+  in
+  go ();
+  Buffer.contents buf
+
+let parse_number st =
+  let start = st.pos in
+  let is_num_char c =
+    match c with '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true | _ -> false
+  in
+  let rec go () =
+    match peek st with
+    | Some c when is_num_char c ->
+      advance st;
+      go ()
+    | Some _ | None -> ()
+  in
+  go ();
+  let s = String.sub st.src start (st.pos - start) in
+  if String.exists (fun c -> c = '.' || c = 'e' || c = 'E') s then begin
+    match float_of_string_opt s with
+    | Some f -> Float f
+    | None -> fail st (Printf.sprintf "invalid number %S" s)
+  end
+  else begin
+    match int_of_string_opt s with
+    | Some i -> Int i
+    | None -> (
+      (* integers beyond native range still parse as floats *)
+      match float_of_string_opt s with
+      | Some f -> Float f
+      | None -> fail st (Printf.sprintf "invalid number %S" s))
+  end
+
+let rec parse_value st =
+  skip_ws st;
+  match peek st with
+  | None -> fail st "unexpected end of input"
+  | Some 'n' -> literal st "null" Null
+  | Some 't' -> literal st "true" (Bool true)
+  | Some 'f' -> literal st "false" (Bool false)
+  | Some '"' -> Str (parse_string st)
+  | Some '[' ->
+    advance st;
+    skip_ws st;
+    if peek st = Some ']' then begin
+      advance st;
+      List []
+    end
+    else begin
+      let rec items acc =
+        let v = parse_value st in
+        skip_ws st;
+        match peek st with
+        | Some ',' ->
+          advance st;
+          items (v :: acc)
+        | Some ']' ->
+          advance st;
+          List.rev (v :: acc)
+        | _ -> fail st "expected ',' or ']'"
+      in
+      List (items [])
+    end
+  | Some '{' ->
+    advance st;
+    skip_ws st;
+    if peek st = Some '}' then begin
+      advance st;
+      Obj []
+    end
+    else begin
+      let field () =
+        skip_ws st;
+        let k = parse_string st in
+        skip_ws st;
+        expect st ':';
+        let v = parse_value st in
+        (k, v)
+      in
+      let rec fields acc =
+        let kv = field () in
+        skip_ws st;
+        match peek st with
+        | Some ',' ->
+          advance st;
+          fields (kv :: acc)
+        | Some '}' ->
+          advance st;
+          List.rev (kv :: acc)
+        | _ -> fail st "expected ',' or '}'"
+      in
+      Obj (fields [])
+    end
+  | Some ('-' | '0' .. '9') -> parse_number st
+  | Some c -> fail st (Printf.sprintf "unexpected character %C" c)
+
+let of_string s =
+  let st = { src = s; pos = 0 } in
+  match parse_value st with
+  | v ->
+    skip_ws st;
+    if st.pos = String.length s then Ok v
+    else Error (Printf.sprintf "offset %d: trailing characters" st.pos)
+  | exception Fail msg -> Error msg
+
+let member key = function
+  | Obj fields -> List.assoc_opt key fields
+  | Null | Bool _ | Int _ | Float _ | Str _ | List _ -> None
+
+let to_float = function Int i -> Some (float_of_int i) | Float f -> Some f | _ -> None
+
+let to_int = function Int i -> Some i | _ -> None
+
+let to_str = function Str s -> Some s | _ -> None

@@ -1,0 +1,35 @@
+(** Minimal JSON values, enough for the telemetry exporters and their
+    readers.  Emission and parsing live together so every byte the
+    subsystem writes can be read back by the same code (the [inspect]
+    subcommand and the CI JSONL validator both go through {!of_string}).
+
+    Numbers: OCaml [int] and [float] are kept distinct on emission
+    ([Float] always renders with a decimal point or exponent so the value
+    re-parses as a float); non-finite floats have no JSON spelling and
+    render as [null]. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : t -> string
+(** Compact (single-line) rendering — one call per JSONL line. *)
+
+val of_string : string -> (t, string) result
+(** Parse one complete JSON value; trailing garbage is an error.  Accepts
+    the standard escapes and [\uXXXX] (decoded to UTF-8). *)
+
+val member : string -> t -> t option
+(** Field lookup on an [Obj]; [None] on missing keys or non-objects. *)
+
+val to_float : t -> float option
+(** Numeric coercion: [Int] and [Float] both yield a float. *)
+
+val to_int : t -> int option
+
+val to_str : t -> string option

@@ -1,0 +1,99 @@
+(** Typed metrics registry: named counters, gauges and log-scale
+    histograms, each optionally carrying static labels (task kind, switch
+    id, allocator, …).
+
+    An instrument is identified by its (name, labels) pair; asking for the
+    same pair twice returns the same instrument, so independent code paths
+    can never increment two divergent copies of one metric — the failure
+    mode the controller's old hand-rolled robustness record invited.
+    Asking for an existing pair with a different instrument kind raises.
+
+    Instruments are plain mutable cells: an increment is a field write, so
+    registry-backed counters cost the same on the hot path as the mutable
+    ints they replaced. *)
+
+type t
+
+type labels = (string * string) list
+(** Stored sorted by key; order in which callers list them is irrelevant. *)
+
+module Counter : sig
+  type t
+
+  val incr : t -> unit
+  val add : t -> int -> unit
+  val set : t -> int -> unit
+  (** Overwrite the value — checkpoint restore only. *)
+
+  val value : t -> int
+end
+
+module Gauge : sig
+  type t
+
+  val set : t -> float -> unit
+  val value : t -> float
+end
+
+module Histogram : sig
+  (** Log-scale histogram: positive observations land in geometric buckets
+      (ratio {!gamma} between consecutive bounds), non-positive ones in a
+      dedicated underflow bucket.  Exact count, sum, min and max are kept
+      alongside, so percentile estimates are clamped to the observed
+      range. *)
+
+  type t
+
+  val gamma : float
+  (** Bucket growth ratio (1.25: estimates are within 25% by
+      construction, and a span from microseconds to minutes needs only
+      ~90 buckets). *)
+
+  val observe : t -> float -> unit
+  val count : t -> int
+  val sum : t -> float
+  val mean : t -> float
+  (** [nan] when empty. *)
+
+  val min_value : t -> float
+  val max_value : t -> float
+  (** Observed extremes; [nan] when empty. *)
+
+  val percentile : t -> float -> float
+  (** Estimate by geometric interpolation inside the covering bucket,
+      clamped to the observed min/max; [nan] when empty.
+      @raise Invalid_argument if [p] is outside \[0, 100\]. *)
+
+  val buckets : t -> (float * int) list
+  (** Non-empty buckets as (inclusive upper bound, count), bounds
+      ascending.  Non-positive observations report under bound [0.]. *)
+end
+
+val create : unit -> t
+
+val counter : t -> ?labels:labels -> string -> Counter.t
+(** Find or create.  @raise Invalid_argument if (name, labels) already
+    names a gauge or histogram. *)
+
+val gauge : t -> ?labels:labels -> string -> Gauge.t
+
+val histogram : t -> ?labels:labels -> string -> Histogram.t
+
+(** {1 Snapshots} *)
+
+type value =
+  | Counter_v of int
+  | Gauge_v of float
+  | Histogram_v of Histogram.t
+
+type sample = { name : string; labels : labels; value : value }
+
+val samples : t -> sample list
+(** Every registered instrument, sorted by (name, labels) so snapshots
+    are deterministic. *)
+
+val to_prometheus : t -> string
+(** The whole registry in the Prometheus text exposition format.  Metric
+    names are prefixed with [dream_]; counters gain the conventional
+    [_total] suffix; histograms emit cumulative [_bucket] series plus
+    [_sum] and [_count]. *)

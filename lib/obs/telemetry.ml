@@ -1,0 +1,92 @@
+type task_row = {
+  epoch : int;
+  task : int;
+  kind : string;
+  accuracy : float;
+  satisfied : bool;
+  alloc : int;
+}
+
+type switch_row = {
+  epoch : int;
+  switch : int;
+  rules : int;
+  fetches : int;
+  installs : int;
+  removals : int;
+}
+
+type t = {
+  clock : Clock.t;
+  registry : Registry.t;
+  trace : Trace.t;
+  mutable rev_task_rows : task_row list;
+  mutable rev_switch_rows : switch_row list;
+}
+
+let create ?(clock = Clock.cpu) ?registry () =
+  let registry = match registry with Some r -> r | None -> Registry.create () in
+  { clock; registry; trace = Trace.create (); rev_task_rows = []; rev_switch_rows = [] }
+
+let clock t = t.clock
+let registry t = t.registry
+let trace t = t.trace
+
+let record_task t row = t.rev_task_rows <- row :: t.rev_task_rows
+
+let record_switch t row = t.rev_switch_rows <- row :: t.rev_switch_rows
+
+let task_rows t = List.rev t.rev_task_rows
+
+let switch_rows t = List.rev t.rev_switch_rows
+
+let tasks_csv_header = "epoch,task,kind,accuracy,satisfied,alloc"
+
+let switches_csv_header = "epoch,switch,rules,fetches,installs,removals"
+
+let with_out path f =
+  match open_out path with
+  | oc ->
+    let r =
+      match f oc with
+      | () -> Ok ()
+      | exception Sys_error msg -> Error (Printf.sprintf "cannot write %s: %s" path msg)
+    in
+    close_out oc;
+    r
+  | exception Sys_error msg -> Error (Printf.sprintf "cannot write %s: %s" path msg)
+
+let ( let* ) = Result.bind
+
+let write_dir t ~dir =
+  let path name = Filename.concat dir name in
+  let* () =
+    with_out (path "trace.jsonl") (fun oc ->
+        List.iter
+          (fun item ->
+            output_string oc (Json.to_string (Trace.item_to_json item));
+            output_char oc '\n')
+          (Trace.items t.trace))
+  in
+  let* () =
+    with_out (path "metrics.prom") (fun oc -> output_string oc (Registry.to_prometheus t.registry))
+  in
+  let* () =
+    with_out (path "tasks.csv") (fun oc ->
+        output_string oc tasks_csv_header;
+        output_char oc '\n';
+        List.iter
+          (fun (r : task_row) ->
+            Printf.fprintf oc "%d,%d,%s,%.6f,%d,%d\n" r.epoch r.task r.kind r.accuracy
+              (if r.satisfied then 1 else 0)
+              r.alloc)
+          (task_rows t))
+  in
+  with_out (path "switches.csv") (fun oc ->
+      output_string oc switches_csv_header;
+      output_char oc '\n';
+      List.iter
+        (fun r ->
+          Printf.fprintf oc "%d,%d,%d,%d,%d,%d\n" r.epoch r.switch r.rules r.fetches r.installs
+            r.removals)
+        (switch_rows t))

@@ -1,0 +1,73 @@
+type field = Int of int | Float of float | Str of string
+
+type item =
+  | Span of { epoch : int; phase : string; ms : float }
+  | Event of { epoch : int; name : string; fields : (string * field) list }
+
+type t = { mutable rev_items : item list; mutable count : int }
+
+let create () = { rev_items = []; count = 0 }
+
+let push t item =
+  t.rev_items <- item :: t.rev_items;
+  t.count <- t.count + 1
+
+let span t ~epoch ~phase ~ms = push t (Span { epoch; phase; ms })
+
+let reserved = [ "t"; "epoch"; "name" ]
+
+let event t ~epoch ~name fields =
+  List.iter
+    (fun (k, _) ->
+      if List.mem k reserved then
+        invalid_arg (Printf.sprintf "Trace.event: reserved field key %S" k))
+    fields;
+  push t (Event { epoch; name; fields })
+
+let items t = List.rev t.rev_items
+
+let length t = t.count
+
+let json_of_field = function
+  | Int i -> Json.Int i
+  | Float f -> Json.Float f
+  | Str s -> Json.Str s
+
+let item_to_json = function
+  | Span { epoch; phase; ms } ->
+    Json.Obj
+      [ ("t", Json.Str "span"); ("epoch", Json.Int epoch); ("phase", Json.Str phase);
+        ("ms", Json.Float ms) ]
+  | Event { epoch; name; fields } ->
+    Json.Obj
+      (("t", Json.Str "event") :: ("epoch", Json.Int epoch) :: ("name", Json.Str name)
+      :: List.map (fun (k, v) -> (k, json_of_field v)) fields)
+
+let item_of_json j =
+  let str key = Option.bind (Json.member key j) Json.to_str in
+  let int key = Option.bind (Json.member key j) Json.to_int in
+  match str "t" with
+  | None -> Error "missing \"t\" discriminator"
+  | Some kind -> (
+    match int "epoch" with
+    | None -> Error "missing epoch"
+    | Some epoch -> (
+      match kind with
+      | "span" -> (
+        match (str "phase", Option.bind (Json.member "ms" j) Json.to_float) with
+        | Some phase, Some ms -> Ok (Span { epoch; phase; ms })
+        | _ -> Error "span missing phase or ms")
+      | "event" -> (
+        match (str "name", j) with
+        | Some name, Json.Obj fields ->
+          let rec fields_of acc = function
+            | [] -> Ok (List.rev acc)
+            | (k, _) :: rest when List.mem k reserved -> fields_of acc rest
+            | (k, Json.Int i) :: rest -> fields_of ((k, Int i) :: acc) rest
+            | (k, Json.Float f) :: rest -> fields_of ((k, Float f) :: acc) rest
+            | (k, Json.Str s) :: rest -> fields_of ((k, Str s) :: acc) rest
+            | (k, _) :: _ -> Error (Printf.sprintf "event field %S is not a scalar" k)
+          in
+          Result.map (fun fields -> Event { epoch; name; fields }) (fields_of [] fields)
+        | _ -> Error "event missing name")
+      | other -> Error (Printf.sprintf "unknown item type %S" other)))

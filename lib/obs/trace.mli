@@ -1,0 +1,33 @@
+(** Structured trace of the control loop: per-epoch phase spans plus
+    discrete events (admit/reject/eject, reconfigurations, fault
+    injections, recovery reconciliations).
+
+    Items are buffered in memory in emission order and serialized to JSONL
+    (one JSON object per line) by the exporter; {!item_of_json} is the
+    exact inverse, so the [inspect] subcommand and the tests read back what
+    the controller wrote. *)
+
+type field = Int of int | Float of float | Str of string
+
+type item =
+  | Span of { epoch : int; phase : string; ms : float }
+      (** one control-loop phase of one epoch, with its duration *)
+  | Event of { epoch : int; name : string; fields : (string * field) list }
+
+type t
+
+val create : unit -> t
+
+val span : t -> epoch:int -> phase:string -> ms:float -> unit
+
+val event : t -> epoch:int -> name:string -> (string * field) list -> unit
+(** Field keys must avoid the reserved ["t"], ["epoch"] and ["name"]. *)
+
+val items : t -> item list
+(** Emission order. *)
+
+val length : t -> int
+
+val item_to_json : item -> Json.t
+
+val item_of_json : Json.t -> (item, string) result

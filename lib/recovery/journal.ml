@@ -48,6 +48,17 @@ let epoch_of = function
   | Task_end { epoch; _ } ->
     epoch
 
+let entry_name = function
+  | Admit _ -> "admit"
+  | Reject _ -> "reject"
+  | Alloc _ -> "alloc"
+  | Install _ -> "install"
+  | Delete _ -> "delete"
+  | Purge _ -> "purge"
+  | Switch_down _ -> "switch_down"
+  | Switch_up _ -> "switch_up"
+  | Task_end _ -> "task_end"
+
 let cause_to_string = function Completed -> "completed" | Dropped -> "dropped"
 
 let cause_of_string = function

@@ -64,6 +64,10 @@ type entry =
 
 val epoch_of : entry -> int
 
+val entry_name : entry -> string
+(** Stable lowercase tag per constructor ([Admit] -> ["admit"], …) — used
+    to break down replayed journal suffixes in the telemetry trace. *)
+
 val encode : Dream_util.Codec.writer -> entry -> unit
 
 val decode : Dream_util.Codec.reader -> entry

@@ -13,6 +13,8 @@ let registry : (string * string * (quick:bool -> unit)) list =
     ("ablation", "design ablations: allocation signal, step policy, TCAM vs sketch", Ablation.run);
     ("faults", "satisfaction/accuracy degradation vs failure rate", Fault_sweep.run);
     ("crash-recovery", "checkpoint/journal fail-over vs controller crash rate", Crash_recovery.run);
+    ("telemetry-overhead", "epoch-time cost of the telemetry exporters (on vs off)",
+     Telemetry_overhead.run);
   ]
 
 let all = List.map (fun (id, descr, _) -> (id, descr)) registry

@@ -1,0 +1,71 @@
+module Scenario = Dream_workload.Scenario
+module Config = Dream_core.Config
+module Fault_model = Dream_fault.Fault_model
+module Telemetry = Dream_obs.Telemetry
+module Trace = Dream_obs.Trace
+
+(* A fault-injecting scenario so the event paths (crashes, retries, stale
+   fallbacks) are part of what gets priced, not just the happy path. *)
+let scenario_of ~quick =
+  let s = if quick then Fig06.quick_scale Scenario.default else Scenario.default in
+  { s with Scenario.num_switches = 8 }
+
+let config_of ~telemetry =
+  { Config.default with Config.faults = Some (Fault_model.uniform ~seed:97 0.05); telemetry }
+
+let timed f =
+  let t0 = Sys.time () in
+  let r = f () in
+  (r, Sys.time () -. t0)
+
+(* Best-of-N wall time: the minimum is the least-noisy estimate of the
+   code's intrinsic cost on a shared machine. *)
+let best_of ~reps f =
+  let rec go best result i =
+    if i >= reps then (result, best)
+    else begin
+      let r, s = timed f in
+      go (Float.min best s) (Some r) (i + 1)
+    end
+  in
+  match go infinity None 0 with
+  | Some r, best -> (r, best)
+  | None, _ -> invalid_arg "best_of: reps must be positive"
+
+let run ~quick =
+  let scenario = scenario_of ~quick in
+  let reps = if quick then 2 else 3 in
+  Table.heading "telemetry overhead: exporters on vs off";
+  Format.printf "scenario: %a@." Scenario.pp scenario;
+  Format.printf "reps: best of %d per mode@.@." reps;
+  let off, off_s =
+    best_of ~reps (fun () ->
+        Experiment.run ~config:(config_of ~telemetry:None) scenario Experiment.dream_strategy)
+  in
+  let last_bundle = ref None in
+  let on, on_s =
+    best_of ~reps (fun () ->
+        let bundle = Telemetry.create () in
+        last_bundle := Some bundle;
+        Experiment.run
+          ~config:(config_of ~telemetry:(Some bundle))
+          scenario Experiment.dream_strategy)
+  in
+  let epochs = scenario.Scenario.total_epochs in
+  let ms_per_epoch s = s *. 1000.0 /. float_of_int epochs in
+  Table.row [ "mode"; "epochs"; "total_s"; "ms/epoch" ];
+  Table.row
+    [ "disabled"; string_of_int epochs; Printf.sprintf "%.3f" off_s;
+      Printf.sprintf "%.3f" (ms_per_epoch off_s) ];
+  Table.row
+    [ "enabled"; string_of_int epochs; Printf.sprintf "%.3f" on_s;
+      Printf.sprintf "%.3f" (ms_per_epoch on_s) ];
+  let overhead = if off_s > 0.0 then (on_s -. off_s) /. off_s *. 100.0 else 0.0 in
+  Format.printf "@.overhead: %+.1f%% epoch time with telemetry enabled (budget < 5%%)@." overhead;
+  (match !last_bundle with
+  | Some bundle ->
+    Format.printf "trace items per run: %d@." (Trace.length (Telemetry.trace bundle))
+  | None -> ());
+  let identical = off.Experiment.summary = on.Experiment.summary in
+  Format.printf "zero-diff check: summaries %s@."
+    (if identical then "identical" else "DIVERGED — telemetry touched simulation state!")

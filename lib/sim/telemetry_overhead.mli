@@ -1,0 +1,7 @@
+(** The telemetry-overhead figure: time the same experiment with the
+    telemetry bundle attached and detached, report the per-epoch cost of
+    tracing + metrics (< 5% is the budget; detached must be free), and
+    check the two runs produced identical summaries — the zero-diff
+    guarantee made visible in the bench output. *)
+
+val run : quick:bool -> unit

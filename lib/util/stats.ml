@@ -15,8 +15,9 @@ let stddev xs =
     sqrt (sq /. float_of_int (List.length xs))
 
 let percentile p xs =
-  if xs = [] then invalid_arg "Stats.percentile: empty sample";
   if p < 0.0 || p > 100.0 then invalid_arg "Stats.percentile: p out of range";
+  if xs = [] then Float.nan
+  else begin
   let a = Array.of_list xs in
   Array.sort compare a;
   let n = Array.length a in
@@ -27,6 +28,7 @@ let percentile p xs =
   else begin
     let frac = rank -. float_of_int lo in
     (a.(lo) *. (1.0 -. frac)) +. (a.(hi) *. frac)
+  end
   end
 
 let median xs = percentile 50.0 xs

@@ -15,9 +15,11 @@ val stddev : float list -> float
 val percentile : float -> float list -> float
 (** [percentile p xs] with [p] in \[0, 100\], by linear interpolation
     between closest ranks (the same convention as numpy's default).
-    @raise Invalid_argument on the empty list or [p] outside \[0, 100\]. *)
+    Total over the sample: [nan] on the empty list, the sole element on a
+    singleton.  @raise Invalid_argument if [p] is outside \[0, 100\]. *)
 
 val median : float list -> float
+(** [nan] on the empty list, like {!percentile}. *)
 
 val minimum : float list -> float
 val maximum : float list -> float

@@ -1,0 +1,240 @@
+(* Telemetry subsystem tests: JSON round-trips, the metrics registry, the
+   trace, the mockable clock — and the two end-to-end guarantees the design
+   leans on: an attached bundle never perturbs the simulation (zero-diff),
+   and everything [Telemetry.write_dir] emits loads back through
+   [Inspect.load] with counters that match the run. *)
+
+module Json = Dream_obs.Json
+module Registry = Dream_obs.Registry
+module Trace = Dream_obs.Trace
+module Clock = Dream_obs.Clock
+module Telemetry = Dream_obs.Telemetry
+module Inspect = Dream_obs.Inspect
+module Scenario = Dream_workload.Scenario
+module Config = Dream_core.Config
+module Metrics = Dream_core.Metrics
+module Fault_model = Dream_fault.Fault_model
+module Experiment = Dream_sim.Experiment
+module Fig06 = Dream_sim.Fig06
+
+(* {1 Json} *)
+
+let test_json_round_trip () =
+  let v =
+    Json.Obj
+      [
+        ("t", Json.Str "event");
+        ("epoch", Json.Int 12);
+        ("ms", Json.Float 0.25);
+        ("tags", Json.List [ Json.Str "a\"b\\c"; Json.Null; Json.Bool true ]);
+      ]
+  in
+  (match Json.of_string (Json.to_string v) with
+  | Ok v' -> Alcotest.(check bool) "round trip" true (v = v')
+  | Error e -> Alcotest.failf "reparse failed: %s" e);
+  (* Floats keep their floatness through the round trip. *)
+  (match Json.of_string (Json.to_string (Json.Float 3.0)) with
+  | Ok (Json.Float f) -> Alcotest.(check (float 1e-9)) "float stays float" 3.0 f
+  | Ok _ -> Alcotest.fail "3.0 reparsed as non-float"
+  | Error e -> Alcotest.failf "reparse failed: %s" e);
+  (* Non-finite floats have no JSON spelling. *)
+  Alcotest.(check string) "nan renders null" "null" (Json.to_string (Json.Float Float.nan))
+
+let test_json_rejects_garbage () =
+  let bad s =
+    match Json.of_string s with
+    | Ok _ -> Alcotest.failf "accepted %S" s
+    | Error _ -> ()
+  in
+  bad "";
+  bad "{";
+  bad "{\"a\":1,}";
+  bad "1 2";
+  bad "{\"a\" 1}"
+
+(* {1 Registry} *)
+
+let test_registry_find_or_create () =
+  let reg = Registry.create () in
+  let a = Registry.counter reg "ticks" in
+  let b = Registry.counter reg "ticks" in
+  Registry.Counter.incr a;
+  Registry.Counter.add b 2;
+  Alcotest.(check int) "one shared cell" 3 (Registry.Counter.value a);
+  (* Label order is irrelevant to identity. *)
+  let l1 = Registry.counter reg ~labels:[ ("x", "1"); ("y", "2") ] "labelled" in
+  let l2 = Registry.counter reg ~labels:[ ("y", "2"); ("x", "1") ] "labelled" in
+  Registry.Counter.incr l1;
+  Alcotest.(check int) "labels sorted into one identity" 1 (Registry.Counter.value l2);
+  (* Different labels, different cell. *)
+  let l3 = Registry.counter reg ~labels:[ ("x", "9") ] "labelled" in
+  Alcotest.(check int) "distinct labels distinct cell" 0 (Registry.Counter.value l3)
+
+let test_registry_kind_mismatch () =
+  let reg = Registry.create () in
+  ignore (Registry.counter reg "m");
+  Alcotest.check_raises "gauge over counter"
+    (Invalid_argument "Registry: m is a counter, requested as a gauge") (fun () ->
+      ignore (Registry.gauge reg "m"))
+
+let test_histogram_percentiles () =
+  let reg = Registry.create () in
+  let h = Registry.histogram reg "lat" in
+  Alcotest.(check bool) "empty percentile is nan" true
+    (Float.is_nan (Registry.Histogram.percentile h 50.0));
+  for i = 1 to 100 do
+    Registry.Histogram.observe h (float_of_int i)
+  done;
+  Alcotest.(check int) "count" 100 (Registry.Histogram.count h);
+  Alcotest.(check (float 1e-9)) "sum" 5050.0 (Registry.Histogram.sum h);
+  let p50 = Registry.Histogram.percentile h 50.0 in
+  (* Log-scale buckets with gamma 1.25 bound the relative error. *)
+  Alcotest.(check bool) "p50 within bucket error" true (p50 >= 40.0 && p50 <= 63.0);
+  Alcotest.(check (float 1e-9)) "p100 clamped to observed max" 100.0
+    (Registry.Histogram.percentile h 100.0);
+  Alcotest.(check (float 1e-9)) "p0 clamped to observed min" 1.0
+    (Registry.Histogram.percentile h 0.0);
+  (* The underflow bucket catches non-positive observations. *)
+  Registry.Histogram.observe h (-5.0);
+  Alcotest.(check (float 1e-9)) "min tracks underflow" (-5.0) (Registry.Histogram.min_value h)
+
+(* {1 Trace} *)
+
+let test_trace_round_trip () =
+  let tr = Trace.create () in
+  Trace.span tr ~epoch:3 ~phase:"fetch" ~ms:1.5;
+  Trace.event tr ~epoch:3 ~name:"task_admit" [ ("task", Trace.Int 7); ("kind", Trace.Str "hh") ];
+  Alcotest.(check int) "two items" 2 (Trace.length tr);
+  List.iter
+    (fun item ->
+      match Trace.item_of_json (Trace.item_to_json item) with
+      | Ok item' -> Alcotest.(check bool) "item survives json" true (item = item')
+      | Error e -> Alcotest.failf "item_of_json: %s" e)
+    (Trace.items tr)
+
+let test_trace_reserved_keys () =
+  let tr = Trace.create () in
+  Alcotest.check_raises "reserved field key"
+    (Invalid_argument "Trace.event: reserved field key \"epoch\"") (fun () ->
+      Trace.event tr ~epoch:0 ~name:"x" [ ("epoch", Trace.Int 1) ])
+
+(* {1 Clock} *)
+
+let test_manual_clock () =
+  let clock, handle = Clock.manual ~start:100.0 () in
+  Alcotest.(check (float 1e-9)) "starts where told" 100.0 (Clock.now_ms clock);
+  Clock.advance handle 2.5;
+  Clock.advance handle 0.0;
+  Alcotest.(check (float 1e-9)) "advances by ms" 102.5 (Clock.now_ms clock);
+  Alcotest.check_raises "monotonic" (Invalid_argument "Clock.advance: negative step") (fun () ->
+      Clock.advance handle (-1.0))
+
+(* {1 End to end} *)
+
+(* Small but eventful: compressed timeline, few switches, faults on so the
+   crash/retry/reconcile paths all run. *)
+let scenario =
+  let s = Fig06.quick_scale Scenario.default in
+  { s with Scenario.num_switches = 8; num_tasks = 8; total_epochs = 40 }
+
+let config ~telemetry =
+  { Config.default with Config.faults = Some (Fault_model.uniform ~seed:41 0.08); telemetry }
+
+let test_zero_diff () =
+  let off = Experiment.run ~config:(config ~telemetry:None) scenario Experiment.dream_strategy in
+  let bundle = Telemetry.create () in
+  let on =
+    Experiment.run ~config:(config ~telemetry:(Some bundle)) scenario Experiment.dream_strategy
+  in
+  Alcotest.(check bool) "summaries identical" true (off.Experiment.summary = on.Experiment.summary);
+  Alcotest.(check bool) "per-epoch records identical" true
+    (off.Experiment.records = on.Experiment.records);
+  Alcotest.(check bool) "robustness identical" true
+    (off.Experiment.robustness = on.Experiment.robustness);
+  Alcotest.(check int) "rules installed identical" off.Experiment.rules_installed
+    on.Experiment.rules_installed;
+  Alcotest.(check int) "rules fetched identical" off.Experiment.rules_fetched
+    on.Experiment.rules_fetched;
+  Alcotest.(check bool) "and the instrumented run did record a trace" true
+    (Trace.length (Telemetry.trace bundle) > 0)
+
+let with_temp_dir f =
+  let dir = Filename.temp_file "dream-obs-test" "" in
+  Sys.remove dir;
+  Sys.mkdir dir 0o755;
+  Fun.protect
+    ~finally:(fun () ->
+      Array.iter (fun name -> Sys.remove (Filename.concat dir name)) (Sys.readdir dir);
+      Sys.rmdir dir)
+    (fun () -> f dir)
+
+let test_export_and_inspect () =
+  let bundle = Telemetry.create () in
+  let result =
+    Experiment.run ~config:(config ~telemetry:(Some bundle)) scenario Experiment.dream_strategy
+  in
+  with_temp_dir (fun dir ->
+      (match Telemetry.write_dir bundle ~dir with
+      | Ok () -> ()
+      | Error e -> Alcotest.failf "write_dir: %s" e);
+      (* Every line of trace.jsonl is one well-formed JSON object. *)
+      let ic = open_in (Filename.concat dir "trace.jsonl") in
+      let lines = ref 0 in
+      (try
+         while true do
+           let line = input_line ic in
+           incr lines;
+           match Json.of_string line with
+           | Ok (Json.Obj _) -> ()
+           | Ok _ -> Alcotest.failf "trace line %d is not an object" !lines
+           | Error e -> Alcotest.failf "trace line %d: %s" !lines e
+         done
+       with End_of_file -> close_in ic);
+      Alcotest.(check int) "one JSONL line per trace item" (Trace.length (Telemetry.trace bundle))
+        !lines;
+      match Inspect.load dir with
+      | Error e -> Alcotest.failf "Inspect.load: %s" e
+      | Ok report ->
+        Alcotest.(check bool) "spans recorded" true (report.Inspect.spans > 0);
+        Alcotest.(check bool) "events recorded" true (report.Inspect.events > 0);
+        Alcotest.(check bool) "epoch phases present" true
+          (List.exists (fun p -> p.Inspect.phase = "epoch") report.Inspect.phases);
+        (* The Prometheus snapshot read back agrees with the run's own
+           robustness record — the dedup guarantee. *)
+        let rob = result.Experiment.robustness in
+        Alcotest.(check int) "crashes counter" rob.Metrics.crashes (Inspect.counter report "crashes");
+        Alcotest.(check int) "fetch_timeouts counter" rob.Metrics.fetch_timeouts
+          (Inspect.counter report "fetch_timeouts");
+        Alcotest.(check int) "recoveries counter" rob.Metrics.recoveries
+          (Inspect.counter report "recoveries");
+        Alcotest.(check int) "rules_installed counter" result.Experiment.rules_installed
+          (Inspect.counter report "rules_installed");
+        Alcotest.(check int) "rules_fetched counter" result.Experiment.rules_fetched
+          (Inspect.counter report "rules_fetched"))
+
+let () =
+  Alcotest.run "obs"
+    [
+      ( "json",
+        [
+          Alcotest.test_case "round trip" `Quick test_json_round_trip;
+          Alcotest.test_case "rejects garbage" `Quick test_json_rejects_garbage;
+        ] );
+      ( "registry",
+        [
+          Alcotest.test_case "find or create" `Quick test_registry_find_or_create;
+          Alcotest.test_case "kind mismatch raises" `Quick test_registry_kind_mismatch;
+          Alcotest.test_case "histogram percentiles" `Quick test_histogram_percentiles;
+        ] );
+      ( "trace",
+        [
+          Alcotest.test_case "json round trip" `Quick test_trace_round_trip;
+          Alcotest.test_case "reserved keys raise" `Quick test_trace_reserved_keys;
+        ] );
+      ("clock", [ Alcotest.test_case "manual clock" `Quick test_manual_clock ]);
+      ( "end to end",
+        [
+          Alcotest.test_case "telemetry is zero-diff" `Quick test_zero_diff;
+          Alcotest.test_case "export and inspect" `Quick test_export_and_inspect;
+        ] );
+    ]

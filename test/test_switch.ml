@@ -146,6 +146,40 @@ let test_delay_miss_fraction () =
   let clamped = Delay_model.install_miss_fraction c ~epoch_ms:1.0 ~installs:100000 ~switches:1 in
   Alcotest.(check (float 1e-9)) "clamped at 1" 1.0 clamped
 
+let test_delay_degenerate_batches () =
+  let c = Delay_model.default in
+  (* Zero switches: no batch, so no RTT — only the (empty) per-rule term. *)
+  Alcotest.(check (float 1e-9)) "fetch of nothing is free" 0.0
+    (Delay_model.fetch_ms c ~rules:0 ~switches:0);
+  Alcotest.(check (float 1e-9)) "save of nothing is free" 0.0
+    (Delay_model.save_ms c ~installs:0 ~removals:0 ~switches:0);
+  (* Zero installs against a touched switch still pays the round trip. *)
+  Alcotest.(check (float 1e-9)) "empty batch pays RTT only" c.Delay_model.rtt_ms
+    (Delay_model.save_ms c ~installs:0 ~removals:0 ~switches:1);
+  Alcotest.(check (float 1e-9)) "rules without switches pay no RTT"
+    (c.Delay_model.fetch_per_rule_ms *. 100.0)
+    (Delay_model.fetch_ms c ~rules:100 ~switches:0);
+  (* Negative counts are treated as zero, not as negative time. *)
+  Alcotest.(check (float 1e-9)) "negative rules clamp to 0" 0.0
+    (Delay_model.fetch_ms c ~rules:(-5) ~switches:0)
+
+let test_delay_miss_fraction_epoch_boundary () =
+  let c = Delay_model.default in
+  (* A non-positive epoch cannot lose a fraction of itself. *)
+  Alcotest.(check (float 1e-9)) "zero epoch" 0.0
+    (Delay_model.install_miss_fraction c ~epoch_ms:0.0 ~installs:512 ~switches:1);
+  Alcotest.(check (float 1e-9)) "negative epoch" 0.0
+    (Delay_model.install_miss_fraction c ~epoch_ms:(-10.0) ~installs:512 ~switches:1);
+  (* An update that takes exactly one epoch misses exactly all of it. *)
+  let installs = 10 in
+  let exact = Delay_model.save_ms c ~installs ~removals:0 ~switches:1 in
+  Alcotest.(check (float 1e-9)) "update = epoch misses all" 1.0
+    (Delay_model.install_miss_fraction c ~epoch_ms:exact ~installs ~switches:1);
+  (* Fraction scales linearly with the epoch length below the clamp. *)
+  Alcotest.(check (float 1e-9)) "half the epoch, twice the miss"
+    (2.0 *. Delay_model.install_miss_fraction c ~epoch_ms:2000.0 ~installs ~switches:1)
+    (Delay_model.install_miss_fraction c ~epoch_ms:1000.0 ~installs ~switches:1)
+
 let prop_sync_idempotent =
   QCheck.Test.make ~name:"sync to same set is a no-op" ~count:200
     QCheck.(list_of_size Gen.(int_range 0 20) (int_bound 0xFFFF))
@@ -197,5 +231,8 @@ let () =
           Alcotest.test_case "fetch dominates incremental save" `Quick
             test_delay_fetch_dominates_incremental_save;
           Alcotest.test_case "miss fraction" `Quick test_delay_miss_fraction;
+          Alcotest.test_case "degenerate batches" `Quick test_delay_degenerate_batches;
+          Alcotest.test_case "miss fraction at epoch boundaries" `Quick
+            test_delay_miss_fraction_epoch_boundary;
         ] );
     ]

@@ -208,11 +208,21 @@ let test_stats_percentile () =
   check_float "p100" 5.0 (Stats.percentile 100.0 xs);
   check_float "p25 interpolates" 2.0 (Stats.percentile 25.0 xs)
 
+let test_stats_percentile_degenerate () =
+  (* Total over the sample: tiny samples answer instead of raising. *)
+  Alcotest.(check bool) "empty is nan" true (Float.is_nan (Stats.percentile 50.0 []));
+  Alcotest.(check bool) "empty median is nan" true (Float.is_nan (Stats.median []));
+  check_float "singleton p0" 7.0 (Stats.percentile 0.0 [ 7.0 ]);
+  check_float "singleton p50" 7.0 (Stats.percentile 50.0 [ 7.0 ]);
+  check_float "singleton p100" 7.0 (Stats.percentile 100.0 [ 7.0 ]);
+  check_float "two elements p50" 1.5 (Stats.percentile 50.0 [ 1.0; 2.0 ]);
+  check_float "two elements p25" 1.25 (Stats.percentile 25.0 [ 2.0; 1.0 ])
+
 let test_stats_percentile_errors () =
-  Alcotest.check_raises "empty" (Invalid_argument "Stats.percentile: empty sample") (fun () ->
-      ignore (Stats.percentile 50.0 []));
   Alcotest.check_raises "out of range" (Invalid_argument "Stats.percentile: p out of range")
-    (fun () -> ignore (Stats.percentile 101.0 [ 1.0 ]))
+    (fun () -> ignore (Stats.percentile 101.0 [ 1.0 ]));
+  Alcotest.check_raises "out of range on empty" (Invalid_argument "Stats.percentile: p out of range")
+    (fun () -> ignore (Stats.percentile (-1.0) []))
 
 let test_stats_summary () =
   match Stats.summarize [ 3.0; 1.0; 2.0 ] with
@@ -335,6 +345,8 @@ let () =
           Alcotest.test_case "mean" `Quick test_stats_mean;
           Alcotest.test_case "stddev" `Quick test_stats_stddev;
           Alcotest.test_case "percentile" `Quick test_stats_percentile;
+          Alcotest.test_case "percentile degenerate samples" `Quick
+            test_stats_percentile_degenerate;
           Alcotest.test_case "percentile errors" `Quick test_stats_percentile_errors;
           Alcotest.test_case "summary" `Quick test_stats_summary;
           Alcotest.test_case "summary empty" `Quick test_stats_summary_empty;
