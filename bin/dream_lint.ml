@@ -1,0 +1,121 @@
+(* dream-lint: AST-based static analysis for the DREAM tree.
+
+     dune exec dream-lint -- lib bin bench test
+     dune exec dream-lint -- --format json lib > report.json
+     dune exec dream-lint -- --rules determinism-random,float-equality lib
+
+   Walks the given paths for .ml files, runs every rule (or the --rules
+   subset) over each parsetree, and prints findings.  Exit codes: 0 when
+   clean, 1 when there are findings, 124 on usage errors.  Suppress a
+   single site with [@lint.allow "rule-id"]; unused suppressions are
+   themselves findings, so the allowlist can only shrink. *)
+
+module Engine = Dream_lint.Engine
+module Finding = Dream_lint.Finding
+module Report = Dream_lint.Report
+module Rules = Dream_lint.Rules
+
+let ( let* ) = Result.bind
+
+(* Deterministic recursive walk: sorted entries, hidden and build
+   directories skipped. *)
+let rec ml_files_under path =
+  if Sys.is_directory path then
+    Sys.readdir path |> Array.to_list |> List.sort String.compare
+    |> List.filter (fun entry ->
+           (not (String.length entry > 0 && entry.[0] = '.'))
+           && entry <> "_build" && entry <> "_opam")
+    |> List.concat_map (fun entry -> ml_files_under (Filename.concat path entry))
+  else if Filename.check_suffix path ".ml" then [ path ]
+  else []
+
+let resolve_rules = function
+  | [] -> Ok Rules.all
+  | ids ->
+    List.fold_left
+      (fun acc id ->
+        let* rules = acc in
+        match Rules.find id with
+        | Some rule -> Ok (rule :: rules)
+        | None ->
+          Error
+            (Printf.sprintf "unknown rule %S (available: %s)" id
+               (String.concat ", " Rules.ids)))
+      (Ok []) ids
+    |> Result.map List.rev
+
+let check_paths paths =
+  match List.filter (fun p -> not (Sys.file_exists p)) paths with
+  | [] -> Ok ()
+  | missing -> Error ("no such path: " ^ String.concat ", " missing)
+
+let run format rule_ids paths =
+  let* rules = resolve_rules rule_ids in
+  let paths = if paths = [] then [ "lib"; "bin"; "bench"; "test" ] else paths in
+  let* () = check_paths paths in
+  let files = List.concat_map ml_files_under paths in
+  let* () = if files = [] then Error "no .ml files under the given paths" else Ok () in
+  let findings =
+    List.concat_map (fun file -> Engine.lint_file ~rules file) files
+    |> List.sort Finding.compare
+  in
+  let ppf = Format.std_formatter in
+  (match format with
+  | `Text -> Report.text ppf findings
+  | `Json -> Report.json ppf findings);
+  Ok (if findings = [] then 0 else 1)
+
+open Cmdliner
+
+let format =
+  let parse = function
+    | "text" -> Ok `Text
+    | "json" -> Ok `Json
+    | other -> Error (`Msg (Printf.sprintf "unknown format %S (text | json)" other))
+  in
+  let print ppf f = Format.pp_print_string ppf (match f with `Text -> "text" | `Json -> "json") in
+  Arg.(
+    value
+    & opt (conv (parse, print)) `Text
+    & info [ "format"; "f" ] ~docv:"FMT" ~doc:"Report format: $(b,text) or $(b,json).")
+
+let rule_ids =
+  Arg.(
+    value
+    & opt (list string) []
+    & info [ "rules"; "r" ] ~docv:"IDS"
+        ~doc:"Comma-separated rule ids to run (default: all rules).")
+
+let paths =
+  Arg.(
+    value
+    & pos_all string []
+    & info [] ~docv:"PATHS" ~doc:"Files or directories to lint (default: lib bin bench test).")
+
+let cmd =
+  let doc = "enforce determinism, totality and observability invariants on the DREAM tree" in
+  let man =
+    [
+      `S Manpage.s_description;
+      `P
+        "Parses every .ml file under $(i,PATHS) with the OCaml compiler front end and runs \
+         syntactic rules over the parsetree.  Exits 0 when clean and 1 when there are \
+         findings, so it can gate CI.";
+      `S "RULES";
+    ]
+    @ List.map
+        (fun (r : Rules.t) -> `P (Printf.sprintf "$(b,%s): %s" r.Rules.id r.Rules.doc))
+        Rules.all
+    @ [
+        `P
+          (Printf.sprintf
+             "$(b,%s): a site-level [@lint.allow] that suppresses nothing; $(b,%s): a file \
+              that does not parse."
+             Engine.unused_suppression_rule Engine.parse_error_rule);
+      ]
+  in
+  Cmd.v
+    (Cmd.info "dream-lint" ~doc ~man)
+    (Term.term_result' ~usage:false Term.(const run $ format $ rule_ids $ paths))
+
+let () = exit (Cmd.eval' cmd)

@@ -2,7 +2,6 @@ module Prefix = Dream_prefix.Prefix
 module Switch_id = Dream_traffic.Switch_id
 module Epoch_data = Dream_traffic.Epoch_data
 module Source = Dream_traffic.Source
-module Topology = Dream_traffic.Topology
 module Fault_model = Dream_fault.Fault_model
 module Switch = Dream_switch.Switch
 module Tcam = Dream_switch.Tcam

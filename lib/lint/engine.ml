@@ -1,0 +1,177 @@
+open Parsetree
+
+let parse_error_rule = "parse-error"
+let unused_suppression_rule = "unused-suppression"
+
+type suppression = {
+  s_rule : string;
+  s_region : Location.t;
+  s_attr_loc : Location.t;
+  s_file_level : bool;
+  mutable s_used : bool;
+}
+
+let position_of loc =
+  let p = loc.Location.loc_start in
+  (p.Lexing.pos_lnum, p.Lexing.pos_cnum - p.Lexing.pos_bol)
+
+(* Inclusive containment of a point in a node's source range. *)
+let within region (line, col) =
+  let s = region.Location.loc_start and e = region.Location.loc_end in
+  let after_start =
+    line > s.Lexing.pos_lnum
+    || (line = s.Lexing.pos_lnum && col >= s.Lexing.pos_cnum - s.Lexing.pos_bol)
+  in
+  let before_end =
+    line < e.Lexing.pos_lnum
+    || (line = e.Lexing.pos_lnum && col <= e.Lexing.pos_cnum - e.Lexing.pos_bol)
+  in
+  after_start && before_end
+
+let allow_payload attr =
+  match attr.attr_payload with
+  | PStr
+      [
+        {
+          pstr_desc =
+            Pstr_eval ({ pexp_desc = Pexp_constant (Pconst_string (rule, _, _)); _ }, _);
+          _;
+        };
+      ] ->
+    Ok rule
+  | _ -> Error "expected a string literal rule id, as in [@lint.allow \"rule-id\"]"
+
+let finding_at ~rule ~file ~severity loc message =
+  let line, col = position_of loc in
+  Finding.v ~rule ~file ~line ~col ~severity message
+
+let parse path src =
+  let lexbuf = Lexing.from_string src in
+  Location.init lexbuf path;
+  match Parse.implementation lexbuf with
+  | structure -> Ok structure
+  | exception Syntaxerr.Error err ->
+    Error (Syntaxerr.location_of_error err, "syntax error")
+  | exception Lexer.Error (_, loc) -> Error (loc, "lexing error")
+  | exception exn -> Error (Location.in_file path, "cannot parse: " ^ Printexc.to_string exn)
+
+let lint_string ?(rules = Rules.all) ~path src =
+  let active = List.filter (fun (r : Rules.t) -> r.Rules.applies path) rules in
+  match parse path src with
+  | Error (loc, msg) ->
+    [ finding_at ~rule:parse_error_rule ~file:path ~severity:Finding.Error loc msg ]
+  | Ok structure ->
+    let findings = ref [] in
+    let suppressions = ref [] in
+    let meta ~loc message =
+      findings :=
+        finding_at ~rule:unused_suppression_rule ~file:path ~severity:Finding.Warning loc
+          message
+        :: !findings
+    in
+    let emit_for (r : Rules.t) ~loc message =
+      findings :=
+        finding_at ~rule:r.Rules.id ~file:path ~severity:r.Rules.severity loc message
+        :: !findings
+    in
+    let register ~file_level ~region attrs =
+      List.iter
+        (fun attr ->
+          if attr.attr_name.Location.txt = "lint.allow" then
+            match allow_payload attr with
+            | Error msg -> meta ~loc:attr.attr_loc ("malformed [@lint.allow]: " ^ msg)
+            | Ok rule when not (List.mem rule Rules.ids) ->
+              meta ~loc:attr.attr_loc
+                (Printf.sprintf "[@lint.allow %S] names an unknown rule" rule)
+            | Ok rule ->
+              suppressions :=
+                {
+                  s_rule = rule;
+                  s_region = region;
+                  s_attr_loc = attr.attr_loc;
+                  s_file_level = file_level;
+                  s_used = false;
+                }
+                :: !suppressions)
+        attrs
+    in
+    let expr_rules = List.filter (fun (r : Rules.t) -> r.Rules.expr <> None) active in
+    let mod_rules = List.filter (fun (r : Rules.t) -> r.Rules.module_expr <> None) active in
+    let default = Ast_iterator.default_iterator in
+    let iterator =
+      {
+        default with
+        Ast_iterator.expr =
+          (fun it e ->
+            register ~file_level:false ~region:e.pexp_loc e.pexp_attributes;
+            List.iter
+              (fun (r : Rules.t) ->
+                match r.Rules.expr with Some hook -> hook ~emit:(emit_for r) e | None -> ())
+              expr_rules;
+            default.Ast_iterator.expr it e);
+        Ast_iterator.module_expr =
+          (fun it m ->
+            List.iter
+              (fun (r : Rules.t) ->
+                match r.Rules.module_expr with
+                | Some hook -> hook ~emit:(emit_for r) m
+                | None -> ())
+              mod_rules;
+            default.Ast_iterator.module_expr it m);
+        Ast_iterator.value_binding =
+          (fun it vb ->
+            register ~file_level:false ~region:vb.pvb_loc vb.pvb_attributes;
+            default.Ast_iterator.value_binding it vb);
+        Ast_iterator.structure_item =
+          (fun it si ->
+            (match si.pstr_desc with
+            | Pstr_attribute attr -> register ~file_level:true ~region:si.pstr_loc [ attr ]
+            | _ -> ());
+            default.Ast_iterator.structure_item it si);
+      }
+    in
+    iterator.Ast_iterator.structure iterator structure;
+    List.iter
+      (fun (r : Rules.t) ->
+        match r.Rules.file with
+        | Some hook -> hook ~emit:(emit_for r) ~path structure
+        | None -> ())
+      active;
+    (* Suppression pass: a finding survives unless an allow for its rule
+       covers its position; every allow that fires is marked used. *)
+    let suppressed (f : Finding.t) =
+      let matching =
+        List.filter
+          (fun s ->
+            s.s_rule = f.Finding.rule
+            && (s.s_file_level || within s.s_region (f.Finding.line, f.Finding.col)))
+          !suppressions
+      in
+      List.iter (fun s -> s.s_used <- true) matching;
+      matching <> []
+    in
+    let kept = List.filter (fun f -> not (suppressed f)) !findings in
+    let active_ids = List.map (fun (r : Rules.t) -> r.Rules.id) active in
+    let unused =
+      List.filter_map
+        (fun s ->
+          (* Only site-level allows must pay their way, and only when the
+             rule they name actually ran on this file. *)
+          if s.s_used || s.s_file_level || not (List.mem s.s_rule active_ids) then None
+          else
+            Some
+              (finding_at ~rule:unused_suppression_rule ~file:path ~severity:Finding.Warning
+                 s.s_attr_loc
+                 (Printf.sprintf "[@lint.allow %S] suppresses nothing; remove it" s.s_rule)))
+        !suppressions
+    in
+    List.sort Finding.compare (kept @ unused)
+
+let lint_file ?rules path =
+  match In_channel.with_open_bin path In_channel.input_all with
+  | src -> lint_string ?rules ~path src
+  | exception Sys_error msg ->
+    [
+      Finding.v ~rule:parse_error_rule ~file:path ~line:1 ~col:0 ~severity:Finding.Error
+        ("cannot read file: " ^ msg);
+    ]

@@ -1,0 +1,31 @@
+(** The rule engine: parse one OCaml implementation, run every applicable
+    rule's hooks over the parsetree in a single {!Ast_iterator} pass,
+    then apply [[@lint.allow "rule-id"]] suppressions.
+
+    Suppression semantics:
+    - [[@lint.allow "r"]] on an expression, or [[@@lint.allow "r"]] on a
+      [let] binding, silences rule [r] within that node's source range.
+    - A floating [[@@@lint.allow "r"]] silences rule [r] for the whole
+      file.  File-level allows are policy declarations (e.g.
+      [lib/util/rng.ml] declaring itself the blessed randomness module)
+      and may legitimately match nothing.
+    - Every site-level allow must silence at least one finding;
+      otherwise the engine reports it under {!unused_suppression_rule}.
+      An allow naming an unknown rule, or with a payload that is not a
+      string literal, is reported the same way.
+
+    Two engine-level ids appear in findings in addition to {!Rules.ids}:
+    [parse-error] (the file does not parse; linting cannot proceed) and
+    [unused-suppression]. *)
+
+val parse_error_rule : string
+val unused_suppression_rule : string
+
+val lint_string : ?rules:Rules.t list -> path:string -> string -> Finding.t list
+(** Lint source text as if it lived at [path] (the path decides which
+    directory policies apply).  [rules] defaults to {!Rules.all}.
+    Returns findings sorted by file, line, column and rule. *)
+
+val lint_file : ?rules:Rules.t list -> string -> Finding.t list
+(** Read and lint one [.ml] file; an unreadable file yields a single
+    [parse-error] finding rather than an exception. *)

@@ -1,0 +1,36 @@
+(** One static-analysis finding: a rule violation at a source location.
+
+    Findings are plain data so reporters ({!Report}), the engine's
+    suppression pass and the test suite can all share them.  The JSON
+    codec round-trips through {!Dream_obs.Json} — the same codec the
+    telemetry exporters use — so CI can parse the report with the
+    machinery the repo already trusts. *)
+
+type severity = Error | Warning
+
+type t = {
+  rule : string;  (** rule id, e.g. ["determinism-random"] *)
+  file : string;  (** path as given to the linter *)
+  line : int;  (** 1-based *)
+  col : int;  (** 0-based, matching compiler diagnostics *)
+  severity : severity;
+  message : string;
+}
+
+val v :
+  rule:string -> file:string -> line:int -> col:int -> severity:severity -> string -> t
+
+val compare : t -> t -> int
+(** Order by file, then line, column and rule id: reports are stable
+    regardless of rule-evaluation order. *)
+
+val severity_to_string : severity -> string
+
+val pp : Format.formatter -> t -> unit
+(** [file:line:col: severity [rule] message] — one line, compiler-style,
+    so editors and CI annotations can parse it. *)
+
+val to_json : t -> Dream_obs.Json.t
+
+val of_json : Dream_obs.Json.t -> (t, string) result
+(** Inverse of {!to_json}; [Error] names the missing or ill-typed field. *)

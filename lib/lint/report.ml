@@ -1,0 +1,49 @@
+module Json = Dream_obs.Json
+
+let count_severity findings =
+  List.fold_left
+    (fun (errors, warnings) (f : Finding.t) ->
+      match f.Finding.severity with
+      | Finding.Error -> (errors + 1, warnings)
+      | Finding.Warning -> (errors, warnings + 1))
+    (0, 0) findings
+
+let text ppf findings =
+  List.iter (fun f -> Format.fprintf ppf "%a@." Finding.pp f) findings;
+  match findings with
+  | [] -> Format.fprintf ppf "no findings@."
+  | _ ->
+    let errors, warnings = count_severity findings in
+    Format.fprintf ppf "%d finding%s (%d error%s, %d warning%s)@." (List.length findings)
+      (if List.length findings = 1 then "" else "s")
+      errors
+      (if errors = 1 then "" else "s")
+      warnings
+      (if warnings = 1 then "" else "s")
+
+let to_json findings =
+  let errors, warnings = count_severity findings in
+  Json.Obj
+    [
+      ("version", Json.Int 1);
+      ("count", Json.Int (List.length findings));
+      ("errors", Json.Int errors);
+      ("warnings", Json.Int warnings);
+      ("findings", Json.List (List.map Finding.to_json findings));
+    ]
+
+let json ppf findings = Format.fprintf ppf "%s@." (Json.to_string (to_json findings))
+
+let of_json_string s =
+  let ( let* ) = Result.bind in
+  let* j = Json.of_string s in
+  match Json.member "findings" j with
+  | Some (Json.List items) ->
+    List.fold_left
+      (fun acc item ->
+        let* fs = acc in
+        let* f = Finding.of_json item in
+        Ok (f :: fs))
+      (Ok []) items
+    |> Result.map List.rev
+  | _ -> Error "report: missing findings list"

@@ -1,0 +1,18 @@
+(** Reporters over a finding list.  Both write to an explicit formatter,
+    so the library never touches stdout on its own. *)
+
+val text : Format.formatter -> Finding.t list -> unit
+(** One compiler-style line per finding, then a summary line
+    ([N findings (E errors, W warnings)] or [no findings]). *)
+
+val json : Format.formatter -> Finding.t list -> unit
+(** A single JSON object [{"version": 1, "count": N, "errors": E,
+    "warnings": W, "findings": [...]}] rendered through
+    {!Dream_obs.Json}, newline-terminated.  Machine-readable and
+    re-parseable by the same codec ({!of_json_string}). *)
+
+val to_json : Finding.t list -> Dream_obs.Json.t
+
+val of_json_string : string -> (Finding.t list, string) result
+(** Parse a report produced by {!json} back into findings — the CI
+    artifact stays readable by the repo's own tooling. *)

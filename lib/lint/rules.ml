@@ -1,0 +1,248 @@
+open Parsetree
+
+type emit = loc:Location.t -> string -> unit
+
+type t = {
+  id : string;
+  doc : string;
+  severity : Finding.severity;
+  applies : string -> bool;
+  expr : (emit:emit -> Parsetree.expression -> unit) option;
+  module_expr : (emit:emit -> Parsetree.module_expr -> unit) option;
+  file : (emit:emit -> path:string -> Parsetree.structure -> unit) option;
+}
+
+let rule ?expr ?module_expr ?file id ~doc ~severity ~applies =
+  { id; doc; severity; applies; expr; module_expr; file }
+
+(* ---- path policies ---- *)
+
+let components path =
+  List.filter (fun c -> c <> "" && c <> ".") (String.split_on_char '/' path)
+
+let in_lib path = List.mem "lib" (components path)
+let in_test path = List.mem "test" (components path)
+let everywhere _ = true
+
+(* ---- longident helpers ---- *)
+
+let rec flatten = function
+  | Longident.Lident s -> [ s ]
+  | Longident.Ldot (l, s) -> flatten l @ [ s ]
+  | Longident.Lapply _ -> []
+
+(* [Stdlib.Random.int] and [Random.int] are the same name for policy
+   purposes. *)
+let qualified lid =
+  match flatten lid with "Stdlib" :: rest -> rest | parts -> parts
+
+let name_of lid = String.concat "." (qualified lid)
+
+let ident_path e =
+  match e.pexp_desc with Pexp_ident { txt; _ } -> Some (qualified txt) | _ -> None
+
+(* ---- determinism: randomness ---- *)
+
+let determinism_random =
+  let check_expr ~emit e =
+    match ident_path e with
+    | Some ("Random" :: _) ->
+      emit ~loc:e.pexp_loc
+        (Printf.sprintf
+           "%s: all randomness must flow through the seeded Dream_util.Rng (lib/util/rng.ml)"
+           (match e.pexp_desc with Pexp_ident { txt; _ } -> name_of txt | _ -> "Random"))
+    | _ -> ()
+  in
+  let check_module ~emit m =
+    match m.pmod_desc with
+    | Pmod_ident { txt; _ } when qualified txt = [ "Random" ] ->
+      emit ~loc:m.pmod_loc
+        "aliasing or opening Random: all randomness must flow through Dream_util.Rng"
+    | _ -> ()
+  in
+  rule "determinism-random" ~severity:Finding.Error ~applies:everywhere
+    ~doc:"no Stdlib.Random: randomness flows through the seeded Dream_util.Rng"
+    ~expr:check_expr ~module_expr:check_module
+
+(* ---- determinism: wall clock ---- *)
+
+let clock_reads = [ [ "Sys"; "time" ]; [ "Unix"; "gettimeofday" ]; [ "Unix"; "time" ] ]
+
+let determinism_clock =
+  let check_expr ~emit e =
+    match ident_path e with
+    | Some path when List.mem path clock_reads ->
+      emit ~loc:e.pexp_loc
+        (Printf.sprintf
+           "%s: wall-clock reads must go through Dream_obs.Clock so runs stay deterministic"
+           (String.concat "." path))
+    | _ -> ()
+  in
+  rule "determinism-clock" ~severity:Finding.Error ~applies:everywhere
+    ~doc:"no direct wall-clock reads: time flows through Dream_obs.Clock" ~expr:check_expr
+
+(* ---- float equality ---- *)
+
+let float_ops = [ "+."; "-."; "*."; "/."; "**"; "~-."; "~+." ]
+let float_makers = [ "float_of_int"; "Float.of_int" ]
+
+(* Syntactically float: a float literal, an application of a float
+   arithmetic operator or int->float conversion, or a [: float]
+   annotation.  Purely syntactic — identifiers of float type are not
+   recognised — so the rule has no false positives by construction. *)
+let rec is_floaty e =
+  match e.pexp_desc with
+  | Pexp_constant (Pconst_float _) -> true
+  | Pexp_constraint (_, { ptyp_desc = Ptyp_constr ({ txt = Longident.Lident "float"; _ }, []); _ })
+    -> true
+  | Pexp_apply (f, _) -> (
+    match ident_path f with
+    | Some path ->
+      let name = String.concat "." path in
+      List.mem name float_ops || List.mem name float_makers
+    | None -> false)
+  | Pexp_open (_, e') | Pexp_sequence (_, e') -> is_floaty e'
+  | _ -> false
+
+let float_equality =
+  let eq_ops = [ "="; "<>"; "compare" ] in
+  let check_expr ~emit e =
+    match e.pexp_desc with
+    | Pexp_apply (f, args) -> (
+      match ident_path f with
+      | Some [ op ] when List.mem op eq_ops ->
+        if List.exists (fun (_, arg) -> is_floaty arg) args then
+          emit ~loc:e.pexp_loc
+            (Printf.sprintf
+               "(%s) on a float operand: exact float equality is fragile; use an epsilon \
+                helper (Dream_util.Stats.approx_equal) or an ordering comparison"
+               op)
+      | _ -> ())
+    | _ -> ()
+  in
+  rule "float-equality" ~severity:Finding.Error
+    ~applies:(fun path -> not (in_test path))
+    ~doc:"no =, <> or polymorphic compare on syntactically-float operands" ~expr:check_expr
+
+(* ---- exception hygiene ---- *)
+
+let exception_hygiene =
+  let catch_all case =
+    match (case.pc_lhs.ppat_desc, case.pc_guard) with
+    | Ppat_any, None -> true
+    | Ppat_exception { ppat_desc = Ppat_any; _ }, None -> true
+    | _ -> false
+  in
+  let check_expr ~emit e =
+    match e.pexp_desc with
+    | Pexp_try (_, cases) ->
+      List.iter
+        (fun case ->
+          if catch_all case then
+            emit ~loc:case.pc_lhs.ppat_loc
+              "catch-all `with _ ->' silently discards the exception; match the exceptions \
+               you expect, or bind the exception and report it")
+        cases
+    | Pexp_match (_, cases) ->
+      List.iter
+        (fun case ->
+          match case.pc_lhs.ppat_desc with
+          | Ppat_exception { ppat_desc = Ppat_any; _ } when case.pc_guard = None ->
+            emit ~loc:case.pc_lhs.ppat_loc
+              "catch-all `exception _ ->' silently discards the exception; match the \
+               exceptions you expect, or bind the exception and report it"
+          | _ -> ())
+        cases
+    | _ -> ()
+  in
+  rule "exception-hygiene" ~severity:Finding.Error ~applies:in_lib
+    ~doc:"no catch-all exception handlers that discard the exception in lib/"
+    ~expr:check_expr
+
+(* ---- partiality ---- *)
+
+let partial_accessors =
+  [ [ "List"; "hd" ]; [ "List"; "tl" ]; [ "List"; "nth" ]; [ "Option"; "get" ] ]
+
+let partiality =
+  let check_expr ~emit e =
+    match ident_path e with
+    | Some path when List.mem path partial_accessors ->
+      emit ~loc:e.pexp_loc
+        (Printf.sprintf "%s raises on empty input; handle the empty case explicitly"
+           (String.concat "." path))
+    | _ -> ()
+  in
+  rule "partiality" ~severity:Finding.Warning ~applies:in_lib
+    ~doc:"no Failure-raising accessors (List.hd/tl/nth, Option.get) in lib/"
+    ~expr:check_expr
+
+(* ---- stdout hygiene ---- *)
+
+let stdout_writers =
+  [
+    [ "print_endline" ];
+    [ "print_string" ];
+    [ "print_char" ];
+    [ "print_bytes" ];
+    [ "print_int" ];
+    [ "print_float" ];
+    [ "print_newline" ];
+    [ "Printf"; "printf" ];
+    [ "Format"; "printf" ];
+    [ "Format"; "print_string" ];
+    [ "Format"; "print_int" ];
+    [ "Format"; "print_float" ];
+    [ "Format"; "print_newline" ];
+    [ "Format"; "print_cut" ];
+    [ "Format"; "print_space" ];
+  ]
+
+let stdout_hygiene =
+  let check_expr ~emit e =
+    match ident_path e with
+    | Some path when List.mem path stdout_writers ->
+      emit ~loc:e.pexp_loc
+        (Printf.sprintf
+           "%s writes to stdout from library code; use Format on an explicit formatter \
+            (e.g. Table.out), Logs, or the Obs exporters"
+           (String.concat "." path))
+    | _ -> ()
+  in
+  rule "stdout-hygiene" ~severity:Finding.Warning ~applies:in_lib
+    ~doc:"no implicit stdout printing in lib/; output goes through an explicit formatter"
+    ~expr:check_expr
+
+(* ---- mli coverage ---- *)
+
+let mli_coverage =
+  let check_file ~emit ~path _structure =
+    (* Only meaningful for sources that exist on disk: in-memory sources
+       (Engine.lint_string with a synthetic path) have no sibling to find. *)
+    if
+      Filename.check_suffix path ".ml"
+      && Sys.file_exists path
+      && not (Sys.file_exists (path ^ "i"))
+    then
+      let pos = { Lexing.pos_fname = path; pos_lnum = 1; pos_bol = 0; pos_cnum = 0 } in
+      emit
+        ~loc:{ Location.loc_start = pos; loc_end = pos; loc_ghost = true }
+        (Printf.sprintf "missing interface %si: every lib/ module declares its API in a .mli"
+           path)
+  in
+  rule "mli-coverage" ~severity:Finding.Warning ~applies:in_lib
+    ~doc:"every lib/**/*.ml has a sibling .mli" ~file:check_file
+
+let all =
+  [
+    determinism_random;
+    determinism_clock;
+    float_equality;
+    exception_hygiene;
+    partiality;
+    stdout_hygiene;
+    mli_coverage;
+  ]
+
+let find id = List.find_opt (fun r -> r.id = id) all
+let ids = List.map (fun r -> r.id) all

@@ -113,7 +113,7 @@ let load_counters path =
   Ok (List.sort compare (Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl []))
 
 type task_acc = {
-  mutable t_kind : string;
+  t_kind : string;
   mutable t_epochs : int;
   mutable t_acc_sum : float;
   mutable t_changes : int;

@@ -31,7 +31,8 @@ type point = {
 }
 
 let default_rates = [ 0.0; 0.01; 0.02; 0.05 ]
-let default_seeds = [ 211; 499; 733 ]
+let default_fault_seed = 211
+let default_seeds = [ default_fault_seed; 499; 733 ]
 let default_checkpoint_interval = 20
 
 (* Recovered: mean smoothed estimated accuracy back within 5% of its
@@ -62,7 +63,7 @@ let mean_scored_accuracy records =
        records)
 
 let run_once ?(config = Config.default) ?(checkpoint_interval = default_checkpoint_interval)
-    ?(fault_seed = List.hd default_seeds) ~crash_rate (scenario : Scenario.t) strategy =
+    ?(fault_seed = default_fault_seed) ~crash_rate (scenario : Scenario.t) strategy =
   if checkpoint_interval <= 0 then invalid_arg "Crash_recovery: checkpoint interval must be > 0";
   let config =
     {

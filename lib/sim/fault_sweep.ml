@@ -65,7 +65,10 @@ let sweep_seeds ?config ?(seeds = default_seeds) ?(rates = default_rates) scenar
       let over f = stat (List.map f points) in
       {
         agg_rate = rate;
-        agg_strategy = (List.hd points).strategy;
+        agg_strategy =
+          (match points with
+          | p :: _ -> p.strategy
+          | [] -> Dream_alloc.Allocator.strategy_name strategy);
         agg_runs = List.length points;
         agg_satisfaction = over (fun p -> p.summary.Metrics.mean_satisfaction);
         agg_p5 = over (fun p -> p.summary.Metrics.p5_satisfaction);

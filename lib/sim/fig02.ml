@@ -122,7 +122,7 @@ let run ~quick =
       Table.series
         ~name:(Printf.sprintf "%d counters" resources)
         (List.map (fun p -> (string_of_int p.epoch, p.recall)) series);
-      Format.printf "  %a@."
+      Format.fprintf Table.out "  %a@."
         (fun ppf -> Dream_util.Timeseries.pp_series ppf ~name:"recall")
         (List.map
            (fun p -> { Dream_util.Timeseries.epoch = p.epoch; value = p.recall })

@@ -1,6 +1,5 @@
 module Scenario = Dream_workload.Scenario
 module Config = Dream_core.Config
-module Metrics = Dream_core.Metrics
 
 let capacities = [ 256; 512; 1024; 2048 ]
 

@@ -1,15 +1,20 @@
-let heading title =
-  Printf.printf "\n%s\n%s\n" title (String.make (String.length title) '=')
+(* All output goes through [out] — one explicit formatter, flushed per
+   line ("@.") so Table lines interleave correctly with any direct
+   channel writes from the binaries. *)
+let out = Format.std_formatter
 
-let subheading title = Printf.printf "\n-- %s --\n" title
+let heading title =
+  Format.fprintf out "\n%s\n%s@." title (String.make (String.length title) '=')
+
+let subheading title = Format.fprintf out "\n-- %s --@." title
 
 let row cells =
   let padded = List.map (fun c -> Printf.sprintf "%12s" c) cells in
-  print_endline (String.concat "  " padded)
+  Format.fprintf out "%s@." (String.concat "  " padded)
 
 let series ~name points =
-  Printf.printf "%s:\n" name;
-  List.iter (fun (x, v) -> Printf.printf "  %10s  %8.2f\n" x v) points
+  Format.fprintf out "%s:@." name;
+  List.iter (fun (x, v) -> Format.fprintf out "  %10s  %8.2f@." x v) points
 
 let pct v = Printf.sprintf "%.1f" v
 

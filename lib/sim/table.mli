@@ -1,5 +1,12 @@
 (** Plain-text series/table output shared by all figure harnesses, so the
-    bench output is uniform and diffable. *)
+    bench output is uniform and diffable.
+
+    This module is the presentation layer's one blessed route to stdout:
+    everything prints through {!out}, an explicit formatter, which keeps
+    the rest of [lib/] clean under dream-lint's [stdout-hygiene] rule. *)
+
+val out : Format.formatter
+(** The formatter every figure harness prints on (standard output). *)
 
 val heading : string -> unit
 (** Print a figure heading with an underline. *)

@@ -3,6 +3,7 @@ module Config = Dream_core.Config
 module Fault_model = Dream_fault.Fault_model
 module Telemetry = Dream_obs.Telemetry
 module Trace = Dream_obs.Trace
+module Clock = Dream_obs.Clock
 
 (* A fault-injecting scenario so the event paths (crashes, retries, stale
    fallbacks) are part of what gets priced, not just the happy path. *)
@@ -14,9 +15,9 @@ let config_of ~telemetry =
   { Config.default with Config.faults = Some (Fault_model.uniform ~seed:97 0.05); telemetry }
 
 let timed f =
-  let t0 = Sys.time () in
+  let t0 = Clock.now_ms Clock.cpu in
   let r = f () in
-  (r, Sys.time () -. t0)
+  (r, (Clock.now_ms Clock.cpu -. t0) /. 1000.0)
 
 (* Best-of-N wall time: the minimum is the least-noisy estimate of the
    code's intrinsic cost on a shared machine. *)
@@ -36,8 +37,8 @@ let run ~quick =
   let scenario = scenario_of ~quick in
   let reps = if quick then 2 else 3 in
   Table.heading "telemetry overhead: exporters on vs off";
-  Format.printf "scenario: %a@." Scenario.pp scenario;
-  Format.printf "reps: best of %d per mode@.@." reps;
+  Format.fprintf Table.out "scenario: %a@." Scenario.pp scenario;
+  Format.fprintf Table.out "reps: best of %d per mode@.@." reps;
   let off, off_s =
     best_of ~reps (fun () ->
         Experiment.run ~config:(config_of ~telemetry:None) scenario Experiment.dream_strategy)
@@ -61,11 +62,11 @@ let run ~quick =
     [ "enabled"; string_of_int epochs; Printf.sprintf "%.3f" on_s;
       Printf.sprintf "%.3f" (ms_per_epoch on_s) ];
   let overhead = if off_s > 0.0 then (on_s -. off_s) /. off_s *. 100.0 else 0.0 in
-  Format.printf "@.overhead: %+.1f%% epoch time with telemetry enabled (budget < 5%%)@." overhead;
+  Format.fprintf Table.out "@.overhead: %+.1f%% epoch time with telemetry enabled (budget < 5%%)@." overhead;
   (match !last_bundle with
   | Some bundle ->
-    Format.printf "trace items per run: %d@." (Trace.length (Telemetry.trace bundle))
+    Format.fprintf Table.out "trace items per run: %d@." (Trace.length (Telemetry.trace bundle))
   | None -> ());
   let identical = off.Experiment.summary = on.Experiment.summary in
-  Format.printf "zero-diff check: summaries %s@."
+  Format.fprintf Table.out "zero-diff check: summaries %s@."
     (if identical then "identical" else "DIVERGED — telemetry touched simulation state!")

@@ -10,7 +10,7 @@ type t = {
   depth : int;
   seed : int;
   mutable sketch : Count_min.t;
-  mutable candidates : (int, unit) Hashtbl.t; (* keys seen this epoch *)
+  candidates : (int, unit) Hashtbl.t; (* keys seen this epoch *)
 }
 
 let dims ~cells ~depth =

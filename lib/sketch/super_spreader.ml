@@ -1,7 +1,6 @@
 type t = {
   depth : int;
   width : int;
-  cell_bits : int;
   threshold : int;
   seed : int;
   rows : Distinct.t array array; (* depth x width *)
@@ -16,7 +15,6 @@ let create ?(depth = 4) ?(cell_bits = 64) ~cells ~threshold ~seed () =
   {
     depth;
     width;
-    cell_bits;
     threshold;
     seed;
     rows =

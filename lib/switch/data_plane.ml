@@ -1,5 +1,4 @@
 module Prefix = Dream_prefix.Prefix
-module Aggregate = Dream_traffic.Aggregate
 module Fault_model = Dream_fault.Fault_model
 
 type fetch_error = [ `Down | `Timeout ]

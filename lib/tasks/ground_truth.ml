@@ -104,7 +104,9 @@ let true_changes t aggregate =
       let mean = match Hashtbl.find_opt t.cd_means leaf with Some m -> m | None -> volume in
       if Float.abs (volume -. mean) > threshold then changes := Prefix.Set.add leaf !changes;
       let mean' = (history *. mean) +. ((1.0 -. history) *. volume) in
-      if mean' < 0.001 && volume = 0.0 then Hashtbl.remove t.cd_means leaf
+      (* volumes are non-negative, so <= 0.0 is "sent nothing" without
+         testing floats for exact equality *)
+      if mean' < 0.001 && volume <= 0.0 then Hashtbl.remove t.cd_means leaf
       else Hashtbl.replace t.cd_means leaf mean')
     keys;
   !changes

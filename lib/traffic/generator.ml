@@ -19,14 +19,14 @@ type t = {
 let pick_address t =
   (* Place the source in a sub-filter drawn with Zipf skew, then uniformly
      within it; retry on collision so every source has a distinct address. *)
-  let subs = Topology.subfilters t.topology in
-  let k = List.length subs in
+  let subs = Array.of_list (Topology.subfilters t.topology) in
+  let k = Array.length subs in
   let rec attempt tries =
     let rank =
       if t.profile.Profile.switch_skew <= 0.0 then 1 + Rng.int t.rng k
       else Rng.zipf t.rng ~n:k ~s:t.profile.Profile.switch_skew
     in
-    let sub, _sw = List.nth subs (rank - 1) in
+    let sub, _sw = subs.(rank - 1) in
     let span = Prefix.size sub in
     let addr = Prefix.first_address sub + Rng.int t.rng span in
     if Hashtbl.mem t.used addr && tries < 64 then attempt (tries + 1)

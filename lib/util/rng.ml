@@ -1,3 +1,7 @@
+(* This module is the tree's one blessed randomness source: dream-lint
+   bans Stdlib.Random everywhere else, and here by policy declaration. *)
+[@@@lint.allow "determinism-random"]
+
 type t = { mutable s0 : int64; mutable s1 : int64; mutable s2 : int64; mutable s3 : int64 }
 
 (* splitmix64: used only to expand the seed into the xoshiro state, as

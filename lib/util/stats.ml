@@ -41,6 +41,11 @@ let maximum = function
   | [] -> invalid_arg "Stats.maximum: empty sample"
   | x :: xs -> List.fold_left max x xs
 
+let approx_equal ?(eps = 1e-9) a b =
+  (* |a - b| <= eps; inf -. inf is nan, so equal infinities need the
+     IEEE-equality case, and any nan operand falls through to false. *)
+  a = b || Float.abs (a -. b) <= eps
+
 type summary = {
   count : int;
   mean : float;

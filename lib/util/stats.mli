@@ -24,6 +24,13 @@ val median : float list -> float
 val minimum : float list -> float
 val maximum : float list -> float
 
+val approx_equal : ?eps:float -> float -> float -> bool
+(** [approx_equal a b] is true when [|a - b| <= eps] (default [1e-9]).
+    The epsilon helper dream-lint's [float-equality] rule asks for in
+    place of [=] on floats.  Total: [nan] compares unequal to
+    everything (including itself); two like-signed infinities compare
+    equal. *)
+
 type summary = {
   count : int;
   mean : float;

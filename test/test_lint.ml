@@ -1,0 +1,342 @@
+(* Tests for dream.lint: each rule fires on its positive snippet with the
+   right rule id and line, stays silent on the negative snippet and out of
+   its directory scope; [@lint.allow] suppresses exactly one finding and
+   unused allows are themselves findings; reports round-trip through
+   Dream_obs.Json. *)
+
+module Engine = Dream_lint.Engine
+module Finding = Dream_lint.Finding
+module Report = Dream_lint.Report
+module Rules = Dream_lint.Rules
+module Json = Dream_obs.Json
+
+let lint ?rules ~path src = Engine.lint_string ?rules ~path src
+
+let rule_ids findings = List.map (fun f -> f.Finding.rule) findings
+
+let only id =
+  match Rules.find id with
+  | Some r -> [ r ]
+  | None -> Alcotest.failf "no such rule %s" id
+
+let check_fires ~rule ~line ~path src =
+  match lint ~path src with
+  | [ f ] ->
+    Alcotest.(check string) "rule id" rule f.Finding.rule;
+    Alcotest.(check int) "line" line f.Finding.line;
+    Alcotest.(check string) "file" path f.Finding.file
+  | fs ->
+    Alcotest.failf "expected exactly one %s finding, got %d: %s" rule (List.length fs)
+      (String.concat "; " (rule_ids fs))
+
+let check_silent ?rules ~path src =
+  match lint ?rules ~path src with
+  | [] -> ()
+  | fs -> Alcotest.failf "expected no findings, got: %s" (String.concat "; " (rule_ids fs))
+
+let contains ~sub s =
+  let n = String.length sub and m = String.length s in
+  let rec go i = i + n <= m && (String.sub s i n = sub || go (i + 1)) in
+  n = 0 || go 0
+
+(* ---- determinism-random ---- *)
+
+let test_random_fires () =
+  check_fires ~rule:"determinism-random" ~line:2 ~path:"lib/fake.ml"
+    "let a = 1\nlet b = Random.int 5\n";
+  check_fires ~rule:"determinism-random" ~line:1 ~path:"bench/fake.ml"
+    "let b = Stdlib.Random.float 1.0\n";
+  check_fires ~rule:"determinism-random" ~line:1 ~path:"lib/fake.ml"
+    "let s = Random.State.make [| 1 |]\n"
+
+let test_random_module_paths () =
+  (* Aliasing or opening the module is the same violation. *)
+  check_fires ~rule:"determinism-random" ~line:1 ~path:"lib/fake.ml" "module R = Random\n";
+  check_fires ~rule:"determinism-random" ~line:1 ~path:"lib/fake.ml"
+    "open Random\nlet x = 1\n"
+
+let test_random_silent () =
+  check_silent ~path:"lib/fake.ml" "let b = Dream_util.Rng.int rng 5\n";
+  (* Unrelated module with a Random submodule is not Stdlib.Random. *)
+  check_silent ~path:"lib/fake.ml" "let b = My.Random.int 5\n" |> ignore
+
+(* ---- determinism-clock ---- *)
+
+let test_clock_fires () =
+  check_fires ~rule:"determinism-clock" ~line:1 ~path:"lib/fake.ml" "let t = Sys.time ()\n";
+  check_fires ~rule:"determinism-clock" ~line:2 ~path:"test/fake.ml"
+    "let a = 0\nlet t = Unix.gettimeofday ()\n";
+  check_fires ~rule:"determinism-clock" ~line:1 ~path:"lib/fake.ml" "let t = Unix.time ()\n"
+
+let test_clock_silent () =
+  check_silent ~path:"lib/fake.ml" "let t = Clock.now_ms clock\n";
+  check_silent ~path:"lib/fake.ml" "let t = Sys.file_exists \"x\"\n"
+
+(* ---- float-equality ---- *)
+
+let test_float_equality_fires () =
+  check_fires ~rule:"float-equality" ~line:1 ~path:"lib/fake.ml" "let b = x = 1.0\n";
+  check_fires ~rule:"float-equality" ~line:1 ~path:"lib/fake.ml" "let b = x <> y *. 2.0\n";
+  check_fires ~rule:"float-equality" ~line:1 ~path:"lib/fake.ml"
+    "let c = compare x (float_of_int n)\n";
+  check_fires ~rule:"float-equality" ~line:1 ~path:"lib/fake.ml"
+    "let b = (x : float) = y\n"
+
+let test_float_equality_silent () =
+  check_silent ~path:"lib/fake.ml" "let b = x = 1\n";
+  (* Orderings are fine; epsilon comparisons are the point. *)
+  check_silent ~path:"lib/fake.ml" "let b = x <= 1.0\n";
+  check_silent ~path:"lib/fake.ml" "let b = Float.abs (x -. y) < 1e-9\n";
+  (* Deliberate exact comparisons in test/ (determinism checks) are policy. *)
+  check_silent ~path:"test/fake.ml" "let b = x = 1.0\n"
+
+(* ---- exception-hygiene ---- *)
+
+let test_exception_fires () =
+  check_fires ~rule:"exception-hygiene" ~line:1 ~path:"lib/fake.ml"
+    "let f () = try g () with _ -> 0\n";
+  check_fires ~rule:"exception-hygiene" ~line:2 ~path:"lib/fake.ml"
+    "let f () =\n  match g () with x -> x | exception _ -> 0\n"
+
+let test_exception_silent () =
+  check_silent ~path:"lib/fake.ml" "let f () = try g () with Not_found -> 0\n";
+  check_silent ~path:"lib/fake.ml"
+    "let f () = try g () with exn -> log exn; raise exn\n";
+  (* Out of scope: the rule is a lib/ policy. *)
+  check_silent ~path:"bin/fake.ml" "let f () = try g () with _ -> 0\n"
+
+(* ---- partiality ---- *)
+
+let test_partiality_fires () =
+  check_fires ~rule:"partiality" ~line:1 ~path:"lib/fake.ml" "let x = List.hd xs\n";
+  check_fires ~rule:"partiality" ~line:1 ~path:"lib/fake.ml" "let x = List.nth xs 3\n";
+  check_fires ~rule:"partiality" ~line:1 ~path:"lib/fake.ml" "let x = Option.get o\n";
+  (* Bare references count too (partial application, eta). *)
+  check_fires ~rule:"partiality" ~line:1 ~path:"lib/fake.ml" "let f = List.tl\n"
+
+let test_partiality_silent () =
+  check_silent ~path:"lib/fake.ml"
+    "let x = match xs with [] -> None | x :: _ -> Some x\n";
+  check_silent ~path:"bin/fake.ml" "let x = List.hd xs\n"
+
+(* ---- stdout-hygiene ---- *)
+
+let test_stdout_fires () =
+  check_fires ~rule:"stdout-hygiene" ~line:1 ~path:"lib/fake.ml"
+    "let () = print_endline \"hi\"\n";
+  check_fires ~rule:"stdout-hygiene" ~line:1 ~path:"lib/fake.ml"
+    "let () = Printf.printf \"%d\" 3\n";
+  check_fires ~rule:"stdout-hygiene" ~line:1 ~path:"lib/fake.ml"
+    "let () = Format.printf \"%d\" 3\n"
+
+let test_stdout_silent () =
+  check_silent ~path:"lib/fake.ml" "let () = Format.fprintf ppf \"%d\" 3\n";
+  check_silent ~path:"lib/fake.ml" "let s = Printf.sprintf \"%d\" 3\n";
+  check_silent ~path:"bin/fake.ml" "let () = print_endline \"hi\"\n"
+
+(* ---- mli-coverage ---- *)
+
+let with_temp_lib f =
+  let dir = Filename.temp_dir "dream_lint" "" in
+  let libdir = Filename.concat dir "lib" in
+  Sys.mkdir libdir 0o755;
+  Fun.protect
+    ~finally:(fun () ->
+      Array.iter (fun e -> Sys.remove (Filename.concat libdir e)) (Sys.readdir libdir);
+      Sys.rmdir libdir;
+      Sys.rmdir dir)
+    (fun () -> f libdir)
+
+let write path contents = Out_channel.with_open_bin path (fun oc -> Out_channel.output_string oc contents)
+
+let test_mli_coverage () =
+  with_temp_lib (fun libdir ->
+      let ml = Filename.concat libdir "a.ml" in
+      write ml "let x = 1\n";
+      (match Engine.lint_file ~rules:(only "mli-coverage") ml with
+      | [ f ] ->
+        Alcotest.(check string) "rule id" "mli-coverage" f.Finding.rule;
+        Alcotest.(check int) "line" 1 f.Finding.line
+      | fs -> Alcotest.failf "expected one finding, got %d" (List.length fs));
+      write (ml ^ "i") "val x : int\n";
+      Alcotest.(check int) "silent with sibling mli" 0
+        (List.length (Engine.lint_file ~rules:(only "mli-coverage") ml)))
+
+(* ---- suppression ---- *)
+
+let test_suppression_silences_exactly_one () =
+  let src =
+    "let a = Random.int 1\nlet b = (Random.int 2 [@lint.allow \"determinism-random\"])\n"
+  in
+  match lint ~path:"lib/fake.ml" src with
+  | [ f ] ->
+    Alcotest.(check string) "surviving rule" "determinism-random" f.Finding.rule;
+    Alcotest.(check int) "unsuppressed line" 1 f.Finding.line
+  | fs -> Alcotest.failf "expected one finding, got %d" (List.length fs)
+
+let test_suppression_on_binding () =
+  check_silent ~path:"lib/fake.ml"
+    "let a = Random.int 1 [@@lint.allow \"determinism-random\"]\n"
+
+let test_file_level_allow () =
+  (* A floating allow silences the whole file and owes no finding. *)
+  check_silent ~path:"lib/fake.ml"
+    "[@@@lint.allow \"determinism-random\"]\nlet a = Random.int 1\nlet b = Random.int 2\n"
+
+let test_suppression_is_per_rule () =
+  (* An allow for one rule does not silence another at the same site; the
+     clock finding survives and the mismatched allow is itself unused. *)
+  match
+    lint ~path:"lib/fake.ml" "let t = Sys.time () [@@lint.allow \"partiality\"]\n"
+  with
+  | fs ->
+    Alcotest.(check (list string))
+      "clock finding plus unused allow"
+      [ "determinism-clock"; "unused-suppression" ]
+      (List.sort String.compare (rule_ids fs))
+
+let test_unused_suppression () =
+  match lint ~path:"lib/fake.ml" "let a = (5 [@lint.allow \"determinism-random\"])\n" with
+  | [ f ] -> Alcotest.(check string) "rule id" "unused-suppression" f.Finding.rule
+  | fs -> Alcotest.failf "expected one finding, got %d" (List.length fs)
+
+let test_unknown_rule_in_allow () =
+  match lint ~path:"lib/fake.ml" "let a = (5 [@lint.allow \"no-such-rule\"])\n" with
+  | [ f ] ->
+    Alcotest.(check string) "rule id" "unused-suppression" f.Finding.rule;
+    Alcotest.(check bool) "names the bad rule" true
+      (contains ~sub:"no-such-rule" f.Finding.message)
+  | fs -> Alcotest.failf "expected one finding, got %d" (List.length fs)
+
+let test_malformed_allow_payload () =
+  match lint ~path:"lib/fake.ml" "let a = (5 [@lint.allow 42])\n" with
+  | [ f ] -> Alcotest.(check string) "rule id" "unused-suppression" f.Finding.rule
+  | fs -> Alcotest.failf "expected one finding, got %d" (List.length fs)
+
+let test_unused_check_respects_rule_subset () =
+  (* With only determinism-random active, an allow for a rule that did not
+     run must not be reported as unused. *)
+  check_silent ~path:"lib/fake.ml"
+    ~rules:(only "determinism-random")
+    "let t = Sys.time () [@@lint.allow \"determinism-clock\"]\n"
+
+(* ---- parse errors ---- *)
+
+let test_parse_error () =
+  match lint ~path:"lib/fake.ml" "let = = =\n" with
+  | [ f ] ->
+    Alcotest.(check string) "rule id" Engine.parse_error_rule f.Finding.rule;
+    Alcotest.(check string) "severity" "error" (Finding.severity_to_string f.Finding.severity)
+  | fs -> Alcotest.failf "expected one finding, got %d" (List.length fs)
+
+(* ---- registry ---- *)
+
+let test_registry () =
+  Alcotest.(check int) "seven rules" 7 (List.length Rules.all);
+  Alcotest.(check int) "unique ids" (List.length Rules.ids)
+    (List.length (List.sort_uniq String.compare Rules.ids));
+  List.iter
+    (fun id ->
+      match Rules.find id with
+      | Some r -> Alcotest.(check string) "find returns the rule" id r.Rules.id
+      | None -> Alcotest.failf "registry lookup failed for %s" id)
+    Rules.ids
+
+(* ---- JSON report round trip ---- *)
+
+let test_report_round_trip () =
+  let findings =
+    lint ~path:"lib/fake.ml" "let a = Random.int 1\nlet t = Sys.time ()\nlet x = List.hd l\n"
+  in
+  Alcotest.(check int) "three findings" 3 (List.length findings);
+  match Report.of_json_string (Json.to_string (Report.to_json findings)) with
+  | Ok findings' ->
+    Alcotest.(check bool) "identical after round trip" true (findings = findings')
+  | Error e -> Alcotest.failf "report reparse failed: %s" e
+
+let finding_gen =
+  QCheck.Gen.(
+    let str = string_size ~gen:printable (int_range 0 20) in
+    map
+      (fun (rule, file, line, col, err, message) ->
+        Finding.v ~rule ~file ~line ~col
+          ~severity:(if err then Finding.Error else Finding.Warning)
+          message)
+      (tup6 str str (int_range 1 10000) (int_range 0 500) bool str))
+
+let arbitrary_finding = QCheck.make ~print:(Format.asprintf "%a" Finding.pp) finding_gen
+
+let prop_finding_json_round_trip =
+  QCheck.Test.make ~name:"finding JSON round-trips through Obs.Json" ~count:200
+    arbitrary_finding (fun f ->
+      match Finding.of_json (Finding.to_json f) with
+      | Ok f' -> f = f'
+      | Error _ -> false)
+
+let prop_report_json_round_trip =
+  QCheck.Test.make ~name:"report JSON round-trips through Obs.Json" ~count:50
+    QCheck.(list_of_size Gen.(int_range 0 8) arbitrary_finding)
+    (fun fs ->
+      match Report.of_json_string (Json.to_string (Report.to_json fs)) with
+      | Ok fs' -> fs = fs'
+      | Error _ -> false)
+
+let () =
+  Alcotest.run "dream.lint"
+    [
+      ( "determinism",
+        [
+          Alcotest.test_case "Random fires" `Quick test_random_fires;
+          Alcotest.test_case "Random via alias/open fires" `Quick test_random_module_paths;
+          Alcotest.test_case "Rng stays silent" `Quick test_random_silent;
+          Alcotest.test_case "clock reads fire" `Quick test_clock_fires;
+          Alcotest.test_case "Clock stays silent" `Quick test_clock_silent;
+        ] );
+      ( "float-equality",
+        [
+          Alcotest.test_case "fires on float operands" `Quick test_float_equality_fires;
+          Alcotest.test_case "silent on ints/orderings/tests" `Quick
+            test_float_equality_silent;
+        ] );
+      ( "exception-hygiene",
+        [
+          Alcotest.test_case "catch-all fires" `Quick test_exception_fires;
+          Alcotest.test_case "specific handlers silent" `Quick test_exception_silent;
+        ] );
+      ( "partiality",
+        [
+          Alcotest.test_case "partial accessors fire" `Quick test_partiality_fires;
+          Alcotest.test_case "total code silent" `Quick test_partiality_silent;
+        ] );
+      ( "stdout-hygiene",
+        [
+          Alcotest.test_case "implicit stdout fires" `Quick test_stdout_fires;
+          Alcotest.test_case "explicit formatter silent" `Quick test_stdout_silent;
+        ] );
+      ( "mli-coverage",
+        [ Alcotest.test_case "missing mli fires, sibling silences" `Quick test_mli_coverage ] );
+      ( "suppression",
+        [
+          Alcotest.test_case "allow silences exactly one" `Quick
+            test_suppression_silences_exactly_one;
+          Alcotest.test_case "allow on a binding" `Quick test_suppression_on_binding;
+          Alcotest.test_case "file-level allow" `Quick test_file_level_allow;
+          Alcotest.test_case "allow is per rule" `Quick test_suppression_is_per_rule;
+          Alcotest.test_case "unused allow is a finding" `Quick test_unused_suppression;
+          Alcotest.test_case "unknown rule in allow" `Quick test_unknown_rule_in_allow;
+          Alcotest.test_case "malformed payload" `Quick test_malformed_allow_payload;
+          Alcotest.test_case "unused check respects --rules" `Quick
+            test_unused_check_respects_rule_subset;
+        ] );
+      ( "engine",
+        [
+          Alcotest.test_case "parse error is a finding" `Quick test_parse_error;
+          Alcotest.test_case "registry" `Quick test_registry;
+        ] );
+      ( "report",
+        [
+          Alcotest.test_case "JSON round trip" `Quick test_report_round_trip;
+          QCheck_alcotest.to_alcotest prop_finding_json_round_trip;
+          QCheck_alcotest.to_alcotest prop_report_json_round_trip;
+        ] );
+    ]

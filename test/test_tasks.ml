@@ -333,10 +333,11 @@ let prop_partition_under_random_allocations =
     QCheck.(list_of_size Gen.(int_range 1 12) (int_range 1 12))
     (fun allocation_schedule ->
       let m = mk_monitor () in
+      let rng = Rng.create 0x5eed in
       List.for_all
         (fun n ->
           let allocations = allocations_of m n in
-          let epoch = Random.int 1000 in
+          let epoch = Rng.int rng 1000 in
           step m ~allocations ~epoch;
           Monitor.is_partition m
           && Switch_id.Set.for_all
