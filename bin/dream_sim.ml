@@ -3,6 +3,7 @@
      dune exec bin/dream_sim.exe -- run --capacity 1024 --strategy dream
      dune exec bin/dream_sim.exe -- run --kind HH --tasks 32 --fault-rate 0.1
      dune exec bin/dream_sim.exe -- fault-sweep --rates 0.0,0.05,0.2
+     dune exec bin/dream_sim.exe -- degraded-mode --levels 0.0,0.5,1.0 --telemetry tel/
      dune exec bin/dream_sim.exe -- checkpoint --out run.ckpt --at 100
      dune exec bin/dream_sim.exe -- restore-run --from run.ckpt --epochs 100
      dune exec bin/dream_sim.exe -- crash-recovery --rates 0.0,0.02,0.05
@@ -18,6 +19,7 @@ module Controller = Dream_core.Controller
 module Experiment = Dream_sim.Experiment
 module Fault_sweep = Dream_sim.Fault_sweep
 module Crash_recovery = Dream_sim.Crash_recovery
+module Degraded_mode = Dream_sim.Degraded_mode
 module Config = Dream_core.Config
 module Metrics = Dream_core.Metrics
 module Task_spec = Dream_tasks.Task_spec
@@ -86,12 +88,26 @@ let strategy_of strategy fixed_k =
   | other -> Error (sp "unknown strategy %S (dream | equal | fixed)" other)
 
 let rate_in_range ~flag rate =
-  check
-    (rate >= 0.0 && rate <= 1.0)
-    (sp "%s must be in [0, 1] (got %g)" flag rate)
+  let* () =
+    check (Float.is_finite rate) (sp "%s must be a finite number (got %s)" flag (string_of_float rate))
+  in
+  check (rate >= 0.0 && rate <= 1.0) (sp "%s must be in [0, 1] (got %g)" flag rate)
 
+(* A rate list is only meaningful when every value is a finite number in
+   [0, 1] and no value repeats (a duplicate would silently double-weight
+   one sweep point). *)
 let rates_in_range ~flag rates =
-  List.fold_left (fun acc r -> Result.bind acc (fun () -> rate_in_range ~flag r)) (Ok ()) rates
+  let* () =
+    List.fold_left (fun acc r -> Result.bind acc (fun () -> rate_in_range ~flag r)) (Ok ()) rates
+  in
+  let rec first_dup = function
+    | [] -> Ok ()
+    | r :: rest ->
+      if List.exists (fun r' -> Float.equal r' r) rest then
+        Error (sp "%s contains duplicate value %g" flag r)
+      else first_dup rest
+  in
+  first_dup rates
 
 (* Validate --telemetry DIR before the run spends any time: the path must
    be (or become) a writable directory that does not already hold a bundle,
@@ -331,6 +347,59 @@ let crash_recovery capacity num_switches switches_per_task tasks window duration
   Crash_recovery.print_points points;
   Ok ()
 
+let degraded_mode capacity num_switches switches_per_task tasks window duration epochs threshold
+    bound kind strategy fixed_k seed levels fault_seed deadline_fraction telemetry_dir =
+  let* scenario =
+    scenario_of capacity num_switches switches_per_task tasks window duration epochs threshold
+      bound kind seed
+  in
+  let* strategy = strategy_of strategy fixed_k in
+  let levels = if levels = [] then Degraded_mode.default_levels else levels in
+  let* () = rates_in_range ~flag:"--levels" levels in
+  let* () =
+    check
+      (Float.is_finite deadline_fraction && deadline_fraction > 0.0 && deadline_fraction <= 1.0)
+      (sp "--deadline-fraction must be in (0, 1] (got %g)" deadline_fraction)
+  in
+  let* telemetry =
+    match telemetry_dir with
+    | None -> Ok None
+    | Some dir ->
+      let* () = telemetry_dir_ready dir in
+      Ok (Some (Telemetry.create ()))
+  in
+  let degraded = { Config.default_degraded with Config.deadline_fraction } in
+  Format.printf "scenario: %a@." Scenario.pp scenario;
+  Format.printf "strategy: %s   adversity levels: %s   deadline %.0f%% of epoch@.@."
+    (Allocator.strategy_name strategy)
+    (String.concat "," (List.map (Printf.sprintf "%g") levels))
+    (deadline_fraction *. 100.0);
+  let points =
+    List.concat_map
+      (fun level ->
+        [
+          Degraded_mode.run_point ~fault_seed ~degraded:(Some degraded) scenario strategy level;
+          Degraded_mode.run_point ~fault_seed ~degraded:None scenario strategy level;
+        ])
+      levels
+  in
+  Degraded_mode.print_points points;
+  match (telemetry, telemetry_dir) with
+  | Some bundle, Some dir ->
+    (* One more degraded run, at the highest level, with the bundle
+       attached — so the exported artifact holds the breaker transitions,
+       shed events and staleness histogram of the worst case swept. *)
+    let top = List.fold_left Float.max 0.0 levels in
+    ignore
+      (Degraded_mode.run_point ~telemetry:bundle ~fault_seed ~degraded:(Some degraded) scenario
+         strategy top);
+    let* () = Telemetry.write_dir bundle ~dir in
+    Format.printf "@.telemetry (level %g): %d trace items -> %s@." top
+      (Dream_obs.Trace.length (Telemetry.trace bundle))
+      dir;
+    Ok ()
+  | _ -> Ok ()
+
 open Cmdliner
 
 let capacity = Arg.(value & opt int 1024 & info [ "capacity"; "c" ] ~doc:"TCAM entries per switch.")
@@ -461,6 +530,28 @@ let crash_recovery_cmd =
          scenario_args (const crash_recovery) $ strategy $ fixed_k $ seed $ rates $ fault_seeds
          $ checkpoint_interval))
 
+let degraded_mode_cmd =
+  let doc = "sweep adversity levels: fast-degrade (breakers + deadline shedding) vs stall-baseline" in
+  let levels =
+    Arg.(
+      value
+      & opt (list float) []
+      & info [ "levels" ] ~doc:"Comma-separated adversity levels in [0,1] to sweep.")
+  in
+  let deadline_fraction =
+    Arg.(
+      value
+      & opt float Config.default_degraded.Config.deadline_fraction
+      & info [ "deadline-fraction" ]
+          ~doc:"Enforced per-epoch fetch deadline as a fraction of the epoch, in (0, 1].")
+  in
+  Cmd.v
+    (Cmd.info "degraded-mode" ~doc)
+    (Term.term_result' ~usage:false
+       Term.(
+         scenario_args (const degraded_mode) $ strategy $ fixed_k $ seed $ levels $ fault_seed
+         $ deadline_fraction $ telemetry_dir))
+
 let inspect dir top =
   let* () = check (top > 0) (sp "--top must be positive (got %d)" top) in
   let* () =
@@ -490,6 +581,9 @@ let inspect_cmd =
 let cmd =
   let doc = "run a DREAM software-defined measurement experiment" in
   Cmd.group ~default:run_term (Cmd.info "dream-sim" ~doc)
-    [ run_cmd; fault_sweep_cmd; checkpoint_cmd; restore_run_cmd; crash_recovery_cmd; inspect_cmd ]
+    [
+      run_cmd; fault_sweep_cmd; degraded_mode_cmd; checkpoint_cmd; restore_run_cmd;
+      crash_recovery_cmd; inspect_cmd;
+    ]
 
 let () = exit (Cmd.eval cmd)

@@ -1,3 +1,12 @@
+type degraded = {
+  breaker : Dream_switch.Breaker.config;
+  deadline_fraction : float;
+  shed_max_staleness : int;
+}
+
+let default_degraded =
+  { breaker = Dream_switch.Breaker.default_config; deadline_fraction = 0.8; shed_max_staleness = 4 }
+
 type t = {
   allocation_interval : int;
   drop_threshold : int;
@@ -8,6 +17,7 @@ type t = {
   accuracy_mode : Dream_tasks.Task.accuracy_mode;
   install_budget : int option;
   faults : Dream_fault.Fault_model.spec option;
+  degraded : degraded option;
   check_invariants : bool;
   telemetry : Dream_obs.Telemetry.t option;
 }
@@ -23,6 +33,7 @@ let default =
     accuracy_mode = Dream_tasks.Task.Overall;
     install_budget = None;
     faults = None;
+    degraded = None;
     check_invariants = false;
     telemetry = None;
   }

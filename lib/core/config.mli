@@ -4,6 +4,23 @@
     uses 1 s), and allocation runs every [allocation_interval] ticks (the
     paper uses 2 s). *)
 
+type degraded = {
+  breaker : Dream_switch.Breaker.config;
+      (** per-switch circuit breaker over the control channel *)
+  deadline_fraction : float;
+      (** the enforced fetch deadline, as a fraction of [epoch_ms]: the
+          deadline-aware scheduler sheds work rather than let modelled
+          fetch time exceed it *)
+  shed_max_staleness : int;
+      (** bounded staleness: a task whose counters are this many epochs
+          stale is never shed again — its fetch runs even if the estimate
+          overshoots the remaining budget *)
+}
+
+val default_degraded : degraded
+(** Breaker threshold 3 / cooldown 4, deadline 80% of the epoch, staleness
+    bound 4. *)
+
 type t = {
   allocation_interval : int;  (** measurement epochs per allocation epoch *)
   drop_threshold : int;  (** consecutive poor allocation rounds before a drop *)
@@ -31,6 +48,14 @@ type t = {
           retries, stale-counter fallback, quarantine and reinstall.
           [None] (the default) is the paper's perfectly reliable control
           channel and leaves runs bit-identical to the fault-free code. *)
+  degraded : degraded option;
+      (** when set (and [faults] is set), the controller runs its
+          degraded-mode machinery: per-switch circuit breakers, the
+          deadline-aware fetch scheduler ordered by staleness-urgency, and
+          load shedding with bounded staleness.  [None] keeps the plain
+          retry loop.  With a zero-rate fault spec the degraded path is
+          byte-identical to running without it: breakers never trip and
+          the deadline is never hit. *)
   check_invariants : bool;
       (** run {!Dream_recovery.Invariant.check_all} at the end of every
           epoch and tally violations in the robustness metrics.  Off by

@@ -7,6 +7,7 @@ module Switch = Dream_switch.Switch
 module Tcam = Dream_switch.Tcam
 module Data_plane = Dream_switch.Data_plane
 module Delay_model = Dream_switch.Delay_model
+module Breaker = Dream_switch.Breaker
 module Task = Dream_tasks.Task
 module Task_spec = Dream_tasks.Task_spec
 module Report = Dream_tasks.Report
@@ -42,6 +43,9 @@ type runtime = {
   mutable stale_counters : (Prefix.t * float) list Switch_id.Map.t;
       (* last successfully fetched readings per switch, the fallback when a
          switch is down or a fetch is abandoned (fault injection only) *)
+  mutable staleness : int;
+      (* consecutive epochs this task reported with at least one stale or
+         missing switch (degraded mode only; 0 when fully fresh) *)
 }
 
 type delay_sample = {
@@ -72,6 +76,12 @@ type rob = {
   reconcile_removed : Ctr.t;
   reconcile_installed : Ctr.t;
   invariant_violations : Ctr.t;
+  partitions : Ctr.t;
+  partition_epochs : Ctr.t;
+  breaker_opens : Ctr.t;
+  breaker_probes : Ctr.t;
+  breaker_skips : Ctr.t;
+  sheds : Ctr.t;
 }
 
 let rob_of_registry reg =
@@ -91,6 +101,12 @@ let rob_of_registry reg =
     reconcile_removed = c "reconcile_removed";
     reconcile_installed = c "reconcile_installed";
     invariant_violations = c "invariant_violations";
+    partitions = c "partitions";
+    partition_epochs = c "partition_epochs";
+    breaker_opens = c "breaker_opens";
+    breaker_probes = c "breaker_probes";
+    breaker_skips = c "breaker_skips";
+    sheds = c "sheds";
   }
 
 let set_robustness rob (v : Metrics.robustness) =
@@ -107,7 +123,13 @@ let set_robustness rob (v : Metrics.robustness) =
   Ctr.set rob.controller_crashes v.Metrics.controller_crashes;
   Ctr.set rob.reconcile_removed v.Metrics.reconcile_removed;
   Ctr.set rob.reconcile_installed v.Metrics.reconcile_installed;
-  Ctr.set rob.invariant_violations v.Metrics.invariant_violations
+  Ctr.set rob.invariant_violations v.Metrics.invariant_violations;
+  Ctr.set rob.partitions v.Metrics.partitions;
+  Ctr.set rob.partition_epochs v.Metrics.partition_epochs;
+  Ctr.set rob.breaker_opens v.Metrics.breaker_opens;
+  Ctr.set rob.breaker_probes v.Metrics.breaker_probes;
+  Ctr.set rob.breaker_skips v.Metrics.breaker_skips;
+  Ctr.set rob.sheds v.Metrics.sheds
 
 type t = {
   config : Config.t;
@@ -131,6 +153,12 @@ type t = {
   mutable crash_pending : bool;
       (* the fault model declared a controller crash this epoch; the driver
          decides whether to fail over (see {!recover}) *)
+  breakers : Breaker.t array;
+      (* per-switch circuit breakers; empty unless [config.degraded] and
+         [config.faults] are both set *)
+  mutable storm_pending : int;
+      (* extra submissions the fault model's admission storm asks the
+         driver to inject; read via {!storm_tasks_pending}, reset each tick *)
 }
 
 let create ~config ~strategy ~num_switches ~capacity =
@@ -146,6 +174,13 @@ let create ~config ~strategy ~num_switches ~capacity =
   let planes = Array.map (fun sw -> Data_plane.create ?faults sw) switches in
   let capacities = Array.to_list (Array.map (fun sw -> (Switch.id sw, capacity)) switches) in
   let tel = config.Config.telemetry in
+  (* Breakers exist only when both the fault layer and the degraded-mode
+     policy are on; an empty array keeps every other path untouched. *)
+  let breakers =
+    match (config.Config.degraded, faults) with
+    | Some d, Some _ -> Array.init num_switches (fun _ -> Breaker.create d.Config.breaker)
+    | _ -> [||]
+  in
   let registry =
     match tel with Some b -> Obs.Telemetry.registry b | None -> Obs.Registry.create ()
   in
@@ -176,6 +211,8 @@ let create ~config ~strategy ~num_switches ~capacity =
     recovered_now = Switch_id.Set.empty;
     journal = None;
     crash_pending = false;
+    breakers;
+    storm_pending = 0;
   }
 
 let epoch t = t.epoch
@@ -214,6 +251,12 @@ let robustness t =
     reconcile_removed = Ctr.value t.rob.reconcile_removed;
     reconcile_installed = Ctr.value t.rob.reconcile_installed;
     invariant_violations = Ctr.value t.rob.invariant_violations;
+    partitions = Ctr.value t.rob.partitions;
+    partition_epochs = Ctr.value t.rob.partition_epochs;
+    breaker_opens = Ctr.value t.rob.breaker_opens;
+    breaker_probes = Ctr.value t.rob.breaker_probes;
+    breaker_skips = Ctr.value t.rob.breaker_skips;
+    sheds = Ctr.value t.rob.sheds;
   }
 
 let active_tasks t = Hashtbl.length t.active
@@ -250,6 +293,20 @@ let jot t entry = match t.journal with None -> () | Some sink -> Journal.append 
 
 let controller_crash_pending t = t.crash_pending
 
+let storm_tasks_pending t = t.storm_pending
+
+let degraded_mode t = t.breakers <> [||]
+
+let breaker_states t = Array.map Breaker.state t.breakers
+
+let staleness_of t ~task_id =
+  match Hashtbl.find_opt t.active task_id with Some r -> Some r.staleness | None -> None
+
+let staleness_levels t =
+  Hashtbl.fold (fun _ r acc -> r.staleness :: acc) t.active [] |> List.sort compare
+
+let max_staleness t = Hashtbl.fold (fun _ r acc -> max acc r.staleness) t.active 0
+
 let submit t ~spec ~topology ~source ~duration =
   let id = t.next_id in
   t.next_id <- id + 1;
@@ -279,6 +336,7 @@ let submit t ~spec ~topology ~source ~duration =
       fresh_rules = Switch_id.Map.empty;
       last_install_counts = Switch_id.Map.empty;
       stale_counters = Switch_id.Map.empty;
+      staleness = 0;
     }
   in
   let view = view_of_runtime runtime in
@@ -445,13 +503,67 @@ let read_counters_reliable t r =
   in
   (data, readings)
 
+(* ---- circuit breakers (degraded mode only; [t.breakers] is empty
+   otherwise and every breaker hook below is a no-op) ---- *)
+
+let breaker_for t sw_id = if t.breakers = [||] then None else Some t.breakers.(sw_id)
+
+let record_breaker_failure t sw_id br =
+  let was_open = match Breaker.state br with Breaker.Open -> true | _ -> false in
+  Breaker.record_failure br;
+  match Breaker.state br with
+  | Breaker.Open when not was_open ->
+    Ctr.incr t.rob.breaker_opens;
+    trace_event t ~name:"breaker_open" [ ("switch", Tr.Int sw_id) ];
+    Log.info (fun m -> m "epoch %d: breaker OPEN for switch %d" t.epoch sw_id)
+  | _ -> ()
+
+let record_breaker_success t sw_id br =
+  let was_half_open = match Breaker.state br with Breaker.Half_open -> true | _ -> false in
+  Breaker.record_success br;
+  if was_half_open then begin
+    trace_event t ~name:"breaker_close" [ ("switch", Tr.Int sw_id) ];
+    Log.info (fun m -> m "epoch %d: breaker closed for switch %d (probe ok)" t.epoch sw_id)
+  end
+
+(* Modelled cost the deadline scheduler expects this task's fetch round to
+   incur: one batch per switch holding its rules, inflated by straggler
+   latency.  Partitioned switches cost their (failed) probe round trip;
+   open-breaker switches cost nothing — they are skipped outright. *)
+let estimate_fetch_cost t r =
+  let id = Task.id r.task in
+  let costs = delay_costs t in
+  Array.fold_left
+    (fun acc dp ->
+      let sw_id = Data_plane.id dp in
+      if Data_plane.down dp then acc
+      else begin
+        match breaker_for t sw_id with
+        | Some br when not (Breaker.allow br) -> acc
+        | _ -> begin
+          match Data_plane.rules_of dp ~owner:id with
+          | [] -> acc
+          | rules ->
+            let factor = Data_plane.latency_factor dp in
+            if Data_plane.partitioned dp then acc +. (costs.Delay_model.rtt_ms *. factor)
+            else
+              acc
+              +. ((costs.Delay_model.fetch_per_rule_ms *. float_of_int (List.length rules)
+                  +. costs.Delay_model.rtt_ms)
+                 *. factor)
+        end
+      end)
+    0.0 t.planes
+
 (* Fault-aware fetch: timed-out batches are retried with exponential
-   backoff while the epoch's retry budget lasts (retries cost control-loop
-   time exactly like slow installs do); a down switch, or a fetch
-   abandoned after retries, falls back to the previous epoch's readings.
+   backoff while the epoch's retry budget (and, in degraded mode, the
+   epoch deadline) lasts; a down, unreachable or breaker-skipped switch,
+   or a fetch abandoned after retries, falls back to the previous epoch's
+   readings.  [shed] short-circuits the whole round onto stale counters —
+   the deadline scheduler's decision, taken before any wire cost is paid.
    Returns the switches the task could not hear from, so the caller can
    decay the task's estimated accuracy after this epoch's estimate. *)
-let read_counters_faulty t r ~retry_budget ~fault_ms =
+let read_counters_faulty t r ~retry_budget ~fault_ms ~deadline ~shed =
   let id = Task.id r.task in
   let data = Source.next r.source in
   let costs = delay_costs t in
@@ -465,64 +577,108 @@ let read_counters_faulty t r ~retry_budget ~fault_ms =
       Ctr.incr t.rob.stale_epochs
     | Some [] | None -> ()
   in
-  Array.iter
-    (fun dp ->
-      let sw_id = Data_plane.id dp in
-      if Data_plane.down dp then begin
-        if Switch_id.Set.mem sw_id task_switches then begin
-          use_stale sw_id;
-          degraded := sw_id :: !degraded
-        end
-      end
-      else begin
-        let rules = Data_plane.rules_of dp ~owner:id in
-        if rules <> [] then begin
-          let aggregate = Epoch_data.switch_view data sw_id in
-          let rec attempt k =
-            match Data_plane.read dp ~owner:id aggregate with
-            | Ok pairs -> Some pairs
-            | Error `Down -> None
-            | Error `Timeout ->
-              Ctr.incr t.rob.fetch_timeouts;
-              let backoff = costs.Delay_model.rtt_ms *. (2.0 ** float_of_int k) in
-              if !retry_budget >= backoff then begin
-                retry_budget := !retry_budget -. backoff;
-                fault_ms := !fault_ms +. backoff;
-                Ctr.incr t.rob.fetch_retries;
-                attempt (k + 1)
-              end
-              else begin
-                Ctr.incr t.rob.fetch_failures;
-                None
-              end
-          in
-          match attempt 0 with
-          | Some pairs ->
-            let lost = List.length rules - List.length pairs in
-            if lost > 0 then Ctr.add t.rob.counters_lost lost;
-            let pairs = degrade_fresh t r sw_id pairs in
-            r.stale_counters <- Switch_id.Map.add sw_id pairs r.stale_counters;
-            readings := (sw_id, pairs) :: !readings
-          | None ->
+  if shed then
+    (* Traffic still flowed (the source draw above); the task just reports
+       from whatever it last heard. *)
+    Switch_id.Set.iter
+      (fun sw_id ->
+        use_stale sw_id;
+        degraded := sw_id :: !degraded)
+      task_switches
+  else
+    Array.iter
+      (fun dp ->
+        let sw_id = Data_plane.id dp in
+        if Data_plane.down dp then begin
+          if Switch_id.Set.mem sw_id task_switches then begin
             use_stale sw_id;
             degraded := sw_id :: !degraded
+          end
         end
-      end)
-    t.planes;
+        else begin
+          let rules = Data_plane.rules_of dp ~owner:id in
+          if rules <> [] then begin
+            match breaker_for t sw_id with
+            | Some br when not (Breaker.allow br) ->
+              Ctr.incr t.rob.breaker_skips;
+              use_stale sw_id;
+              degraded := sw_id :: !degraded
+            | br_opt ->
+              let aggregate = Epoch_data.switch_view data sw_id in
+              let factor = Data_plane.latency_factor dp in
+              let base =
+                (costs.Delay_model.fetch_per_rule_ms *. float_of_int (List.length rules))
+                +. costs.Delay_model.rtt_ms
+              in
+              (* The aggregate TCAM stats already price [base] per issued
+                 batch; stragglers owe the inflation on top, and the epoch
+                 deadline owes the whole inflated batch. *)
+              let charge_batch () =
+                fault_ms := !fault_ms +. (base *. (factor -. 1.0));
+                deadline := !deadline -. (base *. factor)
+              in
+              let rec attempt k =
+                match Data_plane.read dp ~owner:id aggregate with
+                | Ok pairs ->
+                  charge_batch ();
+                  `Fetched pairs
+                | Error `Down -> `Gone
+                | Error `Unreachable ->
+                  (* No route: nothing was priced in the TCAM stats, but
+                     the probe still costs the control loop a round trip. *)
+                  let probe = costs.Delay_model.rtt_ms *. factor in
+                  fault_ms := !fault_ms +. probe;
+                  deadline := !deadline -. probe;
+                  `Unreachable
+                | Error `Timeout ->
+                  charge_batch ();
+                  Ctr.incr t.rob.fetch_timeouts;
+                  let backoff = costs.Delay_model.rtt_ms *. (2.0 ** float_of_int k) in
+                  if !retry_budget >= backoff && !deadline >= backoff then begin
+                    retry_budget := !retry_budget -. backoff;
+                    fault_ms := !fault_ms +. backoff;
+                    deadline := !deadline -. backoff;
+                    Ctr.incr t.rob.fetch_retries;
+                    attempt (k + 1)
+                  end
+                  else begin
+                    Ctr.incr t.rob.fetch_failures;
+                    `Abandoned
+                  end
+              in
+              (match attempt 0 with
+              | `Fetched pairs ->
+                (match br_opt with Some br -> record_breaker_success t sw_id br | None -> ());
+                let lost = List.length rules - List.length pairs in
+                if lost > 0 then Ctr.add t.rob.counters_lost lost;
+                let pairs = degrade_fresh t r sw_id pairs in
+                r.stale_counters <- Switch_id.Map.add sw_id pairs r.stale_counters;
+                readings := (sw_id, pairs) :: !readings
+              | `Gone ->
+                use_stale sw_id;
+                degraded := sw_id :: !degraded
+              | `Unreachable | `Abandoned ->
+                (match br_opt with Some br -> record_breaker_failure t sw_id br | None -> ());
+                use_stale sw_id;
+                degraded := sw_id :: !degraded)
+          end
+        end)
+      t.planes;
   (data, List.rev !readings, List.rev !degraded)
 
-let read_counters t r ~retry_budget ~fault_ms =
+let read_counters t r ~retry_budget ~fault_ms ~deadline ~shed =
   match t.faults with
   | None ->
     let data, readings = read_counters_reliable t r in
     (data, readings, [])
-  | Some _ -> read_counters_faulty t r ~retry_budget ~fault_ms
+  | Some _ -> read_counters_faulty t r ~retry_budget ~fault_ms ~deadline ~shed
 
 (* Advance the fault model one epoch: crashed switches lose their TCAM
    contents before anything is fetched; recovered switches are remembered
    so this tick's rule sync can reinstall (and attribute) their rules. *)
 let advance_faults t =
   t.crash_pending <- false;
+  t.storm_pending <- 0;
   match t.faults with
   | None -> ()
   | Some fm ->
@@ -548,7 +704,45 @@ let advance_faults t =
       t.crash_pending <- true;
       trace_event t ~name:"controller_crash_scheduled" [];
       Log.info (fun m -> m "epoch %d: CONTROLLER crash scheduled" t.epoch)
-    end
+    end;
+    (* Sustained adversity: partition windows, admission storms, breakers. *)
+    List.iter
+      (fun g ->
+        trace_event t ~name:"partition" [ ("group", Tr.Int g) ];
+        Log.info (fun m -> m "epoch %d: switch group %d PARTITIONED" t.epoch g))
+      events.Fault_model.partitioned;
+    List.iter
+      (fun g ->
+        trace_event t ~name:"partition_heal" [ ("group", Tr.Int g) ];
+        (* A heal is a strong recovery signal: open breakers in the group
+           forfeit their cooldown and probe at this epoch's boundary
+           instead of blindly waiting it out. *)
+        Array.iteri
+          (fun sw br -> if Fault_model.group_of fm sw = g then Breaker.hint_probe br)
+          t.breakers;
+        Log.info (fun m -> m "epoch %d: switch group %d partition healed" t.epoch g))
+      events.Fault_model.healed;
+    Ctr.add t.rob.partitions (List.length events.Fault_model.partitioned);
+    Ctr.add t.rob.partition_epochs (Fault_model.partitioned_count fm);
+    if events.Fault_model.storm_tasks > 0 then begin
+      t.storm_pending <- events.Fault_model.storm_tasks;
+      trace_event t ~name:"admission_storm" [ ("tasks", Tr.Int events.Fault_model.storm_tasks) ]
+    end;
+    Array.iteri
+      (fun sw br ->
+        let was_open = match Breaker.state br with Breaker.Open -> true | _ -> false in
+        Breaker.begin_epoch br;
+        (match (was_open, Breaker.state br) with
+        | true, Breaker.Half_open ->
+          Ctr.incr t.rob.breaker_probes;
+          trace_event t ~name:"breaker_probe" [ ("switch", Tr.Int sw) ]
+        | _ -> ());
+        Obs.Registry.Gauge.set
+          (Obs.Registry.gauge t.registry
+             ~labels:[ ("switch", string_of_int sw) ]
+             "breaker_state")
+          (float_of_int (Breaker.state_code (Breaker.state br))))
+      t.breakers
 
 (* Quarantine: a down switch contributes nothing, so divide-and-merge must
    reconfigure the task's counters onto the healthy switches.  Zeroing the
@@ -584,9 +778,46 @@ let tick t =
   let fault_ms = ref 0.0 in
   let task_scores = ref [] in
   (* (id, kind, scored, satisfied) per task, for tasks.csv; tracing only *)
+  let dcfg = if t.breakers = [||] then None else t.config.Config.degraded in
+  let deadline =
+    ref
+      (match dcfg with
+      | Some d -> d.Config.deadline_fraction *. config.Config.epoch_ms
+      | None -> infinity)
+  in
+  (* Staleness-urgency order: the longest-starved tasks fetch first, so
+     when the deadline budget runs out it is the freshest tasks that shed.
+     With all-zero staleness the stable sort leaves task-id order intact —
+     the zero-adversity zero-diff guarantee. *)
+  let fetch_order =
+    match dcfg with
+    | None -> runtimes
+    | Some _ ->
+      List.stable_sort
+        (fun a b ->
+          match Int.compare b.staleness a.staleness with
+          | 0 -> Int.compare (Task.id a.task) (Task.id b.task)
+          | c -> c)
+        runtimes
+  in
   List.iter
     (fun r ->
-      let data, readings, degraded = read_counters t r ~retry_budget ~fault_ms in
+      (* Shed before paying any wire cost: if the task's expected fetch
+         round does not fit the remaining deadline budget, serve it stale —
+         unless bounded staleness forces the fetch through regardless. *)
+      let shed =
+        match dcfg with
+        | Some d when r.staleness < d.Config.shed_max_staleness ->
+          let est = estimate_fetch_cost t r in
+          est > 0.0 && est > !deadline
+        | _ -> false
+      in
+      if shed then begin
+        Ctr.incr t.rob.sheds;
+        trace_event t ~name:"shed"
+          [ ("task", Tr.Int (Task.id r.task)); ("staleness", Tr.Int r.staleness) ]
+      end;
+      let data, readings, degraded = read_counters t r ~retry_budget ~fault_ms ~deadline ~shed in
       Task.ingest_counters r.task readings;
       let t0 = now () in
       let report = Task.make_report r.task ~epoch:t.epoch in
@@ -598,9 +829,33 @@ let tick t =
          the smoothed accuracies the allocator reads. *)
       (match t.faults with
       | Some fm when degraded <> [] ->
-        let factor = (Fault_model.spec fm).Fault_model.stale_decay in
-        List.iter (fun sw -> Task.decay_accuracy r.task ~switch:sw ~factor ()) degraded
+        (* Bounded staleness caps the assumed uncertainty: under sustained
+           adversity (a partition that never heals) an unbounded decay
+           drives estimates to zero and the allocator into mass drops.  In
+           degraded mode the decay stops once the task has been stale for
+           [shed_max_staleness] epochs — the estimate is already discounted
+           by [stale_decay^bound] and holds there. *)
+        let apply =
+          match dcfg with
+          | Some d -> r.staleness < d.Config.shed_max_staleness
+          | None -> true
+        in
+        if apply then begin
+          let factor = (Fault_model.spec fm).Fault_model.stale_decay in
+          List.iter (fun sw -> Task.decay_accuracy r.task ~switch:sw ~factor ()) degraded
+        end
       | Some _ | None -> ());
+      (* Bounded-staleness bookkeeping: one level per consecutive epoch
+         with any stale or missing switch; a fully fresh round resets.
+         Feeds the staleness-urgency sort and the accuracy-decay fallback
+         above, and the task_staleness histogram exporters read. *)
+      (match dcfg with
+      | Some _ ->
+        r.staleness <- (if degraded = [] then 0 else r.staleness + 1);
+        Obs.Registry.Histogram.observe
+          (Obs.Registry.histogram t.registry "task_staleness")
+          (float_of_int r.staleness)
+      | None -> ());
       let truth = Ground_truth.evaluate r.ground_truth data report in
       let spec = Task.spec r.task in
       let scored =
@@ -616,7 +871,7 @@ let tick t =
         task_scores :=
           (Task.id r.task, Task_spec.kind_to_string spec.Task_spec.kind, scored, satisfied)
           :: !task_scores)
-    runtimes;
+    fetch_order;
   (* Allocation epoch: redistribute and decide drops. *)
   let allocate_clock = ref 0.0 in
   if t.epoch mod config.Config.allocation_interval = 0 then begin
@@ -769,7 +1024,7 @@ let tick t =
                 | Ok _ ->
                   decr budget;
                   incr removed
-                | Error `Down -> ()
+                | Error (`Down | `Unreachable) -> ()
               end)
             (Data_plane.rules_of dp ~owner:id))
         t.planes;
@@ -804,7 +1059,7 @@ let tick t =
                      desired and is retried next epoch. *)
                   decr budget;
                   Ctr.incr t.rob.install_failures
-                | Error (`Capacity | `Duplicate | `Down) -> ()
+                | Error (`Capacity | `Duplicate | `Down | `Unreachable) -> ()
               end)
             per_switch.(i);
           if not (Prefix.Set.is_empty !added) then begin
@@ -906,7 +1161,9 @@ let tick t =
         in
         Obs.Telemetry.record_task tel
           { Obs.Telemetry.epoch; task = id; kind; accuracy; satisfied; alloc })
-      (List.rev !task_scores);
+      (* task-id order regardless of the fetch schedule, so tasks.csv rows
+         are stable across degraded-mode reorderings *)
+      (List.sort (fun (a, _, _, _) (b, _, _, _) -> Int.compare a b) !task_scores);
     Array.iter
       (fun sw ->
         let stats = Tcam.stats (Switch.tcam sw) in
@@ -943,7 +1200,7 @@ let total_rules_fetched t = Ctr.value t.rules_fetched
 
 (* ---- checkpoints ---- *)
 
-let snapshot_magic = "dream-checkpoint v1"
+let snapshot_magic = "dream-checkpoint v2"
 
 let emit_config w (config : Config.t) =
   C.section w "config";
@@ -963,7 +1220,15 @@ let emit_config w (config : Config.t) =
   C.bool w "accuracy_overall" (config.Config.accuracy_mode = Task.Overall);
   C.bool w "has_install_budget" (config.Config.install_budget <> None);
   (match config.Config.install_budget with Some b -> C.int w "install_budget" b | None -> ());
-  C.bool w "check_invariants" config.Config.check_invariants
+  C.bool w "check_invariants" config.Config.check_invariants;
+  C.bool w "has_degraded" (config.Config.degraded <> None);
+  match config.Config.degraded with
+  | Some d ->
+    C.int w "breaker_threshold" d.Config.breaker.Breaker.failure_threshold;
+    C.int w "breaker_cooldown" d.Config.breaker.Breaker.cooldown_epochs;
+    C.float w "deadline_fraction" d.Config.deadline_fraction;
+    C.int w "shed_max_staleness" d.Config.shed_max_staleness
+  | None -> ()
 
 (* The fault spec is not part of this section: the live fault model (RNG
    streams and all) is serialized separately, and the restored config gets
@@ -992,6 +1257,21 @@ let parse_config r : Config.t =
     if C.bool_field r "has_install_budget" then Some (C.int_field r "install_budget") else None
   in
   let check_invariants = C.bool_field r "check_invariants" in
+  let degraded =
+    if C.bool_field r "has_degraded" then begin
+      let failure_threshold = C.int_field r "breaker_threshold" in
+      let cooldown_epochs = C.int_field r "breaker_cooldown" in
+      let deadline_fraction = C.float_field r "deadline_fraction" in
+      let shed_max_staleness = C.int_field r "shed_max_staleness" in
+      Some
+        {
+          Config.breaker = { Breaker.failure_threshold; cooldown_epochs };
+          deadline_fraction;
+          shed_max_staleness;
+        }
+    end
+    else None
+  in
   {
     Config.allocation_interval;
     drop_threshold;
@@ -1002,6 +1282,7 @@ let parse_config r : Config.t =
     accuracy_mode;
     install_budget;
     faults = None;
+    degraded;
     check_invariants;
     telemetry = None;
   }
@@ -1029,6 +1310,7 @@ let emit_runtime w r =
   C.float w "accuracy_sum" r.accuracy_sum;
   C.int w "poor_streak" r.poor_streak;
   C.int w "last_alloc_total" r.last_alloc_total;
+  C.int w "staleness" r.staleness;
   C.int w "fresh_rules" (Switch_id.Map.cardinal r.fresh_rules);
   Switch_id.Map.iter
     (fun sw set ->
@@ -1069,6 +1351,7 @@ let parse_runtime r =
   let accuracy_sum = C.float_field r "accuracy_sum" in
   let poor_streak = C.int_field r "poor_streak" in
   let last_alloc_total = C.int_field r "last_alloc_total" in
+  let staleness = C.int_field r "staleness" in
   let fresh_rules =
     let n = C.int_field r "fresh_rules" in
     C.repeat n (fun () ->
@@ -1120,6 +1403,7 @@ let parse_runtime r =
     fresh_rules;
     last_install_counts;
     stale_counters;
+    staleness;
   }
 
 let outcome_to_string = function
@@ -1188,7 +1472,13 @@ let emit_rob w (rob : Metrics.robustness) =
   C.int w "controller_crashes" rob.Metrics.controller_crashes;
   C.int w "reconcile_removed" rob.Metrics.reconcile_removed;
   C.int w "reconcile_installed" rob.Metrics.reconcile_installed;
-  C.int w "invariant_violations" rob.Metrics.invariant_violations
+  C.int w "invariant_violations" rob.Metrics.invariant_violations;
+  C.int w "partitions" rob.Metrics.partitions;
+  C.int w "partition_epochs" rob.Metrics.partition_epochs;
+  C.int w "breaker_opens" rob.Metrics.breaker_opens;
+  C.int w "breaker_probes" rob.Metrics.breaker_probes;
+  C.int w "breaker_skips" rob.Metrics.breaker_skips;
+  C.int w "sheds" rob.Metrics.sheds
 
 let parse_rob r : Metrics.robustness =
   C.expect_section r "robustness";
@@ -1206,9 +1496,16 @@ let parse_rob r : Metrics.robustness =
   let reconcile_removed = C.int_field r "reconcile_removed" in
   let reconcile_installed = C.int_field r "reconcile_installed" in
   let invariant_violations = C.int_field r "invariant_violations" in
+  let partitions = C.int_field r "partitions" in
+  let partition_epochs = C.int_field r "partition_epochs" in
+  let breaker_opens = C.int_field r "breaker_opens" in
+  let breaker_probes = C.int_field r "breaker_probes" in
+  let breaker_skips = C.int_field r "breaker_skips" in
+  let sheds = C.int_field r "sheds" in
   { Metrics.crashes; recoveries; switch_down_epochs; fetch_timeouts; fetch_retries;
     fetch_failures; stale_epochs; counters_lost; install_failures; recovery_reinstalls;
-    controller_crashes; reconcile_removed; reconcile_installed; invariant_violations }
+    controller_crashes; reconcile_removed; reconcile_installed; invariant_violations;
+    partitions; partition_epochs; breaker_opens; breaker_probes; breaker_skips; sheds }
 
 let snapshot t =
   let w = C.writer () in
@@ -1220,6 +1517,10 @@ let snapshot t =
   emit_config w t.config;
   C.bool w "has_faults" (t.faults <> None);
   (match t.faults with Some fm -> Fault_model.emit w fm | None -> ());
+  (* Breakers are live control-loop state: a failed-over controller must
+     not re-probe switches the dead one had already tripped on. *)
+  C.int w "breakers" (Array.length t.breakers);
+  Array.iter (fun br -> Breaker.emit w br) t.breakers;
   C.int w "num_switches" (Array.length t.switches);
   Array.iter
     (fun sw ->
@@ -1260,6 +1561,7 @@ type parsed_snapshot = {
   p_rules_fetched : int;
   p_config : Config.t; (* faults spec filled in by the caller *)
   p_faults : Fault_model.t option;
+  p_breakers : Breaker.t list;
   p_switches : (int * int * (int * Prefix.t list) list) list; (* id, capacity, dump *)
   p_allocator : Allocator.t;
   p_rob : Metrics.robustness;
@@ -1275,6 +1577,7 @@ let parse_snapshot r =
   let p_rules_fetched = C.int_field r "rules_fetched" in
   let p_config = parse_config r in
   let p_faults = if C.bool_field r "has_faults" then Some (Fault_model.parse r) else None in
+  let p_breakers = C.repeat (C.int_field r "breakers") (fun () -> Breaker.parse r) in
   let num_switches = C.int_field r "num_switches" in
   let p_switches =
     C.repeat num_switches (fun () ->
@@ -1293,8 +1596,8 @@ let parse_snapshot r =
   let p_rob = parse_rob r in
   let p_records = parse_records r in
   let p_runtimes = C.repeat (C.int_field r "runtimes") (fun () -> parse_runtime r) in
-  { p_epoch; p_next_id; p_rules_installed; p_rules_fetched; p_config; p_faults; p_switches;
-    p_allocator; p_rob; p_records; p_runtimes }
+  { p_epoch; p_next_id; p_rules_installed; p_rules_fetched; p_config; p_faults; p_breakers;
+    p_switches; p_allocator; p_rob; p_records; p_runtimes }
 
 let controller_of_parsed d ~switches ~planes ~faults ~tel =
   let active = Hashtbl.create 64 in
@@ -1330,6 +1633,8 @@ let controller_of_parsed d ~switches ~planes ~faults ~tel =
     recovered_now = Switch_id.Set.empty;
     journal = None;
     crash_pending = false;
+    breakers = Array.of_list d.p_breakers;
+    storm_pending = 0;
   }
 
 let restore s =
@@ -1410,6 +1715,7 @@ let replay_entry t state_epochs entry =
         fresh_rules = Switch_id.Map.empty;
         last_install_counts = Switch_id.Map.empty;
         stale_counters = Switch_id.Map.empty;
+        staleness = 0;
       }
     in
     Allocator.force_admit t.allocator (view_of_runtime runtime);
@@ -1518,7 +1824,9 @@ let recover ~env ~snapshot ~journal ~at_epoch =
               trace_event t ~name:"reconcile"
                 [ ("switch", Tr.Int sw_id); ("removed", Tr.Int strays_removed);
                   ("installed", Tr.Int missing_installed) ]
-          | Error `Down -> ())
+            (* A partitioned switch cannot be audited now; like a down
+               switch it is reconciled when it becomes reachable again. *)
+          | Error (`Down | `Unreachable) -> ())
         env.env_planes;
       Ctr.incr t.rob.controller_crashes;
       (* Break the replayed suffix down by entry kind, so the trace shows

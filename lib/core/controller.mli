@@ -141,6 +141,30 @@ val controller_crash_pending : t -> bool
     {!tick}.  The driver owning the controller decides what to do — in the
     crash-recovery experiment it builds a successor with {!recover}. *)
 
+val storm_tasks_pending : t -> int
+(** Extra task submissions the fault model's tenant admission storm asked
+    for during the last {!tick} (0 outside storms).  The driver owning
+    the workload decides what to submit; the controller's admission
+    control treats storm tasks like any others. *)
+
+val degraded_mode : t -> bool
+(** Whether the degraded-mode machinery (breakers, deadline scheduler) is
+    active — i.e. both [config.degraded] and [config.faults] were set. *)
+
+val breaker_states : t -> Dream_switch.Breaker.state array
+(** Current per-switch circuit-breaker states; empty array outside
+    degraded mode. *)
+
+val staleness_of : t -> task_id:int -> int option
+(** The task's bounded-staleness level: consecutive epochs it reported
+    with at least one stale or missing switch.  [None] if not active. *)
+
+val staleness_levels : t -> int list
+(** Staleness levels of all active tasks, ascending. *)
+
+val max_staleness : t -> int
+(** Largest staleness level among active tasks (0 when none). *)
+
 val snapshot : t -> string
 (** Serialize the full controller state — config, fault model, allocator,
     every switch's installed rules, all records and robustness counters,

@@ -28,6 +28,12 @@ type robustness = {
   reconcile_removed : int;
   reconcile_installed : int;
   invariant_violations : int;
+  partitions : int;
+  partition_epochs : int;
+  breaker_opens : int;
+  breaker_probes : int;
+  breaker_skips : int;
+  sheds : int;
 }
 
 let no_faults =
@@ -46,6 +52,12 @@ let no_faults =
     reconcile_removed = 0;
     reconcile_installed = 0;
     invariant_violations = 0;
+    partitions = 0;
+    partition_epochs = 0;
+    breaker_opens = 0;
+    breaker_probes = 0;
+    breaker_skips = 0;
+    sheds = 0;
   }
 
 type summary = {
@@ -96,6 +108,12 @@ let pp_robustness ppf r =
   if r.controller_crashes > 0 || r.reconcile_removed > 0 || r.reconcile_installed > 0 then
     Format.fprintf ppf " controller-crashes=%d reconciled(-%d +%d)" r.controller_crashes
       r.reconcile_removed r.reconcile_installed;
+  if r.partitions > 0 || r.partition_epochs > 0 then
+    Format.fprintf ppf " partitions=%d partition-epochs=%d" r.partitions r.partition_epochs;
+  if r.breaker_opens > 0 || r.breaker_probes > 0 || r.breaker_skips > 0 then
+    Format.fprintf ppf " breaker(opens=%d probes=%d skips=%d)" r.breaker_opens r.breaker_probes
+      r.breaker_skips;
+  if r.sheds > 0 then Format.fprintf ppf " sheds=%d" r.sheds;
   if r.invariant_violations > 0 then
     Format.fprintf ppf " INVARIANT-VIOLATIONS=%d" r.invariant_violations
 

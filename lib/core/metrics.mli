@@ -31,6 +31,12 @@ type robustness = {
   reconcile_removed : int;  (** stray rules deleted by the post-crash switch audit *)
   reconcile_installed : int;  (** missing rules reinstalled by the post-crash switch audit *)
   invariant_violations : int;  (** violations flagged by the runtime invariant checker *)
+  partitions : int;  (** control-channel partition windows that opened *)
+  partition_epochs : int;  (** sum over epochs of unreachable-switch count *)
+  breaker_opens : int;  (** circuit-breaker trips (including probe-failure re-opens) *)
+  breaker_probes : int;  (** half-open probes issued by open breakers *)
+  breaker_skips : int;  (** fetches skipped outright because a breaker was open *)
+  sheds : int;  (** task fetches shed by the epoch-deadline scheduler *)
 }
 
 val no_faults : robustness

@@ -12,6 +12,14 @@ type spec = {
   stale_decay : float;
   retry_budget_fraction : float;
   controller_crash_rate : float;
+  partition_rate : float;
+  mean_partition : float;
+  partition_groups : int;
+  partition_eligible : int;
+  straggler_fraction : float;
+  straggler_slowdown : float;
+  storm_rate : float;
+  storm_size : int;
 }
 
 let zero =
@@ -26,6 +34,14 @@ let zero =
     stale_decay = 0.9;
     retry_budget_fraction = 0.5;
     controller_crash_rate = 0.0;
+    partition_rate = 0.0;
+    mean_partition = 8.0;
+    partition_groups = 4;
+    partition_eligible = 4;
+    straggler_fraction = 0.0;
+    straggler_slowdown = 4.0;
+    storm_rate = 0.0;
+    storm_size = 6;
   }
 
 let uniform ?(seed = 0) rate =
@@ -42,13 +58,31 @@ let uniform ?(seed = 0) rate =
     perturb_stddev = rate /. 10.0;
   }
 
+let adversity ?(seed = 0) level =
+  if level < 0.0 || level > 1.0 then invalid_arg "Fault_model.adversity: level must be in [0, 1]";
+  {
+    zero with
+    seed;
+    (* Sustained adversity, not point faults: lossy channels plus partition
+       windows, slow control channels on half the fleet, and tenant storms.
+       At level 0 every rate is zero, so the spec injects nothing. *)
+    fetch_timeout_rate = 0.25 *. level;
+    partition_rate = 0.1 *. level;
+    mean_partition = 10.0;
+    straggler_fraction = 0.5 *. level;
+    straggler_slowdown = 1.0 +. (3.0 *. level);
+    storm_rate = 0.1 *. level;
+  }
+
 let pp_spec ppf s =
   Format.fprintf ppf
     "seed=%d crash=%g downtime=%g timeout=%g loss=%g install_fail=%g perturb=%g decay=%g \
-     retry_budget=%g ctrl_crash=%g"
+     retry_budget=%g ctrl_crash=%g partition=%g partition_mean=%g groups=%d/%d straggler=%g \
+     slowdown=%g storm=%g storm_size=%d"
     s.seed s.crash_rate s.mean_downtime s.fetch_timeout_rate s.counter_loss_rate
     s.install_failure_rate s.perturb_stddev s.stale_decay s.retry_budget_fraction
-    s.controller_crash_rate
+    s.controller_crash_rate s.partition_rate s.mean_partition s.partition_eligible
+    s.partition_groups s.straggler_fraction s.straggler_slowdown s.storm_rate s.storm_size
 
 let validate spec =
   let check_rate name v =
@@ -65,7 +99,16 @@ let validate spec =
     invalid_arg "Fault_model: stale_decay must be in (0, 1]";
   if spec.retry_budget_fraction < 0.0 || spec.retry_budget_fraction > 1.0 then
     invalid_arg "Fault_model: retry_budget_fraction must be in [0, 1]";
-  check_rate "controller_crash_rate" spec.controller_crash_rate
+  check_rate "controller_crash_rate" spec.controller_crash_rate;
+  check_rate "partition_rate" spec.partition_rate;
+  if spec.mean_partition < 1.0 then invalid_arg "Fault_model: mean_partition must be >= 1 epoch";
+  if spec.partition_groups < 1 then invalid_arg "Fault_model: partition_groups must be >= 1";
+  if spec.partition_eligible < 0 then invalid_arg "Fault_model: partition_eligible must be >= 0";
+  check_rate "straggler_fraction" spec.straggler_fraction;
+  if spec.straggler_slowdown < 1.0 then
+    invalid_arg "Fault_model: straggler_slowdown must be >= 1";
+  check_rate "storm_rate" spec.storm_rate;
+  if spec.storm_size < 0 then invalid_arg "Fault_model: storm_size must be >= 0"
 
 type switch_state = {
   lifecycle : Rng.t; (* crash / recovery draws *)
@@ -77,14 +120,23 @@ type events = {
   crashed : Switch_id.t list;
   recovered : Switch_id.t list;
   controller_crashed : bool;
+  partitioned : int list;
+  healed : int list;
+  storm_tasks : int;
 }
 
 type t = {
   spec : spec;
   states : switch_state array;
   controller : Rng.t; (* controller-crash draws, one per epoch *)
+  partition : Rng.t; (* per-group partition window draws *)
+  storm : Rng.t; (* admission-storm draws, one per epoch *)
+  partition_until : int array; (* per group; <= epoch means reachable *)
+  stragglers : bool array; (* per switch, fixed at creation *)
   mutable epoch : int;
 }
+
+let group_of t sw = sw mod t.spec.partition_groups
 
 let create spec ~num_switches =
   validate spec;
@@ -102,7 +154,23 @@ let create spec ~num_switches =
   (* Split after the per-switch streams: adding controller crashes must not
      perturb the switch fault schedules existing experiments replay. *)
   let controller = Rng.split master in
-  { spec; states; controller; epoch = 0 }
+  (* Adversity streams split after everything PR 1 and PR 4 established, and
+     straggler selection only draws when the fraction is positive, so specs
+     that predate sustained adversity replay byte-identically. *)
+  let partition = Rng.split master in
+  let storm = Rng.split master in
+  let select = Rng.split master in
+  let stragglers = Array.make num_switches false in
+  if spec.straggler_fraction > 0.0 then begin
+    let order = Array.init num_switches (fun i -> i) in
+    Rng.shuffle select order;
+    let slow =
+      int_of_float (Float.round (spec.straggler_fraction *. float_of_int num_switches))
+    in
+    Array.iteri (fun rank sw -> if rank < slow then stragglers.(sw) <- true) order
+  end;
+  let partition_until = Array.make spec.partition_groups 0 in
+  { spec; states; controller; partition; storm; partition_until; stragglers; epoch = 0 }
 
 let spec t = t.spec
 
@@ -139,7 +207,34 @@ let begin_epoch t =
     t.spec.controller_crash_rate > 0.0
     && Rng.bernoulli t.controller t.spec.controller_crash_rate
   in
-  { crashed = List.rev !crashed; recovered = List.rev !recovered; controller_crashed }
+  let partitioned = ref [] and healed = ref [] in
+  Array.iteri
+    (fun g until ->
+      if until > 0 && until = t.epoch then healed := g :: !healed;
+      (* Same one-epoch grace as crash recovery: a group that just healed is
+         reachable for at least one epoch before it can partition again. *)
+      if g < t.spec.partition_eligible && until < t.epoch && t.spec.partition_rate > 0.0
+         && Rng.bernoulli t.partition t.spec.partition_rate
+      then begin
+        let span =
+          max 1 (int_of_float (Float.round (Rng.exponential t.partition t.spec.mean_partition)))
+        in
+        t.partition_until.(g) <- t.epoch + span;
+        partitioned := g :: !partitioned
+      end)
+    t.partition_until;
+  let storm_tasks =
+    if t.spec.storm_rate > 0.0 && Rng.bernoulli t.storm t.spec.storm_rate then t.spec.storm_size
+    else 0
+  in
+  {
+    crashed = List.rev !crashed;
+    recovered = List.rev !recovered;
+    controller_crashed;
+    partitioned = List.rev !partitioned;
+    healed = List.rev !healed;
+    storm_tasks;
+  }
 
 let fetch_times_out t sw =
   let s = state t sw in
@@ -159,6 +254,25 @@ let perturb t sw v =
     let s = state t sw in
     Float.max 0.0 (v *. (1.0 +. (t.spec.perturb_stddev *. Rng.gaussian s.data)))
   end
+
+let is_partitioned t sw =
+  let _ = state t sw in
+  t.partition_until.(group_of t sw) > t.epoch
+
+let partitioned_count t =
+  let n = ref 0 in
+  for sw = 0 to Array.length t.states - 1 do
+    if is_partitioned t sw then incr n
+  done;
+  !n
+
+let is_straggler t sw =
+  let _ = state t sw in
+  t.stragglers.(sw)
+
+let straggler_count t = Array.fold_left (fun acc s -> if s then acc + 1 else acc) 0 t.stragglers
+
+let latency_factor t sw = if is_straggler t sw then t.spec.straggler_slowdown else 1.0
 
 (* ---- checkpoint serialization ---- *)
 
@@ -191,15 +305,27 @@ let emit w t =
   C.float w "stale_decay" t.spec.stale_decay;
   C.float w "retry_budget_fraction" t.spec.retry_budget_fraction;
   C.float w "controller_crash_rate" t.spec.controller_crash_rate;
+  C.float w "partition_rate" t.spec.partition_rate;
+  C.float w "mean_partition" t.spec.mean_partition;
+  C.int w "partition_groups" t.spec.partition_groups;
+  C.int w "partition_eligible" t.spec.partition_eligible;
+  C.float w "straggler_fraction" t.spec.straggler_fraction;
+  C.float w "straggler_slowdown" t.spec.straggler_slowdown;
+  C.float w "storm_rate" t.spec.storm_rate;
+  C.int w "storm_size" t.spec.storm_size;
   C.int w "epoch" t.epoch;
   emit_rng w "controller" t.controller;
+  emit_rng w "partition" t.partition;
+  emit_rng w "storm" t.storm;
+  Array.iter (fun until -> C.int w "partition_until" until) t.partition_until;
   C.int w "switches" (Array.length t.states);
   Array.iter
     (fun s ->
       emit_rng w "lifecycle" s.lifecycle;
       emit_rng w "data" s.data;
       C.int w "down_until" s.down_until)
-    t.states
+    t.states;
+  Array.iter (fun slow -> C.int w "straggler" (if slow then 1 else 0)) t.stragglers
 
 let parse r =
   let module C = Dream_util.Codec in
@@ -214,6 +340,14 @@ let parse r =
   let stale_decay = C.float_field r "stale_decay" in
   let retry_budget_fraction = C.float_field r "retry_budget_fraction" in
   let controller_crash_rate = C.float_field r "controller_crash_rate" in
+  let partition_rate = C.float_field r "partition_rate" in
+  let mean_partition = C.float_field r "mean_partition" in
+  let partition_groups = C.int_field r "partition_groups" in
+  let partition_eligible = C.int_field r "partition_eligible" in
+  let straggler_fraction = C.float_field r "straggler_fraction" in
+  let straggler_slowdown = C.float_field r "straggler_slowdown" in
+  let storm_rate = C.float_field r "storm_rate" in
+  let storm_size = C.int_field r "storm_size" in
   let spec =
     {
       seed;
@@ -226,11 +360,24 @@ let parse r =
       stale_decay;
       retry_budget_fraction;
       controller_crash_rate;
+      partition_rate;
+      mean_partition;
+      partition_groups;
+      partition_eligible;
+      straggler_fraction;
+      straggler_slowdown;
+      storm_rate;
+      storm_size;
     }
   in
   validate spec;
   let epoch = C.int_field r "epoch" in
   let controller = parse_rng r "controller" in
+  let partition = parse_rng r "partition" in
+  let storm = parse_rng r "storm" in
+  let partition_until =
+    C.repeat partition_groups (fun () -> C.int_field r "partition_until") |> Array.of_list
+  in
   let n = C.int_field r "switches" in
   let states =
     C.repeat n (fun () ->
@@ -240,4 +387,7 @@ let parse r =
         { lifecycle; data; down_until })
     |> Array.of_list
   in
-  { spec; states; controller; epoch }
+  let stragglers =
+    C.repeat n (fun () -> C.int_field r "straggler" <> 0) |> Array.of_list
+  in
+  { spec; states; controller; partition; storm; partition_until; stragglers; epoch }

@@ -30,6 +30,25 @@ type spec = {
   controller_crash_rate : float;
       (** per-epoch probability the controller itself crashes and must
           recover from its last checkpoint + journal *)
+  partition_rate : float;
+      (** per-group per-epoch probability the control channel to that
+          switch group partitions (TCAM state survives; the controller
+          just cannot reach it) *)
+  mean_partition : float;  (** mean epochs a partition window lasts (>= 1) *)
+  partition_groups : int;
+      (** switches are grouped as [sw mod partition_groups]; a partition
+          takes out a whole group at once (correlated reachability) *)
+  partition_eligible : int;
+      (** only groups with index < [partition_eligible] ever partition —
+          a deterministic knob for "exactly this fraction of the fleet
+          can become unreachable" experiments *)
+  straggler_fraction : float;
+      (** fraction of switches (chosen once, seeded) whose control channel
+          is persistently slow *)
+  straggler_slowdown : float;
+      (** latency multiplier on straggler control channels (>= 1) *)
+  storm_rate : float;  (** per-epoch probability of a tenant admission storm *)
+  storm_size : int;  (** extra task submissions a storm injects *)
 }
 
 val zero : spec
@@ -41,6 +60,13 @@ val uniform : ?seed:int -> float -> spec
     loss and install-failure rates equal [rate]; crashes and perturbation
     at [rate / 10].  @raise Invalid_argument unless [rate] is in [0, 1]. *)
 
+val adversity : ?seed:int -> float -> spec
+(** [adversity ~seed level] scales the sustained-adversity modes from one
+    knob in [0, 1]: partition and storm rates at [level / 10], fetch
+    timeouts at [level / 4], half the fleet stragglers with slowdown
+    [1 + 3 * level].  Level 0 equals {!zero}: injects nothing.
+    @raise Invalid_argument unless [level] is in [0, 1]. *)
+
 val pp_spec : Format.formatter -> spec -> unit
 (** One line, every knob — recorded in the telemetry trace so an exported
     bundle is self-describing about the fault schedule it ran under. *)
@@ -51,6 +77,9 @@ type events = {
   crashed : Dream_traffic.Switch_id.t list;
   recovered : Dream_traffic.Switch_id.t list;
   controller_crashed : bool;  (** the controller dies at the start of this epoch *)
+  partitioned : int list;  (** groups whose control channel partitioned this epoch *)
+  healed : int list;  (** groups whose partition window just closed *)
+  storm_tasks : int;  (** extra task submissions an admission storm injects now *)
 }
 
 val create : spec -> num_switches:int -> t
@@ -84,6 +113,24 @@ val install_fails : t -> Dream_traffic.Switch_id.t -> bool
 val perturb : t -> Dream_traffic.Switch_id.t -> float -> float
 (** Apply multiplicative Gaussian noise to a counter value (clamped at 0);
     identity when [perturb_stddev = 0]. *)
+
+val group_of : t -> Dream_traffic.Switch_id.t -> int
+(** The partition group a switch belongs to ([sw mod partition_groups]). *)
+
+val is_partitioned : t -> Dream_traffic.Switch_id.t -> bool
+(** The switch's group is inside a reachability window: its TCAM keeps
+    counting but the controller cannot fetch, install or delete. *)
+
+val partitioned_count : t -> int
+(** Switches currently unreachable through a partition. *)
+
+val is_straggler : t -> Dream_traffic.Switch_id.t -> bool
+
+val straggler_count : t -> int
+
+val latency_factor : t -> Dream_traffic.Switch_id.t -> float
+(** Control-channel latency multiplier: [straggler_slowdown] on straggler
+    switches, 1.0 everywhere else. *)
 
 val emit : Dream_util.Codec.writer -> t -> unit
 (** Append the full model state — spec, epoch, every RNG stream and

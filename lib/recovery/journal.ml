@@ -220,6 +220,17 @@ let entry_to_string e =
   C.contents w
 
 let entries_of_string s =
+  (* Every encoded line ends in '\n', so bytes after the last newline can
+     only be a torn final append.  Drop them before parsing: a truncated
+     value line ("0x1.9p-1" cut to "0x1.9") would otherwise still parse,
+     silently recovering a corrupted value instead of dropping the torn
+     entry. *)
+  let s =
+    match String.rindex_opt s '\n' with
+    | Some i when i < String.length s - 1 -> String.sub s 0 (i + 1)
+    | Some _ -> s
+    | None -> ""
+  in
   let r = C.reader_of_string s in
   let rec go acc =
     if C.at_end r then Ok (List.rev acc)

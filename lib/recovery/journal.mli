@@ -78,7 +78,10 @@ val entry_to_string : entry -> string
 val entries_of_string : string -> (entry list, string) result
 (** Parse a journal body.  A torn final entry (the classic crash-while-
     appending artifact) is dropped rather than rejected: everything before
-    it was written completely and remains replayable.  A malformed entry
+    it was written completely and remains replayable.  The tail may be
+    torn at {e any} byte — a trailing fragment with no final newline is
+    discarded outright, never parsed, so a truncated value line cannot be
+    recovered as a silently corrupted field.  A malformed entry
     {e followed by} further entries is a corruption, not a torn tail, and
     yields [Error]. *)
 

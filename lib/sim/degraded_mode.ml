@@ -1,0 +1,224 @@
+module Scenario = Dream_workload.Scenario
+module Arrival = Dream_workload.Arrival
+module Config = Dream_core.Config
+module Controller = Dream_core.Controller
+module Metrics = Dream_core.Metrics
+module Fault_model = Dream_fault.Fault_model
+module Source = Dream_traffic.Source
+
+type point = {
+  level : float;
+  mode : string;
+  summary : Metrics.summary;
+  mean_accuracy : float; (* over admitted tasks, in [0, 1] *)
+  deadline_ms : float;
+  deadline_violations : int;
+  worst_fetch_ms : float;
+  max_staleness : int;
+  storm_submissions : int;
+}
+
+let default_levels = [ 0.0; 0.25; 0.5; 1.0 ]
+
+let mean_accuracy records =
+  let accs =
+    List.filter_map
+      (fun (r : Metrics.record) ->
+        match r.Metrics.outcome with
+        | Metrics.Rejected -> None
+        | Metrics.Completed | Metrics.Dropped -> Some r.Metrics.mean_accuracy)
+      records
+  in
+  Dream_util.Stats.mean accs
+
+(* Storms submit real tasks, so they need real specs, topologies and
+   traffic.  The pool is a second arrival schedule derived deterministically
+   from the scenario seed — shorter-lived tasks, drawn in order as storms
+   fire, so a (scenario, fault seed) pair always storms identically. *)
+let storm_pool scenario =
+  let s =
+    {
+      scenario with
+      Scenario.seed = scenario.Scenario.seed + 7919;
+      num_tasks = max 8 (scenario.Scenario.num_tasks / 2);
+      mean_duration = max 5 (scenario.Scenario.mean_duration / 4);
+    }
+  in
+  Arrival.schedule s
+
+let submit controller (s : Arrival.submission) =
+  ignore
+    (Controller.submit controller ~spec:s.Arrival.spec ~topology:s.Arrival.topology
+       ~source:(Source.of_generator s.Arrival.generator) ~duration:s.Arrival.duration)
+
+(* Experiment.run's driver loop, extended with the two things this sweep
+   measures: tenant admission storms (the controller signals how many extra
+   submissions the fault model asked for; we feed it from the storm pool)
+   and per-epoch deadline accounting against the modelled fetch time. *)
+let drive ?telemetry ~config ~deadline_ms scenario strategy =
+  let config = { config with Config.telemetry } in
+  let controller =
+    Controller.create ~config ~strategy ~num_switches:scenario.Scenario.num_switches
+      ~capacity:scenario.Scenario.capacity
+  in
+  let pending = ref (Arrival.schedule scenario) in
+  let reserve = ref (storm_pool scenario) in
+  let storm_submissions = ref 0 in
+  let max_stale = ref 0 in
+  for epoch = 0 to scenario.Scenario.total_epochs - 1 do
+    let want = Controller.storm_tasks_pending controller in
+    for _ = 1 to want do
+      match !reserve with
+      | [] -> ()
+      | s :: rest ->
+        reserve := rest;
+        incr storm_submissions;
+        submit controller s
+    done;
+    let due, rest =
+      List.partition (fun (s : Arrival.submission) -> s.Arrival.arrival <= epoch) !pending
+    in
+    pending := rest;
+    List.iter (submit controller) due;
+    Controller.tick controller;
+    max_stale := max !max_stale (Controller.max_staleness controller)
+  done;
+  Controller.finalize controller;
+  let samples = Controller.delay_samples controller in
+  let violations =
+    List.fold_left
+      (fun n (s : Controller.delay_sample) ->
+        if s.Controller.fetch_ms > deadline_ms +. 1e-6 then n + 1 else n)
+      0 samples
+  in
+  let worst =
+    List.fold_left (fun w (s : Controller.delay_sample) -> Float.max w s.Controller.fetch_ms) 0.0
+      samples
+  in
+  (controller, violations, worst, !max_stale, !storm_submissions)
+
+let run_spec ?telemetry ?(config = Config.default) ~mode ~level ~degraded spec scenario strategy =
+  let config = { config with Config.faults = Some spec; Config.degraded = degraded } in
+  let deadline_ms =
+    let d = match degraded with Some d -> d | None -> Config.default_degraded in
+    d.Config.deadline_fraction *. config.Config.epoch_ms
+  in
+  let controller, deadline_violations, worst_fetch_ms, max_staleness, storm_submissions =
+    drive ?telemetry ~config ~deadline_ms scenario strategy
+  in
+  {
+    level;
+    mode;
+    summary = Controller.summary controller;
+    mean_accuracy = mean_accuracy (Controller.records controller);
+    deadline_ms;
+    deadline_violations;
+    worst_fetch_ms;
+    max_staleness;
+    storm_submissions;
+  }
+
+let run_point ?telemetry ?config ?(fault_seed = 97) ?(degraded = Some Config.default_degraded)
+    scenario strategy level =
+  let mode = match degraded with Some _ -> "degraded" | None -> "baseline" in
+  run_spec ?telemetry ?config ~mode ~level ~degraded
+    (Fault_model.adversity ~seed:fault_seed level)
+    scenario strategy
+
+let sweep ?config ?fault_seed ?(levels = default_levels) scenario strategy =
+  List.concat_map
+    (fun level ->
+      [
+        run_point ?config ?fault_seed ~degraded:(Some Config.default_degraded) scenario strategy
+          level;
+        run_point ?config ?fault_seed ~degraded:None scenario strategy level;
+      ])
+    levels
+
+(* The acceptance experiment: partitions always take out exactly a quarter
+   of the fleet.  With [partition_groups = 4] and [partition_eligible = 1],
+   only group 0 (switches congruent to 0 mod 4) can partition.  The default
+   rate gives recurring windows with a roughly 50% duty cycle
+   (rate * mean / (1 + rate * mean)); [~rate:1.0] makes the partition
+   essentially permanent — the sustained extreme the figure also plots. *)
+let quarter_partition_spec ?(seed = 97) ?(rate = 0.12) () =
+  {
+    Fault_model.zero with
+    Fault_model.seed;
+    partition_rate = rate;
+    mean_partition = 8.0;
+    partition_groups = 4;
+    partition_eligible = 1;
+  }
+
+type quarter = {
+  q_baseline : point;
+  q_partition : point;
+  q_stall : point;
+  q_sustained : point;
+}
+
+let run_quarter ?config ?(fault_seed = 97) scenario strategy =
+  let degraded = Some Config.default_degraded in
+  let q_baseline =
+    run_spec ?config ~mode:"no-partition" ~level:0.0 ~degraded
+      { Fault_model.zero with Fault_model.seed = fault_seed }
+      scenario strategy
+  in
+  let spec = quarter_partition_spec ~seed:fault_seed () in
+  let q_partition =
+    run_spec ?config ~mode:"partition-25%" ~level:0.25 ~degraded spec scenario strategy
+  in
+  let q_stall = run_spec ?config ~mode:"stall-25%" ~level:0.25 ~degraded:None spec scenario strategy in
+  let q_sustained =
+    run_spec ?config ~mode:"sustained-25%" ~level:0.25 ~degraded
+      (quarter_partition_spec ~seed:fault_seed ~rate:1.0 ())
+      scenario strategy
+  in
+  { q_baseline; q_partition; q_stall; q_sustained }
+
+let print_points points =
+  Table.row
+    [
+      "level"; "mode"; "mean-sat"; "p5-sat"; "drop%"; "ddl-viol"; "worst-fetch"; "max-stale";
+      "sheds"; "brk-open"; "brk-skip"; "part-ep";
+    ];
+  List.iter
+    (fun p ->
+      let s = p.summary in
+      let r = s.Metrics.robustness in
+      Table.row
+        [
+          Printf.sprintf "%.2f" p.level;
+          p.mode;
+          Table.pct s.Metrics.mean_satisfaction;
+          Table.pct s.Metrics.p5_satisfaction;
+          Table.pct s.Metrics.drop_pct;
+          string_of_int p.deadline_violations;
+          Printf.sprintf "%.0fms" p.worst_fetch_ms;
+          string_of_int p.max_staleness;
+          string_of_int r.Metrics.sheds;
+          string_of_int r.Metrics.breaker_opens;
+          string_of_int r.Metrics.breaker_skips;
+          string_of_int r.Metrics.partition_epochs;
+        ])
+    points
+
+let run ~quick =
+  let base = if quick then Fig06.quick_scale Scenario.default else Scenario.default in
+  let levels = if quick then [ 0.0; 0.5; 1.0 ] else default_levels in
+  Table.heading
+    "degraded mode: fast-degrade (breakers + deadline shedding) vs stall-baseline, by adversity \
+     level";
+  print_points (sweep ~levels base Experiment.dream_strategy);
+  Table.subheading
+    "25% partition acceptance (groups=4, eligible=1; recurring ~50% duty, plus the sustained \
+     extreme)";
+  let q = run_quarter base Experiment.dream_strategy in
+  print_points [ q.q_baseline; q.q_partition; q.q_stall; q.q_sustained ];
+  let b = q.q_baseline.summary.Metrics.mean_satisfaction in
+  let p = q.q_partition.summary.Metrics.mean_satisfaction in
+  let drop = if b > 0.0 then (b -. p) /. b *. 100.0 else 0.0 in
+  Format.fprintf Table.out
+    "@.satisfaction drop under 25%% partition: %.1f%% (budget 15%%); deadline violations: %d@."
+    drop q.q_partition.deadline_violations

@@ -15,6 +15,8 @@ let registry : (string * string * (quick:bool -> unit)) list =
     ("crash-recovery", "checkpoint/journal fail-over vs controller crash rate", Crash_recovery.run);
     ("telemetry-overhead", "epoch-time cost of the telemetry exporters (on vs off)",
      Telemetry_overhead.run);
+    ("degraded-mode", "fast-degrade vs stall-baseline under partitions/stragglers/storms",
+     Degraded_mode.run);
   ]
 
 let all = List.map (fun (id, descr, _) -> (id, descr)) registry

@@ -4,6 +4,9 @@ module Fault_model = Dream_fault.Fault_model
 module Telemetry = Dream_obs.Telemetry
 module Trace = Dream_obs.Trace
 module Clock = Dream_obs.Clock
+module Json = Dream_obs.Json
+
+let json_path = "BENCH_telemetry_overhead.json"
 
 (* A fault-injecting scenario so the event paths (crashes, retries, stale
    fallbacks) are part of what gets priced, not just the happy path. *)
@@ -69,4 +72,32 @@ let run ~quick =
   | None -> ());
   let identical = off.Experiment.summary = on.Experiment.summary in
   Format.fprintf Table.out "zero-diff check: summaries %s@."
-    (if identical then "identical" else "DIVERGED — telemetry touched simulation state!")
+    (if identical then "identical" else "DIVERGED — telemetry touched simulation state!");
+  (* Machine-readable snapshot, so CI (and the bench-trajectory tooling)
+     can track the overhead across commits without scraping the table. *)
+  let trace_items =
+    match !last_bundle with
+    | Some bundle -> Trace.length (Telemetry.trace bundle)
+    | None -> 0
+  in
+  let doc =
+    Json.Obj
+      [
+        ("bench", Json.Str "telemetry_overhead");
+        ("quick", Json.Bool quick);
+        ("epochs", Json.Int epochs);
+        ("reps", Json.Int reps);
+        ("disabled_s", Json.Float off_s);
+        ("enabled_s", Json.Float on_s);
+        ("disabled_ms_per_epoch", Json.Float (ms_per_epoch off_s));
+        ("enabled_ms_per_epoch", Json.Float (ms_per_epoch on_s));
+        ("overhead_pct", Json.Float overhead);
+        ("trace_items", Json.Int trace_items);
+        ("zero_diff", Json.Bool identical);
+      ]
+  in
+  let oc = open_out json_path in
+  output_string oc (Json.to_string doc);
+  output_char oc '\n';
+  close_out oc;
+  Format.fprintf Table.out "snapshot: %s@." json_path

@@ -2,6 +2,13 @@
     telemetry bundle attached and detached, report the per-epoch cost of
     tracing + metrics (< 5% is the budget; detached must be free), and
     check the two runs produced identical summaries — the zero-diff
-    guarantee made visible in the bench output. *)
+    guarantee made visible in the bench output.
+
+    Besides the table, the run writes a machine-readable snapshot of the
+    same numbers to {!json_path} in the working directory, one compact
+    JSON object per run, for CI trend tracking. *)
+
+val json_path : string
+(** ["BENCH_telemetry_overhead.json"] *)
 
 val run : quick:bool -> unit

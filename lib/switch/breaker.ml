@@ -1,0 +1,110 @@
+(* Per-switch circuit breaker over the control channel.  Entirely
+   deterministic: state advances only on recorded outcomes and epoch
+   boundaries, never on randomness, so a fixed fault schedule always
+   produces the same transition sequence. *)
+
+type config = { failure_threshold : int; cooldown_epochs : int }
+
+let default_config = { failure_threshold = 3; cooldown_epochs = 4 }
+
+let validate_config c =
+  if c.failure_threshold < 1 then invalid_arg "Breaker: failure_threshold must be >= 1";
+  if c.cooldown_epochs < 1 then invalid_arg "Breaker: cooldown_epochs must be >= 1"
+
+type state = Closed | Open | Half_open
+
+type t = {
+  config : config;
+  mutable state : state;
+  mutable failures : int; (* consecutive failures while closed *)
+  mutable cooldown_left : int; (* epochs until an open breaker probes *)
+  mutable opens : int;
+  mutable probes : int;
+}
+
+let create config =
+  validate_config config;
+  { config; state = Closed; failures = 0; cooldown_left = 0; opens = 0; probes = 0 }
+
+let state t = t.state
+
+let config t = t.config
+
+let opens t = t.opens
+
+let probes t = t.probes
+
+let state_to_string = function Closed -> "closed" | Open -> "open" | Half_open -> "half-open"
+
+(* Gauge encoding: healthy = 0 so dashboards sum to "how broken are we". *)
+let state_code = function Closed -> 0 | Half_open -> 1 | Open -> 2
+
+let begin_epoch t =
+  match t.state with
+  | Closed | Half_open -> ()
+  | Open ->
+      t.cooldown_left <- t.cooldown_left - 1;
+      if t.cooldown_left <= 0 then begin
+        t.state <- Half_open;
+        t.probes <- t.probes + 1
+      end
+
+let allow t = match t.state with Closed | Half_open -> true | Open -> false
+
+(* External recovery evidence (e.g. a partition-heal event): an open
+   breaker skips the rest of its cooldown and probes at the next epoch
+   boundary.  No-op in any other state. *)
+let hint_probe t = match t.state with Open -> t.cooldown_left <- 0 | Closed | Half_open -> ()
+
+let trip t =
+  t.state <- Open;
+  t.failures <- 0;
+  t.cooldown_left <- t.config.cooldown_epochs;
+  t.opens <- t.opens + 1
+
+let record_failure t =
+  match t.state with
+  | Open -> ()
+  | Half_open -> trip t (* probe failed: straight back to open *)
+  | Closed ->
+      t.failures <- t.failures + 1;
+      if t.failures >= t.config.failure_threshold then trip t
+
+let record_success t =
+  match t.state with
+  | Open -> ()
+  | Closed -> t.failures <- 0
+  | Half_open ->
+      t.state <- Closed;
+      t.failures <- 0
+
+(* ---- checkpoint serialization ---- *)
+
+let emit w t =
+  let module C = Dream_util.Codec in
+  C.int w "threshold" t.config.failure_threshold;
+  C.int w "cooldown" t.config.cooldown_epochs;
+  C.int w "state" (state_code t.state);
+  C.int w "failures" t.failures;
+  C.int w "cooldown_left" t.cooldown_left;
+  C.int w "opens" t.opens;
+  C.int w "probes" t.probes
+
+let parse r =
+  let module C = Dream_util.Codec in
+  let failure_threshold = C.int_field r "threshold" in
+  let cooldown_epochs = C.int_field r "cooldown" in
+  let config = { failure_threshold; cooldown_epochs } in
+  validate_config config;
+  let state =
+    match C.int_field r "state" with
+    | 0 -> Closed
+    | 1 -> Half_open
+    | 2 -> Open
+    | n -> invalid_arg (Printf.sprintf "Breaker.parse: unknown state code %d" n)
+  in
+  let failures = C.int_field r "failures" in
+  let cooldown_left = C.int_field r "cooldown_left" in
+  let opens = C.int_field r "opens" in
+  let probes = C.int_field r "probes" in
+  { config; state; failures; cooldown_left; opens; probes }

@@ -1,0 +1,73 @@
+(** Per-switch circuit breaker for the control channel.
+
+    Sustained adversity (a partitioned group, a switch whose channel times
+    out every epoch) would otherwise make the controller burn its retry
+    budget on the same dead switch every tick.  The breaker wraps the
+    retry machinery with the classic three-state machine: [Closed] passes
+    calls through and counts consecutive failures; after
+    [failure_threshold] failures it trips to [Open], where calls are
+    skipped outright for [cooldown_epochs] epochs; then one probe is
+    allowed ([Half_open]) — success closes the breaker, failure re-opens
+    it for another full cooldown.
+
+    The machine is deliberately randomness-free: transitions depend only
+    on the sequence of recorded outcomes and {!begin_epoch} calls, so a
+    seeded fault schedule yields a deterministic transition history. *)
+
+type config = {
+  failure_threshold : int;  (** consecutive failures that trip the breaker (>= 1) *)
+  cooldown_epochs : int;  (** epochs to stay open before probing (>= 1) *)
+}
+
+val default_config : config
+(** Threshold 3, cooldown 4 epochs. *)
+
+type state = Closed | Open | Half_open
+
+type t
+
+val create : config -> t
+(** Fresh breaker in [Closed].  @raise Invalid_argument on a non-positive
+    threshold or cooldown. *)
+
+val state : t -> state
+
+val config : t -> config
+
+val opens : t -> int
+(** Times this breaker has tripped (including probe-failure re-opens). *)
+
+val probes : t -> int
+(** Times an open breaker transitioned to [Half_open] to probe. *)
+
+val begin_epoch : t -> unit
+(** Advance the cooldown clock; an [Open] breaker whose cooldown elapsed
+    becomes [Half_open] (the next call is the probe). *)
+
+val allow : t -> bool
+(** May the controller attempt a call this epoch?  [false] only when
+    [Open]. *)
+
+val hint_probe : t -> unit
+(** External evidence the channel recovered (e.g. a partition-heal event):
+    an [Open] breaker forfeits the rest of its cooldown and probes at the
+    next {!begin_epoch}.  No-op in any other state. *)
+
+val record_success : t -> unit
+(** A call completed: resets the failure count; closes a [Half_open]
+    breaker. *)
+
+val record_failure : t -> unit
+(** A call failed after exhausting its retries: counts toward the
+    threshold when [Closed]; immediately re-opens a [Half_open] breaker. *)
+
+val state_to_string : state -> string
+
+val state_code : state -> int
+(** Gauge encoding: [Closed] 0, [Half_open] 1, [Open] 2. *)
+
+val emit : Dream_util.Codec.writer -> t -> unit
+(** Append config and full mutable state to a checkpoint document. *)
+
+val parse : Dream_util.Codec.reader -> t
+(** Inverse of {!emit}.  @raise Dream_util.Codec.Parse_error on mismatch. *)

@@ -1,9 +1,9 @@
 module Prefix = Dream_prefix.Prefix
 module Fault_model = Dream_fault.Fault_model
 
-type fetch_error = [ `Down | `Timeout ]
+type fetch_error = [ `Down | `Timeout | `Unreachable ]
 
-type install_error = [ `Capacity | `Duplicate | `Down | `Failed ]
+type install_error = [ `Capacity | `Duplicate | `Down | `Failed | `Unreachable ]
 
 type t = { switch : Switch.t; faults : Fault_model.t option }
 
@@ -20,10 +20,20 @@ let faults t = t.faults
 let down t =
   match t.faults with None -> false | Some fm -> Fault_model.is_down fm (id t)
 
+let partitioned t =
+  match t.faults with None -> false | Some fm -> Fault_model.is_partitioned fm (id t)
+
+let latency_factor t =
+  match t.faults with None -> 1.0 | Some fm -> Fault_model.latency_factor fm (id t)
+
 let rules_of t ~owner = Tcam.rules_of (tcam t) ~owner
 
 let read t ~owner aggregate =
   if down t then Error `Down
+    (* A partition is not a timeout: nothing is routed, so the fetch is
+       never issued, never priced, and consumes no data-stream draws.  The
+       TCAM keeps counting underneath. *)
+  else if partitioned t then Error `Unreachable
   else begin
     (* The fetch is issued (and priced through the TCAM stats) before the
        timeout verdict: a timed-out batch costs the control loop the same
@@ -47,13 +57,17 @@ let read t ~owner aggregate =
 
 let install t ~owner p =
   if down t then Error `Down
+  else if partitioned t then Error `Unreachable
   else begin
     match t.faults with
     | Some fm when Fault_model.install_fails fm (id t) -> Error `Failed
     | Some _ | None -> (Tcam.install (tcam t) ~owner p :> (unit, install_error) result)
   end
 
-let remove t ~owner p = if down t then Error `Down else Ok (Tcam.remove (tcam t) ~owner p)
+let remove t ~owner p =
+  if down t then Error `Down
+  else if partitioned t then Error `Unreachable
+  else Ok (Tcam.remove (tcam t) ~owner p)
 
 let crash t =
   Tcam.wipe (tcam t)
@@ -62,6 +76,7 @@ type audit_result = { strays_removed : int; missing_installed : int }
 
 let audit t ~expected =
   if down t then Error `Down
+  else if partitioned t then Error `Unreachable
   else begin
     let tcam = tcam t in
     let expected_sets =

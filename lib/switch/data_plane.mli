@@ -11,9 +11,9 @@
     underlying {!Tcam} call — same results, same stats — so fault-free
     runs are bit-for-bit identical to driving the TCAM directly. *)
 
-type fetch_error = [ `Down | `Timeout ]
+type fetch_error = [ `Down | `Timeout | `Unreachable ]
 
-type install_error = [ `Capacity | `Duplicate | `Down | `Failed ]
+type install_error = [ `Capacity | `Duplicate | `Down | `Failed | `Unreachable ]
 
 type t
 
@@ -33,6 +33,15 @@ val down : t -> bool
 (** Whether the switch is currently crashed (always [false] without a
     fault model). *)
 
+val partitioned : t -> bool
+(** Whether the control channel to this switch is currently partitioned:
+    the TCAM keeps counting (unlike a crash) but every control operation
+    returns [`Unreachable] until the window closes. *)
+
+val latency_factor : t -> float
+(** Control-channel latency multiplier for this switch (straggler
+    inflation); 1.0 without a fault model. *)
+
 val rules_of : t -> owner:int -> Dream_prefix.Prefix.t list
 
 val read :
@@ -48,7 +57,8 @@ val read :
 val install :
   t -> owner:int -> Dream_prefix.Prefix.t -> (unit, install_error) result
 
-val remove : t -> owner:int -> Dream_prefix.Prefix.t -> (bool, [ `Down ]) result
+val remove :
+  t -> owner:int -> Dream_prefix.Prefix.t -> (bool, [ `Down | `Unreachable ]) result
 
 val crash : t -> unit
 (** Wipe the switch's TCAM (crash semantics: state lost, no priced
@@ -59,7 +69,7 @@ type audit_result = { strays_removed : int; missing_installed : int }
 val audit :
   t ->
   expected:(int * Dream_prefix.Prefix.t list) list ->
-  (audit_result, [ `Down ]) result
+  (audit_result, [ `Down | `Unreachable ]) result
 (** Reconcile the switch's installed rules against [expected] (owner →
     prefixes, as produced by {!Tcam.dump}): stray rules are deleted first,
     then missing rules reinstalled, so the table never transiently exceeds

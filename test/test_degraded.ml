@@ -1,0 +1,479 @@
+(* Tests for the degraded-mode control loop: the circuit-breaker state
+   machine (including probe-failure re-opening and heal hints), sustained
+   adversity in the fault model (partitions, stragglers, storms), the
+   zero-diff regression guard, deadline shedding with bounded staleness,
+   determinism under a fixed seed, and the 25%-partition acceptance
+   experiment. *)
+
+module Rng = Dream_util.Rng
+module Codec = Dream_util.Codec
+module Prefix = Dream_prefix.Prefix
+module Topology = Dream_traffic.Topology
+module Generator = Dream_traffic.Generator
+module Profile = Dream_traffic.Profile
+module Fault_model = Dream_fault.Fault_model
+module Breaker = Dream_switch.Breaker
+module Task_spec = Dream_tasks.Task_spec
+module Allocator = Dream_alloc.Allocator
+module Dream_allocator = Dream_alloc.Dream_allocator
+module Config = Dream_core.Config
+module Metrics = Dream_core.Metrics
+module Controller = Dream_core.Controller
+module Scenario = Dream_workload.Scenario
+module Experiment = Dream_sim.Experiment
+module Degraded_mode = Dream_sim.Degraded_mode
+
+(* ---- Breaker state machine ---- *)
+
+let check_state msg expected br =
+  Alcotest.(check string) msg (Breaker.state_to_string expected)
+    (Breaker.state_to_string (Breaker.state br))
+
+let test_breaker_trips_at_threshold () =
+  let br = Breaker.create Breaker.default_config in
+  check_state "fresh" Breaker.Closed br;
+  Breaker.record_failure br;
+  Breaker.record_failure br;
+  check_state "below threshold" Breaker.Closed br;
+  Alcotest.(check bool) "still allowing" true (Breaker.allow br);
+  Breaker.record_failure br;
+  check_state "third failure trips" Breaker.Open br;
+  Alcotest.(check bool) "open blocks" false (Breaker.allow br);
+  Alcotest.(check int) "one open" 1 (Breaker.opens br)
+
+let test_breaker_success_resets_failures () =
+  let br = Breaker.create Breaker.default_config in
+  Breaker.record_failure br;
+  Breaker.record_failure br;
+  Breaker.record_success br;
+  Breaker.record_failure br;
+  Breaker.record_failure br;
+  check_state "streak broken by success" Breaker.Closed br;
+  Breaker.record_failure br;
+  check_state "fresh streak of three trips" Breaker.Open br
+
+let test_breaker_cooldown_and_probe () =
+  let br = Breaker.create { Breaker.failure_threshold = 1; cooldown_epochs = 3 } in
+  Breaker.record_failure br;
+  check_state "tripped" Breaker.Open br;
+  Breaker.begin_epoch br;
+  Breaker.begin_epoch br;
+  check_state "cooling down" Breaker.Open br;
+  Breaker.begin_epoch br;
+  check_state "cooldown elapsed" Breaker.Half_open br;
+  Alcotest.(check int) "one probe" 1 (Breaker.probes br);
+  Alcotest.(check bool) "half-open allows the probe" true (Breaker.allow br);
+  Breaker.record_success br;
+  check_state "probe success closes" Breaker.Closed br
+
+let test_breaker_probe_failure_reopens () =
+  let br = Breaker.create { Breaker.failure_threshold = 1; cooldown_epochs = 2 } in
+  Breaker.record_failure br;
+  Breaker.begin_epoch br;
+  Breaker.begin_epoch br;
+  check_state "probing" Breaker.Half_open br;
+  Breaker.record_failure br;
+  check_state "probe failure re-opens" Breaker.Open br;
+  Alcotest.(check int) "re-open counted" 2 (Breaker.opens br);
+  (* The re-opened breaker owes a full cooldown again. *)
+  Breaker.begin_epoch br;
+  check_state "cooling again" Breaker.Open br;
+  Breaker.begin_epoch br;
+  check_state "second probe window" Breaker.Half_open br;
+  Alcotest.(check int) "second probe counted" 2 (Breaker.probes br)
+
+let test_breaker_failures_while_open_ignored () =
+  let br = Breaker.create { Breaker.failure_threshold = 1; cooldown_epochs = 2 } in
+  Breaker.record_failure br;
+  Breaker.record_failure br;
+  Breaker.record_failure br;
+  Alcotest.(check int) "no re-trip while open" 1 (Breaker.opens br);
+  Breaker.begin_epoch br;
+  Breaker.begin_epoch br;
+  check_state "cooldown unaffected by ignored failures" Breaker.Half_open br
+
+let test_breaker_hint_probe () =
+  let br = Breaker.create Breaker.default_config in
+  Breaker.hint_probe br;
+  check_state "hint on closed is a no-op" Breaker.Closed br;
+  Breaker.record_failure br;
+  Breaker.record_failure br;
+  Breaker.record_failure br;
+  check_state "tripped" Breaker.Open br;
+  Breaker.hint_probe br;
+  Breaker.begin_epoch br;
+  check_state "hint skips the cooldown" Breaker.Half_open br
+
+let test_breaker_config_validated () =
+  Alcotest.check_raises "threshold 0"
+    (Invalid_argument "Breaker: failure_threshold must be >= 1") (fun () ->
+      ignore (Breaker.create { Breaker.failure_threshold = 0; cooldown_epochs = 4 }));
+  Alcotest.check_raises "cooldown 0" (Invalid_argument "Breaker: cooldown_epochs must be >= 1")
+    (fun () -> ignore (Breaker.create { Breaker.failure_threshold = 3; cooldown_epochs = 0 }))
+
+let test_breaker_codec_roundtrip () =
+  let br = Breaker.create { Breaker.failure_threshold = 2; cooldown_epochs = 3 } in
+  Breaker.record_failure br;
+  Breaker.record_failure br;
+  Breaker.begin_epoch br;
+  let w = Codec.writer () in
+  Breaker.emit w br;
+  let r = Codec.reader_of_string (Codec.contents w) in
+  let br' = Breaker.parse r in
+  check_state "state survives" (Breaker.state br) br';
+  Alcotest.(check int) "opens survive" (Breaker.opens br) (Breaker.opens br');
+  Alcotest.(check int) "probes survive" (Breaker.probes br) (Breaker.probes br');
+  (* Same future: both cool down to the probe at the same epoch. *)
+  Breaker.begin_epoch br;
+  Breaker.begin_epoch br;
+  Breaker.begin_epoch br';
+  Breaker.begin_epoch br';
+  check_state "parsed breaker follows the same schedule" (Breaker.state br) br'
+
+(* ---- Sustained adversity in the fault model ---- *)
+
+let quarter_spec seed =
+  {
+    Fault_model.zero with
+    Fault_model.seed;
+    partition_rate = 1.0;
+    mean_partition = 6.0;
+    partition_groups = 4;
+    partition_eligible = 1;
+  }
+
+let test_partition_only_eligible_groups () =
+  let fm = Fault_model.create (quarter_spec 3) ~num_switches:8 in
+  for _ = 1 to 50 do
+    ignore (Fault_model.begin_epoch fm);
+    for sw = 0 to 7 do
+      if sw mod 4 <> 0 then
+        Alcotest.(check bool)
+          (Printf.sprintf "switch %d never partitions" sw)
+          false
+          (Fault_model.is_partitioned fm sw)
+    done;
+    Alcotest.(check bool) "group-correlated" true
+      (Fault_model.is_partitioned fm 0 = Fault_model.is_partitioned fm 4)
+  done
+
+let test_partition_schedule_deterministic () =
+  let windows seed =
+    let fm = Fault_model.create (quarter_spec seed) ~num_switches:8 in
+    List.init 80 (fun _ ->
+        ignore (Fault_model.begin_epoch fm);
+        Fault_model.partitioned_count fm)
+  in
+  Alcotest.(check (list int)) "same seed, same windows" (windows 9) (windows 9);
+  let fm = Fault_model.create (quarter_spec 9) ~num_switches:8 in
+  let partitioned_epochs = ref 0 in
+  for _ = 1 to 80 do
+    ignore (Fault_model.begin_epoch fm);
+    if Fault_model.partitioned_count fm > 0 then incr partitioned_epochs
+  done;
+  Alcotest.(check bool) "rate-1 partitions dominate" true (!partitioned_epochs > 40)
+
+let test_stragglers_chosen_once () =
+  let spec =
+    {
+      Fault_model.zero with
+      Fault_model.seed = 5;
+      straggler_fraction = 0.5;
+      straggler_slowdown = 3.0;
+    }
+  in
+  let fm = Fault_model.create spec ~num_switches:8 in
+  Alcotest.(check int) "half the fleet" 4 (Fault_model.straggler_count fm);
+  let chosen = List.init 8 (fun sw -> Fault_model.is_straggler fm sw) in
+  ignore (Fault_model.begin_epoch fm);
+  Alcotest.(check (list bool)) "selection is stable across epochs" chosen
+    (List.init 8 (fun sw -> Fault_model.is_straggler fm sw));
+  List.iteri
+    (fun sw straggler ->
+      let f = Fault_model.latency_factor fm sw in
+      if straggler then Alcotest.(check (float 1e-9)) "slowdown factor" 3.0 f
+      else Alcotest.(check (float 1e-9)) "unit factor" 1.0 f)
+    chosen;
+  let fm' = Fault_model.create spec ~num_switches:8 in
+  Alcotest.(check (list bool)) "same seed, same stragglers" chosen
+    (List.init 8 (fun sw -> Fault_model.is_straggler fm' sw))
+
+(* ---- Controller in degraded mode ---- *)
+
+let mk_controller ?(config = Config.default) ?(capacity = 128) ?(num_switches = 4)
+    ?(strategy = Allocator.Dream Dream_allocator.default_config) () =
+  Controller.create ~config ~strategy ~num_switches ~capacity
+
+let submit_task controller rng ~filter_index ~duration =
+  let filter = Prefix.nth_descendant Prefix.root ~length:12 (filter_index * 53) in
+  let num_switches = Controller.num_switches controller in
+  let topology =
+    Topology.create rng ~filter ~num_switches ~switches_per_task:(min 4 num_switches)
+  in
+  let spec =
+    Task_spec.make ~kind:Task_spec.Heavy_hitter ~filter ~leaf_length:24 ~threshold:8.0 ()
+  in
+  let generator =
+    Generator.create (Rng.split rng) ~topology ~profile:(Profile.default ~threshold:8.0)
+  in
+  Controller.submit controller ~spec ~topology
+    ~source:(Dream_traffic.Source.of_generator generator)
+    ~duration
+
+type run_result = {
+  summary : Metrics.summary;
+  records : Metrics.record list;
+  modelled_delays : (float * float) list;
+}
+
+let run_controller config =
+  let controller = mk_controller ~config () in
+  let rng = Rng.create 21 in
+  for i = 0 to 7 do
+    ignore (submit_task controller rng ~filter_index:i ~duration:25)
+  done;
+  Controller.run controller ~epochs:40;
+  Controller.finalize controller;
+  {
+    summary = Controller.summary controller;
+    records = Controller.records controller;
+    modelled_delays =
+      List.map
+        (fun (s : Controller.delay_sample) -> (s.Controller.fetch_ms, s.Controller.save_ms))
+        (Controller.delay_samples controller);
+  }
+
+let test_degraded_zero_diff () =
+  (* The acceptance guarantee: at adversity zero the full degraded-mode
+     path — breakers armed, deadline scheduler sorting, shed decisions
+     evaluated — must be byte-identical to the seed behaviour. *)
+  let plain = run_controller Config.default in
+  let armed =
+    run_controller
+      {
+        Config.default with
+        Config.faults = Some Fault_model.zero;
+        degraded = Some Config.default_degraded;
+      }
+  in
+  Alcotest.(check bool) "same records" true (plain.records = armed.records);
+  Alcotest.(check bool) "same summary" true (plain.summary = armed.summary);
+  Alcotest.(check bool) "same modelled delays" true (plain.modelled_delays = armed.modelled_delays);
+  Alcotest.(check bool) "robustness counters all zero" true
+    (armed.summary.Metrics.robustness = Metrics.no_faults);
+  let adversity_zero =
+    run_controller
+      {
+        Config.default with
+        Config.faults = Some (Fault_model.adversity 0.0);
+        degraded = Some Config.default_degraded;
+      }
+  in
+  Alcotest.(check bool) "adversity 0 summary identical" true
+    (plain.summary = adversity_zero.summary);
+  Alcotest.(check bool) "adversity 0 records identical" true
+    (plain.records = adversity_zero.records)
+
+let adversity_config ?(level = 0.8) seed =
+  {
+    Config.default with
+    Config.faults = Some (Fault_model.adversity ~seed level);
+    degraded = Some Config.default_degraded;
+  }
+
+let test_degraded_deterministic () =
+  let a = run_controller (adversity_config 5) in
+  let b = run_controller (adversity_config 5) in
+  Alcotest.(check bool) "same records" true (a.records = b.records);
+  Alcotest.(check bool) "same summary" true (a.summary = b.summary);
+  Alcotest.(check bool) "same modelled delays" true (a.modelled_delays = b.modelled_delays);
+  let c = run_controller (adversity_config 6) in
+  Alcotest.(check bool) "different seed diverges" true
+    (a.records <> c.records || a.summary <> c.summary)
+
+let test_breaker_surface () =
+  let controller = mk_controller ~config:(adversity_config 7) () in
+  Alcotest.(check bool) "degraded mode armed" true (Controller.degraded_mode controller);
+  Alcotest.(check int) "one breaker per switch" (Controller.num_switches controller)
+    (Array.length (Controller.breaker_states controller));
+  let plain = mk_controller () in
+  Alcotest.(check bool) "plain runs without breakers" false (Controller.degraded_mode plain);
+  Alcotest.(check int) "no breakers outside degraded mode" 0
+    (Array.length (Controller.breaker_states plain));
+  (* Faults without a degraded config keep the plain retry loop too. *)
+  let faults_only =
+    mk_controller ~config:{ Config.default with Config.faults = Some (Fault_model.uniform 0.1) } ()
+  in
+  Alcotest.(check bool) "faults alone do not arm breakers" false
+    (Controller.degraded_mode faults_only)
+
+let test_deadline_sheds_with_bounded_staleness () =
+  (* A deadline a fraction of one fetch round forces the scheduler to shed
+     every epoch; bounded staleness must still push every task's fetch
+     through within [shed_max_staleness] epochs. *)
+  let bound = 3 in
+  let config =
+    {
+      Config.default with
+      Config.faults = Some Fault_model.zero;
+      degraded =
+        Some
+          {
+            Config.default_degraded with
+            Config.deadline_fraction = 0.01;
+            shed_max_staleness = bound;
+          };
+    }
+  in
+  let controller = mk_controller ~config () in
+  let rng = Rng.create 33 in
+  for i = 0 to 5 do
+    ignore (submit_task controller rng ~filter_index:i ~duration:30)
+  done;
+  let max_seen = ref 0 in
+  for _ = 1 to 30 do
+    Controller.tick controller;
+    List.iter (fun s -> max_seen := max !max_seen s) (Controller.staleness_levels controller)
+  done;
+  let rob = Controller.robustness controller in
+  Alcotest.(check bool) "sheds happened" true (rob.Metrics.sheds > 0);
+  Alcotest.(check bool) "staleness stayed within the bound"
+    true (!max_seen <= bound);
+  Alcotest.(check bool) "bounded staleness forced fetches through" true (!max_seen > 0);
+  Controller.finalize controller
+
+let test_storm_pending_surface () =
+  let config =
+    {
+      Config.default with
+      Config.faults =
+        Some { Fault_model.zero with Fault_model.seed = 3; storm_rate = 1.0; storm_size = 5 };
+      degraded = Some Config.default_degraded;
+    }
+  in
+  let controller = mk_controller ~config () in
+  Alcotest.(check int) "quiet before the first tick" 0 (Controller.storm_tasks_pending controller);
+  Controller.tick controller;
+  Alcotest.(check int) "storm surfaced to the driver" 5
+    (Controller.storm_tasks_pending controller)
+
+(* ---- Checkpointing degraded state ---- *)
+
+let test_snapshot_restores_breakers () =
+  let config = adversity_config ~level:1.0 17 in
+  let controller = mk_controller ~config () in
+  let rng = Rng.create 41 in
+  for i = 0 to 5 do
+    ignore (submit_task controller rng ~filter_index:i ~duration:30)
+  done;
+  Controller.run controller ~epochs:25;
+  let doc = Controller.snapshot controller in
+  match Controller.restore doc with
+  | Error msg -> Alcotest.failf "restore failed: %s" msg
+  | Ok restored ->
+    Alcotest.(check bool) "degraded mode survives restore" true
+      (Controller.degraded_mode restored);
+    let states c =
+      Array.to_list (Array.map Breaker.state_to_string (Controller.breaker_states c))
+    in
+    Alcotest.(check (list string)) "breaker states survive" (states controller) (states restored);
+    Alcotest.(check (list int)) "staleness levels survive"
+      (Controller.staleness_levels controller)
+      (Controller.staleness_levels restored);
+    (* Bit-identical future: the restored controller replays the same
+       degraded-mode schedule. *)
+    Controller.run controller ~epochs:15;
+    Controller.run restored ~epochs:15;
+    Controller.finalize controller;
+    Controller.finalize restored;
+    Alcotest.(check bool) "same summary after resume" true
+      (Controller.summary controller = Controller.summary restored);
+    Alcotest.(check (list string)) "same breaker states after resume" (states controller)
+      (states restored)
+
+(* ---- The degraded-mode sweep and its acceptance pair ---- *)
+
+let small =
+  {
+    Scenario.default with
+    Scenario.num_switches = 4;
+    switches_per_task = 4;
+    num_tasks = 12;
+    arrival_window = 60;
+    mean_duration = 40;
+    min_duration = 20;
+    total_epochs = 120;
+    capacity = 512;
+  }
+
+let test_quarter_partition_acceptance () =
+  (* The figure's own scale: the tiny [small] scenario has too few tasks
+     for the 15% budget to be meaningful (one task's fate swings the mean
+     by more than the whole budget). *)
+  let scenario = Dream_sim.Fig06.quick_scale Scenario.default in
+  let q = Degraded_mode.run_quarter scenario Experiment.dream_strategy in
+  let b = q.Degraded_mode.q_baseline and p = q.Degraded_mode.q_partition in
+  Alcotest.(check int) "never exceeds the epoch deadline" 0
+    p.Degraded_mode.deadline_violations;
+  Alcotest.(check bool) "partition epochs actually happened" true
+    (p.Degraded_mode.summary.Metrics.robustness.Metrics.partition_epochs > 0);
+  let floor = 0.85 *. b.Degraded_mode.summary.Metrics.mean_satisfaction in
+  Alcotest.(check bool)
+    (Printf.sprintf "satisfaction %.1f within 15%% of baseline %.1f"
+       p.Degraded_mode.summary.Metrics.mean_satisfaction
+       b.Degraded_mode.summary.Metrics.mean_satisfaction)
+    true
+    (p.Degraded_mode.summary.Metrics.mean_satisfaction >= floor)
+
+let test_sweep_zero_level_parity () =
+  (* In the sweep itself, level 0 degraded and baseline points must be the
+     same run byte for byte. *)
+  let points = Degraded_mode.sweep ~levels:[ 0.0 ] small Experiment.dream_strategy in
+  match points with
+  | [ degraded; baseline ] ->
+    Alcotest.(check bool) "identical summaries" true
+      (degraded.Degraded_mode.summary = baseline.Degraded_mode.summary);
+    Alcotest.(check int) "no sheds" 0
+      degraded.Degraded_mode.summary.Metrics.robustness.Metrics.sheds;
+    Alcotest.(check int) "no staleness" 0 degraded.Degraded_mode.max_staleness
+  | _ -> Alcotest.fail "sweep must yield one degraded and one baseline point per level"
+
+let () =
+  Alcotest.run "dream.degraded"
+    [
+      ( "breaker",
+        [
+          Alcotest.test_case "trips at threshold" `Quick test_breaker_trips_at_threshold;
+          Alcotest.test_case "success resets failures" `Quick test_breaker_success_resets_failures;
+          Alcotest.test_case "cooldown then probe" `Quick test_breaker_cooldown_and_probe;
+          Alcotest.test_case "probe failure re-opens" `Quick test_breaker_probe_failure_reopens;
+          Alcotest.test_case "failures while open ignored" `Quick
+            test_breaker_failures_while_open_ignored;
+          Alcotest.test_case "heal hint skips cooldown" `Quick test_breaker_hint_probe;
+          Alcotest.test_case "config validated" `Quick test_breaker_config_validated;
+          Alcotest.test_case "codec roundtrip" `Quick test_breaker_codec_roundtrip;
+        ] );
+      ( "adversity-model",
+        [
+          Alcotest.test_case "only eligible groups partition" `Quick
+            test_partition_only_eligible_groups;
+          Alcotest.test_case "partition schedule deterministic" `Quick
+            test_partition_schedule_deterministic;
+          Alcotest.test_case "stragglers chosen once" `Quick test_stragglers_chosen_once;
+        ] );
+      ( "controller",
+        [
+          Alcotest.test_case "zero-diff at adversity 0" `Quick test_degraded_zero_diff;
+          Alcotest.test_case "deterministic under fixed seed" `Quick test_degraded_deterministic;
+          Alcotest.test_case "breaker surface" `Quick test_breaker_surface;
+          Alcotest.test_case "deadline sheds, staleness bounded" `Quick
+            test_deadline_sheds_with_bounded_staleness;
+          Alcotest.test_case "storms surfaced to the driver" `Quick test_storm_pending_surface;
+          Alcotest.test_case "snapshot restores breakers" `Quick test_snapshot_restores_breakers;
+        ] );
+      ( "sweep",
+        [
+          Alcotest.test_case "25% partition acceptance" `Slow test_quarter_partition_acceptance;
+          Alcotest.test_case "level-0 parity" `Slow test_sweep_zero_level_parity;
+        ] );
+    ]

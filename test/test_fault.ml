@@ -107,7 +107,7 @@ let test_data_plane_transparent_without_faults () =
   Alcotest.(check int) "rule landed" 1 (Tcam.used_by (Switch.tcam sw) ~owner:1);
   match Data_plane.remove dp ~owner:1 p with
   | Ok true -> ()
-  | Ok false | Error `Down -> Alcotest.fail "remove must find the rule"
+  | Ok false | Error (`Down | `Unreachable) -> Alcotest.fail "remove must find the rule"
 
 let test_data_plane_down_refuses () =
   let spec = { Fault_model.zero with Fault_model.crash_rate = 1.0; mean_downtime = 100.0 } in
@@ -124,7 +124,7 @@ let test_data_plane_down_refuses () =
   | Error `Down -> ()
   | Ok () | Error _ -> Alcotest.fail "install on a down switch must refuse");
   match Data_plane.remove dp ~owner:1 p with
-  | Error `Down -> ()
+  | Error (`Down | `Unreachable) -> ()
   | Ok _ -> Alcotest.fail "remove on a down switch must refuse"
 
 (* ---- Controller under faults ---- *)

@@ -92,6 +92,33 @@ let test_journal_torn_tail () =
       (List.length entries - 1)
       (List.length decoded)
 
+let test_journal_torn_tail_every_offset () =
+  (* Exhaustive crash-point fuzz: a crash can truncate the append at any
+     byte, so every cut across the last two entries must parse cleanly to
+     exactly the wholly-contained prefix of the journal. *)
+  let entries = sample_entries () in
+  let s = encode_all entries in
+  let total = String.length s in
+  let sizes = List.map (fun e -> String.length (Journal.entry_to_string e)) entries in
+  (* Offset just past each complete entry, ascending. *)
+  let boundaries =
+    List.rev (fst (List.fold_left (fun (acc, off) n -> ((off + n) :: acc, off + n)) ([], 0) sizes))
+  in
+  let complete_before cut = List.length (List.filter (fun b -> b <= cut) boundaries) in
+  let last_two =
+    match List.rev sizes with
+    | a :: b :: _ -> a + b
+    | _ -> Alcotest.fail "need at least two sample entries"
+  in
+  for cut = total - last_two to total do
+    match Journal.entries_of_string (String.sub s 0 cut) with
+    | Error msg -> Alcotest.failf "cut at byte %d/%d must be tolerated: %s" cut total msg
+    | Ok decoded ->
+      Alcotest.(check int)
+        (Printf.sprintf "entries recovered at cut %d/%d" cut total)
+        (complete_before cut) (List.length decoded)
+  done
+
 let test_journal_corruption_rejected () =
   let entries = sample_entries () in
   let s =
@@ -384,6 +411,8 @@ let () =
         [
           Alcotest.test_case "encode/decode round trip" `Quick test_journal_roundtrip;
           Alcotest.test_case "torn tail tolerated" `Quick test_journal_torn_tail;
+          Alcotest.test_case "torn tail tolerated at every offset" `Quick
+            test_journal_torn_tail_every_offset;
           Alcotest.test_case "corruption rejected" `Quick test_journal_corruption_rejected;
           Alcotest.test_case "file sink" `Quick test_journal_file_sink;
         ] );
