@@ -29,6 +29,12 @@ module Allocator = Dream_alloc.Allocator
 module Stats = Dream_util.Stats
 module Telemetry = Dream_obs.Telemetry
 module Inspect = Dream_obs.Inspect
+module Bank = Dream_chaos.Bank
+module Schedule = Dream_chaos.Schedule
+module Harness = Dream_chaos.Harness
+module Oracle = Dream_chaos.Oracle
+module Shrink = Dream_chaos.Shrink
+module Chaos_coverage = Dream_sim.Chaos_coverage
 
 let ( let* ) = Result.bind
 let check cond msg = if cond then Ok () else Error msg
@@ -552,6 +558,120 @@ let degraded_mode_cmd =
          scenario_args (const degraded_mode) $ strategy $ fixed_k $ seed $ levels $ fault_seed
          $ deadline_fraction $ telemetry_dir))
 
+(* dream-sim chaos: run a deterministic schedule bank against the oracle
+   suite, shrink anything that fails, and drop replayable reproducers.
+   Exit code 2 (not 124, which is reserved for argument validation) means
+   the oracles found violations. *)
+let chaos schedules seed horizon events canary out replay =
+  let* () = check (schedules > 0) (sp "--schedules must be positive (got %d)" schedules) in
+  let* () = check (seed >= 0) (sp "--seed must not be negative (got %d)" seed) in
+  let* () = check (horizon >= 2) (sp "--horizon must be at least 2 epochs (got %d)" horizon) in
+  let* () = check (events > 0) (sp "--events must be positive (got %d)" events) in
+  match replay with
+  | Some path ->
+    let* doc = read_file path in
+    let* file_canary, sched =
+      Result.map_error (sp "invalid reproducer %s: %s" path) (Bank.reproducer_of_string doc)
+    in
+    let canary = canary || file_canary in
+    Format.printf "replaying %s: seed %d, %d events over %d epochs%s@." path
+      sched.Schedule.seed
+      (List.length sched.Schedule.events)
+      sched.Schedule.horizon
+      (if canary then " (canary armed)" else "");
+    List.iter (fun e -> Format.printf "  %a@." Schedule.pp_event e) sched.Schedule.events;
+    let result = Harness.run ~canary sched in
+    (match result.Harness.violations with
+    | [] ->
+      Format.printf "reproducer did NOT reproduce: 0 violations@.";
+      exit 2
+    | vs ->
+      Format.printf "reproduced %d violation(s):@." (List.length vs);
+      List.iter (fun v -> Format.printf "  %s@." (Oracle.to_string v)) vs;
+      Ok ())
+  | None ->
+    let* () =
+      match out with
+      | None -> Ok ()
+      | Some dir ->
+        if Sys.file_exists dir then
+          check (Sys.is_directory dir) (sp "--out: %s exists and is not a directory" dir)
+        else begin
+          try Ok (Sys.mkdir dir 0o755)
+          with Sys_error msg -> Error (sp "--out: cannot create %s: %s" dir msg)
+        end
+    in
+    let o = Bank.run ~canary ~horizon ~events ~schedules ~seed () in
+    Chaos_coverage.print_outcome o;
+    let* () =
+      match out with
+      | None -> Ok ()
+      | Some dir ->
+        List.fold_left
+          (fun acc (f : Bank.failure) ->
+            let* () = acc in
+            let path =
+              Filename.concat dir (sp "chaos-repro-%d.json" f.Bank.f_schedule.Schedule.seed)
+            in
+            try
+              let oc = open_out path in
+              output_string oc (Bank.reproducer_to_string f);
+              output_char oc '\n';
+              close_out oc;
+              Format.printf "reproducer -> %s@." path;
+              Ok ()
+            with Sys_error msg -> Error (sp "cannot write reproducer %s: %s" path msg))
+          (Ok ()) o.Bank.failures
+    in
+    if o.Bank.violations > 0 || not o.Bank.differential_ok then exit 2;
+    Ok ()
+
+let chaos_cmd =
+  let doc = "run a deterministic chaos schedule bank; shrink and replay failures" in
+  let schedules =
+    Arg.(value & opt int 100 & info [ "schedules" ] ~doc:"Number of schedules in the bank.")
+  in
+  let chaos_seed =
+    Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Master seed the bank expands from.")
+  in
+  let horizon =
+    Arg.(
+      value
+      & opt int Harness.default_horizon
+      & info [ "horizon" ] ~doc:"Epochs each schedule simulates.")
+  in
+  let events =
+    Arg.(
+      value
+      & opt int Harness.default_events
+      & info [ "events" ] ~doc:"Fault events generated per schedule.")
+  in
+  let canary =
+    Arg.(
+      value & flag
+      & info [ "canary" ]
+          ~doc:
+            "Arm the test-only canary bug (an over-capacity forced allocation under a \
+             partition+storm overlap) to prove the oracles and shrinker catch it.")
+  in
+  let out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "out" ] ~docv:"DIR" ~doc:"Write minimized reproducer files into $(docv).")
+  in
+  let replay =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "replay" ] ~docv:"FILE"
+          ~doc:"Replay a reproducer written by --out instead of running a bank.")
+  in
+  Cmd.v
+    (Cmd.info "chaos" ~doc)
+    (Term.term_result' ~usage:false
+       Term.(const chaos $ schedules $ chaos_seed $ horizon $ events $ canary $ out $ replay))
+
 let inspect dir top =
   let* () = check (top > 0) (sp "--top must be positive (got %d)" top) in
   let* () =
@@ -582,7 +702,7 @@ let cmd =
   let doc = "run a DREAM software-defined measurement experiment" in
   Cmd.group ~default:run_term (Cmd.info "dream-sim" ~doc)
     [
-      run_cmd; fault_sweep_cmd; degraded_mode_cmd; checkpoint_cmd; restore_run_cmd;
+      run_cmd; fault_sweep_cmd; degraded_mode_cmd; chaos_cmd; checkpoint_cmd; restore_run_cmd;
       crash_recovery_cmd; inspect_cmd;
     ]
 

@@ -167,6 +167,20 @@ let create ~config ~strategy ~num_switches ~capacity =
       (Printf.sprintf "Controller.create: num_switches must be positive, got %d" num_switches);
   if capacity <= 0 then
     invalid_arg (Printf.sprintf "Controller.create: capacity must be positive, got %d" capacity);
+  (* Same positive-form checks as Fault_model.validate: NaN fails every
+     comparison, so [not (x > 0.0 && x <= 1.0)] rejects it where
+     [x <= 0.0 || x > 1.0] would wave it through. *)
+  (match config.Config.degraded with
+  | Some d ->
+    if not (d.Config.deadline_fraction > 0.0 && d.Config.deadline_fraction <= 1.0) then
+      invalid_arg
+        (Printf.sprintf "Controller.create: degraded.deadline_fraction must be in (0, 1], got %g"
+           d.Config.deadline_fraction);
+    if d.Config.shed_max_staleness < 1 then
+      invalid_arg
+        (Printf.sprintf "Controller.create: degraded.shed_max_staleness must be >= 1, got %d"
+           d.Config.shed_max_staleness)
+  | None -> ());
   let switches = Switch.network ~num_switches ~capacity in
   let faults =
     Option.map (fun spec -> Fault_model.create spec ~num_switches) config.Config.faults
@@ -301,6 +315,39 @@ let breaker_states t = Array.map Breaker.state t.breakers
 
 let staleness_of t ~task_id =
   match Hashtbl.find_opt t.active task_id with Some r -> Some r.staleness | None -> None
+
+let task_switches t ~task_id =
+  match Hashtbl.find_opt t.active task_id with
+  | Some r -> Some (Task.switches r.task)
+  | None -> None
+
+(* One definition of "the invariants hold right now", shared by the
+   in-tick tally (config.check_invariants) and external oracles (the chaos
+   harness), so they can never drift apart. *)
+let check_invariants_now t =
+  let tasks =
+    List.sort
+      (fun a b -> Int.compare (Task.id a) (Task.id b))
+      (Hashtbl.fold (fun _ r acc -> r.task :: acc) t.active [])
+  in
+  (* "Up" for auditing means the controller could actually converge the
+     switch this epoch: alive, reachable, not skipped by an open breaker.
+     A partitioned or breaker-skipped switch holds deferred rule updates
+     by design and is reconciled once it becomes reachable again, exactly
+     like a down switch. *)
+  let up sw =
+    (not (Data_plane.down t.planes.(sw)))
+    && (not (Data_plane.partitioned t.planes.(sw)))
+    &&
+    match t.breakers with
+    | [||] -> true
+    | breakers -> begin
+      match Breaker.state breakers.(sw) with
+      | Breaker.Closed -> true
+      | Breaker.Open | Breaker.Half_open -> false
+    end
+  in
+  Invariant.check_all ~allocator:t.allocator ~switches:t.switches ~up ~tasks
 
 let staleness_levels t =
   Hashtbl.fold (fun _ r acc -> r.staleness :: acc) t.active [] |> List.sort compare
@@ -1113,15 +1160,7 @@ let tick t =
         remove_task t r ~outcome:Metrics.Completed)
     survivors;
   if config.Config.check_invariants then begin
-    let tasks =
-      List.sort
-        (fun a b -> Int.compare (Task.id a) (Task.id b))
-        (Hashtbl.fold (fun _ r acc -> r.task :: acc) t.active [])
-    in
-    let up sw = not (Data_plane.down t.planes.(sw)) in
-    let violations =
-      Invariant.check_all ~allocator:t.allocator ~switches:t.switches ~up ~tasks
-    in
+    let violations = check_invariants_now t in
     Ctr.add t.rob.invariant_violations (List.length violations);
     if violations <> [] then
       trace_event t ~name:"invariant_violation" [ ("count", Tr.Int (List.length violations)) ];
@@ -1550,8 +1589,14 @@ let snapshot t =
 let checkpoint t =
   let s = snapshot t in
   (* Everything the journal held is now folded into the snapshot; recovery
-     only ever needs the suffix after the last checkpoint. *)
-  (match t.journal with Some sink -> Journal.truncate sink | None -> ());
+     only ever needs the suffix after the last checkpoint.  Flush first so
+     a file-backed journal is never behind the sealed snapshot on disk,
+     then drop the prefix. *)
+  (match t.journal with
+  | Some sink ->
+    Journal.flush sink;
+    Journal.truncate sink
+  | None -> ());
   s
 
 type parsed_snapshot = {

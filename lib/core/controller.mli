@@ -159,8 +159,19 @@ val staleness_of : t -> task_id:int -> int option
 (** The task's bounded-staleness level: consecutive epochs it reported
     with at least one stale or missing switch.  [None] if not active. *)
 
+val task_switches : t -> task_id:int -> Dream_traffic.Switch_id.Set.t option
+(** Switches the task needs counters on; [None] if not active.  The chaos
+    oracle uses this to decide whether a staleness level above the shed
+    cap is explained by an unreachable switch. *)
+
 val staleness_levels : t -> int list
 (** Staleness levels of all active tasks, ascending. *)
+
+val check_invariants_now : t -> Dream_recovery.Invariant.violation list
+(** Run the runtime invariant checker against the controller's current
+    state, exactly as the in-tick check ([config.check_invariants]) does —
+    same task ordering, same reachability predicate.  Read-only; external
+    oracles (the chaos harness) call it between ticks. *)
 
 val max_staleness : t -> int
 (** Largest staleness level among active tasks (0 when none). *)

@@ -44,8 +44,12 @@ let zero =
     storm_size = 6;
   }
 
+(* NaN fails both [< 0.0] and [> 1.0], so range checks must be written
+   positively or NaN slips through every rate knob. *)
+let in_unit v = v >= 0.0 && v <= 1.0
+
 let uniform ?(seed = 0) rate =
-  if rate < 0.0 || rate > 1.0 then invalid_arg "Fault_model.uniform: rate must be in [0, 1]";
+  if not (in_unit rate) then invalid_arg "Fault_model.uniform: rate must be in [0, 1]";
   {
     zero with
     seed;
@@ -59,7 +63,7 @@ let uniform ?(seed = 0) rate =
   }
 
 let adversity ?(seed = 0) level =
-  if level < 0.0 || level > 1.0 then invalid_arg "Fault_model.adversity: level must be in [0, 1]";
+  if not (in_unit level) then invalid_arg "Fault_model.adversity: level must be in [0, 1]";
   {
     zero with
     seed;
@@ -86,26 +90,29 @@ let pp_spec ppf s =
 
 let validate spec =
   let check_rate name v =
-    if v < 0.0 || v > 1.0 then
+    if not (in_unit v) then
       invalid_arg (Printf.sprintf "Fault_model: %s must be in [0, 1], got %g" name v)
   in
   check_rate "crash_rate" spec.crash_rate;
   check_rate "fetch_timeout_rate" spec.fetch_timeout_rate;
   check_rate "counter_loss_rate" spec.counter_loss_rate;
   check_rate "install_failure_rate" spec.install_failure_rate;
-  if spec.mean_downtime < 1.0 then invalid_arg "Fault_model: mean_downtime must be >= 1 epoch";
-  if spec.perturb_stddev < 0.0 then invalid_arg "Fault_model: perturb_stddev must be >= 0";
-  if spec.stale_decay <= 0.0 || spec.stale_decay > 1.0 then
+  if not (spec.mean_downtime >= 1.0) then
+    invalid_arg "Fault_model: mean_downtime must be >= 1 epoch";
+  if not (spec.perturb_stddev >= 0.0 && Float.is_finite spec.perturb_stddev) then
+    invalid_arg "Fault_model: perturb_stddev must be finite and >= 0";
+  if not (spec.stale_decay > 0.0 && spec.stale_decay <= 1.0) then
     invalid_arg "Fault_model: stale_decay must be in (0, 1]";
-  if spec.retry_budget_fraction < 0.0 || spec.retry_budget_fraction > 1.0 then
+  if not (in_unit spec.retry_budget_fraction) then
     invalid_arg "Fault_model: retry_budget_fraction must be in [0, 1]";
   check_rate "controller_crash_rate" spec.controller_crash_rate;
   check_rate "partition_rate" spec.partition_rate;
-  if spec.mean_partition < 1.0 then invalid_arg "Fault_model: mean_partition must be >= 1 epoch";
+  if not (spec.mean_partition >= 1.0) then
+    invalid_arg "Fault_model: mean_partition must be >= 1 epoch";
   if spec.partition_groups < 1 then invalid_arg "Fault_model: partition_groups must be >= 1";
   if spec.partition_eligible < 0 then invalid_arg "Fault_model: partition_eligible must be >= 0";
   check_rate "straggler_fraction" spec.straggler_fraction;
-  if spec.straggler_slowdown < 1.0 then
+  if not (spec.straggler_slowdown >= 1.0 && Float.is_finite spec.straggler_slowdown) then
     invalid_arg "Fault_model: straggler_slowdown must be >= 1";
   check_rate "storm_rate" spec.storm_rate;
   if spec.storm_size < 0 then invalid_arg "Fault_model: storm_size must be >= 0"
@@ -125,6 +132,21 @@ type events = {
   storm_tasks : int;
 }
 
+(* Scripted injections: explicit (epoch, payload) events the chaos harness
+   schedules on top of the organic rate-driven faults.  They are matched by
+   equality against the post-increment epoch inside [begin_epoch], consume
+   no randomness, and are serialized whole in checkpoints so a restored run
+   replays the identical timeline. *)
+type injections = {
+  mutable crashes : (int * int * int) list; (* at, switch, downtime *)
+  mutable ctrl_crashes : int list; (* at *)
+  mutable partitions : (int * int * int) list; (* at, group, span *)
+  mutable heals : (int * int) list; (* at, group *)
+  mutable storms : (int * int) list; (* at, extra tasks *)
+  mutable noise : (int * int * float * float * float) list;
+      (* at, span, timeout_rate, loss_rate, perturb_stddev *)
+}
+
 type t = {
   spec : spec;
   states : switch_state array;
@@ -134,6 +156,13 @@ type t = {
   partition_until : int array; (* per group; <= epoch means reachable *)
   stragglers : bool array; (* per switch, fixed at creation *)
   mutable epoch : int;
+  inj : injections;
+  (* Effective data-path rates for the current epoch: max of the spec rate
+     and every open noise window.  Derived from [inj.noise], never
+     serialized. *)
+  mutable noise_timeout : float;
+  mutable noise_loss : float;
+  mutable noise_perturb : float;
 }
 
 let group_of t sw = sw mod t.spec.partition_groups
@@ -170,7 +199,11 @@ let create spec ~num_switches =
     Array.iteri (fun rank sw -> if rank < slow then stragglers.(sw) <- true) order
   end;
   let partition_until = Array.make spec.partition_groups 0 in
-  { spec; states; controller; partition; storm; partition_until; stragglers; epoch = 0 }
+  let inj =
+    { crashes = []; ctrl_crashes = []; partitions = []; heals = []; storms = []; noise = [] }
+  in
+  { spec; states; controller; partition; storm; partition_until; stragglers; epoch = 0; inj;
+    noise_timeout = 0.0; noise_loss = 0.0; noise_perturb = 0.0 }
 
 let spec t = t.spec
 
@@ -185,6 +218,76 @@ let is_down t sw = (state t sw).down_until > t.epoch
 
 let down_count t =
   Array.fold_left (fun acc s -> if s.down_until > t.epoch then acc + 1 else acc) 0 t.states
+
+(* ---- scripted injections ---- *)
+
+let check_at t name at =
+  if at <= t.epoch then
+    invalid_arg (Printf.sprintf "Fault_model.%s: at=%d is not in the future (epoch %d)" name at t.epoch)
+
+let schedule_crash t ~at ~switch ~downtime =
+  check_at t "schedule_crash" at;
+  let _ = state t switch in
+  if downtime < 1 then invalid_arg "Fault_model.schedule_crash: downtime must be >= 1";
+  t.inj.crashes <- t.inj.crashes @ [ (at, switch, downtime) ]
+
+let schedule_controller_crash t ~at =
+  check_at t "schedule_controller_crash" at;
+  t.inj.ctrl_crashes <- t.inj.ctrl_crashes @ [ at ]
+
+let schedule_partition t ~at ~group ~span =
+  check_at t "schedule_partition" at;
+  if group < 0 || group >= t.spec.partition_groups then
+    invalid_arg (Printf.sprintf "Fault_model.schedule_partition: unknown group %d" group);
+  if span < 1 then invalid_arg "Fault_model.schedule_partition: span must be >= 1";
+  t.inj.partitions <- t.inj.partitions @ [ (at, group, span) ]
+
+let schedule_heal t ~at ~group =
+  check_at t "schedule_heal" at;
+  if group < 0 || group >= t.spec.partition_groups then
+    invalid_arg (Printf.sprintf "Fault_model.schedule_heal: unknown group %d" group);
+  t.inj.heals <- t.inj.heals @ [ (at, group) ]
+
+let schedule_storm t ~at ~tasks =
+  check_at t "schedule_storm" at;
+  if tasks < 1 then invalid_arg "Fault_model.schedule_storm: tasks must be >= 1";
+  t.inj.storms <- t.inj.storms @ [ (at, tasks) ]
+
+let schedule_noise t ~at ~span ~timeout_rate ~loss_rate ~perturb_stddev =
+  check_at t "schedule_noise" at;
+  if span < 1 then invalid_arg "Fault_model.schedule_noise: span must be >= 1";
+  if not (in_unit timeout_rate) then
+    invalid_arg "Fault_model.schedule_noise: timeout_rate must be in [0, 1]";
+  if not (in_unit loss_rate) then
+    invalid_arg "Fault_model.schedule_noise: loss_rate must be in [0, 1]";
+  if not (perturb_stddev >= 0.0 && Float.is_finite perturb_stddev) then
+    invalid_arg "Fault_model.schedule_noise: perturb_stddev must be finite and >= 0";
+  t.inj.noise <- t.inj.noise @ [ (at, span, timeout_rate, loss_rate, perturb_stddev) ]
+
+let pending_injections t =
+  let after at = if at > t.epoch then 1 else 0 in
+  List.fold_left (fun acc (at, _, _) -> acc + after at) 0 t.inj.crashes
+  + List.fold_left (fun acc at -> acc + after at) 0 t.inj.ctrl_crashes
+  + List.fold_left (fun acc (at, _, _) -> acc + after at) 0 t.inj.partitions
+  + List.fold_left (fun acc (at, _) -> acc + after at) 0 t.inj.heals
+  + List.fold_left (fun acc (at, _) -> acc + after at) 0 t.inj.storms
+  + List.fold_left
+      (fun acc (at, span, _, _, _) -> if at + span > t.epoch then acc + 1 else acc)
+      0 t.inj.noise
+
+let recompute_noise t =
+  let timeout = ref 0.0 and loss = ref 0.0 and perturb = ref 0.0 in
+  List.iter
+    (fun (at, span, tr, lr, ps) ->
+      if at <= t.epoch && t.epoch < at + span then begin
+        timeout := Float.max !timeout tr;
+        loss := Float.max !loss lr;
+        perturb := Float.max !perturb ps
+      end)
+    t.inj.noise;
+  t.noise_timeout <- !timeout;
+  t.noise_loss <- !loss;
+  t.noise_perturb <- !perturb
 
 let begin_epoch t =
   t.epoch <- t.epoch + 1;
@@ -203,9 +306,24 @@ let begin_epoch t =
         crashed := sw :: !crashed
       end)
     t.states;
+  (* Scripted crashes after organic ones; the same one-epoch grace applies,
+     so a scheduled crash aimed at a switch that is down (or just recovered
+     this epoch) is silently skipped rather than voiding a recovery the
+     controller never saw. *)
+  List.iter
+    (fun (at, sw, downtime) ->
+      if at = t.epoch then begin
+        let s = t.states.(sw) in
+        if s.down_until < t.epoch then begin
+          s.down_until <- t.epoch + downtime;
+          crashed := sw :: !crashed
+        end
+      end)
+    t.inj.crashes;
   let controller_crashed =
-    t.spec.controller_crash_rate > 0.0
-    && Rng.bernoulli t.controller t.spec.controller_crash_rate
+    (t.spec.controller_crash_rate > 0.0
+     && Rng.bernoulli t.controller t.spec.controller_crash_rate)
+    || List.exists (fun at -> at = t.epoch) t.inj.ctrl_crashes
   in
   let partitioned = ref [] and healed = ref [] in
   Array.iteri
@@ -223,10 +341,34 @@ let begin_epoch t =
         partitioned := g :: !partitioned
       end)
     t.partition_until;
+  (* Scripted partitions may target any group (the harness sidesteps
+     [partition_eligible] deliberately) but still honour the heal grace. *)
+  List.iter
+    (fun (at, g, span) ->
+      if at = t.epoch && t.partition_until.(g) < t.epoch then begin
+        t.partition_until.(g) <- t.epoch + span;
+        partitioned := g :: !partitioned
+      end)
+    t.inj.partitions;
+  (* A scripted heal closes an open window early and always surfaces the
+     group in [healed], even when no window is open: the controller reacts
+     by hinting breaker probes, which is exactly the probe/heal race the
+     chaos harness wants to provoke. *)
+  List.iter
+    (fun (at, g) ->
+      if at = t.epoch then begin
+        if t.partition_until.(g) > t.epoch then t.partition_until.(g) <- t.epoch;
+        if not (List.mem g !healed) then healed := g :: !healed
+      end)
+    t.inj.heals;
   let storm_tasks =
-    if t.spec.storm_rate > 0.0 && Rng.bernoulli t.storm t.spec.storm_rate then t.spec.storm_size
-    else 0
+    (if t.spec.storm_rate > 0.0 && Rng.bernoulli t.storm t.spec.storm_rate then t.spec.storm_size
+     else 0)
+    + List.fold_left
+        (fun acc (at, tasks) -> if at = t.epoch then acc + tasks else acc)
+        0 t.inj.storms
   in
+  recompute_noise t;
   {
     crashed = List.rev !crashed;
     recovered = List.rev !recovered;
@@ -238,21 +380,24 @@ let begin_epoch t =
 
 let fetch_times_out t sw =
   let s = state t sw in
-  t.spec.fetch_timeout_rate > 0.0 && Rng.bernoulli s.data t.spec.fetch_timeout_rate
+  let rate = Float.max t.spec.fetch_timeout_rate t.noise_timeout in
+  rate > 0.0 && Rng.bernoulli s.data rate
 
 let lose_counter t sw =
   let s = state t sw in
-  t.spec.counter_loss_rate > 0.0 && Rng.bernoulli s.data t.spec.counter_loss_rate
+  let rate = Float.max t.spec.counter_loss_rate t.noise_loss in
+  rate > 0.0 && Rng.bernoulli s.data rate
 
 let install_fails t sw =
   let s = state t sw in
   t.spec.install_failure_rate > 0.0 && Rng.bernoulli s.data t.spec.install_failure_rate
 
 let perturb t sw v =
-  if t.spec.perturb_stddev <= 0.0 then v
+  let stddev = Float.max t.spec.perturb_stddev t.noise_perturb in
+  if stddev <= 0.0 then v
   else begin
     let s = state t sw in
-    Float.max 0.0 (v *. (1.0 +. (t.spec.perturb_stddev *. Rng.gaussian s.data)))
+    Float.max 0.0 (v *. (1.0 +. (stddev *. Rng.gaussian s.data)))
   end
 
 let is_partitioned t sw =
@@ -325,7 +470,47 @@ let emit w t =
       emit_rng w "data" s.data;
       C.int w "down_until" s.down_until)
     t.states;
-  Array.iter (fun slow -> C.int w "straggler" (if slow then 1 else 0)) t.stragglers
+  Array.iter (fun slow -> C.int w "straggler" (if slow then 1 else 0)) t.stragglers;
+  (* Scripted injections, past ones included: replaying the full timeline
+     keeps emit/parse an exact round trip, and a spent event (at <= epoch)
+     can never refire. *)
+  C.int w "inj_crashes" (List.length t.inj.crashes);
+  List.iter
+    (fun (at, sw, d) ->
+      C.int w "at" at;
+      C.int w "switch" sw;
+      C.int w "downtime" d)
+    t.inj.crashes;
+  C.int w "inj_ctrl_crashes" (List.length t.inj.ctrl_crashes);
+  List.iter (fun at -> C.int w "at" at) t.inj.ctrl_crashes;
+  C.int w "inj_partitions" (List.length t.inj.partitions);
+  List.iter
+    (fun (at, g, span) ->
+      C.int w "at" at;
+      C.int w "group" g;
+      C.int w "span" span)
+    t.inj.partitions;
+  C.int w "inj_heals" (List.length t.inj.heals);
+  List.iter
+    (fun (at, g) ->
+      C.int w "at" at;
+      C.int w "group" g)
+    t.inj.heals;
+  C.int w "inj_storms" (List.length t.inj.storms);
+  List.iter
+    (fun (at, tasks) ->
+      C.int w "at" at;
+      C.int w "tasks" tasks)
+    t.inj.storms;
+  C.int w "inj_noise" (List.length t.inj.noise);
+  List.iter
+    (fun (at, span, tr, lr, ps) ->
+      C.int w "at" at;
+      C.int w "span" span;
+      C.float w "timeout_rate" tr;
+      C.float w "loss_rate" lr;
+      C.float w "perturb_stddev" ps)
+    t.inj.noise
 
 let parse r =
   let module C = Dream_util.Codec in
@@ -390,4 +575,48 @@ let parse r =
   let stragglers =
     C.repeat n (fun () -> C.int_field r "straggler" <> 0) |> Array.of_list
   in
-  { spec; states; controller; partition; storm; partition_until; stragglers; epoch }
+  let crashes =
+    C.repeat (C.int_field r "inj_crashes") (fun () ->
+        let at = C.int_field r "at" in
+        let sw = C.int_field r "switch" in
+        let d = C.int_field r "downtime" in
+        (at, sw, d))
+  in
+  let ctrl_crashes =
+    C.repeat (C.int_field r "inj_ctrl_crashes") (fun () -> C.int_field r "at")
+  in
+  let partitions =
+    C.repeat (C.int_field r "inj_partitions") (fun () ->
+        let at = C.int_field r "at" in
+        let g = C.int_field r "group" in
+        let span = C.int_field r "span" in
+        (at, g, span))
+  in
+  let heals =
+    C.repeat (C.int_field r "inj_heals") (fun () ->
+        let at = C.int_field r "at" in
+        let g = C.int_field r "group" in
+        (at, g))
+  in
+  let storms =
+    C.repeat (C.int_field r "inj_storms") (fun () ->
+        let at = C.int_field r "at" in
+        let tasks = C.int_field r "tasks" in
+        (at, tasks))
+  in
+  let noise =
+    C.repeat (C.int_field r "inj_noise") (fun () ->
+        let at = C.int_field r "at" in
+        let span = C.int_field r "span" in
+        let tr = C.float_field r "timeout_rate" in
+        let lr = C.float_field r "loss_rate" in
+        let ps = C.float_field r "perturb_stddev" in
+        (at, span, tr, lr, ps))
+  in
+  let inj = { crashes; ctrl_crashes; partitions; heals; storms; noise } in
+  let t =
+    { spec; states; controller; partition; storm; partition_until; stragglers; epoch; inj;
+      noise_timeout = 0.0; noise_loss = 0.0; noise_perturb = 0.0 }
+  in
+  recompute_noise t;
+  t

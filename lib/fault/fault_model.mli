@@ -132,6 +132,58 @@ val latency_factor : t -> Dream_traffic.Switch_id.t -> float
 (** Control-channel latency multiplier: [straggler_slowdown] on straggler
     switches, 1.0 everywhere else. *)
 
+(** {1 Scripted injections}
+
+    The chaos harness schedules explicit fault events on top of (or instead
+    of) the organic rate-driven ones.  Epochs are the fault model's own
+    counter: the N-th {!begin_epoch} call runs epoch N (1-based), so an
+    event scheduled [~at:n] fires during the n-th call.  All [schedule_*]
+    functions require [at] strictly in the future, consume no randomness
+    when they fire (scripted timelines never perturb the organic RNG
+    streams), and are included in {!emit}/{!parse} so a restored checkpoint
+    replays the identical timeline. *)
+
+val schedule_crash : t -> at:int -> switch:Dream_traffic.Switch_id.t -> downtime:int -> unit
+(** Crash [switch] at epoch [at] for [downtime] epochs.  Skipped silently
+    if the switch is already down (or recovered that very epoch) — the
+    one-epoch recovery grace organic crashes honour applies here too.
+    @raise Invalid_argument on a past epoch, unknown switch or
+    [downtime < 1]. *)
+
+val schedule_controller_crash : t -> at:int -> unit
+(** Make [begin_epoch] report [controller_crashed = true] at epoch [at]. *)
+
+val schedule_partition : t -> at:int -> group:int -> span:int -> unit
+(** Open a reachability window on [group] at epoch [at] lasting [span]
+    epochs.  Unlike organic partitions, any group may be targeted,
+    including those beyond [partition_eligible].  Skipped silently if the
+    group is already partitioned (or healed that very epoch).
+    @raise Invalid_argument on a past epoch, unknown group or [span < 1]. *)
+
+val schedule_heal : t -> at:int -> group:int -> unit
+(** Force [group] to surface in [events.healed] at epoch [at], closing any
+    open partition window early.  Firing it on a group that is {e not}
+    partitioned is allowed and deliberate: the controller responds to a
+    heal by hinting breaker probes, so a spurious heal provokes exactly the
+    probe/heal race the chaos harness wants to explore. *)
+
+val schedule_storm : t -> at:int -> tasks:int -> unit
+(** Add [tasks] extra admissions to [events.storm_tasks] at epoch [at],
+    on top of whatever an organic storm contributes.
+    @raise Invalid_argument on a past epoch or [tasks < 1]. *)
+
+val schedule_noise : t ->
+  at:int -> span:int -> timeout_rate:float -> loss_rate:float -> perturb_stddev:float -> unit
+(** During epochs [at .. at + span - 1], raise the effective fetch-timeout
+    and counter-loss rates and the perturbation stddev to at least the
+    given values (the maximum of the spec rate and every open window
+    applies).  @raise Invalid_argument on a past epoch, [span < 1] or
+    out-of-range rates. *)
+
+val pending_injections : t -> int
+(** Scheduled events that have not yet fired (noise windows count until
+    they close) — lets a harness assert a timeline was fully consumed. *)
+
 val emit : Dream_util.Codec.writer -> t -> unit
 (** Append the full model state — spec, epoch, every RNG stream and
     downtime clock — to a checkpoint document, so a restored run replays

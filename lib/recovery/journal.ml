@@ -258,14 +258,23 @@ let entries_of_string s =
 
 type backing = Memory | File of { path : string; mutable oc : out_channel }
 
-type sink = { mutable entries_rev : entry list; mutable count : int; backing : backing }
+type sink = {
+  mutable entries_rev : entry list;
+  mutable count : int;
+  backing : backing;
+  mutable closed : bool;
+}
 
-let memory () = { entries_rev = []; count = 0; backing = Memory }
+let memory () = { entries_rev = []; count = 0; backing = Memory; closed = false }
 
 let file path =
-  { entries_rev = []; count = 0; backing = File { path; oc = open_out path } }
+  { entries_rev = []; count = 0; backing = File { path; oc = open_out path }; closed = false }
+
+let check_open t op =
+  if t.closed then invalid_arg (Printf.sprintf "Journal.%s: sink is closed" op)
 
 let append t e =
+  check_open t "append";
   t.entries_rev <- e :: t.entries_rev;
   t.count <- t.count + 1;
   match t.backing with
@@ -278,7 +287,12 @@ let entries t = List.rev t.entries_rev
 
 let length t = t.count
 
+let flush t =
+  check_open t "flush";
+  match t.backing with Memory -> () | File f -> flush f.oc
+
 let truncate t =
+  check_open t "truncate";
   t.entries_rev <- [];
   t.count <- 0;
   match t.backing with
@@ -287,4 +301,8 @@ let truncate t =
     close_out f.oc;
     f.oc <- open_out f.path
 
-let close t = match t.backing with Memory -> () | File f -> close_out f.oc
+let close t =
+  if not t.closed then begin
+    t.closed <- true;
+    match t.backing with Memory -> () | File f -> close_out f.oc
+  end

@@ -106,8 +106,19 @@ val entries : sink -> entry list
 
 val length : sink -> int
 
+val flush : sink -> unit
+(** Force buffered bytes of a file sink to the OS.  {!append} already
+    flushes per entry; the controller additionally calls this at every
+    checkpoint boundary so the on-disk journal can never trail the sealed
+    snapshot even if the per-append flush discipline is ever relaxed.
+    No-op for memory sinks. *)
+
 val truncate : sink -> unit
 (** Discard all entries — called right after a checkpoint is sealed, since
     recovery only ever needs the suffix after the last snapshot. *)
 
 val close : sink -> unit
+(** Flush and release the file handle.  Idempotent: closing twice is a
+    no-op.  Any other operation on a closed sink raises
+    [Invalid_argument] — a journal that silently dropped appends after
+    close would be a torn tail the recovery path could never see. *)

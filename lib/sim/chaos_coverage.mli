@@ -1,0 +1,10 @@
+(** The chaos-coverage figure: run a fixed-seed schedule bank through the
+    simulation-testing harness and report what the bank exercised — events
+    scheduled per kind, fail-overs and checkpoint round-trips driven,
+    whether the zero-adversity differential stayed byte-identical — plus
+    any violations with their shrink statistics. *)
+
+val print_outcome : Dream_chaos.Bank.outcome -> unit
+
+val run : quick:bool -> unit
+(** 40 schedules under [--quick], 200 otherwise, master seed 42. *)

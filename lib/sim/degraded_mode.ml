@@ -5,6 +5,9 @@ module Controller = Dream_core.Controller
 module Metrics = Dream_core.Metrics
 module Fault_model = Dream_fault.Fault_model
 module Source = Dream_traffic.Source
+module Json = Dream_obs.Json
+
+let json_path = "BENCH_degraded_mode.json"
 
 type point = {
   level : float;
@@ -221,4 +224,28 @@ let run ~quick =
   let drop = if b > 0.0 then (b -. p) /. b *. 100.0 else 0.0 in
   Format.fprintf Table.out
     "@.satisfaction drop under 25%% partition: %.1f%% (budget 15%%); deadline violations: %d@."
-    drop q.q_partition.deadline_violations
+    drop q.q_partition.deadline_violations;
+  (* Machine-readable snapshot of the acceptance pair, shaped like the
+     telemetry-overhead bench so CI can track both the same way. *)
+  let doc =
+    Json.Obj
+      [
+        ("bench", Json.Str "degraded_mode");
+        ("quick", Json.Bool quick);
+        ("baseline_satisfaction", Json.Float b);
+        ("partition_satisfaction", Json.Float p);
+        ("satisfaction_drop_pct", Json.Float drop);
+        ("drop_budget_pct", Json.Float 15.0);
+        ("deadline_violations", Json.Int q.q_partition.deadline_violations);
+        ("stall_deadline_violations", Json.Int q.q_stall.deadline_violations);
+        ("worst_fetch_ms", Json.Float q.q_partition.worst_fetch_ms);
+        ("max_staleness", Json.Int q.q_partition.max_staleness);
+        ("storm_submissions", Json.Int q.q_partition.storm_submissions);
+        ("sustained_satisfaction", Json.Float q.q_sustained.summary.Metrics.mean_satisfaction);
+      ]
+  in
+  let oc = open_out json_path in
+  output_string oc (Json.to_string doc);
+  output_char oc '\n';
+  close_out oc;
+  Format.fprintf Table.out "snapshot: %s@." json_path

@@ -75,6 +75,13 @@ val run_quarter :
 
 val print_points : point list -> unit
 
+val json_path : string
+(** ["BENCH_degraded_mode.json"] — the machine-readable snapshot of the
+    25%-partition acceptance pair written by {!run}, one compact JSON
+    object, shaped like the telemetry-overhead bench for CI trend
+    tracking. *)
+
 val run : quick:bool -> unit
 (** The full figure: the adversity sweep (degraded vs baseline per level)
-    followed by the 25%-partition acceptance pair. *)
+    followed by the 25%-partition acceptance pair.  Also writes
+    {!json_path}. *)

@@ -17,6 +17,8 @@ let registry : (string * string * (quick:bool -> unit)) list =
      Telemetry_overhead.run);
     ("degraded-mode", "fast-degrade vs stall-baseline under partitions/stragglers/storms",
      Degraded_mode.run);
+    ("chaos-coverage", "deterministic chaos schedule bank vs the invariant-oracle suite",
+     Chaos_coverage.run);
   ]
 
 let all = List.map (fun (id, descr, _) -> (id, descr)) registry

@@ -39,6 +39,14 @@ let state_to_string = function Closed -> "closed" | Open -> "open" | Half_open -
 (* Gauge encoding: healthy = 0 so dashboards sum to "how broken are we". *)
 let state_code = function Closed -> 0 | Half_open -> 1 | Open -> 2
 
+(* Observed at epoch granularity: within one controller tick a breaker can
+   take several micro-steps (begin_epoch promotes Open to Half_open, then a
+   probe success closes it), so Open -> Closed is a legal observation.  The
+   one impossible hop is Closed -> Half_open: probing is only ever reached
+   through Open, and no sequence of micro-steps hides that. *)
+let legal_transition ~from ~into =
+  match (from, into) with Closed, Half_open -> false | _, _ -> true
+
 let begin_epoch t =
   match t.state with
   | Closed | Half_open -> ()

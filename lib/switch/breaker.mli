@@ -61,6 +61,15 @@ val record_failure : t -> unit
 (** A call failed after exhausting its retries: counts toward the
     threshold when [Closed]; immediately re-opens a [Half_open] breaker. *)
 
+val legal_transition : from:state -> into:state -> bool
+(** May a breaker observed in [from] at one epoch boundary be observed in
+    [into] at the next?  Observations are epoch-granular — several
+    micro-steps can happen inside one tick (cooldown elapses, probe
+    succeeds), so [Open] to [Closed] is legal — but [Closed] to
+    [Half_open] is not: probing is only reachable through [Open], and no
+    composition of per-tick steps skips that.  Shared by the chaos oracle
+    and the property tests so both enforce the same state-machine law. *)
+
 val state_to_string : state -> string
 
 val state_code : state -> int

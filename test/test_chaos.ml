@@ -1,0 +1,475 @@
+(* Tests for dream.chaos and its supporting pieces: scripted fault
+   injections, NaN-safe numeric validation, journal close/flush behaviour,
+   breaker state-machine properties (qcheck), schedule generation and
+   serialization, the harness determinism/differential guarantees, and the
+   canary-driven shrink-to-reproducer acceptance path. *)
+
+module Fault_model = Dream_fault.Fault_model
+module Journal = Dream_recovery.Journal
+module Breaker = Dream_switch.Breaker
+module Codec = Dream_util.Codec
+module Config = Dream_core.Config
+module Controller = Dream_core.Controller
+module Allocator = Dream_alloc.Allocator
+module Json = Dream_obs.Json
+module Schedule = Dream_chaos.Schedule
+module Oracle = Dream_chaos.Oracle
+module Harness = Dream_chaos.Harness
+module Shrink = Dream_chaos.Shrink
+module Bank = Dream_chaos.Bank
+
+let expect_invalid msg f =
+  match f () with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail (msg ^ ": expected Invalid_argument")
+
+(* ---- Fault_model scripted injections ---- *)
+
+let zero_model ?(num_switches = 4) () = Fault_model.create Fault_model.zero ~num_switches
+
+let test_scripted_crash () =
+  let fm = zero_model () in
+  Fault_model.schedule_crash fm ~at:2 ~switch:3 ~downtime:2;
+  let e1 = Fault_model.begin_epoch fm in
+  Alcotest.(check (list int)) "epoch 1: nothing" [] e1.Fault_model.crashed;
+  let e2 = Fault_model.begin_epoch fm in
+  Alcotest.(check (list int)) "epoch 2: crash fires" [ 3 ] e2.Fault_model.crashed;
+  Alcotest.(check bool) "down" true (Fault_model.is_down fm 3);
+  let e3 = Fault_model.begin_epoch fm in
+  Alcotest.(check (list int)) "epoch 3: still down" [] e3.Fault_model.recovered;
+  Alcotest.(check bool) "down through downtime" true (Fault_model.is_down fm 3);
+  let e4 = Fault_model.begin_epoch fm in
+  Alcotest.(check (list int)) "epoch 4: recovers" [ 3 ] e4.Fault_model.recovered;
+  Alcotest.(check bool) "back up" false (Fault_model.is_down fm 3);
+  Alcotest.(check int) "consumed" 0 (Fault_model.pending_injections fm)
+
+let test_scripted_crash_grace () =
+  let fm = zero_model () in
+  (* Two crashes aimed at the same switch; the second lands while the
+     switch is still down and must be skipped, not extend the outage. *)
+  Fault_model.schedule_crash fm ~at:2 ~switch:1 ~downtime:3;
+  Fault_model.schedule_crash fm ~at:3 ~switch:1 ~downtime:5;
+  for _ = 1 to 4 do ignore (Fault_model.begin_epoch fm) done;
+  let e5 = Fault_model.begin_epoch fm in
+  Alcotest.(check (list int)) "recovers on the first crash's clock" [ 1 ] e5.Fault_model.recovered;
+  Alcotest.(check bool) "up at epoch 5" false (Fault_model.is_down fm 1)
+
+let test_scripted_partition_heal () =
+  let fm = zero_model () in
+  Fault_model.schedule_partition fm ~at:2 ~group:1 ~span:4;
+  Fault_model.schedule_heal fm ~at:4 ~group:1;
+  ignore (Fault_model.begin_epoch fm);
+  let e2 = Fault_model.begin_epoch fm in
+  Alcotest.(check (list int)) "window opens" [ 1 ] e2.Fault_model.partitioned;
+  (* 4 switches, zero-spec default groups: switch 1 is in group 1. *)
+  Alcotest.(check bool) "switch 1 partitioned" true (Fault_model.is_partitioned fm 1);
+  ignore (Fault_model.begin_epoch fm);
+  let e4 = Fault_model.begin_epoch fm in
+  Alcotest.(check (list int)) "heal closes the window early" [ 1 ] e4.Fault_model.healed;
+  Alcotest.(check bool) "reachable again" false (Fault_model.is_partitioned fm 1);
+  Alcotest.(check int) "partitioned count" 0 (Fault_model.partitioned_count fm)
+
+let test_scripted_heal_without_partition () =
+  let fm = zero_model () in
+  Fault_model.schedule_heal fm ~at:1 ~group:0;
+  let e1 = Fault_model.begin_epoch fm in
+  Alcotest.(check (list int)) "spurious heal still surfaces" [ 0 ] e1.Fault_model.healed
+
+let test_scripted_storm_and_ctrl_crash () =
+  let fm = zero_model () in
+  Fault_model.schedule_storm fm ~at:3 ~tasks:2;
+  Fault_model.schedule_storm fm ~at:3 ~tasks:1;
+  Fault_model.schedule_controller_crash fm ~at:3;
+  ignore (Fault_model.begin_epoch fm);
+  let e2 = Fault_model.begin_epoch fm in
+  Alcotest.(check bool) "no crash yet" false e2.Fault_model.controller_crashed;
+  let e3 = Fault_model.begin_epoch fm in
+  Alcotest.(check int) "storms sum" 3 e3.Fault_model.storm_tasks;
+  Alcotest.(check bool) "controller crash fires" true e3.Fault_model.controller_crashed
+
+let test_scripted_noise_window () =
+  let fm = zero_model () in
+  Fault_model.schedule_noise fm ~at:2 ~span:2 ~timeout_rate:1.0 ~loss_rate:1.0
+    ~perturb_stddev:0.0;
+  ignore (Fault_model.begin_epoch fm);
+  Alcotest.(check bool) "no noise yet" false (Fault_model.fetch_times_out fm 0);
+  ignore (Fault_model.begin_epoch fm);
+  Alcotest.(check bool) "timeouts forced" true (Fault_model.fetch_times_out fm 0);
+  Alcotest.(check bool) "losses forced" true (Fault_model.lose_counter fm 0);
+  ignore (Fault_model.begin_epoch fm);
+  Alcotest.(check bool) "window still open" true (Fault_model.fetch_times_out fm 0);
+  ignore (Fault_model.begin_epoch fm);
+  Alcotest.(check bool) "window closed" false (Fault_model.fetch_times_out fm 0)
+
+let test_injection_validation () =
+  let fm = zero_model () in
+  ignore (Fault_model.begin_epoch fm);
+  expect_invalid "past epoch" (fun () -> Fault_model.schedule_crash fm ~at:1 ~switch:0 ~downtime:1);
+  expect_invalid "unknown switch" (fun () ->
+      Fault_model.schedule_crash fm ~at:5 ~switch:9 ~downtime:1);
+  expect_invalid "zero downtime" (fun () ->
+      Fault_model.schedule_crash fm ~at:5 ~switch:0 ~downtime:0);
+  expect_invalid "zero span" (fun () -> Fault_model.schedule_partition fm ~at:5 ~group:0 ~span:0);
+  expect_invalid "zero tasks" (fun () -> Fault_model.schedule_storm fm ~at:5 ~tasks:0)
+
+let test_injection_roundtrip () =
+  let stage fm =
+    Fault_model.schedule_crash fm ~at:3 ~switch:2 ~downtime:2;
+    Fault_model.schedule_controller_crash fm ~at:4;
+    Fault_model.schedule_partition fm ~at:2 ~group:0 ~span:3;
+    Fault_model.schedule_heal fm ~at:4 ~group:0;
+    Fault_model.schedule_storm fm ~at:5 ~tasks:2;
+    Fault_model.schedule_noise fm ~at:3 ~span:2 ~timeout_rate:0.5 ~loss_rate:0.25
+      ~perturb_stddev:0.1
+  in
+  let a = zero_model () in
+  stage a;
+  let w = Codec.writer () in
+  Fault_model.emit w a;
+  let b = Fault_model.parse (Codec.reader_of_string (Codec.contents w)) in
+  Alcotest.(check int) "pending survive the roundtrip" (Fault_model.pending_injections a)
+    (Fault_model.pending_injections b);
+  for epoch = 1 to 8 do
+    let ea = Fault_model.begin_epoch a and eb = Fault_model.begin_epoch b in
+    let tag name = Printf.sprintf "epoch %d: %s" epoch name in
+    Alcotest.(check (list int)) (tag "crashed") ea.Fault_model.crashed eb.Fault_model.crashed;
+    Alcotest.(check (list int)) (tag "recovered") ea.Fault_model.recovered eb.Fault_model.recovered;
+    Alcotest.(check bool) (tag "ctrl") ea.Fault_model.controller_crashed
+      eb.Fault_model.controller_crashed;
+    Alcotest.(check (list int)) (tag "partitioned") ea.Fault_model.partitioned
+      eb.Fault_model.partitioned;
+    Alcotest.(check (list int)) (tag "healed") ea.Fault_model.healed eb.Fault_model.healed;
+    Alcotest.(check int) (tag "storms") ea.Fault_model.storm_tasks eb.Fault_model.storm_tasks
+  done
+
+(* ---- NaN / out-of-range numeric validation ---- *)
+
+let test_nan_rates_rejected () =
+  expect_invalid "uniform nan" (fun () -> Fault_model.uniform Float.nan);
+  expect_invalid "uniform negative" (fun () -> Fault_model.uniform (-0.1));
+  expect_invalid "adversity nan" (fun () -> Fault_model.adversity Float.nan);
+  expect_invalid "adversity above 1" (fun () -> Fault_model.adversity 1.5);
+  expect_invalid "spec nan perturb" (fun () ->
+      Fault_model.create
+        { Fault_model.zero with Fault_model.perturb_stddev = Float.nan }
+        ~num_switches:4);
+  expect_invalid "spec nan decay" (fun () ->
+      Fault_model.create
+        { Fault_model.zero with Fault_model.stale_decay = Float.nan }
+        ~num_switches:4)
+
+let test_degraded_config_rejected () =
+  let create degraded =
+    Controller.create
+      ~config:{ Config.default with Config.degraded = Some degraded }
+      ~strategy:Allocator.Equal ~num_switches:2 ~capacity:64
+  in
+  expect_invalid "nan deadline" (fun () ->
+      create { Config.default_degraded with Config.deadline_fraction = Float.nan });
+  expect_invalid "zero deadline" (fun () ->
+      create { Config.default_degraded with Config.deadline_fraction = 0.0 });
+  expect_invalid "deadline above 1" (fun () ->
+      create { Config.default_degraded with Config.deadline_fraction = 1.5 });
+  expect_invalid "zero staleness cap" (fun () ->
+      create { Config.default_degraded with Config.shed_max_staleness = 0 });
+  ignore (create Config.default_degraded)
+
+(* ---- Journal flush / close ---- *)
+
+let entry epoch task_id = Journal.Purge { epoch; task_id }
+
+let test_journal_close_idempotent () =
+  let sink = Journal.memory () in
+  Journal.append sink (entry 1 7);
+  Journal.flush sink;
+  Journal.close sink;
+  Journal.close sink;
+  expect_invalid "append after close" (fun () -> Journal.append sink (entry 2 8));
+  expect_invalid "flush after close" (fun () -> Journal.flush sink);
+  expect_invalid "truncate after close" (fun () -> Journal.truncate sink)
+
+let test_journal_file_flush () =
+  let path = Filename.temp_file "dream_chaos_journal" ".wal" in
+  let sink = Journal.file path in
+  Journal.append sink (entry 1 1);
+  Journal.append sink (entry 2 2);
+  Journal.flush sink;
+  (* Read back while the sink is still open: flush must have pushed both
+     entries to disk, parseable and in order. *)
+  let read () =
+    let ic = open_in_bin path in
+    let s = really_input_string ic (in_channel_length ic) in
+    close_in ic;
+    s
+  in
+  (match Journal.entries_of_string (read ()) with
+  | Ok entries -> Alcotest.(check int) "flushed while open" 2 (List.length entries)
+  | Error msg -> Alcotest.fail ("flushed journal unparseable: " ^ msg));
+  Journal.append sink (entry 3 3);
+  Journal.close sink;
+  (match Journal.entries_of_string (read ()) with
+  | Ok entries -> Alcotest.(check int) "complete after close" 3 (List.length entries)
+  | Error msg -> Alcotest.fail ("closed journal unparseable: " ^ msg));
+  Sys.remove path
+
+(* ---- Breaker properties (qcheck) ---- *)
+
+type outcome_op = Success | Failure | Hint
+
+(* An epoch is what the controller does each tick: one [begin_epoch], then
+   some sequence of recorded outcomes and heal hints. *)
+let gen_epochs =
+  QCheck.Gen.(
+    list_size (int_range 1 40)
+      (list_size (int_bound 4) (map (function 0 -> Failure | 1 -> Success | _ -> Hint) (int_bound 2))))
+
+let apply_outcome br = function
+  | Success -> Breaker.record_success br
+  | Failure -> Breaker.record_failure br
+  | Hint -> Breaker.hint_probe br
+
+let prop_transitions_legal =
+  QCheck.Test.make ~name:"observed epoch transitions are legal" ~count:500
+    (QCheck.make gen_epochs) (fun epochs ->
+      let br = Breaker.create Breaker.default_config in
+      let last = ref (Breaker.state br) in
+      List.for_all
+        (fun outcomes ->
+          Breaker.begin_epoch br;
+          List.iter (apply_outcome br) outcomes;
+          let now = Breaker.state br in
+          let ok = Breaker.legal_transition ~from:!last ~into:now in
+          last := now;
+          ok)
+        epochs)
+
+let prop_counters_match_transitions =
+  QCheck.Test.make ~name:"opens/probes count transitions into Open/Half_open" ~count:500
+    (QCheck.make gen_epochs) (fun epochs ->
+      let br = Breaker.create Breaker.default_config in
+      let opens = ref 0 and probes = ref 0 in
+      let last = ref (Breaker.state br) in
+      let observe () =
+        let now = Breaker.state br in
+        (match (!last, now) with
+        | (Breaker.Closed | Breaker.Half_open), Breaker.Open -> incr opens
+        | Breaker.Open, Breaker.Half_open -> incr probes
+        | _, _ -> ());
+        last := now
+      in
+      List.iter
+        (fun outcomes ->
+          Breaker.begin_epoch br;
+          observe ();
+          List.iter (fun op -> apply_outcome br op; observe ()) outcomes)
+        epochs;
+      !opens = Breaker.opens br && !probes = Breaker.probes br)
+
+let prop_probe_budget_never_lost =
+  QCheck.Test.make ~name:"an Open breaker always probes within its cooldown" ~count:500
+    (QCheck.make gen_epochs) (fun epochs ->
+      let br = Breaker.create Breaker.default_config in
+      List.iter
+        (fun outcomes ->
+          Breaker.begin_epoch br;
+          List.iter (apply_outcome br) outcomes)
+        epochs;
+      match Breaker.state br with
+      | Breaker.Closed | Breaker.Half_open -> true
+      | Breaker.Open ->
+        let cooldown = (Breaker.config br).Breaker.cooldown_epochs in
+        let rec probe_within n =
+          if n = 0 then false
+          else begin
+            Breaker.begin_epoch br;
+            match Breaker.state br with
+            | Breaker.Half_open -> true
+            | Breaker.Open -> probe_within (n - 1)
+            | Breaker.Closed -> false
+          end
+        in
+        probe_within (cooldown + 1))
+
+let prop_emit_parse_equivalent =
+  QCheck.Test.make ~name:"emit/parse preserves breaker behaviour" ~count:300
+    (QCheck.make QCheck.Gen.(pair gen_epochs gen_epochs)) (fun (prefix, suffix) ->
+      let br = Breaker.create Breaker.default_config in
+      List.iter
+        (fun outcomes ->
+          Breaker.begin_epoch br;
+          List.iter (apply_outcome br) outcomes)
+        prefix;
+      let w = Codec.writer () in
+      Breaker.emit w br;
+      let copy = Breaker.parse (Codec.reader_of_string (Codec.contents w)) in
+      Breaker.state copy = Breaker.state br
+      && Breaker.opens copy = Breaker.opens br
+      && Breaker.probes copy = Breaker.probes br
+      && List.for_all
+           (fun outcomes ->
+             Breaker.begin_epoch br;
+             Breaker.begin_epoch copy;
+             List.iter (fun op -> apply_outcome br op; apply_outcome copy op) outcomes;
+             Breaker.state copy = Breaker.state br)
+           suffix)
+
+(* ---- Schedules ---- *)
+
+let gen_args = ("seed", 1234)
+
+let generate seed =
+  Schedule.generate ~seed ~num_switches:Harness.num_switches ~groups:Harness.groups ~horizon:48
+    ~events:12
+
+let schedule_string s = Json.to_string (Schedule.to_json s)
+
+let test_schedule_deterministic () =
+  let _, seed = gen_args in
+  Alcotest.(check string) "same seed, same schedule" (schedule_string (generate seed))
+    (schedule_string (generate seed));
+  Alcotest.(check bool) "different seed, different schedule" false
+    (String.equal (schedule_string (generate seed)) (schedule_string (generate (seed + 1))))
+
+let test_schedule_json_roundtrip () =
+  let s = generate 99 in
+  match Schedule.of_json (Schedule.to_json s) with
+  | Ok s' -> Alcotest.(check string) "roundtrip" (schedule_string s) (schedule_string s')
+  | Error msg -> Alcotest.fail ("of_json failed: " ^ msg)
+
+let test_schedule_validate () =
+  let bad =
+    { Schedule.seed = 1; horizon = 48;
+      events = [ Schedule.Switch_crash { at = 3; switch = 99; downtime = 1 } ] }
+  in
+  (match Schedule.validate ~num_switches:Harness.num_switches ~groups:Harness.groups bad with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "out-of-range switch accepted");
+  match Schedule.validate ~num_switches:Harness.num_switches ~groups:Harness.groups (generate 5) with
+  | Ok () -> ()
+  | Error msg -> Alcotest.fail ("generated schedule rejected: " ^ msg)
+
+let test_shrink_event_strictly_smaller () =
+  let shrinks_of e = Schedule.shrink_event e in
+  List.iter
+    (fun e ->
+      List.iter
+        (fun v -> Alcotest.(check int) "same epoch" (Schedule.at_of e) (Schedule.at_of v))
+        (shrinks_of e))
+    (generate 7).Schedule.events;
+  Alcotest.(check (list int)) "atomic events don't shrink" []
+    (List.map Schedule.at_of (shrinks_of (Schedule.Controller_crash { at = 4 })))
+
+(* ---- Harness: determinism and the differential oracle ---- *)
+
+let test_harness_differential () =
+  let empty = { Schedule.seed = 42; horizon = Harness.default_horizon; events = [] } in
+  let r = Harness.run empty in
+  Alcotest.(check int) "no violations" 0 (List.length r.Harness.violations);
+  Alcotest.(check string) "empty schedule is byte-identical to the seed run"
+    (Harness.reference_digest ~seed:42 ~horizon:Harness.default_horizon)
+    r.Harness.digest
+
+let test_harness_deterministic () =
+  let sched = generate 4242 in
+  let a = Harness.run sched and b = Harness.run sched in
+  Alcotest.(check string) "same digest" a.Harness.digest b.Harness.digest;
+  Alcotest.(check int) "same violation count" (List.length a.Harness.violations)
+    (List.length b.Harness.violations);
+  Alcotest.(check int) "no violations on main" 0 (List.length a.Harness.violations)
+
+let test_small_bank_clean () =
+  let o = Bank.run ~schedules:3 ~seed:42 () in
+  Alcotest.(check int) "no violations" 0 o.Bank.violations;
+  Alcotest.(check bool) "differential holds" true o.Bank.differential_ok;
+  Alcotest.(check int) "no failures" 0 (List.length o.Bank.failures)
+
+(* ---- The canary: plant the bug, catch it, shrink it, replay it ---- *)
+
+let canary_seed = 364128774783586872
+
+let test_canary_shrinks_to_reproducer () =
+  let sched =
+    Schedule.generate ~seed:canary_seed ~num_switches:Harness.num_switches ~groups:Harness.groups
+      ~horizon:Harness.default_horizon ~events:200
+  in
+  Alcotest.(check int) "200-event schedule" 200 (List.length sched.Schedule.events);
+  let r = Harness.run ~canary:true sched in
+  Alcotest.(check bool) "canary fired" true r.Harness.canary_fired;
+  Alcotest.(check bool) "oracles caught it" true (Harness.failed r);
+  let fails s = Harness.failed (Harness.run ~canary:true s) in
+  let minimized, stats = Shrink.minimize ~fails sched in
+  Alcotest.(check bool)
+    (Printf.sprintf "shrunk to <= 5 events (got %d in %d runs)" stats.Shrink.final_events
+       stats.Shrink.runs)
+    true
+    (stats.Shrink.final_events <= 5);
+  (* The minimized schedule must still be a replayable reproducer, and it
+     must be the canary (not some organic failure) that it reproduces. *)
+  let replay = Harness.run ~canary:true minimized in
+  Alcotest.(check bool) "replay still fails" true (Harness.failed replay);
+  Alcotest.(check bool) "replay without the canary passes" false
+    (Harness.failed (Harness.run ~canary:false minimized));
+  (* Reproducer file roundtrip. *)
+  let failure =
+    match replay.Harness.violations with
+    | first :: _ ->
+      { Bank.f_schedule = sched; f_canary = true; f_first = first; f_minimized = minimized;
+        f_stats = stats }
+    | [] -> Alcotest.fail "unreachable: replay failed with no violations"
+  in
+  match Bank.reproducer_of_string (Bank.reproducer_to_string failure) with
+  | Ok (canary, sched') ->
+    Alcotest.(check bool) "canary flag survives" true canary;
+    Alcotest.(check string) "schedule survives" (schedule_string minimized)
+      (schedule_string sched')
+  | Error msg -> Alcotest.fail ("reproducer roundtrip failed: " ^ msg)
+
+let () =
+  Alcotest.run "dream.chaos"
+    [
+      ( "injections",
+        [
+          Alcotest.test_case "scripted crash" `Quick test_scripted_crash;
+          Alcotest.test_case "crash grace" `Quick test_scripted_crash_grace;
+          Alcotest.test_case "partition + heal" `Quick test_scripted_partition_heal;
+          Alcotest.test_case "spurious heal" `Quick test_scripted_heal_without_partition;
+          Alcotest.test_case "storm + controller crash" `Quick test_scripted_storm_and_ctrl_crash;
+          Alcotest.test_case "noise window" `Quick test_scripted_noise_window;
+          Alcotest.test_case "validation" `Quick test_injection_validation;
+          Alcotest.test_case "emit/parse roundtrip" `Quick test_injection_roundtrip;
+        ] );
+      ( "validation",
+        [
+          Alcotest.test_case "NaN and negative rates" `Quick test_nan_rates_rejected;
+          Alcotest.test_case "degraded config" `Quick test_degraded_config_rejected;
+        ] );
+      ( "journal",
+        [
+          Alcotest.test_case "close is idempotent and final" `Quick test_journal_close_idempotent;
+          Alcotest.test_case "file sink flushes" `Quick test_journal_file_flush;
+        ] );
+      ( "breaker-properties",
+        [
+          QCheck_alcotest.to_alcotest prop_transitions_legal;
+          QCheck_alcotest.to_alcotest prop_counters_match_transitions;
+          QCheck_alcotest.to_alcotest prop_probe_budget_never_lost;
+          QCheck_alcotest.to_alcotest prop_emit_parse_equivalent;
+        ] );
+      ( "schedules",
+        [
+          Alcotest.test_case "deterministic generation" `Quick test_schedule_deterministic;
+          Alcotest.test_case "json roundtrip" `Quick test_schedule_json_roundtrip;
+          Alcotest.test_case "validate bounds" `Quick test_schedule_validate;
+          Alcotest.test_case "shrink variants" `Quick test_shrink_event_strictly_smaller;
+        ] );
+      ( "harness",
+        [
+          Alcotest.test_case "differential vs seed run" `Quick test_harness_differential;
+          Alcotest.test_case "deterministic runs" `Quick test_harness_deterministic;
+          Alcotest.test_case "small bank is clean" `Quick test_small_bank_clean;
+        ] );
+      ( "canary",
+        [
+          Alcotest.test_case "shrink to <= 5 events" `Slow test_canary_shrinks_to_reproducer;
+        ] );
+    ]
