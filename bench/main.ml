@@ -7,7 +7,9 @@
      bench/main.exe fig6 fig17      run selected figures
      bench/main.exe --full          full-scale figures (several minutes)
      bench/main.exe --micro         micro-benchmarks only
-     bench/main.exe --list          list figure ids *)
+     bench/main.exe --list          list figure ids
+     bench/main.exe --snapshot-dir DIR
+                                    also write BENCH_<figure>.json snapshots into DIR *)
 
 module Figures = Dream_sim.Figures
 
@@ -115,7 +117,7 @@ let micro_tests () =
       (Staged.stage (fun () -> ignore (Generator.next generator)));
   ]
 
-let run_micro () =
+let run_micro ?snapshot_dir ~quick () =
   let open Bechamel in
   print_newline ();
   print_endline "Micro-benchmarks (Bechamel, monotonic clock)";
@@ -123,6 +125,7 @@ let run_micro () =
   let instance = Toolkit.Instance.monotonic_clock in
   let cfg = Benchmark.cfg ~limit:1000 ~quota:(Time.second 0.5) ~stabilize:true () in
   let ols = Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |] in
+  let estimates = ref [] in
   List.iter
     (fun test ->
       let results = Benchmark.all cfg [ instance ] test in
@@ -130,32 +133,68 @@ let run_micro () =
       Hashtbl.iter
         (fun name ols_result ->
           match Analyze.OLS.estimates ols_result with
-          | Some [ est ] -> Printf.printf "  %-45s %12.0f ns/run\n%!" name est
+          | Some [ est ] ->
+            estimates := (name, est) :: !estimates;
+            Printf.printf "  %-45s %12.0f ns/run\n%!" name est
           | Some _ | None -> Printf.printf "  %-45s (no estimate)\n%!" name)
         analyzed)
-    (micro_tests ())
+    (micro_tests ());
+  match snapshot_dir with
+  | None -> ()
+  | Some dir ->
+    (* Micro timings are wall-clock: Info direction, tracked but never
+       gating. *)
+    let module Snapshot = Dream_obs.Bench_snapshot in
+    let metrics =
+      List.rev_map
+        (fun (name, est) -> Snapshot.metric ~unit_:"ns" name est)
+        (List.filter (fun (_, est) -> Float.is_finite est) !estimates)
+    in
+    let snap = Snapshot.make ~figure:"micro" ~quick ~metrics () in
+    (match Snapshot.write snap ~dir with
+    | Ok path -> Printf.printf "snapshot: %s\n%!" path
+    | Error msg ->
+      prerr_endline msg;
+      exit 1)
+
+let rec snapshot_dir_of = function
+  | "--snapshot-dir" :: dir :: _ -> Some dir
+  | _ :: rest -> snapshot_dir_of rest
+  | [] -> None
+
+let rec drop_snapshot_dir = function
+  | "--snapshot-dir" :: _ :: rest -> drop_snapshot_dir rest
+  | a :: rest -> a :: drop_snapshot_dir rest
+  | [] -> []
 
 let () =
   let args = Array.to_list Sys.argv |> List.tl in
+  let snapshot_dir = snapshot_dir_of args in
+  let args = drop_snapshot_dir args in
   let full = List.mem "--full" args in
   let micro_only = List.mem "--micro" args in
   let listing = List.mem "--list" args in
   let ids = List.filter (fun a -> not (String.length a > 1 && a.[0] = '-')) args in
+  let quick = not full in
   if listing then list_figures ()
-  else if micro_only then run_micro ()
+  else if micro_only then run_micro ?snapshot_dir ~quick ()
   else begin
-    let quick = not full in
     (match ids with
-    | [] -> Figures.run_all ~quick
+    | [] -> (
+      match Figures.run_all ?snapshot_dir ~quick () with
+      | Ok () -> ()
+      | Error msg ->
+        prerr_endline msg;
+        exit 1)
     | _ :: _ ->
       List.iter
         (fun id ->
-          match Figures.run ~quick id with
+          match Figures.run ?snapshot_dir ~quick id with
           | Ok () -> ()
           | Error msg ->
             prerr_endline msg;
             list_figures ();
             exit 1)
         ids);
-    if ids = [] then run_micro ()
+    if ids = [] then run_micro ?snapshot_dir ~quick ()
   end

@@ -1,0 +1,167 @@
+(* dream-bench: compare and trend BENCH_<figure>.json benchmark snapshots.
+
+     dream-bench diff BASE NEW [--tolerance PCT] [--format text|json]
+     dream-bench trend DIR...
+
+   [diff] compares a baseline snapshot (file or directory of snapshots)
+   against a freshly generated one.  Exit codes are the CI perf gate's
+   contract: 0 clean, 1 at least one gating metric regressed, 124 bad
+   input (unreadable snapshot, figure/scale mismatch, missing
+   counterpart).
+
+   [trend] folds an ordered series of snapshot directories (or files)
+   into per-metric trajectories for the nightly trend job. *)
+
+module Snapshot = Dream_obs.Bench_snapshot
+module Diff = Dream_obs.Bench_diff
+module Json = Dream_obs.Json
+
+let ( let* ) = Result.bind
+
+(* A path argument is either one snapshot file or a directory holding
+   BENCH_*.json files; directories expand in filename order so pairing
+   and series order are deterministic. *)
+let snapshot_paths path =
+  if not (Sys.file_exists path) then Error (Printf.sprintf "%s: no such file or directory" path)
+  else if Sys.is_directory path then begin
+    let entries =
+      Sys.readdir path |> Array.to_list
+      |> List.filter (fun f ->
+             String.length f > 6
+             && String.sub f 0 6 = "BENCH_"
+             && Filename.check_suffix f ".json")
+      |> List.sort compare
+      |> List.map (Filename.concat path)
+    in
+    match entries with
+    | [] -> Error (Printf.sprintf "%s: no BENCH_*.json snapshots" path)
+    | _ :: _ -> Ok entries
+  end
+  else Ok [ path ]
+
+let load_all paths =
+  List.fold_left
+    (fun acc p ->
+      let* acc = acc in
+      let* snap = Snapshot.read p in
+      Ok (snap :: acc))
+    (Ok []) paths
+  |> Result.map List.rev
+
+let load_path path =
+  let* paths = snapshot_paths path in
+  load_all paths
+
+(* Pair base and new snapshots by figure id.  Every base figure must have
+   a counterpart — the baseline is the coverage contract — while figures
+   only the new set carries are reported but never gate. *)
+let pair_by_figure bases currents =
+  let find fig = List.find_opt (fun s -> s.Snapshot.figure = fig) currents in
+  List.fold_left
+    (fun acc base ->
+      let* acc = acc in
+      match find base.Snapshot.figure with
+      | Some current -> Ok ((base, current) :: acc)
+      | None ->
+        Error (Printf.sprintf "no snapshot for baseline figure %S in NEW" base.Snapshot.figure))
+    (Ok []) bases
+  |> Result.map List.rev
+
+let diff_cmd base_path new_path tolerance format =
+  let* bases = load_path base_path in
+  let* currents = load_path new_path in
+  let* pairs = pair_by_figure bases currents in
+  let* reports =
+    List.fold_left
+      (fun acc (base, current) ->
+        let* acc = acc in
+        let* report = Diff.diff ?tolerance_pct:tolerance ~base current in
+        Ok (report :: acc))
+      (Ok []) pairs
+    |> Result.map List.rev
+  in
+  let extra =
+    List.filter
+      (fun s -> not (List.exists (fun b -> b.Snapshot.figure = s.Snapshot.figure) bases))
+      currents
+  in
+  (match format with
+  | `Text ->
+    List.iter (fun r -> Format.printf "%a" Diff.pp_report r) reports;
+    List.iter
+      (fun s -> Format.printf "note: figure %s has no baseline (not gated)@." s.Snapshot.figure)
+      extra;
+    let total = Diff.regressions reports in
+    if total = 0 then Format.printf "perf gate: clean (%d figure(s))@." (List.length reports)
+    else Format.printf "perf gate: %d regression(s)@." total
+  | `Json ->
+    print_endline (Json.to_string (Json.List (List.map Diff.report_to_json reports))));
+  if Diff.regressions reports > 0 then exit 1;
+  Ok ()
+
+let trend_cmd dirs =
+  let* series =
+    List.fold_left
+      (fun acc dir ->
+        let* acc = acc in
+        let* snaps = load_path dir in
+        let label = Filename.basename (Filename.remove_extension dir) in
+        Ok (List.rev_append (List.rev_map (fun s -> (label, s)) snaps) acc))
+      (Ok []) dirs
+    |> Result.map List.rev
+  in
+  Format.printf "%a" Diff.pp_trend (Diff.trend series);
+  Ok ()
+
+open Cmdliner
+
+let tolerance =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "tolerance" ] ~docv:"PCT"
+        ~doc:"Default gating tolerance in percent for metrics without a per-metric override.")
+
+let format =
+  Arg.(
+    value
+    & opt (enum [ ("text", `Text); ("json", `Json) ]) `Text
+    & info [ "format" ] ~docv:"FMT" ~doc:"Output format: $(b,text) or $(b,json).")
+
+let base_path =
+  Arg.(
+    required
+    & pos 0 (some string) None
+    & info [] ~docv:"BASE" ~doc:"Baseline snapshot file or directory of BENCH_*.json files.")
+
+let new_path =
+  Arg.(
+    required
+    & pos 1 (some string) None
+    & info [] ~docv:"NEW" ~doc:"Freshly generated snapshot file or directory.")
+
+let trend_dirs =
+  Arg.(
+    non_empty
+    & pos_all string []
+    & info [] ~docv:"DIR" ~doc:"Snapshot directories (or files) in series order.")
+
+let diff_term =
+  Term.term_result' ~usage:false Term.(const diff_cmd $ base_path $ new_path $ tolerance $ format)
+
+let trend_term = Term.term_result' ~usage:false Term.(const trend_cmd $ trend_dirs)
+
+let cmd =
+  let doc = "compare and trend DREAM benchmark snapshots" in
+  Cmd.group (Cmd.info "dream-bench" ~doc)
+    [
+      Cmd.v
+        (Cmd.info "diff"
+           ~doc:
+             "Compare BASE against NEW; exit 1 on any gating regression, 124 on bad input.")
+        diff_term;
+      Cmd.v (Cmd.info "trend" ~doc:"Summarize per-metric trajectories across a snapshot series.")
+        trend_term;
+    ]
+
+let () = exit (Cmd.eval cmd)

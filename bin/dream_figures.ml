@@ -2,17 +2,26 @@
 
      dune exec bin/dream_figures.exe -- --list
      dune exec bin/dream_figures.exe -- fig6
-     dune exec bin/dream_figures.exe -- --all --full *)
+     dune exec bin/dream_figures.exe -- --all --full
+     dune exec bin/dream_figures.exe -- --all --snapshot-dir bench/out *)
 
 module Figures = Dream_sim.Figures
 
-let run ids all full listing =
+let fail msg =
+  prerr_endline msg;
+  exit 1
+
+let run ids all full listing snapshot_dir =
   let quick = not full in
   if listing then begin
     print_endline "figure ids:";
     List.iter (fun (id, descr) -> Printf.printf "  %-6s %s\n" id descr) Figures.all
   end
-  else if all then Figures.run_all ~quick
+  else if all then begin
+    match Figures.run_all ?snapshot_dir ~quick () with
+    | Ok () -> ()
+    | Error msg -> fail msg
+  end
   else begin
     match ids with
     | [] ->
@@ -21,11 +30,9 @@ let run ids all full listing =
     | _ :: _ ->
       List.iter
         (fun id ->
-          match Figures.run ~quick id with
+          match Figures.run ?snapshot_dir ~quick id with
           | Ok () -> ()
-          | Error msg ->
-            prerr_endline msg;
-            exit 1)
+          | Error msg -> fail msg)
         ids
   end
 
@@ -39,8 +46,16 @@ let full =
 
 let listing = Arg.(value & flag & info [ "list"; "l" ] ~doc:"List available figure ids.")
 
+let snapshot_dir =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "snapshot-dir" ] ~docv:"DIR"
+        ~doc:"Write a BENCH_<figure>.json benchmark snapshot per figure into $(docv).")
+
 let cmd =
   let doc = "regenerate the DREAM paper's evaluation figures" in
-  Cmd.v (Cmd.info "dream-figures" ~doc) Term.(const run $ ids $ all $ full $ listing)
+  Cmd.v (Cmd.info "dream-figures" ~doc)
+    Term.(const run $ ids $ all $ full $ listing $ snapshot_dir)
 
 let () = exit (Cmd.eval cmd)

@@ -130,7 +130,7 @@ let telemetry_dir_ready dir =
       let collisions =
         List.filter
           (fun f -> Sys.file_exists (Filename.concat dir f))
-          [ "trace.jsonl"; "metrics.prom"; "tasks.csv"; "switches.csv" ]
+          [ "trace.jsonl"; "metrics.prom"; "profile.json"; "tasks.csv"; "switches.csv" ]
       in
       check (collisions = [])
         (sp "--telemetry: %s already holds a bundle (%s); pick a fresh directory" dir
@@ -160,19 +160,23 @@ let print_summary name (s : Metrics.summary) =
     Format.printf "  robustness    %a@." Metrics.pp_robustness s.Metrics.robustness
 
 let run capacity num_switches switches_per_task tasks window duration epochs threshold bound kind
-    strategy fixed_k seed fault_rate fault_seed telemetry_dir verbose =
+    strategy fixed_k seed fault_rate fault_seed telemetry_dir profiling verbose =
   let* scenario =
     scenario_of capacity num_switches switches_per_task tasks window duration epochs threshold
       bound kind seed
   in
   let* strategy = strategy_of strategy fixed_k in
   let* () = rate_in_range ~flag:"--fault-rate" fault_rate in
+  let* () =
+    check ((not profiling) || telemetry_dir <> None) "--profile requires --telemetry DIR"
+  in
   let* telemetry =
     match telemetry_dir with
     | None -> Ok None
     | Some dir ->
       let* () = telemetry_dir_ready dir in
-      Ok (Some (Telemetry.create ()))
+      let profile = if profiling then Some (Dream_obs.Profile.create ()) else None in
+      Ok (Some (Telemetry.create ?profile ()))
   in
   let config =
     let base =
@@ -199,6 +203,16 @@ let run capacity num_switches switches_per_task tasks window duration epochs thr
       Format.printf "  telemetry     %d trace items -> %s@."
         (Dream_obs.Trace.length (Telemetry.trace bundle))
         dir;
+      (match Telemetry.profile bundle with
+      | Some p ->
+        let module Profile = Dream_obs.Profile in
+        (match Profile.find p "epoch" with
+        | Some st ->
+          Format.printf "  profile       %d epochs, %.1f ms wall, %.0f minor words allocated@."
+            st.Profile.count st.Profile.wall_ms
+            st.Profile.gc.Dream_obs.Gc_stats.minor_words
+        | None -> ())
+      | None -> ());
       Ok ()
     | _ -> Ok ()
   in
@@ -460,6 +474,15 @@ let telemetry_dir =
           "Record a telemetry bundle (JSONL trace, Prometheus snapshot, per-task and per-switch \
            CSV) into $(docv); read it back with the $(b,inspect) subcommand.")
 
+let profiling =
+  Arg.(
+    value
+    & flag
+    & info [ "profile" ]
+        ~doc:
+          "Attach a GC/allocation profile to the run (requires $(b,--telemetry)); spans land in \
+           $(b,profile.json) and the $(b,inspect) subcommand renders them.")
+
 let scenario_args f =
   Term.(
     f $ capacity $ num_switches $ switches_per_task $ tasks $ window $ duration $ epochs
@@ -469,7 +492,7 @@ let run_term =
   Term.term_result' ~usage:false
     Term.(
       scenario_args (const run) $ strategy $ fixed_k $ seed $ fault_rate $ fault_seed
-      $ telemetry_dir $ verbose)
+      $ telemetry_dir $ profiling $ verbose)
 
 let run_cmd =
   let doc = "run one measurement experiment (optionally with fault injection)" in

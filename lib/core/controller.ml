@@ -806,6 +806,14 @@ let tick t =
   let now () = Obs.Clock.now_ms t.clock in
   let tick_t0 = now () in
   let tracing = t.tel <> None in
+  (* GC profiling is strictly opt-in: with no profile attached [gc_now]
+     never touches the runtime (it returns the zero reading), so a
+     profiling-off run performs no GC read and stays byte-identical. *)
+  let profile = match t.tel with Some tel -> Obs.Telemetry.profile tel | None -> None in
+  let gc_now () =
+    match profile with Some p -> Obs.Profile.reading p | None -> Obs.Gc_stats.zero
+  in
+  let tick_gc0 = gc_now () in
   advance_faults t;
   let runtimes =
     List.sort
@@ -816,6 +824,7 @@ let tick t =
   Array.iter (fun sw -> Tcam.reset_stats (Switch.tcam sw)) t.switches;
   (* Fetch + report + estimate, per task. *)
   let report_clock = ref 0.0 in
+  let report_gc = ref Obs.Gc_stats.zero in
   let retry_budget =
     ref
       (match t.faults with
@@ -867,10 +876,12 @@ let tick t =
       let data, readings, degraded = read_counters t r ~retry_budget ~fault_ms ~deadline ~shed in
       Task.ingest_counters r.task readings;
       let t0 = now () in
+      let gc0 = gc_now () in
       let report = Task.make_report r.task ~epoch:t.epoch in
       r.last_report <- Some report;
       let estimate = Task.estimate_accuracy r.task in
       report_clock := !report_clock +. (now () -. t0);
+      report_gc := Obs.Gc_stats.add !report_gc (Obs.Gc_stats.sub (gc_now ()) gc0);
       (* Degraded visibility: the estimators only saw stale (or no)
          counters for these switches, so the estimate is optimistic — decay
          the smoothed accuracies the allocator reads. *)
@@ -921,6 +932,7 @@ let tick t =
     fetch_order;
   (* Allocation epoch: redistribute and decide drops. *)
   let allocate_clock = ref 0.0 in
+  let allocate_gc = ref Obs.Gc_stats.zero in
   if t.epoch mod config.Config.allocation_interval = 0 then begin
     (* Snapshot allocations before the round so tracing can price churn;
        taken outside the timed region. *)
@@ -934,9 +946,11 @@ let tick t =
           runtimes
     in
     let t0 = now () in
+    let gc0 = gc_now () in
     let views = List.map view_of_runtime runtimes in
     Allocator.reallocate t.allocator views;
     allocate_clock := now () -. t0;
+    allocate_gc := Obs.Gc_stats.sub (gc_now ()) gc0;
     if tracing then begin
       let changes =
         List.fold_left
@@ -1025,6 +1039,7 @@ let tick t =
      all removals across tasks first, then installs — so one task's growth
      never transiently collides with space another task is vacating. *)
   let configure_clock = ref 0.0 in
+  let configure_gc = ref Obs.Gc_stats.zero in
   let survivors = List.filter (fun r -> Hashtbl.mem t.active (Task.id r.task)) runtimes in
   let desired_of =
     List.map
@@ -1033,8 +1048,10 @@ let tick t =
         let allocations = Allocator.allocation_of t.allocator ~task_id:id in
         let allocations = quarantine_allocations t allocations in
         let t0 = now () in
+        let gc0 = gc_now () in
         Task.configure r.task ~allocations;
         configure_clock := !configure_clock +. (now () -. t0);
+        configure_gc := Obs.Gc_stats.add !configure_gc (Obs.Gc_stats.sub (gc_now ()) gc0);
         let per_switch =
           Array.map
             (fun sw -> Prefix.Set.of_list (Task.desired_rules r.task (Switch.id sw)))
@@ -1190,6 +1207,21 @@ let tick t =
           (Obs.Registry.histogram t.registry ~labels:[ ("phase", phase) ] "phase_ms")
           ms)
       phases;
+    (* Profile spans mirror the measured (not modelled) phases: estimate,
+       allocate and configure bodies carry the GC deltas read around their
+       timed regions; the epoch span carries the whole tick.  fetch/save
+       are modelled switch time — no controller cost to attribute. *)
+    (match profile with
+    | None -> ()
+    | Some p ->
+      let epoch_wall = now () -. tick_t0 in
+      let epoch_gc = Obs.Gc_stats.sub (gc_now ()) tick_gc0 in
+      Obs.Profile.record p ~path:"epoch" ~wall_ms:epoch_wall ~gc:epoch_gc;
+      Obs.Profile.record p ~path:"epoch/estimate" ~wall_ms:sample.report_ms ~gc:!report_gc;
+      Obs.Profile.record p ~path:"epoch/allocate" ~wall_ms:sample.allocate_ms ~gc:!allocate_gc;
+      Obs.Profile.record p ~path:"epoch/configure" ~wall_ms:sample.configure_ms
+        ~gc:!configure_gc;
+      Obs.Profile.observe_epoch p t.registry ~wall_ms:epoch_wall ~gc:epoch_gc);
     List.iter
       (fun (id, kind, accuracy, satisfied) ->
         let alloc =

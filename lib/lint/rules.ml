@@ -81,6 +81,32 @@ let determinism_clock =
   rule "determinism-clock" ~severity:Finding.Error ~applies:everywhere
     ~doc:"no direct wall-clock reads: time flows through Dream_obs.Clock" ~expr:check_expr
 
+(* ---- determinism: GC statistics ---- *)
+
+(* GC counters are as nondeterministic as the wall clock: they move with
+   allocation noise from the runtime itself.  Profiling reads them
+   through Dream_obs.Gc_stats so tests can substitute a manual source. *)
+let determinism_gc =
+  let check_expr ~emit e =
+    match ident_path e with
+    | Some ("Gc" :: _ as path) ->
+      emit ~loc:e.pexp_loc
+        (Printf.sprintf
+           "%s: GC statistics must flow through Dream_obs.Gc_stats so profiling stays mockable"
+           (String.concat "." path))
+    | _ -> ()
+  in
+  let check_module ~emit m =
+    match m.pmod_desc with
+    | Pmod_ident { txt; _ } when qualified txt = [ "Gc" ] ->
+      emit ~loc:m.pmod_loc
+        "aliasing or opening Gc: GC statistics must flow through Dream_obs.Gc_stats"
+    | _ -> ()
+  in
+  rule "determinism-gc" ~severity:Finding.Error ~applies:everywhere
+    ~doc:"no direct Gc reads: GC statistics flow through Dream_obs.Gc_stats"
+    ~expr:check_expr ~module_expr:check_module
+
 (* ---- float equality ---- *)
 
 let float_ops = [ "+."; "-."; "*."; "/."; "**"; "~-."; "~+." ]
@@ -237,6 +263,7 @@ let all =
   [
     determinism_random;
     determinism_clock;
+    determinism_gc;
     float_equality;
     exception_hygiene;
     partiality;

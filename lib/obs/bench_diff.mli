@@ -1,0 +1,63 @@
+(** Comparator and trend summarizer over {!Bench_snapshot} documents —
+    the engine behind the [dream_bench] CLI and the CI perf gate.
+
+    [diff] compares two snapshots of the same figure metric-by-metric.
+    Each metric's gating direction and tolerance come from the *base*
+    snapshot (the committed contract); a metric present in the base but
+    missing from the new snapshot is a regression (lost coverage), while
+    a metric only the new snapshot carries is reported as added and never
+    gates.  A zero baseline has no relative scale, so any move off zero
+    on a gating metric is an infinite-percent change and gates.  Phases
+    are compared as informational rows (wall time and allocated words)
+    that never gate.
+
+    [trend] folds an ordered series of snapshot sets into per-metric
+    trajectories (first/last/min/max) for the nightly trend job. *)
+
+type status =
+  | Unchanged  (** within tolerance, or an {!Bench_snapshot.Info} metric *)
+  | Improved
+  | Regressed
+  | Missing  (** in the base set but absent from the new one — gates *)
+  | Added  (** only in the new snapshot — reported, never gates *)
+
+type row = {
+  r_name : string;
+  r_base : float option;
+  r_current : float option;
+  r_delta_pct : float;  (** 0 when either side is absent; may be [infinity] *)
+  r_tolerance_pct : float;
+  r_direction : Bench_snapshot.direction;
+  r_status : status;
+}
+
+type report = { d_figure : string; d_rows : row list; d_regressions : int }
+
+val diff :
+  ?tolerance_pct:float -> base:Bench_snapshot.t -> Bench_snapshot.t -> (report, string) result
+(** [diff ~base current].  Default tolerance 10%.  [Error] (the
+    comparator's bad-input case) on a figure or scale (quick/full)
+    mismatch, or a negative/non-finite default tolerance. *)
+
+val regressions : report list -> int
+
+val pp_report : Format.formatter -> report -> unit
+(** One line per row: status, name, base, current, delta. *)
+
+val report_to_json : report -> Json.t
+
+type trend_row = {
+  t_figure : string;
+  t_name : string;
+  t_unit : string;
+  t_points : (string * float) list;  (** (series label, value) in series order *)
+  t_min : float;
+  t_max : float;
+  t_delta_pct : float;  (** last vs first; may be [infinity] *)
+}
+
+val trend : (string * Bench_snapshot.t) list -> trend_row list
+(** [(label, snapshot)] pairs in series order; snapshots are grouped by
+    (figure, metric) and each group ordered as given. *)
+
+val pp_trend : Format.formatter -> trend_row list -> unit

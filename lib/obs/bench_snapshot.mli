@@ -1,0 +1,88 @@
+(** Versioned, machine-readable benchmark snapshot: the [BENCH_<figure>.json]
+    artifact every figure harness and micro-benchmark emits, and the unit
+    the trajectory tooling ([dream_bench diff]/[trend], the CI perf gate)
+    compares.
+
+    A snapshot carries the figure id, the scale it ran at, the seed set,
+    a list of named scalar metrics — each with a unit, a gating
+    direction, and an optional per-metric tolerance — and the profile
+    phases (wall + GC deltas) measured around the run.  Wall-clock
+    metrics are normally emitted with {!Info} direction so a noisy
+    machine can never fail the gate on them, while deterministic outputs
+    (satisfaction percentages, counters, allocation words) gate with
+    tight tolerances.
+
+    [of_string] is the exact inverse of [to_string] for every value
+    {!validate} accepts; non-finite numbers have no JSON spelling, so a
+    NaN snapshot neither writes nor parses — the comparator's bad-input
+    exit (124) leans on this. *)
+
+type direction =
+  | Lower_better  (** increases beyond tolerance are regressions *)
+  | Higher_better  (** decreases beyond tolerance are regressions *)
+  | Info  (** tracked in diffs and trends, never gates *)
+
+type metric = {
+  m_name : string;
+  m_value : float;
+  m_unit : string;  (** "ms", "words", "pct", "count", … *)
+  m_direction : direction;
+  m_tolerance_pct : float option;
+      (** per-metric override of the comparator's default tolerance *)
+}
+
+type t = {
+  figure : string;  (** figure id, e.g. ["fig6"], ["degraded-mode"], ["micro"] *)
+  quick : bool;  (** quick scale vs [--full]; never compared across scales *)
+  seeds : int list;
+  metrics : metric list;
+  phases : Profile.stat list;
+}
+
+val version : int
+(** Current schema version, embedded in every document and checked on
+    parse. *)
+
+val metric :
+  ?unit_:string -> ?direction:direction -> ?tolerance_pct:float -> string -> float -> metric
+(** Defaults: unit [""], direction {!Info}, no tolerance override. *)
+
+val direction_to_string : direction -> string
+(** ["lower"], ["higher"] or ["info"] — the JSON spelling. *)
+
+val direction_of_string : string -> (direction, string) result
+
+val make :
+  figure:string ->
+  quick:bool ->
+  ?seeds:int list ->
+  ?metrics:metric list ->
+  ?phases:Profile.stat list ->
+  unit ->
+  t
+
+val filename : string -> string
+(** [filename figure] is ["BENCH_<figure>.json"] with every character
+    outside [[A-Za-z0-9_]] mapped to ['_'] (so figure id
+    ["degraded-mode"] keeps its historical [BENCH_degraded_mode.json]
+    name). *)
+
+val validate : t -> (unit, string) result
+(** Every metric and phase value is finite, metric names are unique, and
+    tolerances are non-negative. *)
+
+val to_json : t -> Json.t
+
+val of_json : Json.t -> (t, string) result
+
+val to_string : t -> string
+
+val of_string : string -> (t, string) result
+
+val write : t -> dir:string -> (string, string) result
+(** Validate, then write the one-line JSON document as
+    [dir/filename t.figure], creating [dir] (and parents) if needed;
+    returns the path written. *)
+
+val read : string -> (t, string) result
+(** Load and validate a snapshot file; the error names the path. *)

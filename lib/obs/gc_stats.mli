@@ -1,0 +1,45 @@
+(** Mockable source of GC counters, the allocation-side twin of {!Clock}.
+
+    Profiling wants [Gc.quick_stat] deltas around every measured span, but
+    a raw [Gc] read is as non-deterministic as a wall-clock read: the
+    numbers depend on the runtime, not the simulation.  Every GC read
+    therefore goes through a {!t} — the one blessed [real] source wraps
+    [Gc.quick_stat], and tests substitute a {!manual} source to get
+    bit-for-bit deterministic profiles (the same pattern {!Clock.manual}
+    uses for time). *)
+
+type reading = {
+  minor_words : float;  (** words allocated in the minor heap, cumulative *)
+  promoted_words : float;  (** minor-heap words that survived into the major heap *)
+  major_words : float;  (** words allocated in (or promoted to) the major heap *)
+  minor_collections : int;
+  major_collections : int;
+  compactions : int;
+}
+
+val zero : reading
+
+val sub : reading -> reading -> reading
+(** [sub after before] is the component-wise delta of two cumulative
+    readings. *)
+
+val add : reading -> reading -> reading
+(** Component-wise sum — accumulating deltas across the fragments of a
+    non-contiguous span. *)
+
+type t
+
+val read : t -> reading
+(** Current cumulative counters.  Monotone non-decreasing for [real]. *)
+
+val real : t
+(** [Gc.quick_stat] — the only direct GC read in the tree. *)
+
+type manual
+
+val manual : ?start:reading -> unit -> t * manual
+(** A source that only moves when told to: [read] returns the last value
+    installed through {!advance}.  Deterministic by construction. *)
+
+val advance : manual -> reading -> unit
+(** Add [delta] onto the manual source's current reading. *)

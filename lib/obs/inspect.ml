@@ -25,6 +25,7 @@ type report = {
   event_counts : (string * int) list;
   counters : (string * int) list;
   noisiest : task_churn list;
+  profile : Profile.stat list;
 }
 
 let ( let* ) = Result.bind
@@ -176,10 +177,23 @@ let load_tasks path =
            tbl [])
     end
 
+(* profile.json is only present when the run profiled; its absence is not
+   an error, but a malformed one fails the load like every other artifact. *)
+let load_profile path =
+  if not (Sys.file_exists path) then Ok []
+  else begin
+    let* lines = read_lines path in
+    let doc = String.concat "\n" lines in
+    match Json.of_string doc with
+    | Error msg -> Error (Printf.sprintf "%s: %s" path msg)
+    | Ok j -> Result.map_error (Printf.sprintf "%s: %s" path) (Profile.stats_of_json j)
+  end
+
 let load_report ~top ~dir =
   let* items = load_trace (Filename.concat dir "trace.jsonl") in
   let* counters = load_counters (Filename.concat dir "metrics.prom") in
   let* churn = load_tasks (Filename.concat dir "tasks.csv") in
+  let* profile = load_profile (Filename.concat dir "profile.json") in
   (* switches.csv is validated for well-formedness even though the summary
      does not aggregate it yet. *)
   let* _ = read_lines (Filename.concat dir "switches.csv") in
@@ -245,6 +259,7 @@ let load_report ~top ~dir =
       event_counts;
       counters;
       noisiest;
+      profile;
     }
 
 let load ?(top = 5) dir = load_report ~top ~dir
@@ -295,4 +310,16 @@ let pp ppf r =
         Format.fprintf ppf "  task %-4d %-4s %4d changes over %4d epochs, mean accuracy %.2f@."
           c.task c.kind c.alloc_changes c.epochs_active c.mean_accuracy)
       r.noisiest
+  end;
+  if r.profile <> [] then begin
+    Format.fprintf ppf "@.profile (wall + GC per span path):@.";
+    Format.fprintf ppf "  %-24s %8s %12s %14s %14s %8s %8s@." "span" "count" "wall_ms"
+      "minor_words" "major_words" "minor#" "major#";
+    List.iter
+      (fun (s : Profile.stat) ->
+        Format.fprintf ppf "  %-24s %8d %12.3f %14.0f %14.0f %8d %8d@." s.Profile.path
+          s.Profile.count s.Profile.wall_ms s.Profile.gc.Gc_stats.minor_words
+          s.Profile.gc.Gc_stats.major_words s.Profile.gc.Gc_stats.minor_collections
+          s.Profile.gc.Gc_stats.major_collections)
+      r.profile
   end

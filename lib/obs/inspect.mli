@@ -34,6 +34,8 @@ type report = {
   event_counts : (string * int) list;  (** by descending count *)
   counters : (string * int) list;  (** every counter in the snapshot, by name *)
   noisiest : task_churn list;  (** top-k by [alloc_changes] *)
+  profile : Profile.stat list;
+      (** [profile.json] span stats; empty when the run did not profile *)
 }
 
 val load : ?top:int -> string -> (report, string) result

@@ -1,0 +1,151 @@
+type stat = { path : string; count : int; wall_ms : float; gc : Gc_stats.reading }
+
+(* Aggregation cell: one per distinct path, mutated in place so a span on
+   the hot path costs a hashtable hit and a few field writes. *)
+type cell = {
+  mutable c_count : int;
+  mutable c_wall_ms : float;
+  mutable c_gc : Gc_stats.reading;
+}
+
+type t = {
+  clock : Clock.t;
+  gc : Gc_stats.t;
+  tbl : (string, cell) Hashtbl.t;
+  mutable open_spans : string list;  (** innermost first *)
+}
+
+let create ?(clock = Clock.cpu) ?(gc = Gc_stats.real) () =
+  { clock; gc; tbl = Hashtbl.create 16; open_spans = [] }
+
+let clock t = t.clock
+
+let gc_source t = t.gc
+
+let reading t = Gc_stats.read t.gc
+
+let record t ~path ~wall_ms ~gc =
+  match Hashtbl.find_opt t.tbl path with
+  | Some c ->
+    c.c_count <- c.c_count + 1;
+    c.c_wall_ms <- c.c_wall_ms +. wall_ms;
+    c.c_gc <- Gc_stats.add c.c_gc gc
+  | None -> Hashtbl.replace t.tbl path { c_count = 1; c_wall_ms = wall_ms; c_gc = gc }
+
+let span t name f =
+  let path =
+    match t.open_spans with [] -> name | inner :: _ -> inner ^ "/" ^ name
+  in
+  t.open_spans <- path :: t.open_spans;
+  let t0 = Clock.now_ms t.clock in
+  let g0 = Gc_stats.read t.gc in
+  Fun.protect
+    ~finally:(fun () ->
+      let wall_ms = Clock.now_ms t.clock -. t0 in
+      let gc = Gc_stats.sub (Gc_stats.read t.gc) g0 in
+      (match t.open_spans with
+      | p :: rest when String.equal p path -> t.open_spans <- rest
+      | _ -> ());
+      record t ~path ~wall_ms ~gc)
+    f
+
+let stats t =
+  Hashtbl.fold
+    (fun path c acc ->
+      { path; count = c.c_count; wall_ms = c.c_wall_ms; gc = c.c_gc } :: acc)
+    t.tbl []
+  |> List.sort (fun a b -> String.compare a.path b.path)
+
+let find t path =
+  match Hashtbl.find_opt t.tbl path with
+  | Some c -> Some { path; count = c.c_count; wall_ms = c.c_wall_ms; gc = c.c_gc }
+  | None -> None
+
+let reset t =
+  Hashtbl.reset t.tbl;
+  t.open_spans <- []
+
+(* Allocated words this delta covers: minor allocations plus direct major
+   allocations; promoted words would otherwise be counted twice. *)
+let alloc_words (gc : Gc_stats.reading) =
+  gc.Gc_stats.minor_words +. gc.Gc_stats.major_words -. gc.Gc_stats.promoted_words
+
+let observe_epoch _t registry ~wall_ms ~gc =
+  let words = alloc_words gc in
+  Registry.Histogram.observe (Registry.histogram registry "epoch_alloc_words") words;
+  if wall_ms > 0.0 then
+    Registry.Gauge.set (Registry.gauge registry "alloc_rate_words_per_ms") (words /. wall_ms);
+  Registry.Counter.add
+    (Registry.counter registry "gc_minor_collections")
+    gc.Gc_stats.minor_collections;
+  Registry.Counter.add
+    (Registry.counter registry "gc_major_collections")
+    gc.Gc_stats.major_collections;
+  Registry.Counter.add (Registry.counter registry "gc_compactions") gc.Gc_stats.compactions;
+  if gc.Gc_stats.major_collections > 0 then
+    Registry.Histogram.observe (Registry.histogram registry "gc_major_epoch_ms") wall_ms
+
+(* ---- snapshot codec ---- *)
+
+let stat_to_json s =
+  Json.Obj
+    [
+      ("path", Json.Str s.path);
+      ("count", Json.Int s.count);
+      ("wall_ms", Json.Float s.wall_ms);
+      ("minor_words", Json.Float s.gc.Gc_stats.minor_words);
+      ("promoted_words", Json.Float s.gc.Gc_stats.promoted_words);
+      ("major_words", Json.Float s.gc.Gc_stats.major_words);
+      ("minor_collections", Json.Int s.gc.Gc_stats.minor_collections);
+      ("major_collections", Json.Int s.gc.Gc_stats.major_collections);
+      ("compactions", Json.Int s.gc.Gc_stats.compactions);
+    ]
+
+let ( let* ) = Result.bind
+
+let field name conv j =
+  match Json.member name j with
+  | Some v -> (
+    match conv v with
+    | Some x -> Ok x
+    | None -> Error (Printf.sprintf "profile stat: field %S has the wrong type" name))
+  | None -> Error (Printf.sprintf "profile stat: missing field %S" name)
+
+let stat_of_json j =
+  let* path = field "path" Json.to_str j in
+  let* count = field "count" Json.to_int j in
+  let* wall_ms = field "wall_ms" Json.to_float j in
+  let* minor_words = field "minor_words" Json.to_float j in
+  let* promoted_words = field "promoted_words" Json.to_float j in
+  let* major_words = field "major_words" Json.to_float j in
+  let* minor_collections = field "minor_collections" Json.to_int j in
+  let* major_collections = field "major_collections" Json.to_int j in
+  let* compactions = field "compactions" Json.to_int j in
+  Ok
+    {
+      path;
+      count;
+      wall_ms;
+      gc =
+        {
+          Gc_stats.minor_words;
+          promoted_words;
+          major_words;
+          minor_collections;
+          major_collections;
+          compactions;
+        };
+    }
+
+let stats_to_json stats = Json.List (List.map stat_to_json stats)
+
+let stats_of_json = function
+  | Json.List items ->
+    List.fold_left
+      (fun acc item ->
+        let* rev = acc in
+        let* s = stat_of_json item in
+        Ok (s :: rev))
+      (Ok []) items
+    |> Result.map List.rev
+  | _ -> Error "profile: expected a JSON list of stats"

@@ -1,0 +1,75 @@
+(** Hierarchical performance spans: wall time plus GC/allocation deltas
+    per span, aggregated by span path.
+
+    A profile measures *controller* cost, not simulated cost: every span
+    reads the profile's {!Clock} and {!Gc_stats} source on entry and exit
+    and accumulates the deltas under a path such as ["epoch/allocate"]
+    (nested spans extend the path of the enclosing one, and a nested
+    span's cost is also part of its parent's — the usual flame-graph
+    convention).  With a {!Clock.manual} clock and a {!Gc_stats.manual}
+    source a profile is bit-for-bit deterministic, which is how the tests
+    pin every number below.
+
+    A profile is attached to a run through [Telemetry.create ~profile];
+    when none is attached — the default — no GC read ever happens and the
+    run is byte-identical to a build without profiling. *)
+
+type stat = {
+  path : string;  (** ["/"]-joined span path, e.g. ["epoch/allocate"] *)
+  count : int;  (** completed spans aggregated into this path *)
+  wall_ms : float;  (** total wall time across those spans *)
+  gc : Gc_stats.reading;  (** total GC deltas across those spans *)
+}
+
+type t
+
+val create : ?clock:Clock.t -> ?gc:Gc_stats.t -> unit -> t
+(** Defaults: {!Clock.cpu} and {!Gc_stats.real}. *)
+
+val clock : t -> Clock.t
+
+val gc_source : t -> Gc_stats.t
+
+val reading : t -> Gc_stats.reading
+(** Read the profile's GC source now — for callers that measure a span
+    themselves and then {!record} it. *)
+
+val span : t -> string -> (unit -> 'a) -> 'a
+(** [span t name f] runs [f] under [name], nested inside any open spans,
+    and accumulates its wall time and GC delta.  The span is recorded
+    even when [f] raises. *)
+
+val record : t -> path:string -> wall_ms:float -> gc:Gc_stats.reading -> unit
+(** Merge an externally-measured span under an explicit [path] — used by
+    the controller, whose phase boundaries are scattered across the tick
+    rather than lexically nested. *)
+
+val stats : t -> stat list
+(** Every recorded path, sorted by path, so profiles are deterministic. *)
+
+val find : t -> string -> stat option
+
+val reset : t -> unit
+
+val observe_epoch : t -> Registry.t -> wall_ms:float -> gc:Gc_stats.reading -> unit
+(** Fold one epoch's measured cost into a metrics registry: an
+    [epoch_alloc_words] histogram and [alloc_rate_words_per_ms] gauge
+    (allocation rate), [gc_minor_collections]/[gc_major_collections]/
+    [gc_compactions] counters, and a [gc_major_epoch_ms] histogram of the
+    wall time of epochs that contained at least one major collection —
+    the closest pause proxy [Gc.quick_stat] affords. *)
+
+(** {1 Snapshot codec}
+
+    [stats_of_json] is the exact inverse of [stats_to_json], so the
+    [profile.json] artifact written by {!Telemetry.write_dir} reads back
+    bit-identically (the [inspect] subcommand and the tests rely on
+    this). *)
+
+val stat_to_json : stat -> Json.t
+
+val stat_of_json : Json.t -> (stat, string) result
+
+val stats_to_json : stat list -> Json.t
+
+val stats_of_json : Json.t -> (stat list, string) result

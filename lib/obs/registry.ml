@@ -104,13 +104,19 @@ type value = Counter_v of int | Gauge_v of float | Histogram_v of Histogram.t
 
 type instrument = C of Counter.t | G of Gauge.t | H of Histogram.t
 
-type t = { tbl : (string * labels, instrument) Hashtbl.t }
+type t = {
+  tbl : (string * labels, instrument) Hashtbl.t;
+  help : (string, string) Hashtbl.t;  (** per metric name; first registration wins *)
+}
 
-let create () = { tbl = Hashtbl.create 64 }
+let create () = { tbl = Hashtbl.create 64; help = Hashtbl.create 16 }
 
 let kind_name = function C _ -> "counter" | G _ -> "gauge" | H _ -> "histogram"
 
-let find_or_create t name labels ~want ~make ~cast =
+let find_or_create t name labels ?help ~want ~make ~cast () =
+  (match help with
+  | Some text when not (Hashtbl.mem t.help name) -> Hashtbl.replace t.help name text
+  | Some _ | None -> ());
   let key = (name, canon labels) in
   match Hashtbl.find_opt t.tbl key with
   | Some i -> (
@@ -124,20 +130,23 @@ let find_or_create t name labels ~want ~make ~cast =
     Hashtbl.replace t.tbl key v;
     (match cast v with Some x -> x | None -> assert false)
 
-let counter t ?(labels = []) name =
-  find_or_create t name labels ~want:"counter"
+let counter t ?(labels = []) ?help name =
+  find_or_create t name labels ?help ~want:"counter"
     ~make:(fun () -> C (Counter.make ()))
     ~cast:(function C c -> Some c | G _ | H _ -> None)
+    ()
 
-let gauge t ?(labels = []) name =
-  find_or_create t name labels ~want:"gauge"
+let gauge t ?(labels = []) ?help name =
+  find_or_create t name labels ?help ~want:"gauge"
     ~make:(fun () -> G (Gauge.make ()))
     ~cast:(function G g -> Some g | C _ | H _ -> None)
+    ()
 
-let histogram t ?(labels = []) name =
-  find_or_create t name labels ~want:"histogram"
+let histogram t ?(labels = []) ?help name =
+  find_or_create t name labels ?help ~want:"histogram"
     ~make:(fun () -> H (Histogram.make ()))
     ~cast:(function H h -> Some h | C _ | G _ -> None)
+    ()
 
 type sample = { name : string; labels : labels; value : value }
 
@@ -175,20 +184,41 @@ let prom_float f =
     if float_of_string s = f then s else Printf.sprintf "%.17g" f
   end
 
+(* Label names must match [a-zA-Z_][a-zA-Z0-9_]*; anything else is mapped
+   to '_' (and a leading digit gets a '_' prefix) so an awkward label key
+   can never produce an unscrapable exposition. *)
+let prom_label_name k =
+  let b = Bytes.of_string k in
+  Bytes.iteri
+    (fun i c ->
+      match c with
+      | 'a' .. 'z' | 'A' .. 'Z' | '_' -> ()
+      | '0' .. '9' -> if i = 0 then Bytes.set b i '_'
+      | _ -> Bytes.set b i '_')
+    b;
+  if Bytes.length b = 0 then "_" else Bytes.to_string b
+
+(* Label-value escaping per the text exposition format: backslash, double
+   quote and newline. *)
+let prom_label_value v =
+  String.concat ""
+    (List.map
+       (function '\\' -> "\\\\" | '"' -> "\\\"" | '\n' -> "\\n" | c -> String.make 1 c)
+       (List.init (String.length v) (String.get v)))
+
+(* HELP text escaping: only backslash and newline (quotes are legal). *)
+let prom_help_text h =
+  String.concat ""
+    (List.map
+       (function '\\' -> "\\\\" | '\n' -> "\\n" | c -> String.make 1 c)
+       (List.init (String.length h) (String.get h)))
+
 let prom_labels ?extra labels =
   let labels = match extra with None -> labels | Some kv -> labels @ [ kv ] in
   match labels with
   | [] -> ""
   | kvs ->
-    let one (k, v) =
-      let escaped =
-        String.concat ""
-          (List.map
-             (function '\\' -> "\\\\" | '"' -> "\\\"" | '\n' -> "\\n" | c -> String.make 1 c)
-             (List.init (String.length v) (String.get v)))
-      in
-      Printf.sprintf "%s=\"%s\"" k escaped
-    in
+    let one (k, v) = Printf.sprintf "%s=\"%s\"" (prom_label_name k) (prom_label_value v) in
     "{" ^ String.concat "," (List.map one kvs) ^ "}"
 
 let to_prometheus t =
@@ -205,6 +235,10 @@ let to_prometheus t =
       in
       if not (Hashtbl.mem typed base) then begin
         Hashtbl.replace typed base ();
+        (match Hashtbl.find_opt t.help s.name with
+        | Some text ->
+          Buffer.add_string buf (Printf.sprintf "# HELP %s %s\n" base (prom_help_text text))
+        | None -> ());
         Buffer.add_string buf (Printf.sprintf "# TYPE %s %s\n" base kind)
       end;
       match s.value with

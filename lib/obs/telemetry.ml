@@ -20,17 +20,20 @@ type t = {
   clock : Clock.t;
   registry : Registry.t;
   trace : Trace.t;
+  profile : Profile.t option;
   mutable rev_task_rows : task_row list;
   mutable rev_switch_rows : switch_row list;
 }
 
-let create ?(clock = Clock.cpu) ?registry () =
+let create ?(clock = Clock.cpu) ?registry ?profile () =
   let registry = match registry with Some r -> r | None -> Registry.create () in
-  { clock; registry; trace = Trace.create (); rev_task_rows = []; rev_switch_rows = [] }
+  { clock; registry; trace = Trace.create (); profile; rev_task_rows = [];
+    rev_switch_rows = [] }
 
 let clock t = t.clock
 let registry t = t.registry
 let trace t = t.trace
+let profile t = t.profile
 
 let record_task t row = t.rev_task_rows <- row :: t.rev_task_rows
 
@@ -70,6 +73,14 @@ let write_dir t ~dir =
   in
   let* () =
     with_out (path "metrics.prom") (fun oc -> output_string oc (Registry.to_prometheus t.registry))
+  in
+  let* () =
+    match t.profile with
+    | None -> Ok ()
+    | Some p ->
+      with_out (path "profile.json") (fun oc ->
+          output_string oc (Json.to_string (Profile.stats_to_json (Profile.stats p)));
+          output_char oc '\n')
   in
   let* () =
     with_out (path "tasks.csv") (fun oc ->

@@ -11,6 +11,8 @@
     {!write_dir} exports everything at once:
     - [trace.jsonl] — every span and event, one JSON object per line;
     - [metrics.prom] — the registry in Prometheus text format;
+    - [profile.json] — the {!Profile} span stats (only when a profile is
+      attached);
     - [tasks.csv] — per-task per-epoch time series
       (epoch, task, kind, accuracy, satisfied, alloc);
     - [switches.csv] — per-switch per-epoch time series
@@ -18,14 +20,18 @@
 
 type t
 
-val create : ?clock:Clock.t -> ?registry:Registry.t -> unit -> t
-(** Defaults: {!Clock.cpu} and a fresh registry. *)
+val create : ?clock:Clock.t -> ?registry:Registry.t -> ?profile:Profile.t -> unit -> t
+(** Defaults: {!Clock.cpu}, a fresh registry, and no profile — GC
+    profiling is strictly opt-in, and a bundle without a profile performs
+    no GC read anywhere. *)
 
 val clock : t -> Clock.t
 
 val registry : t -> Registry.t
 
 val trace : t -> Trace.t
+
+val profile : t -> Profile.t option
 
 type task_row = {
   epoch : int;

@@ -16,11 +16,16 @@ module Sketch_hh = Dream_sketch.Sketch_hh
 module Sampled_hh = Dream_sketch.Sampled_hh
 module Stats = Dream_util.Stats
 
+let satisfaction_metric ~name v =
+  Dream_obs.Bench_snapshot.metric ~unit_:"pct"
+    ~direction:Dream_obs.Bench_snapshot.Higher_better
+    ~tolerance_pct:Experiment.gate_tolerance name v
+
 let accuracy_signal_ablation ~base =
   Table.heading "Ablation: per-switch allocation signal (max(global, local) vs global only)";
   Table.row [ "signal"; "mean"; "p5"; "reject%"; "drop%" ];
-  List.iter
-    (fun (label, mode) ->
+  List.map
+    (fun (label, metric_name, mode) ->
       let config = { Config.default with Config.accuracy_mode = mode } in
       let r = Experiment.run ~config base Experiment.dream_strategy in
       let s = r.Experiment.summary in
@@ -31,13 +36,16 @@ let accuracy_signal_ablation ~base =
           Table.pct s.Metrics.p5_satisfaction;
           Table.pct s.Metrics.rejection_pct;
           Table.pct s.Metrics.drop_pct;
-        ])
-    [ ("max(g,l)", Task.Overall); ("global", Task.Global_only) ]
+        ];
+      satisfaction_metric
+        ~name:(Printf.sprintf "signal_%s_satisfaction" metric_name)
+        s.Metrics.mean_satisfaction)
+    [ ("max(g,l)", "overall", Task.Overall); ("global", "global_only", Task.Global_only) ]
 
 let step_policy_ablation ~base =
   Table.heading "Ablation: step policy driving the full allocator";
   Table.row [ "policy"; "mean"; "p5"; "reject%"; "drop%" ];
-  List.iter
+  List.map
     (fun policy ->
       let strategy =
         Allocator.Dream { Dream_allocator.default_config with Dream_allocator.policy }
@@ -51,7 +59,10 @@ let step_policy_ablation ~base =
           Table.pct s.Metrics.p5_satisfaction;
           Table.pct s.Metrics.rejection_pct;
           Table.pct s.Metrics.drop_pct;
-        ])
+        ];
+      satisfaction_metric
+        ~name:(Printf.sprintf "policy_%s_satisfaction" (Step_policy.to_string policy))
+        s.Metrics.mean_satisfaction)
     Step_policy.all
 
 (* One HH task measured three ways at the same resource count: the TCAM
@@ -63,7 +74,7 @@ let tcam_vs_sketch ~epochs =
     "Ablation: TCAM vs Count-Min sketch vs flow sampling, accuracy vs resources (one HH task)";
   Table.row
     [ "resources"; "tcam-recall"; "sketch-recall"; "sketch-prec"; "sample-recall"; "sample-prec" ];
-  List.iter
+  List.concat_map
     (fun resources ->
       let rng = Rng.create 301 in
       let filter = Prefix.of_string "10.16.0.0/12" in
@@ -124,7 +135,16 @@ let tcam_vs_sketch ~epochs =
           Table.f2 (Stats.mean !sk_precisions);
           Table.f2 (Stats.mean !sa_recalls);
           Table.f2 (Stats.mean !sa_precisions);
-        ])
+        ];
+      if resources = 256 then
+        [
+          satisfaction_metric ~name:"tcam_recall_256" (Stats.mean !tcam_recalls);
+          satisfaction_metric ~name:"sketch_recall_256" (Stats.mean !sk_recalls);
+          satisfaction_metric ~name:"sketch_precision_256" (Stats.mean !sk_precisions);
+          satisfaction_metric ~name:"sample_recall_256" (Stats.mean !sa_recalls);
+          satisfaction_metric ~name:"sample_precision_256" (Stats.mean !sa_precisions);
+        ]
+      else [])
     [ 64; 128; 256; 512; 1024 ]
 
 (* Why the paper abandoned its hardware switch: throttle the per-epoch
@@ -134,7 +154,7 @@ let tcam_vs_sketch ~epochs =
 let hardware_ablation ~base =
   Table.heading "Ablation: hardware rule-installation rate (updates per switch per epoch)";
   Table.row [ "budget"; "mean"; "p5"; "drop%" ];
-  List.iter
+  List.map
     (fun (label, budget) ->
       let config =
         match budget with
@@ -149,7 +169,10 @@ let hardware_ablation ~base =
           Table.pct s.Metrics.mean_satisfaction;
           Table.pct s.Metrics.p5_satisfaction;
           Table.pct s.Metrics.drop_pct;
-        ])
+        ];
+      satisfaction_metric
+        ~name:(Printf.sprintf "hardware_%s_satisfaction" label)
+        s.Metrics.mean_satisfaction)
     [ ("software", None); ("512", Some 512); ("256", Some 256); ("64", Some 64) ]
 
 let run ~quick =
@@ -157,7 +180,8 @@ let run ~quick =
     let s = if quick then Fig06.quick_scale Scenario.default else Scenario.default in
     { s with Scenario.capacity = 1024 }
   in
-  accuracy_signal_ablation ~base;
-  step_policy_ablation ~base;
-  hardware_ablation ~base;
-  tcam_vs_sketch ~epochs:(if quick then 60 else 150)
+  let signal = accuracy_signal_ablation ~base in
+  let policies = step_policy_ablation ~base in
+  let hardware = hardware_ablation ~base in
+  let sensors = tcam_vs_sketch ~epochs:(if quick then 60 else 150) in
+  signal @ policies @ hardware @ sensors

@@ -9,4 +9,6 @@
       measurement primitives for the same HH workload (Section 3's
       generality argument made concrete). *)
 
-val run : quick:bool -> unit
+val run : quick:bool -> Dream_obs.Bench_snapshot.metric list
+(** Prints every ablation table and returns the headline satisfaction /
+    recall numbers for the benchmark snapshot. *)

@@ -38,4 +38,18 @@ let run ~quick =
   Table.heading "chaos coverage: deterministic schedule bank against the oracle suite";
   let schedules = if quick then 40 else 200 in
   let o = Bank.run ~schedules ~seed:42 () in
-  print_outcome o
+  print_outcome o;
+  let module S = Dream_obs.Bench_snapshot in
+  let count name direction v =
+    S.metric ~unit_:"count" ~direction ~tolerance_pct:0.0 name (float_of_int v)
+  in
+  [
+    (* Exact-match gates: any violation or differential divergence fails,
+       and a drop in exercised coverage is a regression too. *)
+    count "violations" S.Lower_better o.Bank.violations;
+    count "differential_ok" S.Higher_better (if o.Bank.differential_ok then 1 else 0);
+    count "recoveries" S.Higher_better o.Bank.recoveries;
+    count "checkpoints" S.Higher_better o.Bank.checkpoints;
+    count "torn_tail_checks" S.Higher_better o.Bank.torn_tail_checks;
+    count "storm_submissions" S.Higher_better o.Bank.storm_submissions;
+  ]

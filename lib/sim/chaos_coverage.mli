@@ -6,5 +6,8 @@
 
 val print_outcome : Dream_chaos.Bank.outcome -> unit
 
-val run : quick:bool -> unit
-(** 40 schedules under [--quick], 200 otherwise, master seed 42. *)
+val run : quick:bool -> Dream_obs.Bench_snapshot.metric list
+(** 40 schedules under [--quick], 200 otherwise, master seed 42.  Returns
+    exact-match coverage gates: violations and differential divergence
+    must stay at their baseline, exercised-coverage counts must not
+    shrink. *)

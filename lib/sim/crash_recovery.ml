@@ -213,4 +213,18 @@ let run ~quick =
   Table.heading
     "Crash recovery: fail-over from checkpoint + journal vs controller crash rate (combined \
      workload, DREAM)";
-  print_points (sweep ~seeds ~rates scenario Experiment.dream_strategy)
+  let points = sweep ~seeds ~rates scenario Experiment.dream_strategy in
+  print_points points;
+  let module S = Dream_obs.Bench_snapshot in
+  List.concat_map
+    (fun p ->
+      [
+        S.metric ~unit_:"pct" ~direction:S.Higher_better
+          ~tolerance_pct:Experiment.gate_tolerance
+          (Printf.sprintf "satisfaction@%.2f" p.crash_rate)
+          p.satisfaction.mean;
+        S.metric ~unit_:"count" ~direction:S.Lower_better ~tolerance_pct:0.0
+          (Printf.sprintf "invariant_violations@%.2f" p.crash_rate)
+          (float_of_int p.invariant_violations);
+      ])
+    points

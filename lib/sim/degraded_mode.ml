@@ -5,9 +5,7 @@ module Controller = Dream_core.Controller
 module Metrics = Dream_core.Metrics
 module Fault_model = Dream_fault.Fault_model
 module Source = Dream_traffic.Source
-module Json = Dream_obs.Json
-
-let json_path = "BENCH_degraded_mode.json"
+module Snapshot = Dream_obs.Bench_snapshot
 
 type point = {
   level : float;
@@ -225,27 +223,27 @@ let run ~quick =
   Format.fprintf Table.out
     "@.satisfaction drop under 25%% partition: %.1f%% (budget 15%%); deadline violations: %d@."
     drop q.q_partition.deadline_violations;
-  (* Machine-readable snapshot of the acceptance pair, shaped like the
-     telemetry-overhead bench so CI can track both the same way. *)
-  let doc =
-    Json.Obj
-      [
-        ("bench", Json.Str "degraded_mode");
-        ("quick", Json.Bool quick);
-        ("baseline_satisfaction", Json.Float b);
-        ("partition_satisfaction", Json.Float p);
-        ("satisfaction_drop_pct", Json.Float drop);
-        ("drop_budget_pct", Json.Float 15.0);
-        ("deadline_violations", Json.Int q.q_partition.deadline_violations);
-        ("stall_deadline_violations", Json.Int q.q_stall.deadline_violations);
-        ("worst_fetch_ms", Json.Float q.q_partition.worst_fetch_ms);
-        ("max_staleness", Json.Int q.q_partition.max_staleness);
-        ("storm_submissions", Json.Int q.q_partition.storm_submissions);
-        ("sustained_satisfaction", Json.Float q.q_sustained.summary.Metrics.mean_satisfaction);
-      ]
+  (* The acceptance pair as snapshot metrics: all modelled quantities, so
+     they reproduce exactly from the seed and gate tightly. *)
+  let tol = Experiment.gate_tolerance in
+  let pct name direction v = Snapshot.metric ~unit_:"pct" ~direction ~tolerance_pct:tol name v in
+  let count name v =
+    Snapshot.metric ~unit_:"count" ~direction:Snapshot.Lower_better ~tolerance_pct:0.0 name
+      (float_of_int v)
   in
-  let oc = open_out json_path in
-  output_string oc (Json.to_string doc);
-  output_char oc '\n';
-  close_out oc;
-  Format.fprintf Table.out "snapshot: %s@." json_path
+  [
+    pct "baseline_satisfaction" Snapshot.Higher_better b;
+    pct "partition_satisfaction" Snapshot.Higher_better p;
+    pct "satisfaction_drop_pct" Snapshot.Lower_better drop;
+    Snapshot.metric ~unit_:"pct" "drop_budget_pct" 15.0;
+    count "deadline_violations" q.q_partition.deadline_violations;
+    Snapshot.metric ~unit_:"count" "stall_deadline_violations"
+      (float_of_int q.q_stall.deadline_violations);
+    Snapshot.metric ~unit_:"ms" ~direction:Snapshot.Lower_better ~tolerance_pct:tol
+      "worst_fetch_ms" q.q_partition.worst_fetch_ms;
+    count "max_staleness" q.q_partition.max_staleness;
+    Snapshot.metric ~unit_:"count" "storm_submissions"
+      (float_of_int q.q_partition.storm_submissions);
+    pct "sustained_satisfaction" Snapshot.Higher_better
+      q.q_sustained.summary.Metrics.mean_satisfaction;
+  ]

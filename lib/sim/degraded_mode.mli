@@ -75,13 +75,8 @@ val run_quarter :
 
 val print_points : point list -> unit
 
-val json_path : string
-(** ["BENCH_degraded_mode.json"] — the machine-readable snapshot of the
-    25%-partition acceptance pair written by {!run}, one compact JSON
-    object, shaped like the telemetry-overhead bench for CI trend
-    tracking. *)
-
-val run : quick:bool -> unit
+val run : quick:bool -> Dream_obs.Bench_snapshot.metric list
 (** The full figure: the adversity sweep (degraded vs baseline per level)
-    followed by the 25%-partition acceptance pair.  Also writes
-    {!json_path}. *)
+    followed by the 25%-partition acceptance pair, whose numbers are
+    returned as the [BENCH_degraded_mode.json] metrics (the figure runner
+    writes the snapshot). *)

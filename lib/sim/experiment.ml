@@ -4,6 +4,7 @@ module Controller = Dream_core.Controller
 module Config = Dream_core.Config
 module Metrics = Dream_core.Metrics
 module Allocator = Dream_alloc.Allocator
+module Snapshot = Dream_obs.Bench_snapshot
 
 type result = {
   strategy : string;
@@ -51,3 +52,34 @@ let run ?(config = Config.default) (scenario : Scenario.t) strategy =
     rules_fetched = Controller.total_rules_fetched controller;
     robustness = Controller.robustness controller;
   }
+
+(* Runs are seed-deterministic, so the summary percentages reproduce
+   exactly and can gate with a tight tolerance in the bench trajectory. *)
+let gate_tolerance = 0.5
+
+let summary_metrics ?(tolerance_pct = gate_tolerance) ~prefix (s : Metrics.summary) =
+  let m name direction v = Snapshot.metric ~unit_:"pct" ~direction ~tolerance_pct (prefix ^ name) v in
+  [
+    m "mean_satisfaction" Snapshot.Higher_better s.Metrics.mean_satisfaction;
+    m "p5_satisfaction" Snapshot.Higher_better s.Metrics.p5_satisfaction;
+    m "rejection_pct" Snapshot.Lower_better s.Metrics.rejection_pct;
+    m "drop_pct" Snapshot.Lower_better s.Metrics.drop_pct;
+  ]
+
+let grouped_summary_metrics ?(tolerance_pct = gate_tolerance) cells ~group_of ~summary_of =
+  let groups = List.sort_uniq compare (List.map group_of cells) in
+  List.concat_map
+    (fun g ->
+      let members = List.filter (fun c -> group_of c = g) cells in
+      let mean f = Dream_util.Stats.mean (List.map (fun c -> f (summary_of c)) members) in
+      let m name direction f =
+        Snapshot.metric ~unit_:"pct" ~direction ~tolerance_pct
+          (Printf.sprintf "%s:%s" g name) (mean f)
+      in
+      [
+        m "mean_satisfaction" Snapshot.Higher_better (fun s -> s.Metrics.mean_satisfaction);
+        m "p5_satisfaction" Snapshot.Higher_better (fun s -> s.Metrics.p5_satisfaction);
+        m "rejection_pct" Snapshot.Lower_better (fun s -> s.Metrics.rejection_pct);
+        m "drop_pct" Snapshot.Lower_better (fun s -> s.Metrics.drop_pct);
+      ])
+    groups

@@ -26,3 +26,31 @@ val dream_strategy : Dream_alloc.Allocator.strategy
 
 val standard_strategies : Dream_alloc.Allocator.strategy list
 (** The paper's comparison set: DREAM, Equal, Fixed_32. *)
+
+(** {1 Benchmark-snapshot helpers}
+
+    Figure harnesses report their headline numbers as
+    {!Dream_obs.Bench_snapshot.metric} values.  Simulation outputs are
+    seed-deterministic, so these gate with a tight default tolerance
+    ({!gate_tolerance}); wall-clock-derived numbers must instead be
+    emitted with {!Dream_obs.Bench_snapshot.Info} direction. *)
+
+val gate_tolerance : float
+(** Default tolerance (percent) for deterministic simulation metrics. *)
+
+val summary_metrics :
+  ?tolerance_pct:float ->
+  prefix:string ->
+  Dream_core.Metrics.summary ->
+  Dream_obs.Bench_snapshot.metric list
+(** Satisfaction / rejection / drop of one summary, names prefixed with
+    [prefix]. *)
+
+val grouped_summary_metrics :
+  ?tolerance_pct:float ->
+  'a list ->
+  group_of:('a -> string) ->
+  summary_of:('a -> Dream_core.Metrics.summary) ->
+  Dream_obs.Bench_snapshot.metric list
+(** Mean satisfaction / rejection / drop per group (e.g. per strategy),
+    metric names ["<group>:<field>"]. *)

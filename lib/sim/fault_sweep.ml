@@ -120,9 +120,24 @@ let run ~quick =
   let base = if quick then Fig06.quick_scale Scenario.default else Scenario.default in
   let seeds = if quick then [ 97; 193 ] else default_seeds in
   Table.heading "Fault sweep: satisfaction/accuracy degradation vs failure rate (combined workload)";
-  List.iter
+  List.concat_map
     (fun strategy ->
+      let name = Dream_alloc.Allocator.strategy_name strategy in
       let aggs = sweep_seeds ~seeds base strategy in
-      Table.subheading (Dream_alloc.Allocator.strategy_name strategy);
-      print_aggregates aggs)
+      Table.subheading name;
+      print_aggregates aggs;
+      List.concat_map
+        (fun a ->
+          let m suffix v =
+            Dream_obs.Bench_snapshot.metric ~unit_:"pct"
+              ~direction:Dream_obs.Bench_snapshot.Higher_better
+              ~tolerance_pct:Experiment.gate_tolerance
+              (Printf.sprintf "%s:%s@%.2f" name suffix a.agg_rate)
+              v
+          in
+          [
+            m "satisfaction" a.agg_satisfaction.mean;
+            m "accuracy" (a.agg_accuracy.mean *. 100.0);
+          ])
+        aggs)
     [ Experiment.dream_strategy; Dream_alloc.Allocator.Equal ]

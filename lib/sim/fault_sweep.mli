@@ -71,6 +71,7 @@ val sweep_seeds :
 
 val print_aggregates : aggregate list -> unit
 
-val run : quick:bool -> unit
+val run : quick:bool -> Dream_obs.Bench_snapshot.metric list
 (** Sweep DREAM and Equal over {!default_rates} on the combined workload,
-    multi-seed, reporting mean ± stddev. *)
+    multi-seed, reporting mean ± stddev.  Returns the per-rate mean
+    satisfaction and accuracy for the benchmark snapshot. *)

@@ -112,23 +112,34 @@ let per_switch_series ~seed ~resources ~epochs ~bin =
   done;
   (binned !raw0 ~bin, binned !raw1 ~bin)
 
+let mean_recall series = Dream_util.Stats.mean (List.map (fun p -> p.recall) series)
+
 let run ~quick =
   let epochs = if quick then 160 else 320 in
   let bin = if quick then 20 else 40 in
   Table.heading "Figure 2a: HH recall over time, fixed counter budgets";
-  List.iter
-    (fun resources ->
-      let series = recall_series ~seed:31 ~resources ~epochs ~bin in
-      Table.series
-        ~name:(Printf.sprintf "%d counters" resources)
-        (List.map (fun p -> (string_of_int p.epoch, p.recall)) series);
-      Format.fprintf Table.out "  %a@."
-        (fun ppf -> Dream_util.Timeseries.pp_series ppf ~name:"recall")
-        (List.map
-           (fun p -> { Dream_util.Timeseries.epoch = p.epoch; value = p.recall })
-           series))
-    [ 256; 512; 1024; 2048 ];
+  let budget_means =
+    List.map
+      (fun resources ->
+        let series = recall_series ~seed:31 ~resources ~epochs ~bin in
+        Table.series
+          ~name:(Printf.sprintf "%d counters" resources)
+          (List.map (fun p -> (string_of_int p.epoch, p.recall)) series);
+        Format.fprintf Table.out "  %a@."
+          (fun ppf -> Dream_util.Timeseries.pp_series ppf ~name:"recall")
+          (List.map
+             (fun p -> { Dream_util.Timeseries.epoch = p.epoch; value = p.recall })
+             series);
+        (resources, mean_recall series))
+      [ 256; 512; 1024; 2048 ]
+  in
   Table.heading "Figure 2b: per-switch recall diverges (512 counters, skewed split)";
   let s0, s1 = per_switch_series ~seed:31 ~resources:512 ~epochs ~bin in
   Table.series ~name:"switch 0" (List.map (fun p -> (string_of_int p.epoch, p.recall)) s0);
-  Table.series ~name:"switch 1" (List.map (fun p -> (string_of_int p.epoch, p.recall)) s1)
+  Table.series ~name:"switch 1" (List.map (fun p -> (string_of_int p.epoch, p.recall)) s1);
+  let m name v =
+    Dream_obs.Bench_snapshot.metric ~direction:Dream_obs.Bench_snapshot.Higher_better
+      ~tolerance_pct:Experiment.gate_tolerance name v
+  in
+  List.map (fun (r, v) -> m (Printf.sprintf "mean_recall_%d" r) v) budget_means
+  @ [ m "switch0_mean_recall" (mean_recall s0); m "switch1_mean_recall" (mean_recall s1) ]

@@ -69,4 +69,12 @@ let run ~quick =
   List.iter
     (fun t ->
       Table.row [ Step_policy.to_string t.policy; Table.f2 (mean_absolute_error t) ])
+    traces;
+  List.map
+    (fun t ->
+      Dream_obs.Bench_snapshot.metric ~unit_:"entries"
+        ~direction:Dream_obs.Bench_snapshot.Lower_better
+        ~tolerance_pct:Experiment.gate_tolerance
+        (Printf.sprintf "mae_%s" (Step_policy.to_string t.policy))
+        (mean_absolute_error t))
     traces

@@ -16,4 +16,5 @@ val simulate : Dream_alloc.Step_policy.t -> epochs:int -> trace
 val mean_absolute_error : trace -> float
 (** Mean |allocation - goal| over the run — the convergence score. *)
 
-val run : quick:bool -> unit
+val run : quick:bool -> Dream_obs.Bench_snapshot.metric list
+(** Prints the figure and returns each policy's convergence score. *)

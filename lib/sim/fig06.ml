@@ -89,6 +89,12 @@ let print_rejection_drop ~title cells =
 
 let capacities = [ 256; 512; 1024; 2048 ]
 
+(* Headline numbers: per-strategy means across the whole (workload x
+   capacity) grid — coarse, but exactly reproducible from the seed. *)
+let cell_metrics cells =
+  Experiment.grouped_summary_metrics cells ~group_of:(fun c -> c.strategy)
+    ~summary_of:(fun c -> c.summary)
+
 let run ~quick =
   let base = if quick then quick_scale Scenario.default else Scenario.default in
   let cells =
@@ -96,7 +102,8 @@ let run ~quick =
       ~workloads:(workloads_of base) ()
   in
   print_satisfaction ~title:"Figure 6: satisfaction vs switch capacity (prototype scale)" cells;
-  print_rejection_drop ~title:"Figure 7: rejection and drop vs switch capacity" cells
+  print_rejection_drop ~title:"Figure 7: rejection and drop vs switch capacity" cells;
+  cell_metrics cells
 
 let large_base =
   {
@@ -114,4 +121,5 @@ let run_large ~quick =
     sweep ~base ~capacities ~strategies:Experiment.standard_strategies ~workloads ()
   in
   print_satisfaction ~title:"Figure 10: satisfaction, large-scale simulation" cells;
-  print_rejection_drop ~title:"Figure 11: rejection and drop, large-scale simulation" cells
+  print_rejection_drop ~title:"Figure 11: rejection and drop, large-scale simulation" cells;
+  cell_metrics cells

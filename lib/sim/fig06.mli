@@ -24,10 +24,13 @@ val print_satisfaction : title:string -> cell list -> unit
 
 val print_rejection_drop : title:string -> cell list -> unit
 
-val run : quick:bool -> unit
+val cell_metrics : cell list -> Dream_obs.Bench_snapshot.metric list
+(** Per-strategy mean satisfaction / rejection / drop across a cell grid. *)
+
+val run : quick:bool -> Dream_obs.Bench_snapshot.metric list
 (** Prototype-scale sweep (Figs 6/7). *)
 
-val run_large : quick:bool -> unit
+val run_large : quick:bool -> Dream_obs.Bench_snapshot.metric list
 (** Large-scale sweep (Figs 10/11): more switches and tasks. *)
 
 val workloads_of : Dream_workload.Scenario.t -> (string * Dream_workload.Scenario.t) list

@@ -33,4 +33,5 @@ let run ~quick =
     ~title:"Figure 8: satisfaction, prototype (_p: delay model + estimated accuracy) vs simulator"
     interleaved;
   Fig06.print_rejection_drop ~title:"Figure 9: rejection and drop, prototype vs simulator"
-    interleaved
+    interleaved;
+  Fig06.cell_metrics interleaved

@@ -10,4 +10,4 @@
     ({!Dream_core.Config.prototype}); plain rows use the simulator
     configuration. *)
 
-val run : quick:bool -> unit
+val run : quick:bool -> Dream_obs.Bench_snapshot.metric list

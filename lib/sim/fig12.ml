@@ -95,4 +95,8 @@ let run ~quick =
     ]
   in
   print_satisfaction sweeps;
-  print_rejection sweeps
+  print_rejection sweeps;
+  Experiment.grouped_summary_metrics
+    (List.concat_map snd sweeps)
+    ~group_of:(fun c -> c.strategy)
+    ~summary_of:(fun c -> c.summary)

@@ -3,4 +3,4 @@
     varies at a time: accuracy bound, task threshold, switches per task,
     and task duration. *)
 
-val run : quick:bool -> unit
+val run : quick:bool -> Dream_obs.Bench_snapshot.metric list

@@ -7,21 +7,27 @@ let run ~quick =
   let arrivals = [ 16; 32; 64; 128 ] in
   Table.heading "Figure 14: arrival-rate sensitivity (capacity 1024, combined workload)";
   Table.row [ "arrivals"; "strategy"; "mean"; "p5"; "reject%"; "drop%" ];
-  List.iter
-    (fun n ->
-      List.iter
-        (fun strategy ->
-          let scenario = { base with Scenario.num_tasks = n } in
-          let r = Experiment.run scenario strategy in
-          let s = r.Experiment.summary in
-          Table.row
-            [
-              string_of_int n;
-              r.Experiment.strategy;
-              Table.pct s.Metrics.mean_satisfaction;
-              Table.pct s.Metrics.p5_satisfaction;
-              Table.pct s.Metrics.rejection_pct;
-              Table.pct s.Metrics.drop_pct;
-            ])
-        Experiment.standard_strategies)
-    arrivals
+  let cells =
+    List.concat_map
+      (fun n ->
+        List.map
+          (fun strategy ->
+            let scenario = { base with Scenario.num_tasks = n } in
+            let r = Experiment.run scenario strategy in
+            let s = r.Experiment.summary in
+            Table.row
+              [
+                string_of_int n;
+                r.Experiment.strategy;
+                Table.pct s.Metrics.mean_satisfaction;
+                Table.pct s.Metrics.p5_satisfaction;
+                Table.pct s.Metrics.rejection_pct;
+                Table.pct s.Metrics.drop_pct;
+              ];
+            r)
+          Experiment.standard_strategies)
+      arrivals
+  in
+  Experiment.grouped_summary_metrics cells
+    ~group_of:(fun r -> r.Experiment.strategy)
+    ~summary_of:(fun r -> r.Experiment.summary)

@@ -1,4 +1,4 @@
 (** Figure 14: arrival-rate sensitivity — satisfaction and rejection/drop
     as the number of tasks arriving in the fixed window grows. *)
 
-val run : quick:bool -> unit
+val run : quick:bool -> Dream_obs.Bench_snapshot.metric list

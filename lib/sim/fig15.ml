@@ -11,25 +11,30 @@ let run ~quick =
   let intervals = [ 2; 4; 8; 16 ] in
   Table.heading "Figure 15: headroom size x allocation interval (DREAM, capacity 1024)";
   Table.row [ "headroom"; "interval"; "mean"; "p5"; "reject%"; "drop%" ];
-  List.iter
-    (fun (label, fraction) ->
-      List.iter
-        (fun interval ->
-          let strategy =
-            Allocator.Dream
-              { Dream_allocator.default_config with Dream_allocator.headroom_fraction = fraction }
-          in
-          let config = { Config.default with Config.allocation_interval = interval } in
-          let r = Experiment.run ~config base strategy in
-          let s = r.Experiment.summary in
-          Table.row
-            [
-              label;
-              string_of_int interval;
-              Table.pct s.Metrics.mean_satisfaction;
-              Table.pct s.Metrics.p5_satisfaction;
-              Table.pct s.Metrics.rejection_pct;
-              Table.pct s.Metrics.drop_pct;
-            ])
-        intervals)
-    headrooms
+  let cells =
+    List.concat_map
+      (fun (label, fraction) ->
+        List.map
+          (fun interval ->
+            let strategy =
+              Allocator.Dream
+                { Dream_allocator.default_config with Dream_allocator.headroom_fraction = fraction }
+            in
+            let config = { Config.default with Config.allocation_interval = interval } in
+            let r = Experiment.run ~config base strategy in
+            let s = r.Experiment.summary in
+            Table.row
+              [
+                label;
+                string_of_int interval;
+                Table.pct s.Metrics.mean_satisfaction;
+                Table.pct s.Metrics.p5_satisfaction;
+                Table.pct s.Metrics.rejection_pct;
+                Table.pct s.Metrics.drop_pct;
+              ];
+            (Printf.sprintf "headroom_%s_interval_%d" label interval, r))
+          intervals)
+      headrooms
+  in
+  Experiment.grouped_summary_metrics cells ~group_of:fst
+    ~summary_of:(fun (_, r) -> r.Experiment.summary)

@@ -5,4 +5,4 @@
     drop; 5-10% headroom makes drops negligible at a small rejection
     cost. *)
 
-val run : quick:bool -> unit
+val run : quick:bool -> Dream_obs.Bench_snapshot.metric list

@@ -8,20 +8,26 @@ let run ~quick =
   let base = if quick then Fig06.quick_scale Scenario.default else Scenario.default in
   Table.heading "Figure 16: Fixed_k allocation configurations (combined workload)";
   Table.row [ "capacity"; "strategy"; "mean"; "p5"; "reject%" ];
-  List.iter
-    (fun capacity ->
-      List.iter
-        (fun k ->
-          let scenario = { base with Scenario.capacity } in
-          let r = Experiment.run scenario (Allocator.Fixed k) in
-          let s = r.Experiment.summary in
-          Table.row
-            [
-              string_of_int capacity;
-              r.Experiment.strategy;
-              Table.pct s.Metrics.mean_satisfaction;
-              Table.pct s.Metrics.p5_satisfaction;
-              Table.pct s.Metrics.rejection_pct;
-            ])
-        [ 8; 16; 32; 64 ])
-    capacities
+  let cells =
+    List.concat_map
+      (fun capacity ->
+        List.map
+          (fun k ->
+            let scenario = { base with Scenario.capacity } in
+            let r = Experiment.run scenario (Allocator.Fixed k) in
+            let s = r.Experiment.summary in
+            Table.row
+              [
+                string_of_int capacity;
+                r.Experiment.strategy;
+                Table.pct s.Metrics.mean_satisfaction;
+                Table.pct s.Metrics.p5_satisfaction;
+                Table.pct s.Metrics.rejection_pct;
+              ];
+            r)
+          [ 8; 16; 32; 64 ])
+      capacities
+  in
+  Experiment.grouped_summary_metrics cells
+    ~group_of:(fun r -> r.Experiment.strategy)
+    ~summary_of:(fun r -> r.Experiment.summary)

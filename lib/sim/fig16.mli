@@ -3,4 +3,4 @@
     nearly all and starves them.  No fixed fraction matches DREAM on both
     axes at once. *)
 
-val run : quick:bool -> unit
+val run : quick:bool -> Dream_obs.Bench_snapshot.metric list

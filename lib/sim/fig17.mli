@@ -8,4 +8,6 @@
     (b) Mean and 95th-percentile allocation delay as tasks span more
     switches (the per-switch allocator sees more tasks). *)
 
-val run : quick:bool -> unit
+val run : quick:bool -> Dream_obs.Bench_snapshot.metric list
+(** Prints both tables and returns the modelled phase delays at capacity
+    1024 plus the p95 allocation delay per switches-per-task point. *)

@@ -4,9 +4,7 @@ module Fault_model = Dream_fault.Fault_model
 module Telemetry = Dream_obs.Telemetry
 module Trace = Dream_obs.Trace
 module Clock = Dream_obs.Clock
-module Json = Dream_obs.Json
-
-let json_path = "BENCH_telemetry_overhead.json"
+module Snapshot = Dream_obs.Bench_snapshot
 
 (* A fault-injecting scenario so the event paths (crashes, retries, stale
    fallbacks) are part of what gets priced, not just the happy path. *)
@@ -73,31 +71,27 @@ let run ~quick =
   let identical = off.Experiment.summary = on.Experiment.summary in
   Format.fprintf Table.out "zero-diff check: summaries %s@."
     (if identical then "identical" else "DIVERGED — telemetry touched simulation state!");
-  (* Machine-readable snapshot, so CI (and the bench-trajectory tooling)
-     can track the overhead across commits without scraping the table. *)
   let trace_items =
     match !last_bundle with
     | Some bundle -> Trace.length (Telemetry.trace bundle)
     | None -> 0
   in
-  let doc =
-    Json.Obj
-      [
-        ("bench", Json.Str "telemetry_overhead");
-        ("quick", Json.Bool quick);
-        ("epochs", Json.Int epochs);
-        ("reps", Json.Int reps);
-        ("disabled_s", Json.Float off_s);
-        ("enabled_s", Json.Float on_s);
-        ("disabled_ms_per_epoch", Json.Float (ms_per_epoch off_s));
-        ("enabled_ms_per_epoch", Json.Float (ms_per_epoch on_s));
-        ("overhead_pct", Json.Float overhead);
-        ("trace_items", Json.Int trace_items);
-        ("zero_diff", Json.Bool identical);
-      ]
+  (* Wall-clock numbers are Info — tracked in every diff and trend, but a
+     noisy machine must never fail the gate on them.  The deterministic
+     outputs (trace volume, the zero-diff bit) gate exactly. *)
+  let wall name v = Snapshot.metric ~unit_:"s" name v in
+  let exact name v =
+    Snapshot.metric ~unit_:"count" ~direction:Snapshot.Higher_better ~tolerance_pct:0.0 name
+      (float_of_int v)
   in
-  let oc = open_out json_path in
-  output_string oc (Json.to_string doc);
-  output_char oc '\n';
-  close_out oc;
-  Format.fprintf Table.out "snapshot: %s@." json_path
+  [
+    Snapshot.metric ~unit_:"count" "epochs" (float_of_int epochs);
+    Snapshot.metric ~unit_:"count" "reps" (float_of_int reps);
+    wall "disabled_s" off_s;
+    wall "enabled_s" on_s;
+    Snapshot.metric ~unit_:"ms" "disabled_ms_per_epoch" (ms_per_epoch off_s);
+    Snapshot.metric ~unit_:"ms" "enabled_ms_per_epoch" (ms_per_epoch on_s);
+    Snapshot.metric ~unit_:"pct" "overhead_pct" overhead;
+    exact "trace_items" trace_items;
+    exact "zero_diff" (if identical then 1 else 0);
+  ]

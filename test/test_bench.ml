@@ -1,0 +1,331 @@
+(* Benchmark-trajectory tests: the BENCH_<figure>.json codec, the
+   comparator's gating semantics (the CI perf gate's exit-1 contract),
+   and bit-for-bit deterministic profiles over manual clock/GC sources. *)
+
+module Snapshot = Dream_obs.Bench_snapshot
+module Diff = Dream_obs.Bench_diff
+module Profile = Dream_obs.Profile
+module Clock = Dream_obs.Clock
+module Gc_stats = Dream_obs.Gc_stats
+module Registry = Dream_obs.Registry
+
+(* {1 Codec} *)
+
+let gc_reading i =
+  {
+    Gc_stats.minor_words = float_of_int (i * 1000) /. 16.0;
+    promoted_words = float_of_int (i * 10) /. 4.0;
+    major_words = float_of_int (i * 30) /. 8.0;
+    minor_collections = i;
+    major_collections = i / 3;
+    compactions = i / 7;
+  }
+
+(* Snapshots built from arbitrary ints and strings: metric names are made
+   unique by index (validate rejects duplicates), every float is finite by
+   construction, and names/units exercise the JSON string escaper. *)
+let snapshot_of (figure, quick, cells, phases) =
+  let metrics =
+    List.mapi
+      (fun i (name, v, tol) ->
+        let direction =
+          match i mod 3 with 0 -> Snapshot.Lower_better | 1 -> Snapshot.Higher_better | _ -> Snapshot.Info
+        in
+        Snapshot.metric
+          ~unit_:(if i mod 2 = 0 then "ms" else "w\"x\\y")
+          ~direction
+          ~tolerance_pct:(Float.abs (float_of_int tol /. 8.0))
+          (Printf.sprintf "m%d_%s" i name)
+          (float_of_int v /. 32.0))
+      cells
+  in
+  let phases =
+    List.mapi
+      (fun i (count, wall) ->
+        {
+          Profile.path = Printf.sprintf "epoch/p%d" i;
+          count = abs count;
+          wall_ms = float_of_int wall /. 64.0;
+          gc = gc_reading (abs count);
+        })
+      phases
+  in
+  Snapshot.make
+    ~figure:(if figure = "" then "f" else figure)
+    ~quick ~seeds:[ 1; 31; 97 ] ~metrics ~phases ()
+
+let codec_round_trip =
+  QCheck.Test.make ~name:"snapshot codec round-trips exactly" ~count:200
+    QCheck.(
+      quad string bool
+        (small_list (triple (string_of_size Gen.small_nat) int small_int))
+        (small_list (pair small_int small_int)))
+    (fun input ->
+      let snap = snapshot_of input in
+      match Snapshot.of_string (Snapshot.to_string snap) with
+      | Ok snap' -> snap = snap'
+      | Error e -> QCheck.Test.fail_reportf "reparse failed: %s" e)
+
+let test_nan_never_round_trips () =
+  let snap =
+    Snapshot.make ~figure:"bad" ~quick:true
+      ~metrics:[ Snapshot.metric "broken" Float.nan ]
+      ()
+  in
+  (match Snapshot.validate snap with
+  | Ok () -> Alcotest.fail "validate accepted a NaN metric"
+  | Error _ -> ());
+  (* Even if the document were forced out, NaN renders as JSON null and
+     the reader rejects it — the comparator's 124 path. *)
+  match Snapshot.of_string (Snapshot.to_string snap) with
+  | Ok _ -> Alcotest.fail "parsed a snapshot containing NaN"
+  | Error _ -> ()
+
+let test_filename_sanitizes () =
+  Alcotest.(check string) "dash maps to underscore" "BENCH_degraded_mode.json"
+    (Snapshot.filename "degraded-mode");
+  Alcotest.(check string) "path chars map to underscore" "BENCH____fig_6.json"
+    (Snapshot.filename "../fig 6")
+
+(* {1 Comparator} *)
+
+let base_metrics =
+  [
+    Snapshot.metric ~unit_:"pct" ~direction:Snapshot.Higher_better ~tolerance_pct:0.5
+      "satisfaction" 80.0;
+    Snapshot.metric ~unit_:"count" ~direction:Snapshot.Lower_better ~tolerance_pct:0.0
+      "violations" 0.0;
+    Snapshot.metric ~unit_:"ms" "wall" 120.0;
+  ]
+
+let snap ?(figure = "fig6") ?(quick = true) metrics =
+  Snapshot.make ~figure ~quick ~metrics ()
+
+let diff_exn ?tolerance_pct base current =
+  match Diff.diff ?tolerance_pct ~base current with
+  | Ok r -> r
+  | Error e -> Alcotest.failf "diff failed: %s" e
+
+let row report name =
+  match List.find_opt (fun r -> r.Diff.r_name = name) report.Diff.d_rows with
+  | Some r -> r
+  | None -> Alcotest.failf "no row for %s" name
+
+let status =
+  Alcotest.testable
+    (fun fmt s ->
+      Format.pp_print_string fmt
+        (match s with
+        | Diff.Unchanged -> "unchanged"
+        | Diff.Improved -> "improved"
+        | Diff.Regressed -> "regressed"
+        | Diff.Missing -> "missing"
+        | Diff.Added -> "added"))
+    ( = )
+
+let test_diff_identical () =
+  let report = diff_exn (snap base_metrics) (snap base_metrics) in
+  Alcotest.(check int) "no regressions" 0 report.Diff.d_regressions;
+  List.iter
+    (fun r -> Alcotest.check status r.Diff.r_name Diff.Unchanged r.Diff.r_status)
+    report.Diff.d_rows
+
+let test_diff_gates_on_direction () =
+  (* Satisfaction falling beyond its 0.5% tolerance regresses; rising is
+     an improvement and never gates. *)
+  let worse =
+    snap
+      [
+        Snapshot.metric ~unit_:"pct" ~direction:Snapshot.Higher_better ~tolerance_pct:0.5
+          "satisfaction" 78.0;
+        Snapshot.metric ~unit_:"count" ~direction:Snapshot.Lower_better ~tolerance_pct:0.0
+          "violations" 0.0;
+        Snapshot.metric ~unit_:"ms" "wall" 500.0;
+      ]
+  in
+  let report = diff_exn (snap base_metrics) worse in
+  Alcotest.(check int) "one regression" 1 report.Diff.d_regressions;
+  Alcotest.check status "satisfaction regressed" Diff.Regressed
+    (row report "satisfaction").Diff.r_status;
+  (* The wall-clock metric is Info: a 4x slowdown stays Unchanged. *)
+  Alcotest.check status "info never gates" Diff.Unchanged (row report "wall").Diff.r_status;
+  let better =
+    snap
+      [
+        Snapshot.metric ~unit_:"pct" ~direction:Snapshot.Higher_better ~tolerance_pct:0.5
+          "satisfaction" 90.0;
+        Snapshot.metric ~unit_:"count" ~direction:Snapshot.Lower_better ~tolerance_pct:0.0
+          "violations" 0.0;
+        Snapshot.metric ~unit_:"ms" "wall" 120.0;
+      ]
+  in
+  let report = diff_exn (snap base_metrics) better in
+  Alcotest.(check int) "improvement does not gate" 0 report.Diff.d_regressions;
+  Alcotest.check status "satisfaction improved" Diff.Improved
+    (row report "satisfaction").Diff.r_status
+
+let test_diff_within_tolerance () =
+  let nudged =
+    snap
+      [
+        Snapshot.metric ~unit_:"pct" ~direction:Snapshot.Higher_better ~tolerance_pct:0.5
+          "satisfaction" 79.7;
+        Snapshot.metric ~unit_:"count" ~direction:Snapshot.Lower_better ~tolerance_pct:0.0
+          "violations" 0.0;
+        Snapshot.metric ~unit_:"ms" "wall" 120.0;
+      ]
+  in
+  let report = diff_exn (snap base_metrics) nudged in
+  Alcotest.(check int) "within tolerance" 0 report.Diff.d_regressions
+
+let test_diff_missing_and_added () =
+  let current =
+    snap
+      [
+        Snapshot.metric ~unit_:"pct" ~direction:Snapshot.Higher_better ~tolerance_pct:0.5
+          "satisfaction" 80.0;
+        Snapshot.metric ~unit_:"ms" "wall" 120.0;
+        Snapshot.metric ~unit_:"count" "brand_new" 7.0;
+      ]
+  in
+  let report = diff_exn (snap base_metrics) current in
+  (* Lost coverage gates; new coverage is reported but never gates. *)
+  Alcotest.check status "lost metric is missing" Diff.Missing
+    (row report "violations").Diff.r_status;
+  Alcotest.check status "new metric is added" Diff.Added (row report "brand_new").Diff.r_status;
+  Alcotest.(check int) "only the loss gates" 1 report.Diff.d_regressions
+
+let test_diff_zero_baseline () =
+  (* A zero baseline has no relative scale: any move off it on a gating
+     metric is an infinite-percent change and gates even at tolerance 0. *)
+  let current =
+    snap
+      [
+        Snapshot.metric ~unit_:"pct" ~direction:Snapshot.Higher_better ~tolerance_pct:0.5
+          "satisfaction" 80.0;
+        Snapshot.metric ~unit_:"count" ~direction:Snapshot.Lower_better ~tolerance_pct:0.0
+          "violations" 2.0;
+        Snapshot.metric ~unit_:"ms" "wall" 120.0;
+      ]
+  in
+  let report = diff_exn (snap base_metrics) current in
+  let r = row report "violations" in
+  Alcotest.check status "off-zero gates" Diff.Regressed r.Diff.r_status;
+  Alcotest.(check bool) "delta is infinite" true (r.Diff.r_delta_pct = Float.infinity)
+
+let test_diff_rejects_mismatches () =
+  let reject base current =
+    match Diff.diff ~base current with
+    | Ok _ -> Alcotest.fail "diff accepted mismatched snapshots"
+    | Error _ -> ()
+  in
+  reject (snap base_metrics) (snap ~figure:"fig8" base_metrics);
+  reject (snap base_metrics) (snap ~quick:false base_metrics);
+  match Diff.diff ~tolerance_pct:(-1.0) ~base:(snap base_metrics) (snap base_metrics) with
+  | Ok _ -> Alcotest.fail "diff accepted a negative tolerance"
+  | Error _ -> ()
+
+let test_trend () =
+  let point v = snap [ Snapshot.metric ~unit_:"pct" "satisfaction" v ] in
+  let rows = Diff.trend [ ("a", point 80.0); ("b", point 70.0); ("c", point 90.0) ] in
+  match rows with
+  | [ r ] ->
+    Alcotest.(check string) "figure" "fig6" r.Diff.t_figure;
+    Alcotest.(check (float 1e-9)) "min" 70.0 r.Diff.t_min;
+    Alcotest.(check (float 1e-9)) "max" 90.0 r.Diff.t_max;
+    Alcotest.(check (float 1e-9)) "last vs first" 12.5 r.Diff.t_delta_pct;
+    Alcotest.(check int) "points" 3 (List.length r.Diff.t_points)
+  | rows -> Alcotest.failf "expected one trend row, got %d" (List.length rows)
+
+(* {1 Deterministic profiles} *)
+
+let test_profile_deterministic () =
+  let clock, mc = Clock.manual () in
+  let gc, mg = Gc_stats.manual () in
+  let p = Profile.create ~clock ~gc () in
+  Profile.span p "epoch" (fun () ->
+      Clock.advance mc 5.0;
+      Gc_stats.advance mg { Gc_stats.zero with Gc_stats.minor_words = 100.0; minor_collections = 1 };
+      Profile.span p "allocate" (fun () ->
+          Clock.advance mc 2.0;
+          Gc_stats.advance mg { Gc_stats.zero with Gc_stats.minor_words = 40.0 }));
+  (* The nested span's cost is part of its parent's (flame-graph
+     convention), and with manual sources every number is exact. *)
+  (match Profile.find p "epoch" with
+  | Some s ->
+    Alcotest.(check int) "epoch count" 1 s.Profile.count;
+    Alcotest.(check (float 0.0)) "epoch wall" 7.0 s.Profile.wall_ms;
+    Alcotest.(check (float 0.0)) "epoch minor words" 140.0 s.Profile.gc.Gc_stats.minor_words;
+    Alcotest.(check int) "epoch minor collections" 1 s.Profile.gc.Gc_stats.minor_collections
+  | None -> Alcotest.fail "no epoch span");
+  (match Profile.find p "epoch/allocate" with
+  | Some s ->
+    Alcotest.(check (float 0.0)) "allocate wall" 2.0 s.Profile.wall_ms;
+    Alcotest.(check (float 0.0)) "allocate minor words" 40.0 s.Profile.gc.Gc_stats.minor_words
+  | None -> Alcotest.fail "no nested span");
+  (* Externally measured fragments merge under an explicit path. *)
+  Profile.record p ~path:"epoch/allocate" ~wall_ms:3.0
+    ~gc:{ Gc_stats.zero with Gc_stats.minor_words = 10.0 };
+  (match Profile.find p "epoch/allocate" with
+  | Some s ->
+    Alcotest.(check int) "merged count" 2 s.Profile.count;
+    Alcotest.(check (float 0.0)) "merged wall" 5.0 s.Profile.wall_ms;
+    Alcotest.(check (float 0.0)) "merged minor words" 50.0 s.Profile.gc.Gc_stats.minor_words
+  | None -> Alcotest.fail "record lost the span");
+  (* The profile.json codec is the identity on stats. *)
+  match Profile.stats_of_json (Profile.stats_to_json (Profile.stats p)) with
+  | Ok stats -> Alcotest.(check bool) "stats round-trip" true (stats = Profile.stats p)
+  | Error e -> Alcotest.failf "stats reparse failed: %s" e
+
+let test_observe_epoch () =
+  let reg = Registry.create () in
+  let p = Profile.create () in
+  let gc =
+    {
+      Gc_stats.minor_words = 1000.0;
+      promoted_words = 200.0;
+      major_words = 300.0;
+      minor_collections = 3;
+      major_collections = 1;
+      compactions = 0;
+    }
+  in
+  Profile.observe_epoch p reg ~wall_ms:10.0 ~gc;
+  (* Allocated words = minor + major - promoted (promoted words would
+     otherwise be double-counted). *)
+  Alcotest.(check (float 1e-9)) "alloc rate" 110.0 (Registry.Gauge.value (Registry.gauge reg "alloc_rate_words_per_ms"));
+  Alcotest.(check int) "minor collections" 3
+    (Registry.Counter.value (Registry.counter reg "gc_minor_collections"));
+  Alcotest.(check int) "major collections" 1
+    (Registry.Counter.value (Registry.counter reg "gc_major_collections"));
+  Alcotest.(check int) "major-gc epochs observed" 1
+    (Registry.Histogram.count (Registry.histogram reg "gc_major_epoch_ms"));
+  Alcotest.(check int) "alloc histogram fed" 1
+    (Registry.Histogram.count (Registry.histogram reg "epoch_alloc_words"))
+
+let () =
+  Alcotest.run "bench"
+    [
+      ( "codec",
+        [
+          QCheck_alcotest.to_alcotest codec_round_trip;
+          Alcotest.test_case "NaN never round-trips" `Quick test_nan_never_round_trips;
+          Alcotest.test_case "filename sanitizes" `Quick test_filename_sanitizes;
+        ] );
+      ( "diff",
+        [
+          Alcotest.test_case "identical snapshots" `Quick test_diff_identical;
+          Alcotest.test_case "direction-aware gating" `Quick test_diff_gates_on_direction;
+          Alcotest.test_case "within tolerance" `Quick test_diff_within_tolerance;
+          Alcotest.test_case "missing gates, added does not" `Quick test_diff_missing_and_added;
+          Alcotest.test_case "zero baseline" `Quick test_diff_zero_baseline;
+          Alcotest.test_case "rejects mismatches" `Quick test_diff_rejects_mismatches;
+          Alcotest.test_case "trend trajectories" `Quick test_trend;
+        ] );
+      ( "profile",
+        [
+          Alcotest.test_case "deterministic over manual sources" `Quick
+            test_profile_deterministic;
+          Alcotest.test_case "observe_epoch feeds the registry" `Quick test_observe_epoch;
+        ] );
+    ]

@@ -72,6 +72,21 @@ let test_clock_silent () =
   check_silent ~path:"lib/fake.ml" "let t = Clock.now_ms clock\n";
   check_silent ~path:"lib/fake.ml" "let t = Sys.file_exists \"x\"\n"
 
+(* ---- determinism-gc ---- *)
+
+let test_gc_fires () =
+  check_fires ~rule:"determinism-gc" ~line:1 ~path:"lib/fake.ml"
+    "let s = Gc.quick_stat ()\n";
+  check_fires ~rule:"determinism-gc" ~line:2 ~path:"bench/fake.ml"
+    "let a = 0\nlet () = Gc.compact ()\n";
+  check_fires ~rule:"determinism-gc" ~line:1 ~path:"lib/fake.ml" "module G = Gc\n"
+
+let test_gc_silent () =
+  check_silent ~path:"lib/fake.ml" "let r = Gc_stats.read src\n";
+  check_silent ~path:"lib/fake.ml" "let r = Dream_obs.Gc_stats.read src\n";
+  (* An unrelated module with a Gc submodule is not Stdlib.Gc. *)
+  check_silent ~path:"lib/fake.ml" "let s = My.Gc.stat ()\n"
+
 (* ---- float-equality ---- *)
 
 let test_float_equality_fires () =
@@ -232,7 +247,7 @@ let test_parse_error () =
 (* ---- registry ---- *)
 
 let test_registry () =
-  Alcotest.(check int) "seven rules" 7 (List.length Rules.all);
+  Alcotest.(check int) "eight rules" 8 (List.length Rules.all);
   Alcotest.(check int) "unique ids" (List.length Rules.ids)
     (List.length (List.sort_uniq String.compare Rules.ids));
   List.iter
@@ -291,6 +306,8 @@ let () =
           Alcotest.test_case "Rng stays silent" `Quick test_random_silent;
           Alcotest.test_case "clock reads fire" `Quick test_clock_fires;
           Alcotest.test_case "Clock stays silent" `Quick test_clock_silent;
+          Alcotest.test_case "Gc reads fire" `Quick test_gc_fires;
+          Alcotest.test_case "Gc_stats stays silent" `Quick test_gc_silent;
         ] );
       ( "float-equality",
         [

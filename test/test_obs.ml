@@ -98,6 +98,56 @@ let test_histogram_percentiles () =
   Registry.Histogram.observe h (-5.0);
   Alcotest.(check (float 1e-9)) "min tracks underflow" (-5.0) (Registry.Histogram.min_value h)
 
+let test_prometheus_conformance () =
+  let reg = Registry.create () in
+  (* An awkward metric: spaces in the name, a label key starting with a
+     digit, and a label value holding every character the exposition
+     format escapes. *)
+  let c =
+    Registry.counter reg
+      ~help:"crashes seen\nby the run \\ total"
+      ~labels:[ ("kind", "a\"b\\c\nd"); ("9bad key", "v") ]
+      "crash count"
+  in
+  Registry.Counter.add c 3;
+  ignore (Registry.counter reg ~help:"second registration loses" "crash count");
+  Registry.Histogram.observe (Registry.histogram reg "phase_ms") 3.7;
+  let out = Registry.to_prometheus reg in
+  let lines = String.split_on_char '\n' out in
+  let index_where descr p =
+    let rec go i = function
+      | [] -> Alcotest.failf "no line matches %s" descr
+      | l :: rest -> if p l then i else go (i + 1) rest
+    in
+    go 0 lines
+  in
+  let count p = List.length (List.filter p lines) in
+  (* HELP precedes TYPE, once per family, first registration's text wins;
+     backslash and newline are escaped (quotes are legal in help text). *)
+  let help_i =
+    index_where "HELP line"
+      (String.equal "# HELP dream_crash_count_total crashes seen\\nby the run \\\\ total")
+  in
+  let type_i = index_where "TYPE line" (String.equal "# TYPE dream_crash_count_total counter") in
+  Alcotest.(check bool) "help precedes type" true (help_i < type_i);
+  Alcotest.(check int) "one TYPE per family" 1
+    (count (String.starts_with ~prefix:"# TYPE dream_crash_count_total"));
+  Alcotest.(check int) "one HELP per family" 1
+    (count (String.starts_with ~prefix:"# HELP dream_crash_count_total"));
+  (* Labels sorted by key; the bad key is sanitized to [a-zA-Z_][a-zA-Z0-9_]*
+     and the value escapes backslash, quote and newline. *)
+  ignore
+    (index_where "escaped sample line"
+       (String.equal "dream_crash_count_total{_bad_key=\"v\",kind=\"a\\\"b\\\\c\\nd\"} 3"));
+  ignore (index_where "unlabelled sample line" (String.equal "dream_crash_count_total 0"));
+  (* Histograms expose cumulative buckets plus the +Inf bound, _sum and
+     _count. *)
+  ignore (index_where "histogram type" (String.equal "# TYPE dream_phase_ms histogram"));
+  ignore
+    (index_where "+Inf bucket" (String.equal "dream_phase_ms_bucket{le=\"+Inf\"} 1"));
+  ignore (index_where "histogram count" (String.equal "dream_phase_ms_count 1"));
+  ignore (index_where "histogram sum" (String.equal "dream_phase_ms_sum 3.7"))
+
 (* {1 Trace} *)
 
 let test_trace_round_trip () =
@@ -225,6 +275,7 @@ let () =
           Alcotest.test_case "find or create" `Quick test_registry_find_or_create;
           Alcotest.test_case "kind mismatch raises" `Quick test_registry_kind_mismatch;
           Alcotest.test_case "histogram percentiles" `Quick test_histogram_percentiles;
+          Alcotest.test_case "prometheus conformance" `Quick test_prometheus_conformance;
         ] );
       ( "trace",
         [
