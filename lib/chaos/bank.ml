@@ -71,9 +71,17 @@ let run ?(canary = false) ?(horizon = Harness.default_horizon)
      byte-identical to the seed run without any chaos machinery. *)
   let empty = { Schedule.seed; horizon; events = [] } in
   let empty_run = Harness.run ~canary:false empty in
+  (* Backend differential: the same zero-adversity run under the boxed
+     reference store must land on the same digest — the flat store is a
+     representation change, never a behaviour change. *)
+  let reference_run =
+    Harness.run ~canary:false ~backend:Dream_traffic.Aggregate.Reference empty
+  in
   let differential_ok =
     String.equal empty_run.Harness.digest (Harness.reference_digest ~seed ~horizon)
-    && not (Harness.failed empty_run)
+    && (not (Harness.failed empty_run))
+    && String.equal reference_run.Harness.digest empty_run.Harness.digest
+    && not (Harness.failed reference_run)
   in
   let master = Rng.create seed in
   let coverage = ref zero_coverage in

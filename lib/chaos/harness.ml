@@ -9,6 +9,7 @@ module Dream_allocator = Dream_alloc.Dream_allocator
 module Journal = Dream_recovery.Journal
 module Task_spec = Dream_tasks.Task_spec
 module Source = Dream_traffic.Source
+module Aggregate = Dream_traffic.Aggregate
 
 (* The fixed chaos topology: small enough that a 500-schedule bank runs in
    seconds, rich enough that partitions (4 groups of 2 switches), storms
@@ -164,11 +165,12 @@ let noise_active (sched : Schedule.t) ~model_epoch =
       | _ -> false)
     sched.Schedule.events
 
-let run ?(canary = false) (sched : Schedule.t) =
+let run ?(canary = false) ?(backend = Aggregate.Flat) (sched : Schedule.t) =
   let scenario = scenario ~seed:sched.Schedule.seed ~horizon:sched.Schedule.horizon in
+  let config = { (base_config ~seed:sched.Schedule.seed) with Config.store_backend = backend } in
   let controller =
     ref
-      (Controller.create ~config:(base_config ~seed:sched.Schedule.seed) ~strategy
+      (Controller.create ~config ~strategy
          ~num_switches:scenario.Scenario.num_switches ~capacity:scenario.Scenario.capacity)
   in
   (match Controller.faults !controller with

@@ -19,6 +19,7 @@ type t = {
   faults : Dream_fault.Fault_model.spec option;
   degraded : degraded option;
   check_invariants : bool;
+  store_backend : Dream_traffic.Aggregate.backend;
   telemetry : Dream_obs.Telemetry.t option;
 }
 
@@ -35,6 +36,7 @@ let default =
     faults = None;
     degraded = None;
     check_invariants = false;
+    store_backend = Dream_traffic.Aggregate.Flat;
     telemetry = None;
   }
 

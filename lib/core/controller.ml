@@ -1,6 +1,8 @@
 module Prefix = Dream_prefix.Prefix
 module Switch_id = Dream_traffic.Switch_id
 module Epoch_data = Dream_traffic.Epoch_data
+module Aggregate = Dream_traffic.Aggregate
+module Arena = Dream_util.Arena
 module Source = Dream_traffic.Source
 module Fault_model = Dream_fault.Fault_model
 module Switch = Dream_switch.Switch
@@ -159,6 +161,10 @@ type t = {
   mutable storm_pending : int;
       (* extra submissions the fault model's admission storm asks the
          driver to inject; read via {!storm_tasks_pending}, reset each tick *)
+  arena : Arena.t;
+      (* per-tick numeric scratch (rule-sync budgets and the like): reset at
+         the top of every tick, never reallocated once slots hit their
+         high-water marks *)
 }
 
 let create ~config ~strategy ~num_switches ~capacity =
@@ -181,6 +187,10 @@ let create ~config ~strategy ~num_switches ~capacity =
         (Printf.sprintf "Controller.create: degraded.shed_max_staleness must be >= 1, got %d"
            d.Config.shed_max_staleness)
   | None -> ());
+  (* The store backend is process-global: epoch data built by switches and
+     generators must agree with the controller's choice, and a run is a
+     pure function of (seed, backend). *)
+  Aggregate.set_backend config.Config.store_backend;
   let switches = Switch.network ~num_switches ~capacity in
   let faults =
     Option.map (fun spec -> Fault_model.create spec ~num_switches) config.Config.faults
@@ -227,6 +237,7 @@ let create ~config ~strategy ~num_switches ~capacity =
     crash_pending = false;
     breakers;
     storm_pending = 0;
+    arena = Arena.create ();
   }
 
 let epoch t = t.epoch
@@ -814,6 +825,7 @@ let tick t =
     match profile with Some p -> Obs.Profile.reading p | None -> Obs.Gc_stats.zero
   in
   let tick_gc0 = gc_now () in
+  Arena.reset t.arena;
   advance_faults t;
   let runtimes =
     List.sort
@@ -1064,12 +1076,11 @@ let tick t =
      a hardware switch only [install_budget] updates per epoch (deferred
      ones are retried next epoch and the affected counters read nothing
      meanwhile — the cost that made the paper abandon hardware switches). *)
-  let budgets =
-    Array.map
-      (fun _ ->
-        ref (match config.Config.install_budget with Some b -> b | None -> max_int))
-      t.switches
-  in
+  let budgets = Arena.ints t.arena ~slot:0 ~len:(Array.length t.switches) in
+  let initial_budget = match config.Config.install_budget with Some b -> b | None -> max_int in
+  for i = 0 to Array.length t.switches - 1 do
+    budgets.{i} <- initial_budget
+  done;
   (* Pass 1: removals. *)
   let removals_by_task = Hashtbl.create 16 in
   List.iter
@@ -1078,15 +1089,14 @@ let tick t =
       let removed = ref 0 in
       Array.iteri
         (fun i dp ->
-          let budget = budgets.(i) in
           List.iter
             (fun p ->
-              if (not (Prefix.Set.mem p per_switch.(i))) && !budget > 0 then begin
+              if (not (Prefix.Set.mem p per_switch.(i))) && budgets.{i} > 0 then begin
                 jot t
                   (Journal.Delete { epoch = t.epoch; task_id = id; switch = Data_plane.id dp; prefix = p });
                 match Data_plane.remove dp ~owner:id p with
                 | Ok _ ->
-                  decr budget;
+                  budgets.{i} <- budgets.{i} - 1;
                   incr removed
                 | Error (`Down | `Unreachable) -> ()
               end)
@@ -1105,23 +1115,22 @@ let tick t =
       Array.iteri
         (fun i dp ->
           let sw_id = Data_plane.id dp in
-          let budget = budgets.(i) in
           let installed = Prefix.Set.of_list (Data_plane.rules_of dp ~owner:id) in
           let added = ref Prefix.Set.empty in
           Prefix.Set.iter
             (fun p ->
-              if (not (Prefix.Set.mem p installed)) && !budget > 0 then begin
+              if (not (Prefix.Set.mem p installed)) && budgets.{i} > 0 then begin
                 jot t (Journal.Install { epoch = t.epoch; task_id = id; switch = sw_id; prefix = p });
                 match Data_plane.install dp ~owner:id p with
                 | Ok () ->
-                  decr budget;
+                  budgets.{i} <- budgets.{i} - 1;
                   added := Prefix.Set.add p !added;
                   if Switch_id.Set.mem sw_id t.recovered_now then
                     Ctr.incr t.rob.recovery_reinstalls
                 | Error `Failed ->
                   (* The attempt consumed an update slot; the rule stays
                      desired and is retried next epoch. *)
-                  decr budget;
+                  budgets.{i} <- budgets.{i} - 1;
                   Ctr.incr t.rob.install_failures
                 | Error (`Capacity | `Duplicate | `Down | `Unreachable) -> ()
               end)
@@ -1222,6 +1231,23 @@ let tick t =
       Obs.Profile.record p ~path:"epoch/configure" ~wall_ms:sample.configure_ms
         ~gc:!configure_gc;
       Obs.Profile.observe_epoch p t.registry ~wall_ms:epoch_wall ~gc:epoch_gc);
+    (* Mirror the store's process-global build counters into the registry,
+       then zero them so the next tick's delta is self-contained.  Pure
+       observability: the counters never feed back into simulation state,
+       so runs with and without telemetry stay byte-identical. *)
+    let store_stats = Aggregate.stats () in
+    Ctr.add
+      (Obs.Registry.counter t.registry "aggregate_sorted_fast_path")
+      store_stats.Aggregate.sorted_fast_path;
+    Ctr.add
+      (Obs.Registry.counter t.registry "aggregate_sort_fallbacks")
+      store_stats.Aggregate.sort_fallbacks;
+    Ctr.add (Obs.Registry.counter t.registry "aggregate_flat_builds") store_stats.Aggregate.flat_builds;
+    Ctr.add
+      (Obs.Registry.counter t.registry "aggregate_reference_builds")
+      store_stats.Aggregate.reference_builds;
+    Ctr.add (Obs.Registry.counter t.registry "aggregate_flat_merges") store_stats.Aggregate.flat_merges;
+    Aggregate.reset_stats ();
     List.iter
       (fun (id, kind, accuracy, satisfied) ->
         let alloc =
@@ -1271,7 +1297,7 @@ let total_rules_fetched t = Ctr.value t.rules_fetched
 
 (* ---- checkpoints ---- *)
 
-let snapshot_magic = "dream-checkpoint v2"
+let snapshot_magic = "dream-checkpoint v3"
 
 let emit_config w (config : Config.t) =
   C.section w "config";
@@ -1292,6 +1318,8 @@ let emit_config w (config : Config.t) =
   C.bool w "has_install_budget" (config.Config.install_budget <> None);
   (match config.Config.install_budget with Some b -> C.int w "install_budget" b | None -> ());
   C.bool w "check_invariants" config.Config.check_invariants;
+  C.bool w "store_flat"
+    (match config.Config.store_backend with Aggregate.Flat -> true | Aggregate.Reference -> false);
   C.bool w "has_degraded" (config.Config.degraded <> None);
   match config.Config.degraded with
   | Some d ->
@@ -1328,6 +1356,9 @@ let parse_config r : Config.t =
     if C.bool_field r "has_install_budget" then Some (C.int_field r "install_budget") else None
   in
   let check_invariants = C.bool_field r "check_invariants" in
+  let store_backend =
+    if C.bool_field r "store_flat" then Aggregate.Flat else Aggregate.Reference
+  in
   let degraded =
     if C.bool_field r "has_degraded" then begin
       let failure_threshold = C.int_field r "breaker_threshold" in
@@ -1355,6 +1386,7 @@ let parse_config r : Config.t =
     faults = None;
     degraded;
     check_invariants;
+    store_backend;
     telemetry = None;
   }
 
@@ -1677,6 +1709,9 @@ let parse_snapshot r =
     p_switches; p_allocator; p_rob; p_records; p_runtimes }
 
 let controller_of_parsed d ~switches ~planes ~faults ~tel =
+  (* Restore under the checkpoint's backend: replayed merges and reads must
+     take the same representation paths the original run took. *)
+  Aggregate.set_backend d.p_config.Config.store_backend;
   let active = Hashtbl.create 64 in
   List.iter (fun r -> Hashtbl.replace active (Task.id r.task) r) d.p_runtimes;
   let registry =
@@ -1712,6 +1747,7 @@ let controller_of_parsed d ~switches ~planes ~faults ~tel =
     crash_pending = false;
     breakers = Array.of_list d.p_breakers;
     storm_pending = 0;
+    arena = Arena.create ();
   }
 
 let restore s =

@@ -152,6 +152,50 @@ let descendants t p =
 let remove_subtree t p =
   List.fold_left (fun t (q, _) -> remove t q) t (descendants t p)
 
+let fold_bindings_bottom_up ~root bindings ~f =
+  let n = Array.length bindings in
+  (* First binding index in [lo, hi) whose first address is >= key; the
+     bindings are in Prefix.compare order, whose first component is the
+     first covered address, so each node's left- and right-subtree
+     bindings form contiguous slices. *)
+  let bisect lo hi key =
+    let rec go lo hi =
+      if lo >= hi then lo
+      else begin
+        let mid = (lo + hi) / 2 in
+        if Prefix.first_address (fst bindings.(mid)) < key then go (mid + 1) hi else go lo mid
+      end
+    in
+    go lo hi
+  in
+  (* Visit the structural trie the bindings imply — every prefix on a path
+     from [root] to a bound prefix — without building it.  Calls, results
+     and visit order are exactly those of [fold_bottom_up] over a trie
+     holding the same bindings. *)
+  let rec go at lo hi =
+    let value, lo =
+      let p, v = bindings.(lo) in
+      if Prefix.equal p at then (Some v, lo + 1) else (None, lo)
+    in
+    if lo >= hi then f at value []
+    else begin
+      match Prefix.children at with
+      | None ->
+        (* Bindings below an exact prefix cannot exist (they would not be
+           distinct); visit the node alone. *)
+        f at value []
+      | Some (l, r) ->
+        let mid = bisect lo hi (Prefix.first_address r) in
+        let results =
+          if lo < mid && mid < hi then [ go l lo mid; go r mid hi ]
+          else if lo < mid then [ go l lo mid ]
+          else [ go r mid hi ]
+        in
+        f at value results
+    end
+  in
+  if n = 0 then None else Some (go root 0 n)
+
 let fold_bottom_up t ~f =
   let rec go node at =
     let child child_node child_prefix =

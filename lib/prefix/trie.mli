@@ -52,6 +52,19 @@ val descendants : 'a t -> Prefix.t -> (Prefix.t * 'a) list
 val remove_subtree : 'a t -> Prefix.t -> 'a t
 (** Drop every binding covered by the given prefix. *)
 
+val fold_bindings_bottom_up :
+  root:Prefix.t -> (Prefix.t * 'a) array -> f:(Prefix.t -> 'a option -> 'b list -> 'b) -> 'b option
+(** [fold_bindings_bottom_up ~root bindings ~f] is {!fold_bottom_up} over
+    the trie that [add]ing every binding to [empty root] would build — the
+    same nodes, visit order, child lists and result — but walks the sorted
+    bindings array directly instead of constructing the trie.  This is the
+    allocation-light path the epoch loop uses: monitors already hold their
+    counters sorted, and path-copied trie nodes were pure scratch.
+
+    Preconditions (the trie would enforce them structurally): bindings
+    sorted by {!Prefix.compare}, prefixes distinct, all covered by
+    [root]. *)
+
 val fold_bottom_up :
   'a t -> f:(Prefix.t -> 'a option -> 'b list -> 'b) -> 'b option
 (** [fold_bottom_up t ~f] visits every trie node (bound or structural) in

@@ -8,8 +8,10 @@ let run ~quick =
   let base = if quick then Fig06.quick_scale Scenario.default else Scenario.default in
   Table.heading "Figure 17a: control loop delay breakdown per epoch (ms)";
   Table.row [ "capacity"; "fetch"; "save"; "report"; "allocate"; "configure" ];
-  (* The headline metrics are the modelled (not wall-clock) phase delays
-     at capacity 1024 — deterministic, so they gate tightly. *)
+  (* Only fetch and save come from the deterministic delay model; report,
+     allocate and configure are measured wall-clock time, so of the
+     headline metrics at capacity 1024 only the modelled pair gates
+     tightly — the wall-clock columns are tracked as Info. *)
   let headline = ref [] in
   List.iter
     (fun capacity ->
@@ -48,10 +50,14 @@ let run ~quick =
         alloc_p95 := (k, p95) :: !alloc_p95;
         Table.row [ string_of_int k; Table.f2 (Stats.mean allocs); Table.f2 p95 ])
     [ 2; 4; 8 ];
-  let m name v =
+  let gated name v =
     Dream_obs.Bench_snapshot.metric ~unit_:"ms"
       ~direction:Dream_obs.Bench_snapshot.Lower_better
       ~tolerance_pct:Experiment.gate_tolerance name v
   in
-  List.map (fun (name, v) -> m ("cap1024_" ^ name) v) !headline
-  @ List.rev_map (fun (k, p95) -> m (Printf.sprintf "alloc_p95_ms_sw%d" k) p95) !alloc_p95
+  let info name v = Dream_obs.Bench_snapshot.metric ~unit_:"ms" name v in
+  let modelled = function "fetch_ms" | "save_ms" -> true | _ -> false in
+  List.map
+    (fun (name, v) -> (if modelled name then gated else info) ("cap1024_" ^ name) v)
+    !headline
+  @ List.rev_map (fun (k, p95) -> info (Printf.sprintf "alloc_p95_ms_sw%d" k) p95) !alloc_p95

@@ -4,6 +4,8 @@ module Fault_model = Dream_fault.Fault_model
 module Telemetry = Dream_obs.Telemetry
 module Trace = Dream_obs.Trace
 module Clock = Dream_obs.Clock
+module Profile = Dream_obs.Profile
+module Gc_stats = Dream_obs.Gc_stats
 module Snapshot = Dream_obs.Bench_snapshot
 
 (* A fault-injecting scenario so the event paths (crashes, retries, stale
@@ -76,6 +78,30 @@ let run ~quick =
     | Some bundle -> Trace.length (Telemetry.trace bundle)
     | None -> 0
   in
+  (* One profiled run prices the epoch loop's allocations.  Seeded runs
+     allocate deterministically, so epoch_alloc_words gates (2% headroom
+     absorbs deliberate small feature work); epochs/sec is wall clock and
+     stays informational like the other timings. *)
+  let profile = Profile.create () in
+  let profiled_config =
+    { (config_of ~telemetry:(Some (Telemetry.create ~profile ()))) with
+      Config.store_backend = Dream_traffic.Aggregate.current_backend ()
+    }
+  in
+  let _, profiled_s = timed (fun () -> Experiment.run ~config:profiled_config scenario Experiment.dream_strategy) in
+  let epoch_alloc_words =
+    match Profile.find profile "epoch" with
+    | Some stat ->
+      let r = stat.Profile.gc in
+      (r.Gc_stats.minor_words +. r.Gc_stats.major_words -. r.Gc_stats.promoted_words)
+      /. float_of_int epochs
+    | None -> Float.nan
+  in
+  let epochs_per_sec =
+    if profiled_s > 0.0 then float_of_int epochs /. profiled_s else 0.0
+  in
+  Format.fprintf Table.out "profiled: %.0f words allocated per epoch, %.1f epochs/s@."
+    epoch_alloc_words epochs_per_sec;
   (* Wall-clock numbers are Info — tracked in every diff and trend, but a
      noisy machine must never fail the gate on them.  The deterministic
      outputs (trace volume, the zero-diff bit) gate exactly. *)
@@ -94,4 +120,7 @@ let run ~quick =
     Snapshot.metric ~unit_:"pct" "overhead_pct" overhead;
     exact "trace_items" trace_items;
     exact "zero_diff" (if identical then 1 else 0);
+    Snapshot.metric ~unit_:"count" "epochs_per_sec" epochs_per_sec;
+    Snapshot.metric ~unit_:"words" ~direction:Snapshot.Lower_better ~tolerance_pct:2.0
+      "epoch_alloc_words" epoch_alloc_words;
   ]

@@ -17,11 +17,9 @@ let detect monitor =
   let threshold = spec.Task_spec.threshold in
   let leaf_length = spec.Task_spec.leaf_length in
   let counters = Monitor.counters monitor in
-  let trie =
-    List.fold_left
-      (fun acc (c : Counter.t) -> Trie.add acc c.Counter.prefix c)
-      (Trie.empty spec.Task_spec.filter)
-      counters
+  (* Sorted counters are walked as the trie they imply — no trie build. *)
+  let bindings =
+    Array.map (fun (c : Counter.t) -> (c.Counter.prefix, c)) (Array.of_list counters)
   in
   let detections = ref [] in
   let over_approx residual value = if value >= 1.0 then 0.0 else Float.max 0.0 (residual -. threshold) in
@@ -63,7 +61,7 @@ let detect monitor =
       end
       else { unclaimed = residual; over_sum = child_over; has_detected = has_detected_below }
   in
-  ignore (Trie.fold_bottom_up trie ~f:visit);
+  ignore (Trie.fold_bindings_bottom_up ~root:spec.Task_spec.filter bindings ~f:visit);
   List.sort (fun a b -> Prefix.compare a.prefix b.prefix) !detections
 
 let report monitor ~epoch =

@@ -9,6 +9,9 @@ type t = {
   spec : Task_spec.t;
   topology : Topology.t;
   table : Counter.t Prefix.Table.t;
+  staged : float Switch_id.Map.t Prefix.Table.t;
+      (* ingest scratch, cleared per call — hoisted so the hot loop never
+         allocates a fresh hash table per task per epoch *)
   mutable usage : int Switch_id.Map.t; (* entries per active switch, kept incrementally *)
   mutable active : Switch_id.Set.t; (* switches with a non-zero allocation *)
   mutable sorted_cache : Counter.t list option; (* counters in prefix order *)
@@ -48,6 +51,7 @@ let create ~spec ~topology =
       spec;
       topology;
       table = Prefix.Table.create 64;
+      staged = Prefix.Table.create 64;
       usage = Switch_id.Map.empty;
       active = Topology.switch_set topology spec.Task_spec.filter;
       sorted_cache = None;
@@ -93,7 +97,8 @@ let rules_for t sw =
 
 let ingest t readings =
   (* readings: per switch, (prefix, volume) pairs for this task's rules. *)
-  let staged : float Switch_id.Map.t Prefix.Table.t = Prefix.Table.create 64 in
+  let staged = t.staged in
+  Prefix.Table.clear staged;
   List.iter
     (fun (sw, pairs) ->
       List.iter
@@ -141,11 +146,12 @@ module Cover = struct
   }
 
   let build_candidates t =
-    let trie =
-      Prefix.Table.fold
-        (fun _ (c : Counter.t) acc -> Trie.add acc c.prefix c)
-        t.table
-        (Trie.empty t.spec.Task_spec.filter)
+    (* The monitored counters, sorted by prefix, ARE the trie: walk the
+       structural nodes they imply instead of path-copying a fresh
+       immutable trie on every build (the single largest allocation site
+       of the configure phase before the zero-alloc pass). *)
+    let bindings =
+      Array.map (fun (c : Counter.t) -> (c.prefix, c)) (Array.of_list (counters t))
     in
     let candidates = ref [] in
     let merge_info prefix (value : Counter.t option) (children : node_info list) =
@@ -174,7 +180,8 @@ module Cover = struct
           candidates := (prefix, info) :: !candidates;
         info
     in
-    ignore (Trie.fold_bottom_up trie ~f:merge_info);
+    ignore
+      (Trie.fold_bindings_bottom_up ~root:t.spec.Task_spec.filter bindings ~f:merge_info);
     !candidates
 
   type candidates = {
@@ -496,6 +503,7 @@ let parse r ~spec ~topology =
       spec;
       topology;
       table = Prefix.Table.create 64;
+      staged = Prefix.Table.create 64;
       usage = Switch_id.Map.empty;
       active;
       sorted_cache = None;

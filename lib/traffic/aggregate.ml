@@ -1,13 +1,71 @@
 module Prefix = Dream_prefix.Prefix
 
-type t = {
+type backend = Reference | Flat
+
+(* The backend is a process-wide switch, not a per-value property: every
+   aggregate a run builds goes through the same representation, so a seeded
+   run is a function of (seed, backend) and the differential tests can pin
+   Flat to the Reference output bit for bit.  [Controller.create] sets it
+   from [Config.store_backend]; Flat is the production default. *)
+let backend = ref Flat
+
+let set_backend b = backend := b
+
+let current_backend () = !backend
+
+let with_backend b f =
+  let saved = !backend in
+  backend := b;
+  Fun.protect ~finally:(fun () -> backend := saved) f
+
+type build_stats = {
+  sorted_fast_path : int;
+  sort_fallbacks : int;
+  flat_builds : int;
+  reference_builds : int;
+  flat_merges : int;
+}
+
+let sorted_fast_path = ref 0
+
+let sort_fallbacks = ref 0
+
+let flat_builds = ref 0
+
+let reference_builds = ref 0
+
+let flat_merges = ref 0
+
+let stats () =
+  {
+    sorted_fast_path = !sorted_fast_path;
+    sort_fallbacks = !sort_fallbacks;
+    flat_builds = !flat_builds;
+    reference_builds = !reference_builds;
+    flat_merges = !flat_merges;
+  }
+
+let reset_stats () =
+  sorted_fast_path := 0;
+  sort_fallbacks := 0;
+  flat_builds := 0;
+  reference_builds := 0;
+  flat_merges := 0
+
+(* ---- reference backend: boxed OCaml arrays, the original layout ---- *)
+
+type boxed = {
   addrs : int array; (* sorted, distinct *)
   volumes : float array; (* volume of addrs.(i) *)
   cumulative : float array; (* cumulative.(i) = sum volumes.(0..i-1); length n+1 *)
 }
 
-let of_flows flows =
-  let combined = Flow.combine flows in
+type t = Boxed of boxed | Flat_backed of Flat_store.t
+
+(* [combined] must already be sorted-distinct (the fast path checked, or
+   [Flow.combine] just ran).  Identical to the original build: volumes in
+   ascending address order, cumulative summed left to right. *)
+let boxed_of_sorted combined =
   let n = List.length combined in
   let addrs = Array.make n 0 in
   let volumes = Array.make n 0.0 in
@@ -22,7 +80,31 @@ let of_flows flows =
   done;
   { addrs; volumes; cumulative }
 
-let empty = of_flows []
+let of_flows flows =
+  (* Sortedness fast path: the generator emits per-switch flows that
+     arrive here already strictly ascending, so the combine sort would be
+     a no-op — [Flow.combine] on sorted-distinct input returns an equal
+     list.  Both backends take it; the counters are the proof hook the
+     fast-path unit test and the Obs mirror read. *)
+  let combined =
+    if Flow.sorted_distinct flows then begin
+      incr sorted_fast_path;
+      flows
+    end
+    else begin
+      incr sort_fallbacks;
+      Flow.combine flows
+    end
+  in
+  match !backend with
+  | Reference ->
+    incr reference_builds;
+    Boxed (boxed_of_sorted combined)
+  | Flat ->
+    incr flat_builds;
+    Flat_backed (Flat_store.of_sorted combined)
+
+let empty = Boxed (boxed_of_sorted [])
 
 (* Index of the first element >= key. *)
 let lower_bound addrs key =
@@ -35,39 +117,91 @@ let lower_bound addrs key =
   in
   go 0 (Array.length addrs)
 
-let range t p =
-  let lo = lower_bound t.addrs (Prefix.first_address p) in
-  let hi = lower_bound t.addrs (Prefix.last_address p + 1) in
+let boxed_range b p =
+  let lo = lower_bound b.addrs (Prefix.first_address p) in
+  let hi = lower_bound b.addrs (Prefix.last_address p + 1) in
   (lo, hi)
 
 let volume t p =
-  let lo, hi = range t p in
-  t.cumulative.(hi) -. t.cumulative.(lo)
+  match t with
+  | Boxed b ->
+    let lo, hi = boxed_range b p in
+    b.cumulative.(hi) -. b.cumulative.(lo)
+  | Flat_backed f -> Flat_store.volume f p
 
 let count_addresses t p =
-  let lo, hi = range t p in
-  hi - lo
+  match t with
+  | Boxed b ->
+    let lo, hi = boxed_range b p in
+    hi - lo
+  | Flat_backed f -> Flat_store.count_addresses f p
 
-let total t = t.cumulative.(Array.length t.addrs)
+let total t =
+  match t with
+  | Boxed b -> b.cumulative.(Array.length b.addrs)
+  | Flat_backed f -> Flat_store.total f
 
-let num_addresses t = Array.length t.addrs
+let num_addresses t =
+  match t with Boxed b -> Array.length b.addrs | Flat_backed f -> Flat_store.num_addresses f
 
 let flows_in t p =
-  let lo, hi = range t p in
-  let rec collect i acc =
-    if i < lo then acc else collect (i - 1) ({ Flow.addr = t.addrs.(i); volume = t.volumes.(i) } :: acc)
-  in
-  collect (hi - 1) []
+  match t with
+  | Boxed b ->
+    let lo, hi = boxed_range b p in
+    let rec collect i acc =
+      if i < lo then acc
+      else collect (i - 1) ({ Flow.addr = b.addrs.(i); volume = b.volumes.(i) } :: acc)
+    in
+    collect (hi - 1) []
+  | Flat_backed f -> Flat_store.flows_in f p
+
+let fold_in t p ~init ~f =
+  match t with
+  | Boxed b ->
+    let lo, hi = boxed_range b p in
+    let acc = ref init in
+    for i = lo to hi - 1 do
+      acc := f !acc { Flow.addr = b.addrs.(i); volume = b.volumes.(i) }
+    done;
+    !acc
+  | Flat_backed fs -> Flat_store.fold_in fs p ~init ~f
 
 let fold t ~init ~f =
-  let acc = ref init in
-  for i = 0 to Array.length t.addrs - 1 do
-    acc := f !acc { Flow.addr = t.addrs.(i); volume = t.volumes.(i) }
-  done;
-  !acc
+  match t with
+  | Boxed b ->
+    let acc = ref init in
+    for i = 0 to Array.length b.addrs - 1 do
+      acc := f !acc { Flow.addr = b.addrs.(i); volume = b.volumes.(i) }
+    done;
+    !acc
+  | Flat_backed f' -> Flat_store.fold f' ~init ~f
 
 let to_flows t = fold t ~init:[] ~f:(fun acc f -> f :: acc)
 
-let merge a b = of_flows (List.rev_append (to_flows a) (to_flows b))
+let read_prefixes t ps =
+  match t with
+  | Boxed _ -> List.map (fun p -> (p, volume t p)) ps
+  | Flat_backed f -> Flat_store.read_prefixes f ps
 
-let merge_all ts = of_flows (List.concat_map to_flows ts)
+let merge a b =
+  match (a, b) with
+  | Flat_backed fa, Flat_backed fb ->
+    incr flat_merges;
+    Flat_backed (Flat_store.merge fa fb)
+  | _ ->
+    (* Mixed or reference operands: rebuild through the combine path, the
+       original semantics.  [Flow.combine]'s stable sort keeps equal
+       addresses in concatenation order, so duplicates sum left operand
+       first — the same order the flat merge uses. *)
+    of_flows (List.rev_append (to_flows a) (to_flows b))
+
+let merge_all ts =
+  match !backend with
+  | Reference -> of_flows (List.concat_map to_flows ts)
+  | Flat -> (
+    match ts with
+    | [] -> of_flows []
+    | hd :: tl ->
+      (* Left fold of linear merges: equal addresses accumulate in list
+         order, exactly as the concat-then-combine reference does. *)
+      List.fold_left merge hd tl)

@@ -4,12 +4,36 @@
     sorted address array with cumulative volume sums, so that reading a TCAM
     counter for any prefix is a pair of binary searches.  This is the
     simulator's stand-in for the switch data plane counting packets against
-    installed rules. *)
+    installed rules.
+
+    Two interchangeable backends build that index: the boxed OCaml-array
+    [Reference] layout (the original implementation, kept alive as the
+    differential oracle) and the off-heap {!Flat_store} [Flat] layout that
+    the zero-alloc hot path uses.  Both produce bit-identical query results
+    for any input — the qcheck differential suite and the seeded figure
+    byte-identity test enforce it — so the backend is a pure
+    representation choice selected globally via [Config.store_backend]. *)
 
 type t
 
+type backend = Reference | Flat
+
+val set_backend : backend -> unit
+(** Select the representation used by every subsequent build.  Existing
+    aggregates are unaffected (queries dispatch on their own
+    representation).  [Controller.create] calls this with
+    [Config.store_backend]; the initial value is [Flat]. *)
+
+val current_backend : unit -> backend
+
+val with_backend : backend -> (unit -> 'a) -> 'a
+(** Run a thunk under a backend, restoring the previous choice on exit
+    (including by exception) — the hook the differential tests use. *)
+
 val of_flows : Flow.t list -> t
-(** Build an index; duplicate addresses are combined. *)
+(** Build an index; duplicate addresses are combined.  Flows already in
+    strictly ascending address order skip the combine sort (the
+    sortedness fast path; {!stats} counts the hits). *)
 
 val empty : t
 
@@ -27,10 +51,35 @@ val num_addresses : t -> int
 val flows_in : t -> Dream_prefix.Prefix.t -> Flow.t list
 (** Flows under a prefix, in address order. *)
 
+val fold_in : t -> Dream_prefix.Prefix.t -> init:'a -> f:('a -> Flow.t -> 'a) -> 'a
+(** Fold over the flows under a prefix in ascending address order without
+    building the intermediate list {!flows_in} would. *)
+
 val fold : t -> init:'a -> f:('a -> Flow.t -> 'a) -> 'a
+
+val read_prefixes : t -> Dream_prefix.Prefix.t list -> (Dream_prefix.Prefix.t * float) list
+(** Batched {!volume} over a query list, returned in query order: the
+    answer list is element-wise identical to mapping [volume], but the
+    flat backend answers a sorted batch (TCAM rule sets arrive in
+    {!Dream_prefix.Prefix.compare} order) in one narrowing pass. *)
 
 val merge : t -> t -> t
 (** Point-wise sum of two aggregates (used to combine per-switch views into
     the network-wide view). *)
 
 val merge_all : t list -> t
+
+type build_stats = {
+  sorted_fast_path : int;  (** builds whose input was already sorted-distinct *)
+  sort_fallbacks : int;  (** builds that had to run {!Flow.combine} *)
+  flat_builds : int;
+  reference_builds : int;
+  flat_merges : int;  (** linear merges taken instead of concat-and-resort *)
+}
+
+val stats : unit -> build_stats
+(** Process-wide build counters since start (or {!reset_stats}).  The
+    controller mirrors them into the Obs registry when telemetry is
+    attached; they never influence simulation state. *)
+
+val reset_stats : unit -> unit

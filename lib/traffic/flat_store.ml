@@ -1,0 +1,178 @@
+module Prefix = Dream_prefix.Prefix
+
+type ints = (int, Bigarray.int_elt, Bigarray.c_layout) Bigarray.Array1.t
+
+type floats = (float, Bigarray.float64_elt, Bigarray.c_layout) Bigarray.Array1.t
+
+type t = {
+  n : int;
+  addrs : ints; (* sorted, distinct; length n *)
+  volumes : floats; (* volume of addrs.{i}; length n *)
+  cumulative : floats; (* cumulative.{i} = sum volumes.{0..i-1}; length n+1 *)
+}
+
+let make_ints n = Bigarray.Array1.create Bigarray.int Bigarray.c_layout n
+
+let make_floats n = Bigarray.Array1.create Bigarray.float64 Bigarray.c_layout n
+
+(* The float sums here must stay bit-identical to the boxed reference path
+   in {!Aggregate}: volumes land in ascending address order and the
+   cumulative sum runs left to right, exactly as the reference arrays are
+   filled.  The differential suite in test/test_flat_store.ml holds this to
+   bitwise equality. *)
+let of_sorted flows =
+  let n = List.length flows in
+  let addrs = make_ints n in
+  let volumes = make_floats n in
+  let cumulative = make_floats (n + 1) in
+  cumulative.{0} <- 0.0;
+  let i = ref 0 in
+  List.iter
+    (fun (f : Flow.t) ->
+      let k = !i in
+      addrs.{k} <- f.addr;
+      volumes.{k} <- f.volume;
+      cumulative.{k + 1} <- cumulative.{k} +. f.volume;
+      incr i)
+    flows;
+  { n; addrs; volumes; cumulative }
+
+let empty = of_sorted []
+
+(* Index of the first element >= key; [from] narrows the search when the
+   caller already knows a valid lower bound (batched reads). *)
+let lower_bound_from t ~from key =
+  let rec go lo hi =
+    if lo >= hi then lo
+    else begin
+      let mid = (lo + hi) / 2 in
+      if t.addrs.{mid} < key then go (mid + 1) hi else go lo mid
+    end
+  in
+  go from t.n
+
+let range t p =
+  let lo = lower_bound_from t ~from:0 (Prefix.first_address p) in
+  let hi = lower_bound_from t ~from:lo (Prefix.last_address p + 1) in
+  (lo, hi)
+
+let volume t p =
+  let lo, hi = range t p in
+  t.cumulative.{hi} -. t.cumulative.{lo}
+
+let count_addresses t p =
+  let lo, hi = range t p in
+  hi - lo
+
+let total t = t.cumulative.{t.n}
+
+let num_addresses t = t.n
+
+let fold_in t p ~init ~f =
+  let lo, hi = range t p in
+  let acc = ref init in
+  for i = lo to hi - 1 do
+    acc := f !acc { Flow.addr = t.addrs.{i}; volume = t.volumes.{i} }
+  done;
+  !acc
+
+let flows_in t p =
+  let lo, hi = range t p in
+  let rec collect i acc =
+    if i < lo then acc
+    else collect (i - 1) ({ Flow.addr = t.addrs.{i}; volume = t.volumes.{i} } :: acc)
+  in
+  collect (hi - 1) []
+
+let fold t ~init ~f =
+  let acc = ref init in
+  for i = 0 to t.n - 1 do
+    acc := f !acc { Flow.addr = t.addrs.{i}; volume = t.volumes.{i} }
+  done;
+  !acc
+
+let to_flows t = fold t ~init:[] ~f:(fun acc f -> f :: acc)
+
+(* Answer a batch of prefix queries in one pass.  TCAM rule sets arrive in
+   {!Prefix.compare} order, whose first component is the first covered
+   address, so the running low bound [lo] below is a valid search floor for
+   every later query; if a caller ever passes an unordered batch the floor
+   resets and the answer is still exact, just not faster.  Each query
+   computes the same (lo, hi) index pair — hence the same float — as
+   {!volume} would. *)
+let read_prefixes t ps =
+  let prev_first = ref min_int in
+  let prev_lo = ref 0 in
+  List.map
+    (fun p ->
+      let first = Prefix.first_address p in
+      let from = if first >= !prev_first then !prev_lo else 0 in
+      let lo = lower_bound_from t ~from first in
+      let hi = lower_bound_from t ~from:lo (Prefix.last_address p + 1) in
+      prev_first := first;
+      prev_lo := lo;
+      (p, t.cumulative.{hi} -. t.cumulative.{lo}))
+    ps
+
+(* Point-wise sum, two linear passes: count the distinct addresses of the
+   union, then fill.  Equal addresses sum left operand first ([va +. vb]),
+   matching the left-to-right duplicate fold of [Flow.combine] on the
+   concatenated flow lists the reference backend merges with. *)
+let merge a b =
+  if a.n = 0 then b
+  else if b.n = 0 then a
+  else begin
+    let count = ref 0 in
+    let i = ref 0 and j = ref 0 in
+    while !i < a.n && !j < b.n do
+      let ai = a.addrs.{!i} and bj = b.addrs.{!j} in
+      if ai < bj then incr i
+      else if ai > bj then incr j
+      else begin
+        incr i;
+        incr j
+      end;
+      incr count
+    done;
+    count := !count + (a.n - !i) + (b.n - !j);
+    let n = !count in
+    let addrs = make_ints n in
+    let volumes = make_floats n in
+    let cumulative = make_floats (n + 1) in
+    cumulative.{0} <- 0.0;
+    let k = ref 0 in
+    let put addr v =
+      let k0 = !k in
+      addrs.{k0} <- addr;
+      volumes.{k0} <- v;
+      cumulative.{k0 + 1} <- cumulative.{k0} +. v;
+      incr k
+    in
+    i := 0;
+    j := 0;
+    while !i < a.n && !j < b.n do
+      let ai = a.addrs.{!i} and bj = b.addrs.{!j} in
+      if ai < bj then begin
+        put ai a.volumes.{!i};
+        incr i
+      end
+      else if ai > bj then begin
+        put bj b.volumes.{!j};
+        incr j
+      end
+      else begin
+        put ai (a.volumes.{!i} +. b.volumes.{!j});
+        incr i;
+        incr j
+      end
+    done;
+    while !i < a.n do
+      put a.addrs.{!i} a.volumes.{!i};
+      incr i
+    done;
+    while !j < b.n do
+      put b.addrs.{!j} b.volumes.{!j};
+      incr j
+    done;
+    { n; addrs; volumes; cumulative }
+  end

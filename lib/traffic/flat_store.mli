@@ -1,0 +1,55 @@
+(** Flat [Bigarray]-backed per-epoch counter store.
+
+    The payload of the reference {!Aggregate} representation (sorted
+    address array, volumes, cumulative sums) moved into unboxed off-heap
+    [Bigarray]s: building one allocates a constant handful of words on the
+    OCaml heap however many flows the epoch carries, which is what empties
+    the [epoch_alloc_words] histogram.  Query semantics — and, bit for bit,
+    query {e results} — are identical to the reference path; the qcheck
+    differential suite and the seeded figure byte-identity test enforce
+    that equivalence.
+
+    This module is the flat backend behind {!Aggregate}; simulation code
+    should keep going through [Aggregate] and select the backend with
+    [Config.store_backend]. *)
+
+type t
+
+val of_sorted : Flow.t list -> t
+(** Build from flows already in strictly ascending address order (the
+    generator's sorted fast path, or the output of {!Flow.combine}).  The
+    precondition is the caller's: {!Aggregate.of_flows} checks it and
+    combines first when it does not hold. *)
+
+val empty : t
+
+val volume : t -> Dream_prefix.Prefix.t -> float
+
+val count_addresses : t -> Dream_prefix.Prefix.t -> int
+
+val total : t -> float
+
+val num_addresses : t -> int
+
+val range : t -> Dream_prefix.Prefix.t -> int * int
+(** The half-open index interval of addresses the prefix covers. *)
+
+val fold_in : t -> Dream_prefix.Prefix.t -> init:'a -> f:('a -> Flow.t -> 'a) -> 'a
+(** Fold the flows under a prefix in ascending address order without
+    materialising a list. *)
+
+val flows_in : t -> Dream_prefix.Prefix.t -> Flow.t list
+
+val fold : t -> init:'a -> f:('a -> Flow.t -> 'a) -> 'a
+
+val to_flows : t -> Flow.t list
+(** All flows, descending address order (matches the reference backend). *)
+
+val read_prefixes : t -> Dream_prefix.Prefix.t list -> (Dream_prefix.Prefix.t * float) list
+(** Batched {!volume}: one pass over a query batch, carrying the previous
+    query's low index as a binary-search floor when the batch arrives in
+    {!Dream_prefix.Prefix.compare} order (TCAM rule sets do).  Exact for
+    unordered batches too. *)
+
+val merge : t -> t -> t
+(** Point-wise sum; equal addresses sum as [left +. right]. *)

@@ -8,6 +8,10 @@ let pp ppf t = Format.fprintf ppf "%a:%.2fMb" Prefix.pp (Prefix.of_address t.add
 
 let total_volume flows = List.fold_left (fun acc f -> acc +. f.volume) 0.0 flows
 
+let rec sorted_distinct = function
+  | [] | [ _ ] -> true
+  | a :: (b :: _ as rest) -> a.addr < b.addr && sorted_distinct rest
+
 let combine flows =
   let sorted = List.sort (fun a b -> Int.compare a.addr b.addr) flows in
   let rec merge = function

@@ -10,5 +10,9 @@ val pp : Format.formatter -> t -> unit
 
 val total_volume : t list -> float
 
+val sorted_distinct : t list -> bool
+(** True when addresses are strictly ascending — {!combine} would return
+    the list unchanged.  The aggregate build fast path keys off this. *)
+
 val combine : t list -> t list
 (** Sum volumes of duplicate addresses; output sorted by address. *)

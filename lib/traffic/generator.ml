@@ -14,12 +14,14 @@ type t = {
   mediums : source array;
   smalls : source array;
   used : (Prefix.address, unit) Hashtbl.t; (* addresses in use, to keep sources distinct *)
+  subs : (Prefix.t * Switch_id.t) array; (* topology subfilters, hoisted out of pick_address *)
+  by_switch : (Switch_id.t, Flow.t list) Hashtbl.t; (* per-epoch staging, cleared not rebuilt *)
 }
 
 let pick_address t =
   (* Place the source in a sub-filter drawn with Zipf skew, then uniformly
      within it; retry on collision so every source has a distinct address. *)
-  let subs = Array.of_list (Topology.subfilters t.topology) in
+  let subs = t.subs in
   let k = Array.length subs in
   let rec attempt tries =
     let rank =
@@ -73,6 +75,8 @@ let create rng ~topology ~profile =
       mediums = [||];
       smalls = [||];
       used = Hashtbl.create 1024;
+      subs = Array.of_list (Topology.subfilters topology);
+      by_switch = Hashtbl.create 16;
     }
   in
   let heavies = List.init profile.Profile.heavy_count (fun _ -> fresh_source t Heavy) in
@@ -133,7 +137,18 @@ let parse r =
   List.iter (fun s -> Hashtbl.replace used s.addr ()) heavies;
   Array.iter (fun s -> Hashtbl.replace used s.addr ()) mediums;
   Array.iter (fun s -> Hashtbl.replace used s.addr ()) smalls;
-  { rng; topology; profile; epoch; heavies; mediums; smalls; used }
+  {
+    rng;
+    topology;
+    profile;
+    epoch;
+    heavies;
+    mediums;
+    smalls;
+    used;
+    subs = Array.of_list (Topology.subfilters topology);
+    by_switch = Hashtbl.create 16;
+  }
 
 let topology t = t.topology
 
@@ -187,7 +202,8 @@ let emit_volume t s =
 
 let next t =
   advance_population t;
-  let by_switch = Hashtbl.create 16 in
+  let by_switch = t.by_switch in
+  Hashtbl.clear by_switch;
   let emit s =
     match Topology.switch_of_address t.topology s.addr with
     | None -> ()
@@ -199,7 +215,19 @@ let next t =
   List.iter emit t.heavies;
   Array.iter emit t.mediums;
   Array.iter emit t.smalls;
-  let groups = Hashtbl.fold (fun sw flows acc -> (sw, flows) :: acc) by_switch [] in
+  (* Sort each switch's flows by descending address — after every volume
+     draw, so the RNG stream is untouched.  [Epoch_data.of_flows] reverses
+     each group on ingest, handing [Aggregate.of_flows] a strictly
+     ascending list that takes the sortedness fast path instead of
+     re-sorting.  Addresses within a switch are distinct (pick_address
+     retries on collision), so the order is total and the combined values
+     are bit-identical to the unsorted path. *)
+  let groups =
+    Hashtbl.fold
+      (fun sw flows acc ->
+        (sw, List.sort (fun (a : Flow.t) (b : Flow.t) -> Int.compare b.addr a.addr) flows) :: acc)
+      by_switch []
+  in
   let data = Epoch_data.of_flows ~epoch:t.epoch groups in
   t.epoch <- t.epoch + 1;
   data

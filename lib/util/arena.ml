@@ -1,0 +1,66 @@
+type ints = (int, Bigarray.int_elt, Bigarray.c_layout) Bigarray.Array1.t
+
+type floats = (float, Bigarray.float64_elt, Bigarray.c_layout) Bigarray.Array1.t
+
+type stats = { int_words : int; float_words : int; grows : int; reuses : int; resets : int }
+
+type t = {
+  mutable int_slots : ints array;
+  mutable float_slots : floats array;
+  mutable grows : int;
+  mutable reuses : int;
+  mutable resets : int;
+}
+
+let make_ints n = Bigarray.Array1.create Bigarray.int Bigarray.c_layout n
+
+let make_floats n = Bigarray.Array1.create Bigarray.float64 Bigarray.c_layout n
+
+let create () = { int_slots = [||]; float_slots = [||]; grows = 0; reuses = 0; resets = 0 }
+
+(* Geometric growth so a slot settles at the high-water mark of its user
+   after a handful of epochs and every later epoch is a pure reuse. *)
+let grown_capacity ~current ~wanted = max wanted (max 8 (current * 2))
+
+let ensure_slots make slots slot =
+  if slot < Array.length slots then slots
+  else begin
+    let fresh = Array.init (slot + 1) (fun i -> if i < Array.length slots then slots.(i) else make 0) in
+    fresh
+  end
+
+let ints t ~slot ~len =
+  if slot < 0 then invalid_arg "Arena.ints: negative slot";
+  if len < 0 then invalid_arg "Arena.ints: negative length";
+  t.int_slots <- ensure_slots make_ints t.int_slots slot;
+  let current = Bigarray.Array1.dim t.int_slots.(slot) in
+  if current >= len then t.reuses <- t.reuses + 1
+  else begin
+    t.int_slots.(slot) <- make_ints (grown_capacity ~current ~wanted:len);
+    t.grows <- t.grows + 1
+  end;
+  t.int_slots.(slot)
+
+let floats t ~slot ~len =
+  if slot < 0 then invalid_arg "Arena.floats: negative slot";
+  if len < 0 then invalid_arg "Arena.floats: negative length";
+  t.float_slots <- ensure_slots make_floats t.float_slots slot;
+  let current = Bigarray.Array1.dim t.float_slots.(slot) in
+  if current >= len then t.reuses <- t.reuses + 1
+  else begin
+    t.float_slots.(slot) <- make_floats (grown_capacity ~current ~wanted:len);
+    t.grows <- t.grows + 1
+  end;
+  t.float_slots.(slot)
+
+let reset t = t.resets <- t.resets + 1
+
+let stats t =
+  let sum dim slots = Array.fold_left (fun acc b -> acc + dim b) 0 slots in
+  {
+    int_words = sum Bigarray.Array1.dim t.int_slots;
+    float_words = sum Bigarray.Array1.dim t.float_slots;
+    grows = t.grows;
+    reuses = t.reuses;
+    resets = t.resets;
+  }

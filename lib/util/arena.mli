@@ -1,0 +1,44 @@
+(** Reusable per-epoch scratch buffers.
+
+    The epoch loop needs the same transient buffers every tick (per-switch
+    budget vectors, sort scratch, staging tables).  Allocating them fresh
+    each epoch is what the [epoch_alloc_words] histogram prices; an arena
+    instead hands out {!Bigarray}-backed slots that live off the OCaml heap
+    and are reused between epochs — [reset] marks an epoch boundary, it
+    never frees.
+
+    Contents are {e not} cleared between uses: a caller must overwrite the
+    prefix it asked for before reading it back.  Slots are identified by
+    small integer indices chosen by the caller, so independent users of one
+    arena cannot alias as long as they use distinct slots. *)
+
+type ints = (int, Bigarray.int_elt, Bigarray.c_layout) Bigarray.Array1.t
+
+type floats = (float, Bigarray.float64_elt, Bigarray.c_layout) Bigarray.Array1.t
+
+type t
+
+val create : unit -> t
+
+val ints : t -> slot:int -> len:int -> ints
+(** A reusable int buffer of capacity at least [len] (the returned buffer
+    may be longer).  Grows geometrically; after the high-water mark is
+    reached every call is allocation-free.
+    @raise Invalid_argument on a negative slot or length. *)
+
+val floats : t -> slot:int -> len:int -> floats
+(** Same as {!ints} for float64 scratch. *)
+
+val reset : t -> unit
+(** Mark an epoch boundary.  Buffers are retained (that is the point);
+    only the reset counter moves. *)
+
+type stats = {
+  int_words : int;  (** total int capacity currently pooled *)
+  float_words : int;  (** total float capacity currently pooled *)
+  grows : int;  (** slot (re)allocations since creation *)
+  reuses : int;  (** requests served without allocating *)
+  resets : int;  (** epoch boundaries seen *)
+}
+
+val stats : t -> stats
