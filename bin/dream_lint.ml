@@ -3,31 +3,33 @@
      dune exec dream-lint -- lib bin bench test
      dune exec dream-lint -- --format json lib > report.json
      dune exec dream-lint -- --rules determinism-random,float-equality lib
+     dune exec dream-lint -- --baseline lint/BASELINE.json lib bin bench test
+     dune exec dream-lint -- --baseline lint/BASELINE.json --update-baseline lib bin bench test
 
-   Walks the given paths for .ml files, runs every rule (or the --rules
-   subset) over each parsetree, and prints findings.  Exit codes: 0 when
-   clean, 1 when there are findings, 124 on usage errors.  Suppress a
-   single site with [@lint.allow "rule-id"]; unused suppressions are
+   Walks the given paths for .ml files, runs every per-file rule (or the
+   --rules subset) over each parsetree, then the two interprocedural
+   passes (hot-path-alloc over the [@hot] call-graph closure, and
+   domain-safety over toplevel mutable state), and prints findings.
+
+   With --baseline the committed findings baseline gates as a ratchet:
+   only findings *beyond* the per-(rule, file) baseline counts fail the
+   run, --update-baseline rewrites the file (which can only shrink once
+   it exists), and --snapshot-dir emits the current per-rule debt as
+   BENCH_lint_debt.json for dream-bench trend.
+
+   Exit codes: 0 when clean (or fully baselined), 1 when there are new
+   findings (or the ratchet refuses a growing update), 124 on usage
+   errors.  Suppress a single site with [@lint.allow "rule-id"]
+   ([@alloc.allow "reason"] for hot-path-alloc); unused suppressions are
    themselves findings, so the allowlist can only shrink. *)
 
+module Baseline = Dream_lint.Baseline
 module Engine = Dream_lint.Engine
 module Finding = Dream_lint.Finding
 module Report = Dream_lint.Report
 module Rules = Dream_lint.Rules
 
 let ( let* ) = Result.bind
-
-(* Deterministic recursive walk: sorted entries, hidden and build
-   directories skipped. *)
-let rec ml_files_under path =
-  if Sys.is_directory path then
-    Sys.readdir path |> Array.to_list |> List.sort String.compare
-    |> List.filter (fun entry ->
-           (not (String.length entry > 0 && entry.[0] = '.'))
-           && entry <> "_build" && entry <> "_opam")
-    |> List.concat_map (fun entry -> ml_files_under (Filename.concat path entry))
-  else if Filename.check_suffix path ".ml" then [ path ]
-  else []
 
 let resolve_rules = function
   | [] -> Ok Rules.all
@@ -49,21 +51,98 @@ let check_paths paths =
   | [] -> Ok ()
   | missing -> Error ("no such path: " ^ String.concat ", " missing)
 
-let run format rule_ids paths =
+let write_snapshot snapshot_dir findings =
+  match snapshot_dir with
+  | None -> Ok ()
+  | Some dir -> (
+    match Dream_obs.Bench_snapshot.write (Baseline.debt_snapshot findings) ~dir with
+    | Ok path ->
+      Printf.eprintf "wrote %s\n%!" path;
+      Ok ()
+    | Error e -> Error e)
+
+(* The ratchet gate: split findings into baselined and new.  "New" is
+   every finding under a (rule, file) key whose count exceeds its
+   baseline entry — counts, not line numbers, so unrelated edits moving a
+   finding within its file never trip the gate. *)
+let gate ~baseline findings =
+  let current = Baseline.of_findings findings in
+  let d = Baseline.diff ~baseline ~current in
+  let fresh_key (f : Finding.t) =
+    List.exists
+      (fun (g : Baseline.delta) ->
+        g.Baseline.d_rule = f.Finding.rule && g.Baseline.d_file = f.Finding.file)
+      d.Baseline.fresh
+  in
+  let fresh_findings = List.filter fresh_key findings in
+  let new_count =
+    List.fold_left
+      (fun acc (g : Baseline.delta) -> acc + g.Baseline.d_current - g.Baseline.d_baseline)
+      0 d.Baseline.fresh
+  in
+  (d, fresh_findings, new_count, List.length findings - new_count)
+
+let update_baseline_file ~path ~findings =
+  let old_ = if Sys.file_exists path then Some (Baseline.read path) else None in
+  let* old_ =
+    match old_ with
+    | None -> Ok None
+    | Some (Ok b) -> Ok (Some b)
+    | Some (Error e) -> Error e
+  in
+  match Baseline.update ~old_ ~current:(Baseline.of_findings findings) with
+  | Ok fresh ->
+    let* () = Baseline.write fresh ~path in
+    Printf.eprintf "baseline %s: %d entries covering %d findings\n%!" path
+      (List.length fresh)
+      (List.fold_left (fun acc e -> acc + e.Baseline.b_count) 0 fresh);
+    Ok 0
+  | Error msg ->
+    (* Ratchet refusal is a failed run (1), not a usage error (124). *)
+    Printf.eprintf "%s\n%!" msg;
+    Ok 1
+
+let run format rule_ids baseline_path update_baseline snapshot_dir paths =
   let* rules = resolve_rules rule_ids in
+  let* () =
+    if update_baseline && baseline_path = None then
+      Error "--update-baseline needs --baseline FILE"
+    else Ok ()
+  in
   let paths = if paths = [] then [ "lib"; "bin"; "bench"; "test" ] else paths in
   let* () = check_paths paths in
-  let files = List.concat_map ml_files_under paths in
+  let files = List.concat_map Engine.ml_files_under paths in
   let* () = if files = [] then Error "no .ml files under the given paths" else Ok () in
-  let findings =
-    List.concat_map (fun file -> Engine.lint_file ~rules file) files
-    |> List.sort Finding.compare
-  in
+  let findings = Engine.lint_files ~rules files in
+  let* () = write_snapshot snapshot_dir findings in
   let ppf = Format.std_formatter in
-  (match format with
-  | `Text -> Report.text ppf findings
-  | `Json -> Report.json ppf findings);
-  Ok (if findings = [] then 0 else 1)
+  match baseline_path with
+  | None ->
+    (match format with
+    | `Text -> Report.text ppf findings
+    | `Json -> Report.json ppf findings);
+    Ok (if findings = [] then 0 else 1)
+  | Some path when update_baseline -> update_baseline_file ~path ~findings
+  | Some path ->
+    let* baseline =
+      if Sys.file_exists path then Baseline.read path
+      else
+        Error
+          (Printf.sprintf "no baseline at %s; create one with --update-baseline" path)
+    in
+    let d, fresh_findings, new_count, baselined = gate ~baseline findings in
+    (match format with
+    | `Text ->
+      Report.text ~baseline:(baselined, new_count) ppf fresh_findings;
+      List.iter
+        (fun (g : Baseline.delta) ->
+          Format.fprintf ppf
+            "stale baseline entry: %s %s (%d baselined, %d found); shrink it with \
+             --update-baseline@."
+            g.Baseline.d_rule g.Baseline.d_file g.Baseline.d_baseline g.Baseline.d_current)
+        d.Baseline.improved
+    | `Json -> Report.json ~baseline:(baselined, new_count) ppf fresh_findings);
+    Ok (if d.Baseline.fresh = [] then 0 else 1)
 
 open Cmdliner
 
@@ -86,6 +165,33 @@ let rule_ids =
     & info [ "rules"; "r" ] ~docv:"IDS"
         ~doc:"Comma-separated rule ids to run (default: all rules).")
 
+let baseline_path =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "baseline"; "b" ] ~docv:"FILE"
+        ~doc:
+          "Committed findings baseline (ratchet): only findings beyond the per-(rule, \
+           file) counts in $(docv) fail the run.")
+
+let update_baseline =
+  Arg.(
+    value & flag
+    & info [ "update-baseline" ]
+        ~doc:
+          "Rewrite $(b,--baseline) $(i,FILE) from the current findings.  Once the file \
+           exists it can only shrink: a grown count is refused (exit 1) — fix the new \
+           finding or justify it at the site instead.")
+
+let snapshot_dir =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "snapshot-dir" ] ~docv:"DIR"
+        ~doc:
+          "Also write the per-rule finding counts as $(b,BENCH_lint_debt.json) under \
+           $(docv), for $(b,dream-bench) $(b,trend).")
+
 let paths =
   Arg.(
     value
@@ -98,9 +204,13 @@ let cmd =
     [
       `S Manpage.s_description;
       `P
-        "Parses every .ml file under $(i,PATHS) with the OCaml compiler front end and runs \
-         syntactic rules over the parsetree.  Exits 0 when clean and 1 when there are \
-         findings, so it can gate CI.";
+        "Parses every .ml file under $(i,PATHS) with the OCaml compiler front end, runs \
+         syntactic rules over each parsetree, then the interprocedural passes over the \
+         whole set: $(b,hot-path-alloc) classifies allocation sites reachable from \
+         [@hot] entry points through the intra-repo call graph, and $(b,domain-safety) \
+         inventories toplevel mutable state ahead of multi-domain sharding.  Exits 0 \
+         when clean and 1 when there are findings, so it can gate CI; with \
+         $(b,--baseline) only findings beyond the committed ratchet fail.";
       `S "RULES";
     ]
     @ List.map
@@ -109,13 +219,16 @@ let cmd =
     @ [
         `P
           (Printf.sprintf
-             "$(b,%s): a site-level [@lint.allow] that suppresses nothing; $(b,%s): a file \
-              that does not parse."
+             "$(b,%s): a site-level [@lint.allow] or [@alloc.allow] that suppresses \
+              nothing; $(b,%s): a file that does not parse."
              Engine.unused_suppression_rule Engine.parse_error_rule);
       ]
   in
   Cmd.v
     (Cmd.info "dream-lint" ~doc ~man)
-    (Term.term_result' ~usage:false Term.(const run $ format $ rule_ids $ paths))
+    (Term.term_result' ~usage:false
+       Term.(
+         const run $ format $ rule_ids $ baseline_path $ update_baseline $ snapshot_dir
+         $ paths))
 
 let () = exit (Cmd.eval' cmd)

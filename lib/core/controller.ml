@@ -50,6 +50,11 @@ type runtime = {
          missing switch (degraded mode only; 0 when fully fresh) *)
 }
 
+(* Hoisted out of [tick] (and the other per-epoch walks over [t.active])
+   so sorting runtimes builds no comparator closure per epoch. *)
+let runtime_order (a : runtime) (b : runtime) = Int.compare (Task.id a.task) (Task.id b.task)
+let cons_runtime _ (r : runtime) acc = r :: acc
+
 type delay_sample = {
   epoch : int;
   fetch_ms : float;
@@ -812,7 +817,7 @@ let quarantine_allocations t allocations =
   | Some fm ->
     Switch_id.Map.mapi (fun sw v -> if Fault_model.is_down fm sw then 0 else v) allocations
 
-let tick t =
+let[@hot] tick t =
   let config = t.config in
   let now () = Obs.Clock.now_ms t.clock in
   let tick_t0 = now () in
@@ -828,9 +833,7 @@ let tick t =
   Arena.reset t.arena;
   advance_faults t;
   let runtimes =
-    List.sort
-      (fun a b -> Int.compare (Task.id a.task) (Task.id b.task))
-      (Hashtbl.fold (fun _ r acc -> r :: acc) t.active [])
+    List.sort runtime_order (Hashtbl.fold cons_runtime t.active [])
   in
   (* Reset per-epoch switch stats so the delay model prices this epoch. *)
   Array.iter (fun sw -> Tcam.reset_stats (Switch.tcam sw)) t.switches;
@@ -1642,9 +1645,7 @@ let snapshot t =
   emit_rob w (robustness t);
   emit_records w t.records;
   let runtimes =
-    List.sort
-      (fun a b -> Int.compare (Task.id a.task) (Task.id b.task))
-      (Hashtbl.fold (fun _ r acc -> r :: acc) t.active [])
+    List.sort runtime_order (Hashtbl.fold cons_runtime t.active [])
   in
   C.int w "runtimes" (List.length runtimes);
   List.iter (emit_runtime w) runtimes;
@@ -1913,9 +1914,7 @@ let recover ~env ~snapshot ~journal ~at_epoch =
          anyway and gets its rules back through the normal recovered-switch
          reinstall path. *)
       let runtimes =
-        List.sort
-          (fun a b -> Int.compare (Task.id a.task) (Task.id b.task))
-          (Hashtbl.fold (fun _ r acc -> r :: acc) t.active [])
+        List.sort runtime_order (Hashtbl.fold cons_runtime t.active [])
       in
       t.epoch <- at_epoch;
       Array.iter

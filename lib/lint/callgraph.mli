@@ -1,0 +1,73 @@
+(** Whole-repo, deterministic intra-repo call graph over parsetrees.
+
+    Nodes are top-level value bindings (including bindings inside named
+    top-level submodules, tracked as ["Sub.f"]); an edge [a -> b] exists
+    when [a]'s body mentions an identifier that resolves to [b].
+    Mentioning is enough — a function passed as an argument is an edge,
+    which is the conservative direction for reachability analyses: a
+    first-class use can always end in a call.
+
+    Resolution is purely syntactic and module-qualified: [f] resolves in
+    the defining file, [M.f] through the repo-wide module index (every
+    file [m.ml] declares module [M]; ambiguous module names resolve to
+    every candidate), [Dream_lib.M.f] through the library prefix (maps to
+    [lib/lib/m.ml]), and simple top-level aliases ([module O = Dream_obs])
+    and top-level [open]s are expanded one step.  What cannot be resolved
+    — functor applications, [Lapply], computed functions — contributes no
+    edge; the analysis documents that loophole rather than guessing.
+
+    Entry points are bindings carrying a [[@hot]] (or [[@@hot]])
+    attribute.  {!reachable_from_hot} is a breadth-first closure from the
+    sorted entry set, each node paired with one witness call chain, so a
+    finding can say {e how} the hot loop reaches the allocation. *)
+
+type node = {
+  n_file : string;  (** path as given to {!build} *)
+  n_module : string;  (** file-level module name, e.g. ["Controller"] *)
+  n_name : string;  (** binding name, possibly ["Sub.f"] for submodule bindings *)
+  n_loc : Location.t;
+  n_hot : bool;  (** carries a [[@hot]] attribute *)
+  n_arity : int;  (** syntactic arity: leading [fun]/[function] parameters *)
+  n_binding : Parsetree.value_binding;
+}
+
+type t
+
+val build : (string * Parsetree.structure) list -> t
+(** Build the graph from [(path, parsetree)] pairs; order-insensitive
+    (internal order is sorted by path). *)
+
+val nodes : t -> node list
+(** All nodes, sorted by (file, name). *)
+
+val hot_roots : t -> node list
+(** The [[@hot]]-annotated entry set, sorted by (file, name). *)
+
+val reachable_from_hot : t -> (node * string list) list
+(** Breadth-first closure from {!hot_roots}.  Each reachable node comes
+    with a witness chain of ["Module.name"] labels, entry point first and
+    the node itself last; the chain is deterministic (BFS over sorted
+    nodes and sorted successor lists).  Includes the roots themselves
+    (singleton chains). *)
+
+val label : node -> string
+(** ["Module.name"], the spelling used in chains and findings. *)
+
+val arity_of_ident : t -> file:string -> Longident.t -> int option
+(** Resolve an identifier as {!build} did, from the viewpoint of [file];
+    [Some arity] when it names exactly one known function of non-zero
+    arity, [None] on ambiguity or unknowns (callers must treat [None] as
+    "assume saturated"). *)
+
+(** {2 Parsetree helpers shared with the engine's passes} *)
+
+val qualified : Longident.t -> string list
+(** Flatten a [Longident.t], stripping a leading [Stdlib]; [[]] for
+    [Lapply]. *)
+
+val top_bindings : Parsetree.structure -> (string * Parsetree.value_binding) list
+(** Top-level value bindings in declaration order, descending into named
+    top-level submodules with dotted names (["Sub.f"]). *)
+
+val arity_of_expr : Parsetree.expression -> int
+(** Syntactic arity: the leading [fun]/[function] parameter spine. *)

@@ -28,18 +28,23 @@ let within region (line, col) =
   in
   after_start && before_end
 
-let allow_payload attr =
+let string_payload attr =
   match attr.attr_payload with
   | PStr
       [
         {
           pstr_desc =
-            Pstr_eval ({ pexp_desc = Pexp_constant (Pconst_string (rule, _, _)); _ }, _);
+            Pstr_eval ({ pexp_desc = Pexp_constant (Pconst_string (s, _, _)); _ }, _);
           _;
         };
       ] ->
-    Ok rule
-  | _ -> Error "expected a string literal rule id, as in [@lint.allow \"rule-id\"]"
+    Ok s
+  | _ -> Error "expected a string literal"
+
+let allow_payload attr =
+  match string_payload attr with
+  | Ok rule -> Ok rule
+  | Error _ -> Error "expected a string literal rule id, as in [@lint.allow \"rule-id\"]"
 
 let finding_at ~rule ~file ~severity loc message =
   let line, col = position_of loc in
@@ -55,117 +60,400 @@ let parse path src =
   | exception Lexer.Error (_, loc) -> Error (loc, "lexing error")
   | exception exn -> Error (Location.in_file path, "cannot parse: " ^ Printexc.to_string exn)
 
-let lint_string ?(rules = Rules.all) ~path src =
+(* ---- the per-file layer: syntactic rules plus [@lint.allow] ---- *)
+
+let lint_parsed ?(extra = []) ~rules ~path structure =
   let active = List.filter (fun (r : Rules.t) -> r.Rules.applies path) rules in
+  let findings = ref extra in
+  let suppressions = ref [] in
+  let meta ~loc message =
+    findings :=
+      finding_at ~rule:unused_suppression_rule ~file:path ~severity:Finding.Warning loc
+        message
+      :: !findings
+  in
+  let emit_for (r : Rules.t) ~loc message =
+    findings :=
+      finding_at ~rule:r.Rules.id ~file:path ~severity:r.Rules.severity loc message
+      :: !findings
+  in
+  let register ~file_level ~region attrs =
+    List.iter
+      (fun attr ->
+        if attr.attr_name.Location.txt = "lint.allow" then
+          match allow_payload attr with
+          | Error msg -> meta ~loc:attr.attr_loc ("malformed [@lint.allow]: " ^ msg)
+          | Ok rule when not (List.mem rule Rules.ids) ->
+            meta ~loc:attr.attr_loc
+              (Printf.sprintf "[@lint.allow %S] names an unknown rule" rule)
+          | Ok rule ->
+            suppressions :=
+              {
+                s_rule = rule;
+                s_region = region;
+                s_attr_loc = attr.attr_loc;
+                s_file_level = file_level;
+                s_used = false;
+              }
+              :: !suppressions)
+      attrs
+  in
+  let expr_rules = List.filter (fun (r : Rules.t) -> r.Rules.expr <> None) active in
+  let mod_rules = List.filter (fun (r : Rules.t) -> r.Rules.module_expr <> None) active in
+  let default = Ast_iterator.default_iterator in
+  let iterator =
+    {
+      default with
+      Ast_iterator.expr =
+        (fun it e ->
+          register ~file_level:false ~region:e.pexp_loc e.pexp_attributes;
+          List.iter
+            (fun (r : Rules.t) ->
+              match r.Rules.expr with Some hook -> hook ~emit:(emit_for r) e | None -> ())
+            expr_rules;
+          default.Ast_iterator.expr it e);
+      Ast_iterator.module_expr =
+        (fun it m ->
+          List.iter
+            (fun (r : Rules.t) ->
+              match r.Rules.module_expr with
+              | Some hook -> hook ~emit:(emit_for r) m
+              | None -> ())
+            mod_rules;
+          default.Ast_iterator.module_expr it m);
+      Ast_iterator.value_binding =
+        (fun it vb ->
+          register ~file_level:false ~region:vb.pvb_loc vb.pvb_attributes;
+          default.Ast_iterator.value_binding it vb);
+      Ast_iterator.structure_item =
+        (fun it si ->
+          (match si.pstr_desc with
+          | Pstr_attribute attr -> register ~file_level:true ~region:si.pstr_loc [ attr ]
+          | _ -> ());
+          default.Ast_iterator.structure_item it si);
+    }
+  in
+  iterator.Ast_iterator.structure iterator structure;
+  List.iter
+    (fun (r : Rules.t) ->
+      match r.Rules.file with
+      | Some hook -> hook ~emit:(emit_for r) ~path structure
+      | None -> ())
+    active;
+  (* Suppression pass: a finding survives unless an allow for its rule
+     covers its position; every allow that fires is marked used. *)
+  let suppressed (f : Finding.t) =
+    let matching =
+      List.filter
+        (fun s ->
+          s.s_rule = f.Finding.rule
+          && (s.s_file_level || within s.s_region (f.Finding.line, f.Finding.col)))
+        !suppressions
+    in
+    List.iter (fun s -> s.s_used <- true) matching;
+    matching <> []
+  in
+  let kept = List.filter (fun f -> not (suppressed f)) !findings in
+  let active_ids = List.map (fun (r : Rules.t) -> r.Rules.id) active in
+  let unused =
+    List.filter_map
+      (fun s ->
+        (* Only site-level allows must pay their way, and only when the
+           rule they name actually ran on this file. *)
+        if s.s_used || s.s_file_level || not (List.mem s.s_rule active_ids) then None
+        else
+          Some
+            (finding_at ~rule:unused_suppression_rule ~file:path ~severity:Finding.Warning
+               s.s_attr_loc
+               (Printf.sprintf "[@lint.allow %S] suppresses nothing; remove it" s.s_rule)))
+      !suppressions
+  in
+  List.sort Finding.compare (kept @ unused)
+
+(* ---- interprocedural pass: domain-safety ---- *)
+
+(* Field names declared [mutable] anywhere in the repo: a toplevel record
+   literal touching one of them is mutable module state even when the
+   type lives in another file. *)
+let mutable_field_names parsed =
+  let set = Hashtbl.create 32 in
+  List.iter
+    (fun (_, structure) ->
+      let default = Ast_iterator.default_iterator in
+      let it =
+        {
+          default with
+          Ast_iterator.type_declaration =
+            (fun it td ->
+              (match td.ptype_kind with
+              | Ptype_record labels ->
+                List.iter
+                  (fun l ->
+                    if l.pld_mutable = Asttypes.Mutable then
+                      Hashtbl.replace set l.pld_name.Location.txt ())
+                  labels
+              | _ -> ());
+              default.Ast_iterator.type_declaration it td);
+        }
+      in
+      it.Ast_iterator.structure it structure)
+    parsed;
+  set
+
+let rec result_expr e =
+  match e.pexp_desc with
+  | Pexp_constraint (e', _)
+  | Pexp_open (_, e')
+  | Pexp_sequence (_, e')
+  | Pexp_let (_, _, e') ->
+    result_expr e'
+  | _ -> e
+
+let ident_path e =
+  match e.pexp_desc with
+  | Pexp_ident { txt; _ } -> (
+    match Callgraph.qualified txt with [] -> None | parts -> Some parts)
+  | _ -> None
+
+let last_segment name =
+  match String.rindex_opt name '.' with
+  | None -> name
+  | Some i -> String.sub name (i + 1) (String.length name - i - 1)
+
+(* What kind of mutable state does this toplevel value create?  [Atomic]
+   is deliberately absent: atomics are the domain-safe primitive the
+   finding suggests migrating to. *)
+let mutable_kind ~mut_fields e =
+  let e = result_expr e in
+  match e.pexp_desc with
+  | Pexp_apply (f, _) -> (
+    match ident_path f with
+    | Some [ "ref" ] -> Some "ref cell"
+    | Some [ "Hashtbl"; ("create" | "copy" | "of_seq") ] -> Some "Hashtbl"
+    | Some [ "Buffer"; "create" ] -> Some "Buffer"
+    | Some [ "Queue"; "create" ] -> Some "Queue"
+    | Some [ "Stack"; "create" ] -> Some "Stack"
+    | Some [ "Array"; ("make" | "init" | "create_float" | "make_matrix" | "copy" | "of_list") ]
+      ->
+      Some "array"
+    | Some [ "Bytes"; ("create" | "make" | "init" | "of_string") ] -> Some "mutable bytes"
+    | Some ("Bigarray" :: _) -> Some "Bigarray"
+    | _ -> None)
+  | Pexp_array (_ :: _) -> Some "array"
+  | Pexp_record (fields, _)
+    when List.exists
+           (fun (({ txt; _ } : Longident.t Location.loc), _) ->
+             match List.rev (Callgraph.qualified txt) with
+             | [] -> false
+             | field :: _ -> Hashtbl.mem mut_fields field)
+           fields ->
+    Some "record with mutable fields"
+  | _ -> None
+
+let mentions_ident name e =
+  let found = ref false in
+  let default = Ast_iterator.default_iterator in
+  let it =
+    {
+      default with
+      Ast_iterator.expr =
+        (fun it e ->
+          (match ident_path e with
+          | Some parts -> (
+            match List.rev parts with
+            | leaf :: _ when leaf = name -> found := true
+            | _ -> ())
+          | None -> ());
+          if not !found then default.Ast_iterator.expr it e);
+    }
+  in
+  it.Ast_iterator.expr it e;
+  !found
+
+let domain_safety_findings ~severity parsed =
+  let mut_fields = mutable_field_names parsed in
+  let tbl = Hashtbl.create 16 in
+  List.iter
+    (fun (path, structure) ->
+      let bindings = Callgraph.top_bindings structure in
+      let file_findings =
+        List.filter_map
+          (fun (name, vb) ->
+            (* Functions construct per call, not at module init. *)
+            if Callgraph.arity_of_expr vb.pvb_expr > 0 then None
+            else
+              match mutable_kind ~mut_fields vb.pvb_expr with
+              | None -> None
+              | Some kind ->
+                let short = last_segment name in
+                let siblings =
+                  List.length
+                    (List.filter
+                       (fun (name', vb') ->
+                         name' <> name && mentions_ident short vb'.pvb_expr)
+                       bindings)
+                in
+                Some
+                  (finding_at ~rule:Rules.domain_safety_id ~file:path ~severity vb.pvb_loc
+                     (Printf.sprintf
+                        "toplevel mutable state (%s) is shared by every domain once the \
+                         sharded controller fans out; referenced by %d sibling top-level \
+                         binding%s — pass it to callers explicitly or guard it with a \
+                         domain-safe primitive"
+                        kind siblings
+                        (if siblings = 1 then "" else "s"))))
+          bindings
+      in
+      if file_findings <> [] then Hashtbl.replace tbl path file_findings)
+    parsed;
+  tbl
+
+(* ---- interprocedural pass: hot-path-alloc ---- *)
+
+type alloc_allow = {
+  a_file : string;
+  a_region : Location.t;
+  a_attr_loc : Location.t;
+  mutable a_used : bool;
+}
+
+let alloc_allow_name = "alloc.allow"
+
+(* Every [@alloc.allow "reason"] in the repo, wherever it sits: allows in
+   code that later drops out of the hot set must be cleaned up, so all of
+   them are subject to the unused check. *)
+let collect_alloc_allows parsed =
+  let allows = ref [] and malformed = ref [] in
+  List.iter
+    (fun (path, structure) ->
+      let register ~region attrs =
+        List.iter
+          (fun attr ->
+            if attr.attr_name.Location.txt = alloc_allow_name then
+              match string_payload attr with
+              | Ok reason when String.trim reason <> "" ->
+                allows :=
+                  { a_file = path; a_region = region; a_attr_loc = attr.attr_loc; a_used = false }
+                  :: !allows
+              | Ok _ | Error _ ->
+                malformed :=
+                  finding_at ~rule:unused_suppression_rule ~file:path
+                    ~severity:Finding.Warning attr.attr_loc
+                    "malformed [@alloc.allow]: expected a non-empty reason string, as in \
+                     [@alloc.allow \"tuple is the public API\"]"
+                  :: !malformed)
+          attrs
+      in
+      let default = Ast_iterator.default_iterator in
+      let it =
+        {
+          default with
+          Ast_iterator.expr =
+            (fun it e ->
+              register ~region:e.pexp_loc e.pexp_attributes;
+              default.Ast_iterator.expr it e);
+          Ast_iterator.value_binding =
+            (fun it vb ->
+              register ~region:vb.pvb_loc vb.pvb_attributes;
+              default.Ast_iterator.value_binding it vb);
+        }
+      in
+      it.Ast_iterator.structure it structure)
+    parsed;
+  (!allows, !malformed)
+
+(* Walk one reachable binding body for allocation sites.  The leading
+   parameter spine is peeled (defining a function is not an allocation on
+   the path that calls it); everything underneath is classified. *)
+let walk_hot_body ~graph ~file ~emit body =
+  let skip = Hashtbl.create 8 in
+  let arity_of lid = Callgraph.arity_of_ident graph ~file lid in
+  let default = Ast_iterator.default_iterator in
+  let it =
+    {
+      default with
+      Ast_iterator.expr =
+        (fun it e ->
+          (* A constructor's immediate tuple payload is its argument list,
+             not a separate tuple allocation; a [::] spine reports once at
+             the head. *)
+          (match e.pexp_desc with
+          | Pexp_construct (_, Some ({ pexp_desc = Pexp_tuple _; _ } as payload)) ->
+            Hashtbl.replace skip payload.pexp_loc ()
+          | _ -> ());
+          (match Alloc_class.cons_tail e with
+          | Some tl -> Hashtbl.replace skip tl.pexp_loc ()
+          | None -> ());
+          (if not (Hashtbl.mem skip e.pexp_loc) then
+             match Alloc_class.classify ~arity_of e with
+             | Some cls -> emit ~loc:e.pexp_loc cls
+             | None -> ());
+          default.Ast_iterator.expr it e);
+    }
+  in
+  let rec start e =
+    match e.pexp_desc with
+    | Pexp_fun (_, _, _, b) | Pexp_newtype (_, b) | Pexp_constraint (b, _) -> start b
+    | Pexp_function cases ->
+      List.iter
+        (fun c ->
+          Option.iter (it.Ast_iterator.expr it) c.pc_guard;
+          it.Ast_iterator.expr it c.pc_rhs)
+        cases
+    | _ -> it.Ast_iterator.expr it e
+  in
+  start body
+
+let hot_path_findings ~severity ~applies parsed =
+  let graph = Callgraph.build parsed in
+  let allows, malformed = collect_alloc_allows parsed in
+  let findings = ref [] in
+  List.iter
+    (fun ((node : Callgraph.node), chain) ->
+      let file = node.Callgraph.n_file in
+      if applies file then begin
+        let chain_s = String.concat " -> " chain in
+        let emit ~loc cls =
+          let line, col = position_of loc in
+          let covering =
+            List.filter
+              (fun a -> a.a_file = file && within a.a_region (line, col))
+              allows
+          in
+          if covering <> [] then List.iter (fun a -> a.a_used <- true) covering
+          else
+            findings :=
+              Finding.v ~rule:Rules.hot_path_alloc_id ~file ~line ~col ~severity
+                (Printf.sprintf
+                   "%s on a hot path ([@hot] %s); hoist it, reuse arena scratch, or \
+                    justify it with [@alloc.allow \"reason\"]"
+                   (Alloc_class.describe cls) chain_s)
+              :: !findings
+        in
+        walk_hot_body ~graph ~file ~emit node.Callgraph.n_binding.pvb_expr
+      end)
+    (Callgraph.reachable_from_hot graph);
+  let unused =
+    List.filter_map
+      (fun a ->
+        if a.a_used then None
+        else
+          Some
+            (finding_at ~rule:unused_suppression_rule ~file:a.a_file
+               ~severity:Finding.Warning a.a_attr_loc
+               "[@alloc.allow] suppresses nothing (site not allocating, or no longer \
+                reachable from a [@hot] entry); remove it"))
+      allows
+  in
+  !findings @ malformed @ unused
+
+(* ---- repo-level drivers ---- *)
+
+let lint_string ?(rules = Rules.all) ?extra ~path src =
   match parse path src with
   | Error (loc, msg) ->
     [ finding_at ~rule:parse_error_rule ~file:path ~severity:Finding.Error loc msg ]
-  | Ok structure ->
-    let findings = ref [] in
-    let suppressions = ref [] in
-    let meta ~loc message =
-      findings :=
-        finding_at ~rule:unused_suppression_rule ~file:path ~severity:Finding.Warning loc
-          message
-        :: !findings
-    in
-    let emit_for (r : Rules.t) ~loc message =
-      findings :=
-        finding_at ~rule:r.Rules.id ~file:path ~severity:r.Rules.severity loc message
-        :: !findings
-    in
-    let register ~file_level ~region attrs =
-      List.iter
-        (fun attr ->
-          if attr.attr_name.Location.txt = "lint.allow" then
-            match allow_payload attr with
-            | Error msg -> meta ~loc:attr.attr_loc ("malformed [@lint.allow]: " ^ msg)
-            | Ok rule when not (List.mem rule Rules.ids) ->
-              meta ~loc:attr.attr_loc
-                (Printf.sprintf "[@lint.allow %S] names an unknown rule" rule)
-            | Ok rule ->
-              suppressions :=
-                {
-                  s_rule = rule;
-                  s_region = region;
-                  s_attr_loc = attr.attr_loc;
-                  s_file_level = file_level;
-                  s_used = false;
-                }
-                :: !suppressions)
-        attrs
-    in
-    let expr_rules = List.filter (fun (r : Rules.t) -> r.Rules.expr <> None) active in
-    let mod_rules = List.filter (fun (r : Rules.t) -> r.Rules.module_expr <> None) active in
-    let default = Ast_iterator.default_iterator in
-    let iterator =
-      {
-        default with
-        Ast_iterator.expr =
-          (fun it e ->
-            register ~file_level:false ~region:e.pexp_loc e.pexp_attributes;
-            List.iter
-              (fun (r : Rules.t) ->
-                match r.Rules.expr with Some hook -> hook ~emit:(emit_for r) e | None -> ())
-              expr_rules;
-            default.Ast_iterator.expr it e);
-        Ast_iterator.module_expr =
-          (fun it m ->
-            List.iter
-              (fun (r : Rules.t) ->
-                match r.Rules.module_expr with
-                | Some hook -> hook ~emit:(emit_for r) m
-                | None -> ())
-              mod_rules;
-            default.Ast_iterator.module_expr it m);
-        Ast_iterator.value_binding =
-          (fun it vb ->
-            register ~file_level:false ~region:vb.pvb_loc vb.pvb_attributes;
-            default.Ast_iterator.value_binding it vb);
-        Ast_iterator.structure_item =
-          (fun it si ->
-            (match si.pstr_desc with
-            | Pstr_attribute attr -> register ~file_level:true ~region:si.pstr_loc [ attr ]
-            | _ -> ());
-            default.Ast_iterator.structure_item it si);
-      }
-    in
-    iterator.Ast_iterator.structure iterator structure;
-    List.iter
-      (fun (r : Rules.t) ->
-        match r.Rules.file with
-        | Some hook -> hook ~emit:(emit_for r) ~path structure
-        | None -> ())
-      active;
-    (* Suppression pass: a finding survives unless an allow for its rule
-       covers its position; every allow that fires is marked used. *)
-    let suppressed (f : Finding.t) =
-      let matching =
-        List.filter
-          (fun s ->
-            s.s_rule = f.Finding.rule
-            && (s.s_file_level || within s.s_region (f.Finding.line, f.Finding.col)))
-          !suppressions
-      in
-      List.iter (fun s -> s.s_used <- true) matching;
-      matching <> []
-    in
-    let kept = List.filter (fun f -> not (suppressed f)) !findings in
-    let active_ids = List.map (fun (r : Rules.t) -> r.Rules.id) active in
-    let unused =
-      List.filter_map
-        (fun s ->
-          (* Only site-level allows must pay their way, and only when the
-             rule they name actually ran on this file. *)
-          if s.s_used || s.s_file_level || not (List.mem s.s_rule active_ids) then None
-          else
-            Some
-              (finding_at ~rule:unused_suppression_rule ~file:path ~severity:Finding.Warning
-                 s.s_attr_loc
-                 (Printf.sprintf "[@lint.allow %S] suppresses nothing; remove it" s.s_rule)))
-        !suppressions
-    in
-    List.sort Finding.compare (kept @ unused)
+  | Ok structure -> lint_parsed ?extra ~rules ~path structure
 
 let lint_file ?rules path =
   match In_channel.with_open_bin path In_channel.input_all with
@@ -175,3 +463,63 @@ let lint_file ?rules path =
       Finding.v ~rule:parse_error_rule ~file:path ~line:1 ~col:0 ~severity:Finding.Error
         ("cannot read file: " ^ msg);
     ]
+
+let lint_sources ?(rules = Rules.all) sources =
+  let parsed = List.map (fun (path, src) -> (path, parse path src)) sources in
+  let oks =
+    List.filter_map (function p, Ok s -> Some (p, s) | _, Error _ -> None) parsed
+  in
+  let find_rule id = List.find_opt (fun (r : Rules.t) -> r.Rules.id = id) rules in
+  let domain_tbl =
+    match find_rule Rules.domain_safety_id with
+    | Some r ->
+      domain_safety_findings ~severity:r.Rules.severity
+        (List.filter (fun (p, _) -> r.Rules.applies p) oks)
+    | None -> Hashtbl.create 1
+  in
+  let hot =
+    match find_rule Rules.hot_path_alloc_id with
+    | Some r -> hot_path_findings ~severity:r.Rules.severity ~applies:r.Rules.applies oks
+    | None -> []
+  in
+  let per_file =
+    List.concat_map
+      (fun (path, res) ->
+        match res with
+        | Error (loc, msg) ->
+          [ finding_at ~rule:parse_error_rule ~file:path ~severity:Finding.Error loc msg ]
+        | Ok structure ->
+          let extra =
+            Option.value ~default:[] (Hashtbl.find_opt domain_tbl path)
+          in
+          lint_parsed ~extra ~rules ~path structure)
+      parsed
+  in
+  List.sort Finding.compare (hot @ per_file)
+
+let lint_files ?rules paths =
+  let sources, unreadable =
+    List.fold_left
+      (fun (sources, unreadable) path ->
+        match In_channel.with_open_bin path In_channel.input_all with
+        | src -> ((path, src) :: sources, unreadable)
+        | exception Sys_error msg ->
+          ( sources,
+            Finding.v ~rule:parse_error_rule ~file:path ~line:1 ~col:0
+              ~severity:Finding.Error ("cannot read file: " ^ msg)
+            :: unreadable ))
+      ([], []) paths
+  in
+  List.sort Finding.compare (unreadable @ lint_sources ?rules (List.rev sources))
+
+(* Deterministic recursive walk: sorted entries; [_build], [_opam] and
+   dot-directories (and dot-files) skipped at every level. *)
+let rec ml_files_under path =
+  if Sys.file_exists path && Sys.is_directory path then
+    Sys.readdir path |> Array.to_list |> List.sort String.compare
+    |> List.filter (fun entry ->
+           (not (String.length entry > 0 && entry.[0] = '.'))
+           && entry <> "_build" && entry <> "_opam")
+    |> List.concat_map (fun entry -> ml_files_under (Filename.concat path entry))
+  else if Filename.check_suffix path ".ml" then [ path ]
+  else []

@@ -1,18 +1,37 @@
-(** The rule engine: parse one OCaml implementation, run every applicable
-    rule's hooks over the parsetree in a single {!Ast_iterator} pass,
-    then apply [[@lint.allow "rule-id"]] suppressions.
+(** The rule engine, two layers deep.
 
-    Suppression semantics:
+    {b Per-file layer}: parse one OCaml implementation, run every
+    applicable rule's hooks over the parsetree in a single
+    {!Ast_iterator} pass, then apply [[@lint.allow "rule-id"]]
+    suppressions.
+
+    {b Interprocedural layer} ({!lint_sources} / {!lint_files}): parse
+    the whole file set once, build the {!Callgraph}, and run the two
+    repo-level passes on top of the per-file rules:
+
+    - [hot-path-alloc]: every allocation site (classified by
+      {!Alloc_class}) inside a binding reachable from a [[@hot]] entry
+      point is reported with its witness call chain.  Suppression is
+      [[@alloc.allow "reason"]] on the expression or binding — the
+      payload is a human reason, not a rule id — and an allow that
+      suppresses nothing (or has a malformed/empty payload) is itself a
+      finding, so the allowlist can only shrink.
+    - [domain-safety]: toplevel mutable state in [lib/] ([ref],
+      [Hashtbl.create], [Buffer.create], arrays, records with fields
+      declared [mutable] anywhere in the repo) is reported as a latent
+      race ahead of the planned [Domain] fan-out, with a count of the
+      sibling top-level bindings that touch it.  Suppression is the
+      ordinary [[@lint.allow "domain-safety"]].
+
+    Per-file [[@lint.allow]] semantics (unchanged):
     - [[@lint.allow "r"]] on an expression, or [[@@lint.allow "r"]] on a
       [let] binding, silences rule [r] within that node's source range.
     - A floating [[@@@lint.allow "r"]] silences rule [r] for the whole
-      file.  File-level allows are policy declarations (e.g.
-      [lib/util/rng.ml] declaring itself the blessed randomness module)
-      and may legitimately match nothing.
+      file.  File-level allows are policy declarations and may
+      legitimately match nothing.
     - Every site-level allow must silence at least one finding;
-      otherwise the engine reports it under {!unused_suppression_rule}.
-      An allow naming an unknown rule, or with a payload that is not a
-      string literal, is reported the same way.
+      otherwise the engine reports it under {!unused_suppression_rule},
+      as it does for unknown rule names and malformed payloads.
 
     Two engine-level ids appear in findings in addition to {!Rules.ids}:
     [parse-error] (the file does not parse; linting cannot proceed) and
@@ -21,11 +40,31 @@
 val parse_error_rule : string
 val unused_suppression_rule : string
 
-val lint_string : ?rules:Rules.t list -> path:string -> string -> Finding.t list
+val lint_string : ?rules:Rules.t list -> ?extra:Finding.t list -> path:string -> string -> Finding.t list
 (** Lint source text as if it lived at [path] (the path decides which
     directory policies apply).  [rules] defaults to {!Rules.all}.
-    Returns findings sorted by file, line, column and rule. *)
+    [extra] injects precomputed findings (the interprocedural layer's
+    [domain-safety] results) into the suppression pass, so site allows
+    cover them.  Per-file only: the interprocedural passes never run
+    here.  Returns findings sorted by file, line, column and rule. *)
 
 val lint_file : ?rules:Rules.t list -> string -> Finding.t list
-(** Read and lint one [.ml] file; an unreadable file yields a single
-    [parse-error] finding rather than an exception. *)
+(** Read and lint one [.ml] file (per-file layer only); an unreadable
+    file yields a single [parse-error] finding rather than an
+    exception. *)
+
+val lint_sources : ?rules:Rules.t list -> (string * string) list -> Finding.t list
+(** The full two-layer analysis over an in-memory file set of
+    [(path, source)] pairs: per-file rules plus [hot-path-alloc] and
+    [domain-safety] (each only when present in [rules]).  Deterministic:
+    the same sources in any order produce the same sorted findings. *)
+
+val lint_files : ?rules:Rules.t list -> string list -> Finding.t list
+(** {!lint_sources} over files read from disk; unreadable files become
+    [parse-error] findings. *)
+
+val ml_files_under : string -> string list
+(** Deterministic recursive walk: all [.ml] files under a path, sorted
+    at every directory level, with [_build], [_opam] and dot-entries
+    skipped.  A non-directory [.ml] path yields itself; anything else
+    yields []. *)

@@ -1,5 +1,7 @@
 module Json = Dream_obs.Json
 
+let version = 2
+
 let count_severity findings =
   List.fold_left
     (fun (errors, warnings) (f : Finding.t) ->
@@ -8,9 +10,19 @@ let count_severity findings =
       | Finding.Warning -> (errors, warnings + 1))
     (0, 0) findings
 
-let text ppf findings =
+let by_rule findings =
+  let tbl = Hashtbl.create 16 in
+  List.iter
+    (fun (f : Finding.t) ->
+      Hashtbl.replace tbl f.Finding.rule
+        (1 + Option.value ~default:0 (Hashtbl.find_opt tbl f.Finding.rule)))
+    findings;
+  Hashtbl.fold (fun r c acc -> (r, c) :: acc) tbl []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let text ?baseline ppf findings =
   List.iter (fun f -> Format.fprintf ppf "%a@." Finding.pp f) findings;
-  match findings with
+  (match findings with
   | [] -> Format.fprintf ppf "no findings@."
   | _ ->
     let errors, warnings = count_severity findings in
@@ -19,20 +31,33 @@ let text ppf findings =
       errors
       (if errors = 1 then "" else "s")
       warnings
-      (if warnings = 1 then "" else "s")
+      (if warnings = 1 then "" else "s");
+    List.iter (fun (rule, n) -> Format.fprintf ppf "  %s: %d@." rule n) (by_rule findings));
+  match baseline with
+  | None -> ()
+  | Some (baselined, fresh) ->
+    Format.fprintf ppf "baseline: %d finding%s baselined, %d new@." baselined
+      (if baselined = 1 then "" else "s")
+      fresh
 
-let to_json findings =
+let to_json ?baseline findings =
   let errors, warnings = count_severity findings in
   Json.Obj
-    [
-      ("version", Json.Int 1);
-      ("count", Json.Int (List.length findings));
-      ("errors", Json.Int errors);
-      ("warnings", Json.Int warnings);
-      ("findings", Json.List (List.map Finding.to_json findings));
-    ]
+    ([
+       ("version", Json.Int version);
+       ("count", Json.Int (List.length findings));
+       ("errors", Json.Int errors);
+       ("warnings", Json.Int warnings);
+       ("by_rule", Json.Obj (List.map (fun (r, n) -> (r, Json.Int n)) (by_rule findings)));
+     ]
+    @ (match baseline with
+      | None -> []
+      | Some (baselined, fresh) ->
+        [ ("baselined", Json.Int baselined); ("new", Json.Int fresh) ])
+    @ [ ("findings", Json.List (List.map Finding.to_json findings)) ])
 
-let json ppf findings = Format.fprintf ppf "%s@." (Json.to_string (to_json findings))
+let json ?baseline ppf findings =
+  Format.fprintf ppf "%s@." (Json.to_string (to_json ?baseline findings))
 
 let of_json_string s =
   let ( let* ) = Result.bind in

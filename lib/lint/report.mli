@@ -1,18 +1,31 @@
 (** Reporters over a finding list.  Both write to an explicit formatter,
-    so the library never touches stdout on its own. *)
+    so the library never touches stdout on its own.
 
-val text : Format.formatter -> Finding.t list -> unit
+    [?baseline] is the [(baselined, new)] pair from the ratchet gate
+    (counts of findings covered vs. not covered by the committed
+    {!Baseline}); when given, both renderers append it to the summary. *)
+
+val version : int
+(** Report schema version (2: adds [by_rule] and the optional baseline
+    summary fields). *)
+
+val by_rule : Finding.t list -> (string * int) list
+(** Finding counts per rule id, sorted by rule. *)
+
+val text : ?baseline:int * int -> Format.formatter -> Finding.t list -> unit
 (** One compiler-style line per finding, then a summary line
-    ([N findings (E errors, W warnings)] or [no findings]). *)
+    ([N findings (E errors, W warnings)] or [no findings]) and the
+    per-rule counts. *)
 
-val json : Format.formatter -> Finding.t list -> unit
-(** A single JSON object [{"version": 1, "count": N, "errors": E,
-    "warnings": W, "findings": [...]}] rendered through
-    {!Dream_obs.Json}, newline-terminated.  Machine-readable and
+val json : ?baseline:int * int -> Format.formatter -> Finding.t list -> unit
+(** A single JSON object [{"version": 2, "count": N, "errors": E,
+    "warnings": W, "by_rule": {...}, "findings": [...]}] rendered
+    through {!Dream_obs.Json}, newline-terminated.  Machine-readable and
     re-parseable by the same codec ({!of_json_string}). *)
 
-val to_json : Finding.t list -> Dream_obs.Json.t
+val to_json : ?baseline:int * int -> Finding.t list -> Dream_obs.Json.t
 
 val of_json_string : string -> (Finding.t list, string) result
 (** Parse a report produced by {!json} back into findings — the CI
-    artifact stays readable by the repo's own tooling. *)
+    artifact stays readable by the repo's own tooling.  Accepts both
+    version 1 and version 2 documents (only [findings] is read). *)

@@ -259,6 +259,30 @@ let mli_coverage =
   rule "mli-coverage" ~severity:Finding.Warning ~applies:in_lib
     ~doc:"every lib/**/*.ml has a sibling .mli" ~file:check_file
 
+(* ---- interprocedural passes ----
+
+   These two rules have no per-file hooks: their findings come from the
+   whole-repo layer in {!Engine.lint_sources} (call graph + allocation
+   classifier, and the toplevel-mutable-state scan).  They are registered
+   here so [--rules] selection, [--help], severity, directory policy and
+   the [@lint.allow] unknown-rule check treat them like any other rule. *)
+
+let hot_path_alloc_id = "hot-path-alloc"
+let domain_safety_id = "domain-safety"
+
+let hot_path_alloc =
+  rule hot_path_alloc_id ~severity:Finding.Error ~applies:everywhere
+    ~doc:
+      "no allocation site reachable from a [@hot] entry point (interprocedural; suppress \
+       a justified site with [@alloc.allow \"reason\"])"
+
+let domain_safety =
+  rule domain_safety_id ~severity:Finding.Warning ~applies:in_lib
+    ~doc:
+      "no toplevel mutable state in lib/: every ref/Hashtbl/Buffer/mutable-record/array \
+       binding at module level is a latent race once shard controllers fan out across \
+       domains"
+
 let all =
   [
     determinism_random;
@@ -269,6 +293,8 @@ let all =
     partiality;
     stdout_hygiene;
     mli_coverage;
+    hot_path_alloc;
+    domain_safety;
   ]
 
 let find id = List.find_opt (fun r -> r.id = id) all

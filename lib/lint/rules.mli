@@ -33,6 +33,16 @@ type t = {
 val all : t list
 (** Every registered rule, in report order. *)
 
+val hot_path_alloc_id : string
+(** ["hot-path-alloc"] — allocation sites reachable from a [[@hot]] entry
+    point.  Declared here (severity, policy, docs) but computed by the
+    interprocedural layer in {!Engine.lint_sources}; per-file runs
+    ({!Engine.lint_string}) never produce it. *)
+
+val domain_safety_id : string
+(** ["domain-safety"] — toplevel mutable state in [lib/].  Declared here,
+    computed by the interprocedural layer. *)
+
 val find : string -> t option
 (** Look up a rule by id. *)
 

@@ -290,7 +290,7 @@ let descendant_counters t ancestor =
     (fun _ (c : Counter.t) acc -> if Prefix.covers ancestor c.prefix then c :: acc else acc)
     t.table []
 
-let merge t ancestor =
+let[@hot] merge t ancestor =
   match descendant_counters t ancestor with
   | [] -> ()
   | [ c ] when Prefix.equal c.Counter.prefix ancestor ->
@@ -327,7 +327,7 @@ let merge t ancestor =
 
 let apply_merges t solution = List.iter (merge t) solution.Cover.ancestors
 
-let divide t (c : Counter.t) =
+let[@hot] divide t (c : Counter.t) =
   match Prefix.children c.prefix with
   | None -> ()
   | Some (l, r) ->
@@ -371,7 +371,7 @@ let shrink_to_fit t ~allocations =
   in
   go (num_counters t + 8)
 
-let divide_phase t ~allocations =
+let[@hot] divide_phase t ~allocations =
   let leaf_length = t.spec.Task_spec.leaf_length in
   let cmp (a : Counter.t) (b : Counter.t) = Float.compare a.score b.score in
   let heap = Heap.create ~cmp in

@@ -100,7 +100,7 @@ let to_flows t = fold t ~init:[] ~f:(fun acc f -> f :: acc)
    resets and the answer is still exact, just not faster.  Each query
    computes the same (lo, hi) index pair — hence the same float — as
    {!volume} would. *)
-let read_prefixes t ps =
+let[@hot] read_prefixes t ps =
   let prev_first = ref min_int in
   let prev_lo = ref 0 in
   List.map
@@ -118,7 +118,7 @@ let read_prefixes t ps =
    union, then fill.  Equal addresses sum left operand first ([va +. vb]),
    matching the left-to-right duplicate fold of [Flow.combine] on the
    concatenated flow lists the reference backend merges with. *)
-let merge a b =
+let[@hot] merge a b =
   if a.n = 0 then b
   else if b.n = 0 then a
   else begin

@@ -29,7 +29,7 @@ let ensure_slots make slots slot =
     fresh
   end
 
-let ints t ~slot ~len =
+let[@hot] ints t ~slot ~len =
   if slot < 0 then invalid_arg "Arena.ints: negative slot";
   if len < 0 then invalid_arg "Arena.ints: negative length";
   t.int_slots <- ensure_slots make_ints t.int_slots slot;
@@ -41,7 +41,7 @@ let ints t ~slot ~len =
   end;
   t.int_slots.(slot)
 
-let floats t ~slot ~len =
+let[@hot] floats t ~slot ~len =
   if slot < 0 then invalid_arg "Arena.floats: negative slot";
   if len < 0 then invalid_arg "Arena.floats: negative length";
   t.float_slots <- ensure_slots make_floats t.float_slots slot;
@@ -53,7 +53,7 @@ let floats t ~slot ~len =
   end;
   t.float_slots.(slot)
 
-let reset t = t.resets <- t.resets + 1
+let[@hot] reset t = t.resets <- t.resets + 1
 
 let stats t =
   let sum dim slots = Array.fold_left (fun acc b -> acc + dim b) 0 slots in

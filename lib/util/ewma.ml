@@ -1,38 +1,47 @@
-type t = { history : float; mutable avg : float option }
+(* The average lives unboxed in a mutable float field with a [seeded]
+   flag standing in for [None]: [update]/[scale]/[seed] run on the
+   controller's per-counter hot path and must not allocate an option per
+   call.  Only the [value]/[restore] edges of the API touch options. *)
+type t = { history : float; mutable seeded : bool; mutable avg : float }
 
 let create ~history =
   if history < 0.0 || history >= 1.0 then invalid_arg "Ewma.create: history must be in [0, 1)";
-  { history; avg = None }
+  { history; seeded = false; avg = 0.0 }
 
 let update t x =
   let v =
-    match t.avg with
-    | None -> x
-    | Some avg -> (t.history *. avg) +. ((1.0 -. t.history) *. x)
+    if t.seeded then (t.history *. t.avg) +. ((1.0 -. t.history) *. x) else x
   in
-  t.avg <- Some v;
+  t.avg <- v;
+  t.seeded <- true;
   v
 
-let value t = t.avg
+let value t =
+  if t.seeded then (Some t.avg) [@alloc.allow "cold read edge of the API; hot readers use value_or"]
+  else None
 
-let value_or t default = match t.avg with None -> default | Some v -> v
+let value_or t default = if t.seeded then t.avg else default
 
-let reset t = t.avg <- None
+let reset t = t.seeded <- false
 
-let scale t k = match t.avg with None -> () | Some v -> t.avg <- Some (v *. k)
+let scale t k = if t.seeded then t.avg <- t.avg *. k
 
-let seed t x = t.avg <- Some x
+let seed t x =
+  t.seeded <- true;
+  t.avg <- x
 
 let history t = t.history
 
 let restore ~history ~avg =
   if history < 0.0 || history >= 1.0 then invalid_arg "Ewma.restore: history must be in [0, 1)";
-  { history; avg }
+  match avg with
+  | None -> { history; seeded = false; avg = 0.0 }
+  | Some v -> { history; seeded = true; avg = v }
 
 let emit w t =
   Codec.float w "history" t.history;
-  Codec.bool w "has_avg" (t.avg <> None);
-  match t.avg with Some v -> Codec.float w "avg" v | None -> ()
+  Codec.bool w "has_avg" t.seeded;
+  if t.seeded then Codec.float w "avg" t.avg
 
 let parse r =
   let history = Codec.float_field r "history" in

@@ -95,6 +95,20 @@ let poisson t lambda =
     if v < 0.0 then 0 else int_of_float v
   end
 
+(* The rejection-method helpers live at top level so [zipf] builds no
+   closures per draw (it runs once per emitted packet on the generator's
+   hot path). *)
+let zipf_h ~s x = (x ** (1.0 -. s)) /. (1.0 -. s)
+let zipf_h_inv ~s x = ((1.0 -. s) *. x) ** (1.0 /. (1.0 -. s))
+
+let rec zipf_loop t ~s ~nf ~hx0 ~hn =
+  let u = hx0 +. (float t 1.0 *. (hn -. hx0)) in
+  let x = zipf_h_inv ~s u in
+  let k = Float.round x in
+  let k = if k < 1.0 then 1.0 else if k > nf then nf else k in
+  if k -. x <= 0.5 || u >= zipf_h ~s (k +. 0.5) -. (k ** -.s) then int_of_float k
+  else zipf_loop t ~s ~nf ~hx0 ~hn
+
 let zipf t ~n ~s =
   if n <= 0 then invalid_arg "Rng.zipf: n must be positive";
   if n = 1 then 1
@@ -103,19 +117,9 @@ let zipf t ~n ~s =
        generalised inverse. *)
     let s = if Float.abs (s -. 1.0) < 1e-9 then 1.000001 else s in
     let nf = Float.of_int n in
-    let h x = (x ** (1.0 -. s)) /. (1.0 -. s) in
-    let h_inv x = ((1.0 -. s) *. x) ** (1.0 /. (1.0 -. s)) in
-    let hx0 = h 0.5 -. 1.0 in
-    let hn = h (nf +. 0.5) in
-    let rec loop () =
-      let u = hx0 +. (float t 1.0 *. (hn -. hx0)) in
-      let x = h_inv u in
-      let k = Float.round x in
-      let k = if k < 1.0 then 1.0 else if k > nf then nf else k in
-      if k -. x <= 0.5 || u >= h (k +. 0.5) -. (k ** -.s) then int_of_float k
-      else loop ()
-    in
-    loop ()
+    let hx0 = zipf_h ~s 0.5 -. 1.0 in
+    let hn = zipf_h ~s (nf +. 0.5) in
+    zipf_loop t ~s ~nf ~hx0 ~hn
   end
 
 let shuffle t a =

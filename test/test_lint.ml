@@ -4,6 +4,7 @@
    unused allows are themselves findings; reports round-trip through
    Dream_obs.Json. *)
 
+module Baseline = Dream_lint.Baseline
 module Engine = Dream_lint.Engine
 module Finding = Dream_lint.Finding
 module Report = Dream_lint.Report
@@ -247,7 +248,7 @@ let test_parse_error () =
 (* ---- registry ---- *)
 
 let test_registry () =
-  Alcotest.(check int) "eight rules" 8 (List.length Rules.all);
+  Alcotest.(check int) "ten rules" 10 (List.length Rules.all);
   Alcotest.(check int) "unique ids" (List.length Rules.ids)
     (List.length (List.sort_uniq String.compare Rules.ids));
   List.iter
@@ -257,17 +258,140 @@ let test_registry () =
       | None -> Alcotest.failf "registry lookup failed for %s" id)
     Rules.ids
 
-(* ---- JSON report round trip ---- *)
+(* ---- hot-path-alloc (interprocedural) ---- *)
 
-let test_report_round_trip () =
-  let findings =
-    lint ~path:"lib/fake.ml" "let a = Random.int 1\nlet t = Sys.time ()\nlet x = List.hd l\n"
+let hot ?(rules = only "hot-path-alloc") sources = Engine.lint_sources ~rules sources
+
+let check_hot_fires ~sub src =
+  match hot [ ("lib/fake.ml", src) ] with
+  | [ f ] ->
+    Alcotest.(check string) "rule id" "hot-path-alloc" f.Finding.rule;
+    Alcotest.(check string) "severity" "error"
+      (Finding.severity_to_string f.Finding.severity);
+    Alcotest.(check bool)
+      (Printf.sprintf "message %S mentions %S" f.Finding.message sub)
+      true
+      (contains ~sub f.Finding.message)
+  | fs ->
+    Alcotest.failf "expected exactly one hot-path-alloc finding, got %d: %s"
+      (List.length fs)
+      (String.concat "; " (List.map (fun f -> f.Finding.message) fs))
+
+let check_hot_silent src =
+  match hot [ ("lib/fake.ml", src) ] with
+  | [] -> ()
+  | fs -> Alcotest.failf "expected no findings, got: %s" (String.concat "; " (rule_ids fs))
+
+let test_hot_alloc_classes_fire () =
+  check_hot_fires ~sub:"tuple construction" "let[@hot] tick () = (1, 2)\n";
+  check_hot_fires ~sub:"record construction"
+    "type r = { a : int }\nlet[@hot] tick () = { a = 1 }\n";
+  (* A cons spine is one list, one finding — not one per cell. *)
+  check_hot_fires ~sub:"list construction" "let[@hot] tick () = [ 1; 2; 3 ]\n";
+  check_hot_fires ~sub:"array literal" "let[@hot] tick () = [| 1; 2 |]\n";
+  (* A constructor's tuple payload is part of the constructor block. *)
+  check_hot_fires ~sub:"variant Some" "let[@hot] tick a b = Some (a, b)\n";
+  check_hot_fires ~sub:"closure construction"
+    "let[@hot] tick xs = let f = fun x -> x + 1 in f (List.length xs)\n";
+  check_hot_fires ~sub:"builds a fresh copy" "let[@hot] tick xs ys = xs @ ys\n";
+  check_hot_fires ~sub:"boxes its float result" "let[@hot] tick n = float_of_int n\n";
+  check_hot_fires ~sub:"allocates format machinery"
+    "let[@hot] tick n = Printf.sprintf \"%d\" n\n";
+  check_hot_fires ~sub:"List.map allocates its result"
+    "let[@hot] tick xs = List.map succ xs\n"
+
+let test_hot_alloc_silent () =
+  (* Arithmetic, projections, mutation: no allocation, no finding. *)
+  check_hot_silent "let[@hot] tick x = x + 1\n";
+  check_hot_silent "let[@hot] tick a i = a.(i) <- a.(i) + 1\n";
+  (* Allocation outside the hot set is not this rule's business. *)
+  check_hot_silent "let cold () = (1, 2)\n";
+  (* Argumentless constructors are immediates. *)
+  check_hot_silent "let[@hot] tick () = None\n"
+
+let test_hot_alloc_cross_module_chain () =
+  let sources =
+    [
+      ("lib/a/entry.ml", "let[@hot] tick () = Helper.build ()\n");
+      ("lib/a/helper.ml", "let build () = (1, 2)\n");
+    ]
   in
-  Alcotest.(check int) "three findings" 3 (List.length findings);
-  match Report.of_json_string (Json.to_string (Report.to_json findings)) with
-  | Ok findings' ->
-    Alcotest.(check bool) "identical after round trip" true (findings = findings')
-  | Error e -> Alcotest.failf "report reparse failed: %s" e
+  match hot sources with
+  | [ f ] ->
+    Alcotest.(check string) "finding lands in the callee" "lib/a/helper.ml" f.Finding.file;
+    Alcotest.(check bool) "witness chain in message" true
+      (contains ~sub:"Entry.tick -> Helper.build" f.Finding.message)
+  | fs -> Alcotest.failf "expected one finding, got %d" (List.length fs)
+
+let test_hot_alloc_partial_application () =
+  check_hot_fires ~sub:"partial application"
+    "let add3 a b c = a + b + c\nlet[@hot] tick x = add3 x 1\n"
+
+let test_alloc_allow_suppresses () =
+  check_hot_silent
+    "let[@hot] tick a b = (a, b) [@alloc.allow \"boxed pair is the public API\"]\n"
+
+let test_alloc_allow_unused () =
+  (* An allow on a site the pass never reaches must be cleaned up. *)
+  match hot [ ("lib/fake.ml", "let cold () = (1, 2) [@alloc.allow \"stale\"]\n") ] with
+  | [ f ] ->
+    Alcotest.(check string) "rule id" Engine.unused_suppression_rule f.Finding.rule;
+    Alcotest.(check bool) "says it suppresses nothing" true
+      (contains ~sub:"suppresses nothing" f.Finding.message)
+  | fs -> Alcotest.failf "expected one finding, got %d" (List.length fs)
+
+let test_alloc_allow_malformed () =
+  (* No reason string: the allow is rejected and the site still fires. *)
+  match hot [ ("lib/fake.ml", "let[@hot] tick a b = (a, b) [@alloc.allow]\n") ] with
+  | fs ->
+    Alcotest.(check (list string))
+      "finding plus malformed allow"
+      [ "hot-path-alloc"; Engine.unused_suppression_rule ]
+      (List.sort String.compare (rule_ids fs))
+
+(* ---- domain-safety (interprocedural) ---- *)
+
+let domain sources = Engine.lint_sources ~rules:(only "domain-safety") sources
+
+let check_domain_fires ~sub ~path src =
+  match domain [ (path, src) ] with
+  | [ f ] ->
+    Alcotest.(check string) "rule id" "domain-safety" f.Finding.rule;
+    Alcotest.(check string) "severity" "warning"
+      (Finding.severity_to_string f.Finding.severity);
+    Alcotest.(check bool)
+      (Printf.sprintf "message %S mentions %S" f.Finding.message sub)
+      true
+      (contains ~sub f.Finding.message)
+  | fs -> Alcotest.failf "expected one domain-safety finding, got %d" (List.length fs)
+
+let check_domain_silent ~path src =
+  match domain [ (path, src) ] with
+  | [] -> ()
+  | fs -> Alcotest.failf "expected no findings, got: %s" (String.concat "; " (rule_ids fs))
+
+let test_domain_safety_fires () =
+  check_domain_fires ~sub:"ref cell" ~path:"lib/fake.ml" "let counter = ref 0\n";
+  check_domain_fires ~sub:"Hashtbl" ~path:"lib/fake.ml" "let cache = Hashtbl.create 16\n";
+  check_domain_fires ~sub:"Buffer" ~path:"lib/fake.ml" "let buf = Buffer.create 80\n";
+  check_domain_fires ~sub:"array" ~path:"lib/fake.ml" "let scratch = [| 0; 0 |]\n";
+  check_domain_fires ~sub:"mutable" ~path:"lib/fake.ml"
+    "type t = { mutable n : int }\nlet state = { n = 0 }\n"
+
+let test_domain_safety_silent () =
+  check_domain_silent ~path:"lib/fake.ml" "let x = 42\nlet xs = [ 1; 2 ]\n";
+  (* Local mutability inside a function is fine; the rule is about
+     module-level sharing. *)
+  check_domain_silent ~path:"lib/fake.ml"
+    "let f () = let c = ref 0 in incr c; !c\n";
+  (* The rule is a lib/ policy. *)
+  check_domain_silent ~path:"bin/fake.ml" "let cache = Hashtbl.create 16\n"
+
+let test_domain_safety_suppression () =
+  check_domain_silent ~path:"lib/fake.ml"
+    "let cache = Hashtbl.create 16 [@@lint.allow \"domain-safety\"]\n"
+
+(* ---- baseline ratchet ---- *)
 
 let finding_gen =
   QCheck.Gen.(
@@ -280,6 +404,187 @@ let finding_gen =
       (tup6 str str (int_range 1 10000) (int_range 0 500) bool str))
 
 let arbitrary_finding = QCheck.make ~print:(Format.asprintf "%a" Finding.pp) finding_gen
+
+let finding ~rule ~file = Finding.v ~rule ~file ~line:1 ~col:0 ~severity:Finding.Error "x"
+
+let test_baseline_of_findings () =
+  let fs =
+    [
+      finding ~rule:"a" ~file:"lib/x.ml";
+      finding ~rule:"a" ~file:"lib/x.ml";
+      finding ~rule:"b" ~file:"lib/y.ml";
+    ]
+  in
+  match Baseline.of_findings fs with
+  | [ e1; e2 ] ->
+    Alcotest.(check int) "counted" 2 e1.Baseline.b_count;
+    Alcotest.(check string) "sorted by rule" "a" e1.Baseline.b_rule;
+    Alcotest.(check int) "singleton" 1 e2.Baseline.b_count
+  | es -> Alcotest.failf "expected two entries, got %d" (List.length es)
+
+let test_baseline_diff () =
+  let baseline =
+    Baseline.of_findings
+      [ finding ~rule:"a" ~file:"lib/x.ml"; finding ~rule:"b" ~file:"lib/y.ml" ]
+  in
+  let current =
+    Baseline.of_findings
+      [ finding ~rule:"a" ~file:"lib/x.ml"; finding ~rule:"a" ~file:"lib/x.ml" ]
+  in
+  let d = Baseline.diff ~baseline ~current in
+  (match d.Baseline.fresh with
+  | [ g ] ->
+    Alcotest.(check string) "grown key" "a" g.Baseline.d_rule;
+    Alcotest.(check int) "baseline count" 1 g.Baseline.d_baseline;
+    Alcotest.(check int) "current count" 2 g.Baseline.d_current
+  | gs -> Alcotest.failf "expected one fresh delta, got %d" (List.length gs));
+  match d.Baseline.improved with
+  | [ g ] -> Alcotest.(check string) "vanished key" "b" g.Baseline.d_rule
+  | gs -> Alcotest.failf "expected one improved delta, got %d" (List.length gs)
+
+let test_baseline_ratchet_refuses_growth () =
+  let old_ = Baseline.of_findings [ finding ~rule:"a" ~file:"lib/x.ml" ] in
+  let grown =
+    Baseline.of_findings
+      [ finding ~rule:"a" ~file:"lib/x.ml"; finding ~rule:"a" ~file:"lib/x.ml" ]
+  in
+  (match Baseline.update ~old_:(Some old_) ~current:grown with
+  | Ok _ -> Alcotest.fail "ratchet accepted a grown baseline"
+  | Error msg ->
+    Alcotest.(check bool) "error names the key" true (contains ~sub:"lib/x.ml" msg));
+  (* Bootstrap from nothing and shrink-in-place are both fine. *)
+  (match Baseline.update ~old_:None ~current:grown with
+  | Ok [ e ] -> Alcotest.(check int) "bootstrap keeps counts" 2 e.Baseline.b_count
+  | Ok es -> Alcotest.failf "expected one entry, got %d" (List.length es)
+  | Error e -> Alcotest.failf "bootstrap refused: %s" e);
+  match Baseline.update ~old_:(Some grown) ~current:old_ with
+  | Ok [ e ] -> Alcotest.(check int) "shrunk" 1 e.Baseline.b_count
+  | Ok es -> Alcotest.failf "expected one entry, got %d" (List.length es)
+  | Error e -> Alcotest.failf "shrink refused: %s" e
+
+let test_baseline_update_keeps_reasons () =
+  let old_ =
+    [ { Baseline.b_rule = "a"; b_file = "lib/x.ml"; b_count = 2; b_reason = Some "parked" } ]
+  in
+  let current = Baseline.of_findings [ finding ~rule:"a" ~file:"lib/x.ml" ] in
+  match Baseline.update ~old_:(Some old_) ~current with
+  | Ok [ e ] ->
+    Alcotest.(check int) "count shrunk" 1 e.Baseline.b_count;
+    Alcotest.(check (option string)) "reason carried" (Some "parked") e.Baseline.b_reason
+  | Ok es -> Alcotest.failf "expected one entry, got %d" (List.length es)
+  | Error e -> Alcotest.failf "update refused: %s" e
+
+let test_baseline_reason_round_trip () =
+  let b =
+    [
+      { Baseline.b_rule = "a"; b_file = "lib/x.ml"; b_count = 3; b_reason = Some "parked" };
+      { Baseline.b_rule = "b"; b_file = "lib/y.ml"; b_count = 1; b_reason = None };
+    ]
+  in
+  match Baseline.of_string (Baseline.to_string b) with
+  | Ok b' -> Alcotest.(check bool) "identical" true (b = b')
+  | Error e -> Alcotest.failf "reparse failed: %s" e
+
+let prop_baseline_json_round_trip =
+  QCheck.Test.make ~name:"baseline JSON round-trips through Obs.Json" ~count:100
+    QCheck.(list_of_size Gen.(int_range 0 30) arbitrary_finding)
+    (fun fs ->
+      let b = Baseline.of_findings fs in
+      match Baseline.of_string (Baseline.to_string b) with
+      | Ok b' -> b = b'
+      | Error _ -> false)
+
+let test_debt_snapshot () =
+  let fs =
+    [
+      finding ~rule:"hot-path-alloc" ~file:"lib/x.ml";
+      finding ~rule:"hot-path-alloc" ~file:"lib/y.ml";
+      finding ~rule:"domain-safety" ~file:"lib/x.ml";
+    ]
+  in
+  let snap = Baseline.debt_snapshot fs in
+  Alcotest.(check string) "figure" "lint-debt" snap.Dream_obs.Bench_snapshot.figure;
+  let value name =
+    match
+      List.find_opt
+        (fun (m : Dream_obs.Bench_snapshot.metric) -> m.Dream_obs.Bench_snapshot.m_name = name)
+        snap.Dream_obs.Bench_snapshot.metrics
+    with
+    | Some m -> m.Dream_obs.Bench_snapshot.m_value
+    | None -> Alcotest.failf "missing metric %s" name
+  in
+  Alcotest.(check (float 0.0)) "per-rule count" 2.0 (value "debt_hot-path-alloc");
+  Alcotest.(check (float 0.0)) "total" 3.0 (value "debt_total")
+
+(* ---- whole-run determinism ---- *)
+
+let test_lint_sources_deterministic () =
+  let sources =
+    [
+      ("lib/a/entry.ml", "let[@hot] tick () = Helper.build ()\nlet cache = Hashtbl.create 4\n");
+      ("lib/a/helper.ml", "let build () = (1, 2)\nlet scratch = [| 0 |]\n");
+    ]
+  in
+  let render fs = Json.to_string (Report.to_json fs) in
+  let r1 = render (Engine.lint_sources sources) in
+  let r2 = render (Engine.lint_sources (List.rev sources)) in
+  Alcotest.(check string) "same report bytes regardless of input order" r1 r2;
+  let r3 = render (Engine.lint_sources sources) in
+  Alcotest.(check string) "byte-identical across runs" r1 r3
+
+(* ---- tree walk ---- *)
+
+let test_ml_files_under_skips_and_sorts () =
+  let dir = Filename.temp_dir "dream_lint_walk" "" in
+  let mkdir d = Sys.mkdir d 0o755 in
+  let touch parts contents =
+    write (List.fold_left Filename.concat dir parts) contents
+  in
+  let rec rm path =
+    if Sys.is_directory path then begin
+      Array.iter (fun e -> rm (Filename.concat path e)) (Sys.readdir path);
+      Sys.rmdir path
+    end
+    else Sys.remove path
+  in
+  Fun.protect
+    ~finally:(fun () -> rm dir)
+    (fun () ->
+      mkdir (Filename.concat dir "sub");
+      mkdir (Filename.concat dir "_build");
+      mkdir (Filename.concat dir "_opam");
+      mkdir (Filename.concat dir ".git");
+      touch [ "z.ml" ] "let z = 1\n";
+      touch [ "a.ml" ] "let a = 1\n";
+      touch [ "sub"; "b.ml" ] "let b = 1\n";
+      touch [ "_build"; "x.ml" ] "let x = 1\n";
+      touch [ "_opam"; "y.ml" ] "let y = 1\n";
+      touch [ ".git"; "h.ml" ] "let h = 1\n";
+      touch [ "notes.txt" ] "not ocaml\n";
+      let expected =
+        [ Filename.concat dir "a.ml";
+          Filename.concat (Filename.concat dir "sub") "b.ml";
+          Filename.concat dir "z.ml" ]
+      in
+      Alcotest.(check (list string)) "sorted, skips _build/_opam/dot-dirs" expected
+        (Engine.ml_files_under dir);
+      Alcotest.(check (list string)) "stable across runs" expected
+        (Engine.ml_files_under dir);
+      Alcotest.(check (list string)) "a lone .ml path yields itself"
+        [ Filename.concat dir "a.ml" ]
+        (Engine.ml_files_under (Filename.concat dir "a.ml")))
+
+(* ---- JSON report round trip ---- *)
+
+let test_report_round_trip () =
+  let findings =
+    lint ~path:"lib/fake.ml" "let a = Random.int 1\nlet t = Sys.time ()\nlet x = List.hd l\n"
+  in
+  Alcotest.(check int) "three findings" 3 (List.length findings);
+  match Report.of_json_string (Json.to_string (Report.to_json findings)) with
+  | Ok findings' ->
+    Alcotest.(check bool) "identical after round trip" true (findings = findings')
+  | Error e -> Alcotest.failf "report reparse failed: %s" e
 
 let prop_finding_json_round_trip =
   QCheck.Test.make ~name:"finding JSON round-trips through Obs.Json" ~count:200
@@ -349,6 +654,45 @@ let () =
         [
           Alcotest.test_case "parse error is a finding" `Quick test_parse_error;
           Alcotest.test_case "registry" `Quick test_registry;
+        ] );
+      ( "hot-path-alloc",
+        [
+          Alcotest.test_case "allocation classes fire" `Quick test_hot_alloc_classes_fire;
+          Alcotest.test_case "non-allocating hot code silent" `Quick test_hot_alloc_silent;
+          Alcotest.test_case "cross-module witness chain" `Quick
+            test_hot_alloc_cross_module_chain;
+          Alcotest.test_case "partial application" `Quick test_hot_alloc_partial_application;
+          Alcotest.test_case "alloc.allow suppresses" `Quick test_alloc_allow_suppresses;
+          Alcotest.test_case "unused alloc.allow is a finding" `Quick test_alloc_allow_unused;
+          Alcotest.test_case "malformed alloc.allow" `Quick test_alloc_allow_malformed;
+        ] );
+      ( "domain-safety",
+        [
+          Alcotest.test_case "toplevel mutable state fires" `Quick test_domain_safety_fires;
+          Alcotest.test_case "immutable/local/out-of-scope silent" `Quick
+            test_domain_safety_silent;
+          Alcotest.test_case "lint.allow suppresses" `Quick test_domain_safety_suppression;
+        ] );
+      ( "baseline",
+        [
+          Alcotest.test_case "of_findings counts per key" `Quick test_baseline_of_findings;
+          Alcotest.test_case "diff splits fresh/improved" `Quick test_baseline_diff;
+          Alcotest.test_case "ratchet refuses growth" `Quick
+            test_baseline_ratchet_refuses_growth;
+          Alcotest.test_case "update keeps reasons" `Quick test_baseline_update_keeps_reasons;
+          Alcotest.test_case "reasons round-trip" `Quick test_baseline_reason_round_trip;
+          QCheck_alcotest.to_alcotest prop_baseline_json_round_trip;
+          Alcotest.test_case "debt snapshot" `Quick test_debt_snapshot;
+        ] );
+      ( "determinism-of-output",
+        [
+          Alcotest.test_case "lint_sources is order-insensitive and stable" `Quick
+            test_lint_sources_deterministic;
+        ] );
+      ( "tree-walk",
+        [
+          Alcotest.test_case "skips _build/_opam/dot-dirs, sorted" `Quick
+            test_ml_files_under_skips_and_sorts;
         ] );
       ( "report",
         [
